@@ -1,0 +1,46 @@
+// Ablation D (§4.7): pipelining — trading latency for throughput.
+//
+// The paper notes that Atom can assign disjoint server sets to the
+// network's layers and admit a new batch every "one group's worth of
+// latency", but does not evaluate it ("latency is more important for the
+// applications we consider"). This bench quantifies the trade: sequential
+// rounds deliver M messages per full round; the pipelined network delivers
+// M messages per beat (one layer time), at the cost of each layer owning
+// only 1/T of the servers.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace atom;
+  PrintHeader("Ablation: pipelining (throughput mode, §4.7)",
+              "pipelined Atom outputs one batch per layer-time instead of "
+              "per round (not evaluated in the paper)");
+  const CostModel& costs = CalibratedCosts();
+  Rng rng(0xab1d);
+
+  NetworkModel net = NetworkModel::TorLike(1024, rng);
+  std::printf("\n1,024 servers, varying batch size:\n");
+  std::printf("  batch     | sequential msg/s | pipelined msg/s | gain | "
+              "latency seq (min) | pipe (min)\n");
+  std::printf("  ----------+------------------+-----------------+------+"
+              "-------------------+-----------\n");
+  for (size_t messages : {20'000u, 100'000u, 1'000'000u}) {
+    auto config = PaperDeployment(1024, messages, Variant::kTrap, 160);
+    auto seq = EstimateRound(config, net, costs);
+    auto pipe = EstimatePipelined(config, net, costs);
+    double seq_tput =
+        static_cast<double>(config.total_messages) / seq.total_seconds;
+    std::printf("  %9zu | %16.0f | %15.0f | %3.1fx | %17.1f | %9.1f\n",
+                messages, seq_tput, pipe.throughput_msgs_per_second,
+                pipe.throughput_msgs_per_second / seq_tput,
+                seq.total_seconds / 60.0, pipe.latency_seconds / 60.0);
+  }
+  std::printf("\nShape check: at light load (latency-bound: WAN barriers "
+              "dominate) pipelining\napproaches a T-fold throughput gain; "
+              "at heavy load the aggregate-compute floor\nbinds and the "
+              "gain shrinks — each message still costs the same core-"
+              "seconds.\nThis is why the paper reserves pipelining for "
+              "throughput-oriented deployments.\n");
+  return 0;
+}

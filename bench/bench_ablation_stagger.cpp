@@ -1,0 +1,47 @@
+// Ablation E (§4.7): staggering server positions across groups.
+//
+// "To ensure that every server is active as much as possible, we stagger
+// the position of a server when it appears in different groups." This bench
+// runs the discrete-event simulation of one mixing iteration over shared
+// servers, comparing an aligned layout (every server always at the same
+// chain position — only N/k servers can ever be 'first') against the
+// staggered layout. Staggering should recover close to the work/capacity
+// lower bound; alignment should serialize the waves.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/sim/stagger.h"
+
+int main() {
+  using namespace atom;
+  PrintHeader("Ablation: §4.7 position staggering (DES over shared hosts)",
+              "staggering minimizes idle time; naive layouts leave servers "
+              "waiting on each other");
+
+  std::printf("\n  servers | k  | layout    | makespan (s) | utilization\n");
+  std::printf("  --------+----+-----------+--------------+------------\n");
+  for (size_t k : {8u, 16u}) {
+    size_t servers = k * k;  // k position classes of k servers
+    NetworkModel net = NetworkModel::Uniform(servers, /*cores=*/1, 100e6);
+    LayerSimConfig config;
+    config.step_seconds = 1.0;
+    config.hop_latency_seconds = 0.05;
+
+    config.groups = AlignedLayout(servers, k);
+    auto aligned = SimulateLayer(config, net);
+    config.groups = StaggeredLayout(servers, k);
+    auto staggered = SimulateLayer(config, net);
+
+    std::printf("  %7zu | %2zu | aligned   | %12.1f | %10.2f\n", servers, k,
+                aligned.makespan_seconds, aligned.utilization);
+    std::printf("  %7zu | %2zu | staggered | %12.1f | %10.2f\n", servers, k,
+                staggered.makespan_seconds, staggered.utilization);
+    std::printf("  %7zu | %2zu | gain      | %11.1fx |\n", servers, k,
+                aligned.makespan_seconds / staggered.makespan_seconds);
+  }
+  std::printf("\nShape check: the aligned layout pipelines but idles every "
+              "position class during\nwarm-up and drain; staggering gives "
+              "each server one chain step per wave, pushing\nutilization "
+              "toward 1 and shaving the makespan — the §4.7 claim.\n");
+  return 0;
+}

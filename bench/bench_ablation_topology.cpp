@@ -1,0 +1,54 @@
+// Ablation A (§3 discussion): square network vs. iterated butterfly.
+//
+// The paper chooses Håstad's square network over the iterated butterfly
+// because of its shallower depth: T ∈ O(1) (10 in practice) versus
+// T ∈ O(log² G). This bench quantifies that choice: per-network depth,
+// per-server ciphertext load (the C(M,N) scalability metric of §2.2), and
+// the modeled end-to-end mixing time for both topologies.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/topology/permnet.h"
+
+int main() {
+  using namespace atom;
+  PrintHeader("Ablation: square vs. iterated-butterfly topology",
+              "square T=O(1) beats butterfly T=O(log^2 G) in depth; both "
+              "scale horizontally");
+  const CostModel& costs = CalibratedCosts();
+  Rng rng(0xab1a);
+  constexpr size_t kMessages = 1'000'000;
+
+  std::printf("\n  groups | sq depth | bf depth | sq msgs/srv | bf msgs/srv "
+              "| sq time(h) | bf time(h)\n");
+  std::printf("  -------+----------+----------+-------------+-------------+"
+              "------------+-----------\n");
+  for (size_t log2g : {6u, 8u, 10u, 12u}) {
+    size_t groups = size_t{1} << log2g;
+    SquareTopology square(groups, 10);
+    ButterflyTopology butterfly(log2g, ButterflyPassesFor(log2g));
+
+    double per_group = 2.0 * kMessages / static_cast<double>(groups);
+    double sq_load = per_group * static_cast<double>(square.NumLayers());
+    double bf_load = per_group * static_cast<double>(butterfly.NumLayers());
+
+    NetworkModel net = NetworkModel::TorLike(groups, rng);
+    auto config = PaperDeployment(groups, kMessages, Variant::kTrap, 160);
+    config.params.iterations = square.NumLayers();
+    double sq_time = EstimateRound(config, net, costs).total_seconds;
+    config.params.iterations = butterfly.NumLayers();
+    // Butterfly layers have β = 2: connection overhead is per-link.
+    config.per_connection_seconds *= 2.0 / static_cast<double>(groups);
+    double bf_time = EstimateRound(config, net, costs).total_seconds;
+
+    std::printf("  %6zu | %8zu | %8zu | %11.0f | %11.0f | %10.2f | %9.2f\n",
+                groups, square.NumLayers(), butterfly.NumLayers(), sq_load,
+                bf_load, sq_time / 3600.0, bf_time / 3600.0);
+  }
+  std::printf("\nShape check: butterfly depth (and total per-server load) "
+              "grows with log^2(G);\nthe square network's fixed depth wins "
+              "end-to-end, as the paper argues, while the\nbutterfly's O(1) "
+              "fan-out avoids the G^2 connection overhead at extreme "
+              "scale.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation B (§6.1): the cost of proactive security — NIZK variant vs.
+// trap variant, end to end.
+//
+// The paper estimates "a full Atom network using NIZKs would be four times
+// slower than a trap-based Atom network". This bench compares the two
+// variants at deployment scale with the calibrated model, and also reports
+// the per-message crypto budget behind the ratio (the trap variant pays 2x
+// messages; the NIZK variant pays proof generation + verification on every
+// hop).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace atom;
+  PrintHeader("Ablation: NIZK variant vs. trap variant, end to end",
+              "NIZK ~4x slower at equal message load (§6.1)");
+  const CostModel& costs = CalibratedCosts();
+  Rng rng(0xab1b);
+
+  // Per-element crypto budget per hop (one server's step).
+  double trap_ops = costs.shuffle_per_msg + costs.reenc;
+  double nizk_ops = costs.shuffle_per_msg + costs.shuf_prove_per_msg +
+                    costs.shuf_verify_per_msg + costs.reenc +
+                    costs.reenc_prove + costs.reenc_verify;
+  std::printf("\nper-element, per-hop crypto cost:\n");
+  std::printf("  trap: %.3f ms    nizk: %.3f ms    ratio %.2fx "
+              "(trap additionally doubles the\n  element count with traps, "
+              "so the end-to-end gap is about half the raw ratio)\n",
+              trap_ops * 1e3, nizk_ops * 1e3, nizk_ops / trap_ops);
+
+  std::printf("\nend-to-end at 1M messages:\n");
+  std::printf("  servers | trap (min) | nizk (min) | ratio\n");
+  std::printf("  --------+------------+------------+------\n");
+  for (size_t servers : {256u, 1024u}) {
+    NetworkModel net = NetworkModel::TorLike(servers, rng);
+    double trap =
+        EstimateRound(PaperDeployment(servers, 1'000'000, Variant::kTrap,
+                                      160),
+                      net, costs)
+            .total_seconds;
+    double nizk =
+        EstimateRound(PaperDeployment(servers, 1'000'000, Variant::kNizk,
+                                      160),
+                      net, costs)
+            .total_seconds;
+    std::printf("  %7zu | %10.1f | %10.1f | %4.1fx\n", servers, trap / 60.0,
+                nizk / 60.0, nizk / trap);
+  }
+  std::printf("\nShape check: the ratio should sit in the ~3-5x band the "
+              "paper reports.\n");
+  return 0;
+}

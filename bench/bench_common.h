@@ -1,0 +1,54 @@
+// Shared helpers for the benchmark harness: one cached live calibration of
+// the cost model (each binary calibrates once) and uniform table printing,
+// so every bench emits a paper-style table that EXPERIMENTS.md can quote.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "src/core/message.h"
+#include "src/sim/costmodel.h"
+#include "src/sim/netsim.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+inline const CostModel& CalibratedCosts() {
+  static const CostModel costs = [] {
+    std::printf("# calibrating cost model on this machine "
+                "(real crypto, one-time)...\n");
+    Rng rng(0xca11b7a7e0ULL);
+    return CostModel::Measure(rng, 48);
+  }();
+  return costs;
+}
+
+// The paper's deployment configuration (§6.2): groups of 33 with one
+// tolerated failure (h=2, threshold 32), T=10 square-network iterations.
+inline NetSimConfig PaperDeployment(size_t servers, size_t messages,
+                                    Variant variant, size_t message_len,
+                                    size_t dummies = 0) {
+  NetSimConfig config;
+  config.params.variant = variant;
+  config.params.num_servers = servers;
+  config.params.num_groups = servers;  // one group per server slot
+  config.params.group_size = 33;
+  config.params.honest_needed = 2;
+  config.params.iterations = 10;
+  config.params.message_len = message_len;
+  config.total_messages = messages;
+  config.dummy_messages = dummies;
+  config.components = LayoutFor(variant, message_len).num_points;
+  return config;
+}
+
+inline void PrintHeader(const char* title, const char* paper_claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace atom
+
+#endif  // BENCH_BENCH_COMMON_H_

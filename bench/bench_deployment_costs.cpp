@@ -1,0 +1,45 @@
+// §7 "Estimated deployment costs": what it costs a volunteer to run an
+// Atom server. The paper rate-matches compute and bandwidth: a 4-core
+// server reencrypts ~2,700 msg/s and shuffles ~9,200 msg/s (32-byte
+// messages), needing ~90-300 KB/s of bandwidth — about $7.20/month of AWS
+// egress against ~$146/month of compute. We reproduce the computation from
+// this machine's measured primitive costs.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/sim/groupsim.h"
+
+int main() {
+  using namespace atom;
+  PrintHeader("§7 deployment-cost estimate (rate-matched bandwidth)",
+              "4-core server: ~2700 reenc/s, ~9200 shuffle/s, <=300KB/s "
+              "=> ~$7.2/mo bandwidth vs ~$146/mo compute");
+  const CostModel& costs = CalibratedCosts();
+
+  // The paper quotes per-stream rates (1/Table-3 cost) and counts one
+  // 33-byte encoded point per routed message on the wire.
+  double reenc_rate = 1.0 / costs.reenc;
+  double shuffle_rate = 1.0 / costs.shuffle_per_msg;
+  double reenc_bw = reenc_rate * 33.0;
+  double shuffle_bw = shuffle_rate * 33.0;
+  std::printf("\nper-stream crypto throughput (this machine):\n");
+  std::printf("  reencrypt : %7.0f msg/s  (paper: ~2700)  -> %6.0f KB/s "
+              "(paper: ~90)\n",
+              reenc_rate, reenc_bw / 1e3);
+  std::printf("  shuffle   : %7.0f msg/s  (paper: ~9200)  -> %6.0f KB/s "
+              "(paper: ~300)\n",
+              shuffle_rate, shuffle_bw / 1e3);
+
+  double worst_bw = std::max(reenc_bw, shuffle_bw);
+  double monthly_gb = worst_bw * 86400 * 30 / 1e9;
+  std::printf("\nrate-matched egress: %.0f GB/month\n", monthly_gb);
+  std::printf("  at $0.09/GB list egress : ~$%.0f/month\n",
+              monthly_gb * 0.09);
+  std::printf("  vs compute rental       : ~$146/month (4-core), "
+              "~$1165/month (36-core)\n");
+  std::printf("\nShape check: a server saturates its CPU long before a "
+              "commodity uplink — the\npaper's conclusion that Atom "
+              "volunteers are compute-bound, not bandwidth-bound\n(<1 MB/s "
+              "per server; Vuvuzela needs 166 MB/s).\n");
+  return 0;
+}

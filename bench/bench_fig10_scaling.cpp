@@ -1,0 +1,38 @@
+// Figure 10: horizontal scalability — speed-up of Atom networks of 128,
+// 256, 512, and 1,024 servers routing one million microblog messages,
+// relative to the 128-server network.
+//
+// Paper: 3.81h / 1.89h / 0.94h / 0.47h — linear speed-up in server count
+// (each doubling of the network halves the per-group batch).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace atom;
+  PrintHeader("Figure 10: speed-up vs. network size (1M microblog messages)",
+              "linear: 1x / 2x / 4x / 8x at 128/256/512/1024 servers "
+              "(3.81h down to 0.47h)");
+  const CostModel& costs = CalibratedCosts();
+  Rng rng(0xf19a);
+
+  double base = 0;
+  std::printf("\n  servers | latency (h) | speed-up | paper (h)\n");
+  std::printf("  --------+-------------+----------+----------\n");
+  const double paper_hours[] = {3.81, 1.89, 0.94, 0.47};
+  int i = 0;
+  for (size_t servers : {128u, 256u, 512u, 1024u}) {
+    NetworkModel net = NetworkModel::TorLike(servers, rng);
+    auto est = EstimateRound(
+        PaperDeployment(servers, 1'000'000, Variant::kTrap, 160), net,
+        costs);
+    double hours = est.total_seconds / 3600.0;
+    if (base == 0) {
+      base = hours;
+    }
+    std::printf("  %7zu | %11.2f | %7.2fx | %8.2f\n", servers, hours,
+                base / hours, paper_hours[i++]);
+  }
+  std::printf("\nShape check: speed-up column should read ~1 / 2 / 4 / 8.\n");
+  return 0;
+}

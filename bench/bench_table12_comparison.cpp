@@ -1,0 +1,67 @@
+// Table 12: latency to support one million users — Atom at 128/256/512/1024
+// servers (microblogging and dialing) against Riposte (microblogging,
+// 3 x 36-core) and Vuvuzela / Alpenhorn (dialing, 3 x 36-core).
+//
+// Paper: Atom@1024 microblogs 1M in 28.2 min (23.7x faster than Riposte's
+// 669.2 min); Vuvuzela dials 1M in 0.5 min (56x faster than Atom's 27.9) —
+// Atom wins on scalability and tamper-resistance, the centralized systems
+// win on raw dialing latency.
+//
+// The Riposte row is measured from this repository's real DPF write path
+// and extrapolated (its cost is Θ(M²)); Vuvuzela from the measured hybrid
+// decryption cost (Θ(M) per server).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/riposte.h"
+#include "src/baselines/vuvuzela.h"
+
+int main() {
+  using namespace atom;
+  PrintHeader("Table 12: latency to support one million users",
+              "Atom@1024 28.2min vs Riposte 669.2min (23.7x); "
+              "Vuvuzela 0.5min vs Atom dial 27.9min (56x)");
+  const CostModel& costs = CalibratedCosts();
+  Rng rng(0xf19c);
+  constexpr size_t kUsers = 1'000'000;
+  constexpr size_t kDialDummies = 13000 * 32;
+
+  // Baselines first (they anchor the ratios).
+  auto riposte = EstimateRiposteRound(kUsers, 160, 36, rng);
+  double riposte_min = riposte.round_seconds / 60.0;
+  double vuvuzela_min =
+      EstimateVuvuzelaDialing(kUsers, kDialDummies, 3, 36, costs) / 60.0;
+
+  std::printf("\n  config            | microblog (min) | vs Riposte | "
+              "dial (min) | vs Vuvuzela\n");
+  std::printf("  ------------------+-----------------+------------+"
+              "------------+------------\n");
+  for (size_t servers : {128u, 256u, 512u, 1024u}) {
+    NetworkModel net = NetworkModel::TorLike(servers, rng);
+    double micro_min =
+        EstimateRound(PaperDeployment(servers, kUsers, Variant::kTrap, 160),
+                      net, costs)
+            .total_seconds /
+        60.0;
+    double dial_min =
+        EstimateRound(PaperDeployment(servers, kUsers, Variant::kTrap, 80,
+                                      kDialDummies),
+                      net, costs)
+            .total_seconds /
+        60.0;
+    std::printf("  Atom %5zux mixed | %15.1f | %9.1fx | %10.1f | %9.0fx\n",
+                servers, micro_min, riposte_min / micro_min, dial_min,
+                dial_min / vuvuzela_min);
+  }
+  std::printf("  Riposte 3x36-core | %15.1f | %9.1fx |          - |"
+              "          -\n",
+              riposte_min, 1.0);
+  std::printf("  Vuvuzela 3x36-core|               - |          - | "
+              "%10.2f | %9.0fx\n",
+              vuvuzela_min, 1.0);
+
+  std::printf("\nShape checks: Atom's advantage over Riposte grows with "
+              "server count; Vuvuzela\nremains 1-2 orders of magnitude "
+              "faster for dialing (centralized, hybrid crypto).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "src/apps/dialing.h"
+
+#include <cmath>
+
+#include "src/util/serde.h"
+
+namespace atom {
+
+Bytes MakeDialRequest(uint64_t recipient_id, const Point& recipient_pk,
+                      BytesView payload, Rng& rng) {
+  ATOM_CHECK(payload.size() == kDialPayloadLen);
+  ByteWriter w;
+  w.U64(recipient_id);
+  w.Raw(BytesView(KemEncrypt(recipient_pk, payload, rng)));
+  Bytes out = w.Take();
+  ATOM_CHECK(out.size() == kDialMessageLen);
+  return out;
+}
+
+std::optional<uint64_t> DialRecipient(BytesView request) {
+  if (request.size() != kDialMessageLen) {
+    return std::nullopt;
+  }
+  ByteReader r(request);
+  return r.U64();
+}
+
+std::optional<Bytes> OpenDialRequest(uint64_t recipient_id,
+                                     const Scalar& recipient_sk,
+                                     BytesView request) {
+  auto id = DialRecipient(request);
+  if (!id.has_value() || *id != recipient_id) {
+    return std::nullopt;
+  }
+  return KemDecrypt(recipient_sk, request.subspan(8));
+}
+
+MailboxSystem::MailboxSystem(size_t num_mailboxes) : boxes_(num_mailboxes) {
+  ATOM_CHECK(num_mailboxes >= 1);
+}
+
+size_t MailboxSystem::Deliver(std::span<const Bytes> plaintexts) {
+  size_t dropped = 0;
+  for (const Bytes& p : plaintexts) {
+    auto id = DialRecipient(BytesView(p));
+    if (!id.has_value()) {
+      dropped++;
+      continue;
+    }
+    boxes_[MailboxOf(*id)].push_back(p);
+  }
+  return dropped;
+}
+
+size_t SampleDummyCount(double mu, double b, Rng& rng) {
+  // Laplace(0, b) via inverse CDF on u ∈ (-1/2, 1/2).
+  double u = (static_cast<double>(rng.NextU64()) /
+                  static_cast<double>(UINT64_MAX) -
+              0.5);
+  double noise = -b * std::copysign(1.0, u) *
+                 std::log(1.0 - 2.0 * std::abs(u) + 1e-18);
+  double count = mu + noise;
+  if (count < 0) {
+    return 0;
+  }
+  return static_cast<size_t>(std::llround(count));
+}
+
+std::vector<Bytes> MakeDummyDials(size_t count, uint64_t id_space, Rng& rng) {
+  std::vector<Bytes> out;
+  out.reserve(count);
+  auto throwaway = KemKeyGen(rng);
+  Bytes payload(kDialPayloadLen, 0);
+  for (size_t i = 0; i < count; i++) {
+    rng.Fill(payload.data(), payload.size());
+    uint64_t id = rng.NextBelow(id_space);
+    out.push_back(MakeDialRequest(id, throwaway.pk, BytesView(payload), rng));
+  }
+  return out;
+}
+
+}  // namespace atom

@@ -1,0 +1,73 @@
+// Dialing on top of Atom (§5): bootstrapping a shared secret for private
+// messaging systems, in the style of Vuvuzela/Alpenhorn.
+//
+// Alice encrypts her public key to Bob's long-term key (IND-CCA2 KEM) and
+// sends [Bob's identifier || ciphertext] through Atom. The exit servers
+// deposit each dial request into mailbox (identifier mod m); Bob downloads
+// his mailbox and trial-decrypts. To hide how many calls a user receives,
+// an anytrust group injects dummy dials per mailbox with counts drawn from
+// a (shifted, clamped) Laplace distribution — Vuvuzela's differential-
+// privacy mechanism, with the paper's µ = 13,000 per server.
+#ifndef SRC_APPS_DIALING_H_
+#define SRC_APPS_DIALING_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/crypto/kem.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+// The paper's simple 80-byte dialing message: 8-byte recipient identifier
+// plus a KEM encryption of the caller's 23-byte handshake payload
+// (33 + 23 + 16 = 72 bytes of ciphertext).
+inline constexpr size_t kDialMessageLen = 80;
+inline constexpr size_t kDialPayloadLen =
+    kDialMessageLen - 8 - kKemOverhead;
+
+// Builds a dial request for `recipient_id` carrying `payload` (exactly
+// kDialPayloadLen bytes, e.g. a truncated/encoded caller public key).
+Bytes MakeDialRequest(uint64_t recipient_id, const Point& recipient_pk,
+                      BytesView payload, Rng& rng);
+
+// Recipient side: parses a dial request addressed to `recipient_id` and
+// attempts decryption; nullopt when malformed or not for this key.
+std::optional<Bytes> OpenDialRequest(uint64_t recipient_id,
+                                     const Scalar& recipient_sk,
+                                     BytesView request);
+
+// Extracts just the recipient identifier (what exit servers route on).
+std::optional<uint64_t> DialRecipient(BytesView request);
+
+// Exit-side mailbox sorting.
+class MailboxSystem {
+ public:
+  explicit MailboxSystem(size_t num_mailboxes);
+
+  // Routes each anonymized plaintext to mailbox (recipient_id mod m);
+  // undecodable plaintexts are dropped (returns how many were dropped).
+  size_t Deliver(std::span<const Bytes> plaintexts);
+
+  size_t num_mailboxes() const { return boxes_.size(); }
+  size_t MailboxOf(uint64_t recipient_id) const {
+    return recipient_id % boxes_.size();
+  }
+  const std::vector<Bytes>& mailbox(size_t idx) const { return boxes_[idx]; }
+
+ private:
+  std::vector<std::vector<Bytes>> boxes_;
+};
+
+// Vuvuzela-style dummy counts: max(0, round(µ + Laplace(0, b))) per server.
+// Each of the k servers in the noise group contributes one draw.
+size_t SampleDummyCount(double mu, double b, Rng& rng);
+
+// Generates `count` indistinguishable dummy dial requests to random
+// mailboxes under a throwaway key.
+std::vector<Bytes> MakeDummyDials(size_t count, uint64_t id_space, Rng& rng);
+
+}  // namespace atom
+
+#endif  // SRC_APPS_DIALING_H_

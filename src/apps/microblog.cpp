@@ -1,0 +1,35 @@
+#include "src/apps/microblog.h"
+
+namespace atom {
+
+void BulletinBoard::PostRound(uint64_t round_id,
+                              std::span<const Bytes> plaintexts) {
+  for (const Bytes& p : plaintexts) {
+    Post post;
+    post.round = round_id;
+    size_t end = p.size();
+    while (end > 0 && p[end - 1] == 0) {
+      end--;
+    }
+    post.content.assign(p.begin(), p.begin() + static_cast<ptrdiff_t>(end));
+    posts_.push_back(std::move(post));
+  }
+}
+
+std::vector<std::string> BulletinBoard::RenderRound(uint64_t round_id) const {
+  std::vector<std::string> out;
+  for (const Post& post : posts_) {
+    if (post.round != round_id) {
+      continue;
+    }
+    std::string text;
+    text.reserve(post.content.size());
+    for (uint8_t b : post.content) {
+      text.push_back((b >= 0x20 && b < 0x7f) ? static_cast<char>(b) : '.');
+    }
+    out.push_back(std::move(text));
+  }
+  return out;
+}
+
+}  // namespace atom

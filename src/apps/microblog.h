@@ -1,0 +1,35 @@
+// Anonymous microblogging on top of Atom (§5): the exit servers post the
+// anonymized plaintexts to a public bulletin board that anyone can read.
+#ifndef SRC_APPS_MICROBLOG_H_
+#define SRC_APPS_MICROBLOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+class BulletinBoard {
+ public:
+  struct Post {
+    uint64_t round = 0;
+    Bytes content;  // padding stripped
+  };
+
+  // Publishes one round's anonymized plaintexts. Zero padding added by the
+  // protocol (PadTo) is stripped from the tail.
+  void PostRound(uint64_t round_id, std::span<const Bytes> plaintexts);
+
+  const std::vector<Post>& posts() const { return posts_; }
+
+  // Posts from one round, as printable strings (non-printables escaped).
+  std::vector<std::string> RenderRound(uint64_t round_id) const;
+
+ private:
+  std::vector<Post> posts_;
+};
+
+}  // namespace atom
+
+#endif  // SRC_APPS_MICROBLOG_H_

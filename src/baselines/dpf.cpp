@@ -1,0 +1,99 @@
+#include "src/baselines/dpf.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/crypto/chacha20.h"
+#include "src/util/check.h"
+
+namespace atom {
+namespace {
+
+// PRG: expands a 16-byte seed into cols*slot_bytes pseudorandom bytes.
+Bytes Expand(const std::array<uint8_t, 16>& seed, size_t out_len) {
+  uint8_t key[32] = {0};
+  std::memcpy(key, seed.data(), 16);
+  uint8_t nonce[12] = {'d', 'p', 'f', '-', 'p', 'r', 'g', 0, 0, 0, 0, 0};
+  Bytes out(out_len, 0);
+  ChaCha20Xor(key, nonce, 0, out.data(), out.size());
+  return out;
+}
+
+void XorInto(Bytes* dst, BytesView src) {
+  ATOM_CHECK(dst->size() == src.size());
+  for (size_t i = 0; i < src.size(); i++) {
+    (*dst)[i] ^= src[i];
+  }
+}
+
+}  // namespace
+
+DpfParams DpfParams::For(size_t slots, size_t slot_bytes) {
+  DpfParams p;
+  p.slot_bytes = slot_bytes;
+  p.rows = static_cast<size_t>(std::ceil(std::sqrt(
+      static_cast<double>(slots))));
+  p.cols = (slots + p.rows - 1) / p.rows;
+  return p;
+}
+
+DpfKeyPair DpfGen(const DpfParams& params, size_t alpha, BytesView msg,
+                  Rng& rng) {
+  ATOM_CHECK(alpha < params.Slots());
+  ATOM_CHECK(msg.size() == params.slot_bytes);
+  const size_t target_row = alpha / params.cols;
+  const size_t target_col = alpha % params.cols;
+  const size_t row_bytes = params.cols * params.slot_bytes;
+
+  DpfKeyPair pair;
+  pair.a.params = pair.b.params = params;
+  pair.a.seeds.resize(params.rows);
+  pair.b.seeds.resize(params.rows);
+  pair.a.bits.resize(params.rows);
+  pair.b.bits.resize(params.rows);
+
+  for (size_t r = 0; r < params.rows; r++) {
+    rng.Fill(pair.a.seeds[r].data(), 16);
+    if (r == target_row) {
+      rng.Fill(pair.b.seeds[r].data(), 16);  // independent seed at the target
+    } else {
+      pair.b.seeds[r] = pair.a.seeds[r];  // shared elsewhere
+    }
+    pair.a.bits[r] = static_cast<uint8_t>(rng.NextU64() & 1);
+    pair.b.bits[r] = (r == target_row) ? (pair.a.bits[r] ^ 1)
+                                       : pair.a.bits[r];
+  }
+
+  // Correction word: PRG(sA) ^ PRG(sB) ^ (unit vector at target_col ⊗ msg).
+  Bytes corr = Expand(pair.a.seeds[target_row], row_bytes);
+  XorInto(&corr, BytesView(Expand(pair.b.seeds[target_row], row_bytes)));
+  for (size_t i = 0; i < params.slot_bytes; i++) {
+    corr[target_col * params.slot_bytes + i] ^= msg[i];
+  }
+  pair.a.correction = corr;
+  pair.b.correction = std::move(corr);
+  return pair;
+}
+
+Bytes DpfEvalRow(const DpfKey& key, size_t row) {
+  ATOM_CHECK(row < key.params.rows);
+  const size_t row_bytes = key.params.cols * key.params.slot_bytes;
+  Bytes out = Expand(key.seeds[row], row_bytes);
+  if (key.bits[row] != 0) {
+    XorInto(&out, BytesView(key.correction));
+  }
+  return out;
+}
+
+Bytes DpfEval(const DpfKey& key) {
+  const size_t row_bytes = key.params.cols * key.params.slot_bytes;
+  Bytes out;
+  out.reserve(key.params.rows * row_bytes);
+  for (size_t r = 0; r < key.params.rows; r++) {
+    Bytes row = DpfEvalRow(key, r);
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+}  // namespace atom

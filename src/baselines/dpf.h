@@ -1,0 +1,56 @@
+// Two-server distributed point function (DPF), the core primitive of the
+// Riposte baseline (Corrigan-Gibbs et al., S&P 2015).
+//
+// A client wanting to write message m into slot α of an L-slot database
+// splits the write into two keys. Each server expands its key into an
+// L-slot table; the XOR of the two expansions is zero everywhere except
+// slot α, where it is m. Neither key alone reveals α or m.
+//
+// This is the classic √L construction Riposte uses: the database is an
+// R × C matrix (R = C = ⌈√L⌉); the keys share R-1 of R row seeds and
+// differ in one, plus a correction word that plants the message.
+#ifndef SRC_BASELINES_DPF_H_
+#define SRC_BASELINES_DPF_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+struct DpfParams {
+  size_t rows = 0;
+  size_t cols = 0;
+  size_t slot_bytes = 0;
+
+  static DpfParams For(size_t slots, size_t slot_bytes);
+  size_t Slots() const { return rows * cols; }
+};
+
+struct DpfKey {
+  DpfParams params;
+  std::vector<std::array<uint8_t, 16>> seeds;  // one per row
+  std::vector<uint8_t> bits;                   // one per row
+  Bytes correction;                            // cols * slot_bytes
+};
+
+struct DpfKeyPair {
+  DpfKey a, b;
+};
+
+// Generates keys for writing `msg` (slot_bytes long) into slot `alpha`.
+DpfKeyPair DpfGen(const DpfParams& params, size_t alpha, BytesView msg,
+                  Rng& rng);
+
+// Expands one key into a full table (rows*cols*slot_bytes bytes). The XOR
+// of both servers' tables is the point function.
+Bytes DpfEval(const DpfKey& key);
+
+// Expands a single row (the unit of server work; used for cost accounting).
+Bytes DpfEvalRow(const DpfKey& key, size_t row);
+
+}  // namespace atom
+
+#endif  // SRC_BASELINES_DPF_H_

@@ -1,0 +1,50 @@
+// Riposte baseline (Table 12): a centralized anytrust anonymous
+// microblogging system where each client write is a DPF applied by every
+// server to its full database — Θ(M) PRG work per write, hence Θ(M²) per
+// round. Riposte cannot scale horizontally without weakening its trust
+// assumption (§6.2 discussion), which is the comparison Atom makes.
+//
+// We implement the real write path (apply a DPF key to a replicated
+// database, then combine replicas) and derive the Table 12 row by measuring
+// it and extrapolating to the paper's configuration (3 × 36-core servers,
+// one million 160-byte messages).
+#ifndef SRC_BASELINES_RIPOSTE_H_
+#define SRC_BASELINES_RIPOSTE_H_
+
+#include "src/baselines/dpf.h"
+
+namespace atom {
+
+// One Riposte server: holds an XOR-shared replica of the database.
+class RiposteServer {
+ public:
+  explicit RiposteServer(const DpfParams& params);
+
+  // Applies one client's write (expands the key over the whole database).
+  void ApplyWrite(const DpfKey& key);
+
+  const Bytes& database() const { return db_; }
+  size_t writes_applied() const { return writes_; }
+
+ private:
+  DpfParams params_;
+  Bytes db_;
+  size_t writes_ = 0;
+};
+
+// XOR-combines server replicas into the plaintext database.
+Bytes CombineReplicas(std::span<const RiposteServer* const> servers);
+
+// Measures the per-write server cost at a small database size and
+// extrapolates a full round (M writes into an M-slot database, spread over
+// `cores` cores) — the Table 12 estimate methodology.
+struct RiposteEstimate {
+  double per_write_seconds = 0;  // one server, one core, M-slot database
+  double round_seconds = 0;      // M writes / cores
+};
+RiposteEstimate EstimateRiposteRound(size_t num_messages, size_t msg_bytes,
+                                     size_t cores, Rng& rng);
+
+}  // namespace atom
+
+#endif  // SRC_BASELINES_RIPOSTE_H_

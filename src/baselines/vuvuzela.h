@@ -1,0 +1,48 @@
+// Vuvuzela / Alpenhorn dialing baseline (Table 12): a fixed chain of
+// anytrust servers through which every dial message passes. Each server
+// strips one onion layer (hybrid decryption), shuffles in memory, adds
+// differential-privacy dummies, and forwards; the last server sorts into
+// mailboxes. Centralized anytrust: all M messages cross every server, so
+// the system scales only vertically — Atom's point of comparison.
+//
+// We implement the real onion pipeline (KEM layers over the dial payload)
+// and estimate the paper's configuration (3 × 36-core servers) from
+// measured per-message costs.
+#ifndef SRC_BASELINES_VUVUZELA_H_
+#define SRC_BASELINES_VUVUZELA_H_
+
+#include "src/crypto/kem.h"
+#include "src/sim/costmodel.h"
+
+namespace atom {
+
+// A chain of anytrust mix servers with hybrid (KEM+AEAD) onion encryption.
+class VuvuzelaChain {
+ public:
+  VuvuzelaChain(size_t num_servers, Rng& rng);
+
+  size_t num_servers() const { return keys_.size(); }
+  const Point& server_pk(size_t i) const { return keys_[i].pk; }
+
+  // Client: onion-encrypts `payload` for the whole chain (innermost layer
+  // encrypted to the last server).
+  Bytes Wrap(BytesView payload, Rng& rng) const;
+
+  // Runs the full pipeline over a batch: each server strips its layer and
+  // shuffles. Returns the plaintext payloads in shuffled order; malformed
+  // onions are dropped.
+  std::vector<Bytes> Process(std::vector<Bytes> batch, Rng& rng) const;
+
+ private:
+  std::vector<KemKeypair> keys_;
+};
+
+// Table 12 estimate: M dial messages through `servers` chain servers with
+// `cores` cores each, using the measured hybrid-decryption cost.
+double EstimateVuvuzelaDialing(size_t num_messages, size_t noise_messages,
+                               size_t servers, size_t cores,
+                               const CostModel& costs);
+
+}  // namespace atom
+
+#endif  // SRC_BASELINES_VUVUZELA_H_

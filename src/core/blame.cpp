@@ -1,0 +1,81 @@
+#include "src/core/blame.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/hex.h"
+
+namespace atom {
+namespace {
+
+// Decrypts one ciphertext vector and reassembles the padded plaintext.
+std::optional<Bytes> DecryptToBytes(const Scalar& secret,
+                                    const ElGamalCiphertextVec& ct,
+                                    const MessageLayout& layout) {
+  auto points = ElGamalDecryptVec(secret, ct);
+  if (!points.has_value()) {
+    return std::nullopt;
+  }
+  return ReassembleFromPoints(*points, layout);
+}
+
+}  // namespace
+
+BlameResult RunBlame(const Scalar& entry_secret,
+                     std::span<const TrapSubmission> submissions,
+                     const MessageLayout& layout) {
+  BlameResult result;
+  // inner ciphertext (hex) -> first submitter seen.
+  std::map<std::string, size_t> inner_seen;
+
+  for (size_t u = 0; u < submissions.size(); u++) {
+    const TrapSubmission& sub = submissions[u];
+    auto first = DecryptToBytes(entry_secret, sub.first, layout);
+    auto second = DecryptToBytes(entry_secret, sub.second, layout);
+    if (!first.has_value() || !second.has_value()) {
+      result.bad_users.push_back(u);
+      continue;
+    }
+
+    // Exactly one of the two must be a trap matching the commitment and
+    // carrying this group's gid; the other must be a message.
+    auto classify = [&](const Bytes& plain) {
+      auto trap = ParseTrap(BytesView(plain));
+      if (trap.has_value()) {
+        return trap->gid == sub.entry_gid &&
+               ConstantTimeEqual(BytesView(CommitTrap(BytesView(plain))),
+                                 BytesView(sub.trap_commitment))
+                   ? 1   // valid trap
+                   : -1;  // malformed trap
+      }
+      return ParseMessage(BytesView(plain)).has_value() ? 0 : -1;
+    };
+    int c1 = classify(*first);
+    int c2 = classify(*second);
+    if (c1 < 0 || c2 < 0 || c1 + c2 != 1) {
+      result.bad_users.push_back(u);
+      continue;
+    }
+
+    const Bytes& message_plain = (c1 == 0) ? *first : *second;
+    auto inner = ParseMessage(BytesView(message_plain));
+    std::string key = HexEncode(BytesView(*inner));
+    auto [it, fresh] = inner_seen.emplace(std::move(key), u);
+    if (!fresh) {
+      // Duplicate inner ciphertexts: both submitters are implicated (an
+      // honest user's inner ciphertext is unique with overwhelming
+      // probability, so a duplicate means copying).
+      result.bad_users.push_back(it->second);
+      result.bad_users.push_back(u);
+    }
+  }
+
+  // Deduplicate indices (a user can be flagged twice).
+  std::sort(result.bad_users.begin(), result.bad_users.end());
+  result.bad_users.erase(
+      std::unique(result.bad_users.begin(), result.bad_users.end()),
+      result.bad_users.end());
+  return result;
+}
+
+}  // namespace atom

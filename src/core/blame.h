@@ -1,0 +1,34 @@
+// Malicious-user identification after a disrupted round (§4.6).
+//
+// In the trap variant, a malicious USER can disrupt a round by submitting a
+// trap that does not match its commitment, no trap at all, or a duplicated
+// inner ciphertext; the trustees then refuse to release the key and the
+// round yields nothing. To identify the culprits, every entry group reveals
+// its (round-specific) private key, decrypts the submissions it accepted,
+// and checks each user's pair directly.
+#ifndef SRC_CORE_BLAME_H_
+#define SRC_CORE_BLAME_H_
+
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/message.h"
+
+namespace atom {
+
+struct BlameResult {
+  // Indices (into the submissions span) of users whose submission is
+  // provably malformed: wrong/missing trap, or duplicated inner ciphertext.
+  std::vector<size_t> bad_users;
+};
+
+// `entry_secret` is the entry group's reconstructed private key (the group
+// reveals it; those keys are per-round, so this sacrifices nothing beyond
+// the already-disrupted round).
+BlameResult RunBlame(const Scalar& entry_secret,
+                     std::span<const TrapSubmission> submissions,
+                     const MessageLayout& layout);
+
+}  // namespace atom
+
+#endif  // SRC_CORE_BLAME_H_

@@ -1,0 +1,102 @@
+#include "src/core/client.h"
+
+#include "src/crypto/kem.h"
+
+namespace atom {
+namespace {
+
+// Encrypts a padded plaintext as a ciphertext vector with proofs.
+void EncryptWithProofs(const Point& entry_pk, uint32_t entry_gid,
+                       BytesView padded, const MessageLayout& layout,
+                       Rng& rng, ElGamalCiphertextVec* ct_out,
+                       std::vector<EncProof>* proofs_out) {
+  std::vector<Point> points = FragmentToPoints(padded, layout);
+  std::vector<Scalar> randomness;
+  *ct_out = ElGamalEncryptVec(entry_pk, points, rng, &randomness);
+  *proofs_out = MakeEncProofVec(entry_pk, entry_gid, *ct_out, randomness, rng);
+}
+
+}  // namespace
+
+NizkSubmission MakeNizkSubmission(const Point& entry_pk, uint32_t entry_gid,
+                                  BytesView message,
+                                  const MessageLayout& layout, Rng& rng) {
+  NizkSubmission sub;
+  sub.entry_gid = entry_gid;
+  Bytes padded = PadTo(message, layout.padded_len);
+  EncryptWithProofs(entry_pk, entry_gid, BytesView(padded), layout, rng,
+                    &sub.ciphertext, &sub.proofs);
+  return sub;
+}
+
+bool VerifyNizkSubmission(const Point& entry_pk,
+                          const NizkSubmission& submission,
+                          const MessageLayout& layout) {
+  if (submission.ciphertext.size() != layout.num_points) {
+    return false;
+  }
+  return VerifyEncProofVec(entry_pk, submission.entry_gid,
+                           submission.ciphertext, submission.proofs);
+}
+
+TrapSubmission MakeTrapSubmission(const Point& entry_pk, uint32_t entry_gid,
+                                  const Point& trustee_pk, BytesView message,
+                                  const MessageLayout& layout, Rng& rng,
+                                  TrapSubmissionSecrets* secrets_out) {
+  TrapSubmission sub;
+  sub.entry_gid = entry_gid;
+
+  // Inner ciphertext: IND-CCA2 encryption of the padded message under the
+  // trustees' round key, so no mix server can maul it (§4.4).
+  Bytes padded_msg = PadTo(message, layout.plaintext_len);
+  Bytes inner = KemEncrypt(trustee_pk, BytesView(padded_msg), rng);
+  Bytes msg_plaintext = MakeMessagePlaintext(BytesView(inner), layout);
+
+  // Trap: entry gid + fresh nonce, padded to the same length.
+  Bytes nonce = rng.NextBytes(kTrapNonceLen);
+  Bytes trap_plaintext = MakeTrapPlaintext(entry_gid, BytesView(nonce),
+                                           layout);
+  sub.trap_commitment = CommitTrap(BytesView(trap_plaintext));
+
+  ElGamalCiphertextVec msg_ct, trap_ct;
+  std::vector<EncProof> msg_proofs, trap_proofs;
+  EncryptWithProofs(entry_pk, entry_gid, BytesView(msg_plaintext), layout,
+                    rng, &msg_ct, &msg_proofs);
+  EncryptWithProofs(entry_pk, entry_gid, BytesView(trap_plaintext), layout,
+                    rng, &trap_ct, &trap_proofs);
+
+  // Random submission order: a server that drops one of the two cannot tell
+  // whether it dropped the trap (50% detection per §4.4).
+  bool first_is_trap = (rng.NextU64() & 1) != 0;
+  if (first_is_trap) {
+    sub.first = std::move(trap_ct);
+    sub.first_proofs = std::move(trap_proofs);
+    sub.second = std::move(msg_ct);
+    sub.second_proofs = std::move(msg_proofs);
+  } else {
+    sub.first = std::move(msg_ct);
+    sub.first_proofs = std::move(msg_proofs);
+    sub.second = std::move(trap_ct);
+    sub.second_proofs = std::move(trap_proofs);
+  }
+  if (secrets_out != nullptr) {
+    secrets_out->trap_plaintext = std::move(trap_plaintext);
+    secrets_out->first_is_trap = first_is_trap;
+  }
+  return sub;
+}
+
+bool VerifyTrapSubmission(const Point& entry_pk,
+                          const TrapSubmission& submission,
+                          const MessageLayout& layout) {
+  if (submission.first.size() != layout.num_points ||
+      submission.second.size() != layout.num_points) {
+    return false;
+  }
+  return VerifyEncProofVec(entry_pk, submission.entry_gid, submission.first,
+                           submission.first_proofs) &&
+         VerifyEncProofVec(entry_pk, submission.entry_gid, submission.second,
+                           submission.second_proofs);
+}
+
+}  // namespace atom

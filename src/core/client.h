@@ -1,0 +1,65 @@
+// User-side message preparation (§4.2-§4.4).
+//
+// A user picks an entry group, encrypts her (padded, fragmented) message to
+// the entry group's key, and proves knowledge of the plaintext (EncProof,
+// bound to the entry group id). In the trap variant she additionally builds
+// an equal-length trap ciphertext, commits to the trap, and submits the two
+// ciphertexts in random order.
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <optional>
+
+#include "src/core/message.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/sigma.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+// NIZK-variant submission: one ciphertext vector + per-component proofs.
+struct NizkSubmission {
+  uint32_t entry_gid = 0;
+  ElGamalCiphertextVec ciphertext;
+  std::vector<EncProof> proofs;
+};
+
+NizkSubmission MakeNizkSubmission(const Point& entry_pk, uint32_t entry_gid,
+                                  BytesView message,
+                                  const MessageLayout& layout, Rng& rng);
+
+// Verifies the proofs of a NIZK submission (every entry-group server does
+// this on receipt).
+bool VerifyNizkSubmission(const Point& entry_pk,
+                          const NizkSubmission& submission,
+                          const MessageLayout& layout);
+
+// Trap-variant submission: two equal-length ciphertext vectors in random
+// order plus the trap commitment. `first_is_trap` is the user's secret coin;
+// it is NOT part of what servers can see (ciphertexts are indistinguishable).
+struct TrapSubmission {
+  uint32_t entry_gid = 0;
+  ElGamalCiphertextVec first;
+  std::vector<EncProof> first_proofs;
+  ElGamalCiphertextVec second;
+  std::vector<EncProof> second_proofs;
+  std::array<uint8_t, 32> trap_commitment{};
+};
+
+struct TrapSubmissionSecrets {
+  Bytes trap_plaintext;  // what the user expects to reappear at exit
+  bool first_is_trap = false;
+};
+
+TrapSubmission MakeTrapSubmission(const Point& entry_pk, uint32_t entry_gid,
+                                  const Point& trustee_pk, BytesView message,
+                                  const MessageLayout& layout, Rng& rng,
+                                  TrapSubmissionSecrets* secrets_out = nullptr);
+
+bool VerifyTrapSubmission(const Point& entry_pk,
+                          const TrapSubmission& submission,
+                          const MessageLayout& layout);
+
+}  // namespace atom
+
+#endif  // SRC_CORE_CLIENT_H_

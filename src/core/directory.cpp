@@ -1,0 +1,91 @@
+#include "src/core/directory.h"
+
+#include "src/crypto/sha256.h"
+#include "src/util/serde.h"
+
+namespace atom {
+
+Bytes ServerRecord::Encode() const {
+  ByteWriter w;
+  w.U32(id);
+  w.Raw(BytesView(identity_pk.Encode()));
+  w.U32(cluster);
+  return w.Take();
+}
+
+std::optional<ServerRecord> ServerRecord::Decode(BytesView bytes) {
+  ByteReader r(bytes);
+  auto id = r.U32();
+  auto pk_raw = r.Raw(Point::kEncodedSize);
+  auto cluster = r.U32();
+  if (!id || !pk_raw || !cluster.has_value() || !r.Done()) {
+    return std::nullopt;
+  }
+  auto pk = Point::Decode(BytesView(*pk_raw));
+  if (!pk.has_value() || pk->IsInfinity()) {
+    return std::nullopt;
+  }
+  return ServerRecord{*id, *pk, *cluster};
+}
+
+ServerRegistration MakeServerRegistration(uint32_t id, uint32_t cluster,
+                                          const SchnorrKeypair& identity,
+                                          Rng& rng) {
+  ServerRegistration reg;
+  reg.record.id = id;
+  reg.record.identity_pk = identity.pk;
+  reg.record.cluster = cluster;
+  reg.signature = SchnorrSign(identity.sk, identity.pk,
+                              BytesView(reg.record.Encode()), rng);
+  return reg;
+}
+
+Directory::Directory(Bytes genesis) : genesis_(std::move(genesis)) {}
+
+bool Directory::Register(const ServerRegistration& registration) {
+  if (FindServer(registration.record.id) != nullptr) {
+    return false;
+  }
+  if (!SchnorrVerify(registration.record.identity_pk,
+                     BytesView(registration.record.Encode()),
+                     registration.signature)) {
+    return false;
+  }
+  servers_.push_back(registration.record);
+  return true;
+}
+
+const ServerRecord* Directory::FindServer(uint32_t id) const {
+  for (const ServerRecord& record : servers_) {
+    if (record.id == id) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+Bytes Directory::BeaconFor(uint64_t round_id) const {
+  // beacon_r = H(genesis ‖ r): every participant derives the same value and
+  // the whole chain is fixed at genesis time.
+  ByteWriter w;
+  w.Var(BytesView(genesis_));
+  w.Raw(ToBytes("atom/beacon/v1"));
+  w.U64(round_id);
+  auto digest = Sha256::Hash(BytesView(w.bytes()));
+  return Bytes(digest.begin(), digest.end());
+}
+
+RoundDescriptor Directory::DescribeRound(uint64_t round_id,
+                                         const AtomParams& params) const {
+  ATOM_CHECK(params.num_servers == servers_.size());
+  RoundDescriptor descriptor;
+  descriptor.round_id = round_id;
+  descriptor.beacon = BeaconFor(round_id);
+  descriptor.params = params;
+  descriptor.layout = FormGroups(servers_.size(), params.num_groups,
+                                 params.group_size,
+                                 BytesView(descriptor.beacon));
+  return descriptor;
+}
+
+}  // namespace atom

@@ -1,0 +1,78 @@
+// Directory authority (§2.1): the component every participant trusts for
+// *consistency* (not privacy) — the agreed list of servers and their
+// identity keys, and the public, unbiased per-round randomness from which
+// group membership is derived. The paper points to a fault-tolerant cluster
+// of directory authorities (as in Tor) and external randomness beacons
+// [14, 68]; we implement a single authority with a hash-chained beacon.
+#ifndef SRC_CORE_DIRECTORY_H_
+#define SRC_CORE_DIRECTORY_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/params.h"
+#include "src/crypto/schnorr.h"
+#include "src/topology/groups.h"
+
+namespace atom {
+
+struct ServerRecord {
+  uint32_t id = 0;
+  Point identity_pk;    // the server IS this key (§2.1)
+  uint32_t cluster = 0;  // network-locality hint for the latency model
+
+  Bytes Encode() const;
+  static std::optional<ServerRecord> Decode(BytesView bytes);
+};
+
+// A server's signed registration: binds the record to its identity key, so
+// nobody can register a record for a key they do not hold.
+struct ServerRegistration {
+  ServerRecord record;
+  SchnorrSignature signature;
+};
+
+ServerRegistration MakeServerRegistration(uint32_t id, uint32_t cluster,
+                                          const SchnorrKeypair& identity,
+                                          Rng& rng);
+
+// Everything a participant needs to join round `round_id`.
+struct RoundDescriptor {
+  uint64_t round_id = 0;
+  Bytes beacon;
+  AtomParams params;
+  GroupLayout layout;
+};
+
+class Directory {
+ public:
+  // `genesis` seeds the beacon chain (in deployment: an external randomness
+  // beacon output, e.g. a Bitcoin block hash or drand round).
+  explicit Directory(Bytes genesis);
+
+  // Verifies the signature and the id's uniqueness; returns false and
+  // ignores the registration otherwise.
+  bool Register(const ServerRegistration& registration);
+
+  size_t NumServers() const { return servers_.size(); }
+  const ServerRecord* FindServer(uint32_t id) const;
+  const std::vector<ServerRecord>& servers() const { return servers_; }
+
+  // Beacon for a round: hash-chained from genesis, so all parties agree and
+  // no single round's value can be ground out by the directory (each value
+  // is fixed by the chain; an adversarial directory could only stall).
+  Bytes BeaconFor(uint64_t round_id) const;
+
+  // Assembles the descriptor: beacon-derived group layout over the current
+  // registry. Requires params.num_servers == NumServers().
+  RoundDescriptor DescribeRound(uint64_t round_id,
+                                const AtomParams& params) const;
+
+ private:
+  Bytes genesis_;
+  std::vector<ServerRecord> servers_;
+};
+
+}  // namespace atom
+
+#endif  // SRC_CORE_DIRECTORY_H_

@@ -1,0 +1,126 @@
+#include "src/core/message.h"
+
+#include "src/crypto/keccak.h"
+#include "src/crypto/kem.h"
+#include "src/util/serde.h"
+
+namespace atom {
+
+MessageLayout LayoutFor(Variant variant, size_t message_len) {
+  MessageLayout layout;
+  layout.plaintext_len = message_len;
+  if (variant == Variant::kNizk) {
+    layout.padded_len = message_len;
+  } else {
+    // marker + KEM(message): encap point + message + AEAD tag.
+    layout.padded_len = 1 + kKemOverhead + message_len;
+  }
+  layout.num_points =
+      (layout.padded_len + kEmbedCapacity - 1) / kEmbedCapacity;
+  return layout;
+}
+
+std::vector<Point> FragmentToPoints(BytesView data,
+                                    const MessageLayout& layout) {
+  ATOM_CHECK(data.size() == layout.padded_len);
+  std::vector<Point> points;
+  points.reserve(layout.num_points);
+  for (size_t off = 0; off < data.size(); off += kEmbedCapacity) {
+    size_t take = std::min(kEmbedCapacity, data.size() - off);
+    auto p = EmbedMessage(data.subspan(off, take));
+    ATOM_CHECK(p.has_value());
+    points.push_back(*p);
+  }
+  ATOM_CHECK(points.size() == layout.num_points);
+  return points;
+}
+
+std::optional<Bytes> ReassembleFromPoints(std::span<const Point> points,
+                                          const MessageLayout& layout) {
+  if (points.size() != layout.num_points) {
+    return std::nullopt;
+  }
+  Bytes out;
+  out.reserve(layout.padded_len);
+  for (const Point& p : points) {
+    auto chunk = ExtractMessage(p);
+    if (!chunk.has_value()) {
+      return std::nullopt;
+    }
+    out.insert(out.end(), chunk->begin(), chunk->end());
+  }
+  if (out.size() != layout.padded_len) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+Bytes PadTo(BytesView msg, size_t len) {
+  ATOM_CHECK(msg.size() <= len);
+  Bytes out(msg.begin(), msg.end());
+  out.resize(len, 0);
+  return out;
+}
+
+Bytes MakeTrapPlaintext(uint32_t gid, BytesView nonce,
+                        const MessageLayout& layout) {
+  ATOM_CHECK(nonce.size() == kTrapNonceLen);
+  ByteWriter w;
+  w.U8(kMarkerTrap);
+  w.U32(gid);
+  w.Raw(nonce);
+  return PadTo(BytesView(w.bytes()), layout.padded_len);
+}
+
+std::optional<TrapContent> ParseTrap(BytesView exit_plaintext) {
+  ByteReader r(exit_plaintext);
+  auto marker = r.U8();
+  if (!marker || *marker != kMarkerTrap) {
+    return std::nullopt;
+  }
+  auto gid = r.U32();
+  auto nonce = r.Raw(kTrapNonceLen);
+  if (!gid || !nonce) {
+    return std::nullopt;
+  }
+  return TrapContent{*gid, *nonce};
+}
+
+Bytes MakeMessagePlaintext(BytesView inner_ciphertext,
+                           const MessageLayout& layout) {
+  ByteWriter w;
+  w.U8(kMarkerMessage);
+  w.Raw(inner_ciphertext);
+  ATOM_CHECK(w.bytes().size() == layout.padded_len);
+  return w.Take();
+}
+
+std::optional<Bytes> ParseMessage(BytesView exit_plaintext) {
+  if (exit_plaintext.empty() || exit_plaintext[0] != kMarkerMessage) {
+    return std::nullopt;
+  }
+  return Bytes(exit_plaintext.begin() + 1, exit_plaintext.end());
+}
+
+Bytes MakeDummyPlaintext(const MessageLayout& layout, Rng& rng) {
+  ATOM_CHECK(layout.padded_len >= sizeof(kDummyMagic));
+  Bytes out = rng.NextBytes(layout.padded_len);
+  std::copy(std::begin(kDummyMagic), std::end(kDummyMagic), out.begin());
+  return out;
+}
+
+bool IsDummy(BytesView exit_plaintext) {
+  if (exit_plaintext.size() < sizeof(kDummyMagic)) {
+    return false;
+  }
+  return std::equal(std::begin(kDummyMagic), std::end(kDummyMagic),
+                    exit_plaintext.begin());
+}
+
+std::array<uint8_t, 32> CommitTrap(BytesView trap_plaintext) {
+  Bytes domain = Concat({BytesView(ToBytes("atom/trap-commit/v1")),
+                         trap_plaintext});
+  return Sha3_256(BytesView(domain));
+}
+
+}  // namespace atom

@@ -1,0 +1,94 @@
+// Wire formats for Atom messages (§4.4, §5).
+//
+// Every submission is a fixed-size byte string fragmented into curve points
+// (kEmbedCapacity bytes per point) and encrypted component-wise. In the trap
+// variant each user submits TWO equal-length ciphertext vectors in random
+// order — the real message (an IND-CCA2 "inner ciphertext" under the
+// trustees' key, tagged 'M') and a trap (entry group id + nonce, tagged 'T')
+// — plus a SHA3-256 commitment to the trap plaintext. Equal length is what
+// makes traps indistinguishable from real messages in transit.
+#ifndef SRC_CORE_MESSAGE_H_
+#define SRC_CORE_MESSAGE_H_
+
+#include <optional>
+
+#include "src/core/params.h"
+#include "src/crypto/p256.h"
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// Payload type markers (first byte of every exit plaintext).
+inline constexpr uint8_t kMarkerMessage = 'M';
+inline constexpr uint8_t kMarkerTrap = 'T';
+// Dummy padding (§3): the iterated-butterfly network only yields a
+// near-uniform permutation when a constant fraction of dummy messages is
+// mixed in; dummies are discarded at the exit. Identified by a 16-byte
+// magic prefix rather than a single marker so that raw NIZK-variant user
+// plaintexts cannot collide by accident (a user deliberately copying the
+// magic only discards their own message).
+inline constexpr uint8_t kDummyMagic[16] = {'A', 't', 'o', 'm', '/', 'd',
+                                            'u', 'm', 'm', 'y', '/', 'v',
+                                            '1', 0x00, 0xd5, 0x3e};
+
+inline constexpr size_t kTrapNonceLen = 16;
+
+// Derived sizes for one protocol configuration.
+struct MessageLayout {
+  size_t plaintext_len = 0;  // application message bytes
+  size_t padded_len = 0;     // bytes carried through the mixnet per message
+  size_t num_points = 0;     // curve points per message (vector length L)
+};
+
+// Computes the layout: the NIZK variant carries the padded plaintext
+// directly; the trap variant carries marker + KEM ciphertext (and traps are
+// padded to the same length).
+MessageLayout LayoutFor(Variant variant, size_t message_len);
+
+// Splits `data` (exactly layout.padded_len bytes) into layout.num_points
+// embedded points. Aborts on size mismatch (caller pads first).
+std::vector<Point> FragmentToPoints(BytesView data,
+                                    const MessageLayout& layout);
+
+// Recovers the byte string from an exit point vector; nullopt if any point
+// fails extraction or sizes disagree.
+std::optional<Bytes> ReassembleFromPoints(std::span<const Point> points,
+                                          const MessageLayout& layout);
+
+// Pads `msg` with zeros up to `len`; aborts if msg is longer.
+Bytes PadTo(BytesView msg, size_t len);
+
+// Builds the trap plaintext ['T' | gid | nonce | zero padding].
+Bytes MakeTrapPlaintext(uint32_t gid, BytesView nonce,
+                        const MessageLayout& layout);
+
+struct TrapContent {
+  uint32_t gid = 0;
+  Bytes nonce;
+};
+
+// Parses an exit plaintext as a trap; nullopt if not marked 'T'.
+std::optional<TrapContent> ParseTrap(BytesView exit_plaintext);
+
+// Builds the real-message plaintext ['M' | inner ciphertext].
+Bytes MakeMessagePlaintext(BytesView inner_ciphertext,
+                           const MessageLayout& layout);
+
+// Parses an exit plaintext as a real message, returning the inner
+// ciphertext; nullopt if not marked 'M'.
+std::optional<Bytes> ParseMessage(BytesView exit_plaintext);
+
+// Commitment to a trap plaintext (§4.4 uses SHA-3 on the high-entropy trap).
+std::array<uint8_t, 32> CommitTrap(BytesView trap_plaintext);
+
+// Builds a dummy plaintext ['D' | random filler] of the layout's padded
+// length (random filler so dummies are not linkable to each other even
+// after decryption).
+Bytes MakeDummyPlaintext(const MessageLayout& layout, Rng& rng);
+
+// True when an exit plaintext is dummy padding.
+bool IsDummy(BytesView exit_plaintext);
+
+}  // namespace atom
+
+#endif  // SRC_CORE_MESSAGE_H_

@@ -1,0 +1,239 @@
+#include "src/core/node.h"
+
+#include "src/crypto/threshold.h"
+
+namespace atom {
+namespace {
+
+// Splits a batch into β contiguous sub-batches (β = 1 at the exit layer).
+std::vector<CiphertextBatch> Divide(const CiphertextBatch& batch,
+                                    size_t beta) {
+  std::vector<CiphertextBatch> subs(beta);
+  size_t base = batch.size() / beta, extra = batch.size() % beta;
+  size_t off = 0;
+  for (size_t b = 0; b < beta; b++) {
+    size_t take = base + (b < extra ? 1 : 0);
+    subs[b].assign(batch.begin() + static_cast<ptrdiff_t>(off),
+                   batch.begin() + static_cast<ptrdiff_t>(off + take));
+    off += take;
+  }
+  return subs;
+}
+
+NodeMsg AbortMsg(uint32_t gid, std::string reason) {
+  NodeMsg msg;
+  msg.type = NodeMsg::Type::kAbort;
+  msg.gid = gid;
+  msg.abort_reason = std::move(reason);
+  return msg;
+}
+
+}  // namespace
+
+AtomNode::AtomNode(uint32_t server_id, Variant variant)
+    : server_id_(server_id), variant_(variant) {}
+
+void AtomNode::JoinGroup(uint32_t gid, NodeGroupKeys keys) {
+  ATOM_CHECK(keys.subset.size() == keys.chain_servers.size());
+  groups_[gid] = std::move(keys);
+}
+
+std::vector<Envelope> AtomNode::Handle(const NodeMsg& msg, Rng& rng) {
+  auto it = groups_.find(msg.gid);
+  ATOM_CHECK_MSG(it != groups_.end(), "message for a group I am not in");
+  const NodeGroupKeys& keys = it->second;
+  ATOM_CHECK(msg.chain_pos < keys.chain_servers.size());
+  ATOM_CHECK_MSG(keys.chain_servers[msg.chain_pos] == server_id_,
+                 "message delivered to the wrong chain position");
+
+  switch (msg.type) {
+    case NodeMsg::Type::kShuffleStep:
+      return HandleShuffle(msg, keys, rng);
+    case NodeMsg::Type::kReEncStep:
+      return HandleReEnc(msg, keys, rng);
+    default:
+      ATOM_CHECK_MSG(false, "driver-only message type sent to a node");
+      return {};
+  }
+}
+
+std::vector<Envelope> AtomNode::HandleShuffle(const NodeMsg& msg,
+                                              const NodeGroupKeys& keys,
+                                              Rng& rng) {
+  const Point& group_pk = keys.pub.group_pk;
+
+  // Verify the previous server's shuffle before building on it.
+  if (variant_ == Variant::kNizk && msg.shuffle_proof.has_value()) {
+    if (!VerifyShuffle(group_pk, msg.prev_batch, msg.batch,
+                       *msg.shuffle_proof)) {
+      return {Envelope{server_id_,
+                       AbortMsg(msg.gid, "shuffle proof rejected at pos " +
+                                             std::to_string(msg.chain_pos))}};
+    }
+  }
+
+  NodeMsg out;
+  out.gid = msg.gid;
+  out.next_pks = msg.next_pks;
+  if (variant_ == Variant::kNizk) {
+    ShuffleResult result = ShuffleAndProve(group_pk, msg.batch, rng);
+    out.batch = std::move(result.output);
+    out.shuffle_proof = std::move(result.proof);
+    out.prev_batch = msg.batch;
+  } else {
+    out.batch = ShuffleBatch(group_pk, msg.batch, rng);
+  }
+
+  const bool last = (msg.chain_pos + 1 == keys.chain_servers.size());
+  if (!last) {
+    out.type = NodeMsg::Type::kShuffleStep;
+    out.chain_pos = msg.chain_pos + 1;
+    return {Envelope{keys.chain_servers[out.chain_pos], std::move(out)}};
+  }
+
+  // Last shuffler divides and hands the sub-batches to the first server of
+  // the reencryption chain; the shuffle proof rides along for them to check.
+  size_t beta = msg.next_pks.empty() ? 1 : msg.next_pks.size();
+  NodeMsg reenc;
+  reenc.type = NodeMsg::Type::kReEncStep;
+  reenc.gid = msg.gid;
+  reenc.chain_pos = 0;
+  reenc.next_pks = msg.next_pks;
+  reenc.subs = Divide(out.batch, beta);
+  reenc.prev_batch = std::move(out.prev_batch);
+  reenc.batch = std::move(out.batch);
+  reenc.shuffle_proof = std::move(out.shuffle_proof);
+  reenc.prev_pos = msg.chain_pos;
+  return {Envelope{keys.chain_servers[0], std::move(reenc)}};
+}
+
+std::vector<Envelope> AtomNode::HandleReEnc(const NodeMsg& msg,
+                                            const NodeGroupKeys& keys,
+                                            Rng& rng) {
+  // Check the final shuffle proof (arrives with the first reenc step).
+  if (variant_ == Variant::kNizk && msg.shuffle_proof.has_value()) {
+    if (!VerifyShuffle(keys.pub.group_pk, msg.prev_batch, msg.batch,
+                       *msg.shuffle_proof)) {
+      return {Envelope{server_id_,
+                       AbortMsg(msg.gid, "final shuffle proof rejected")}};
+    }
+  }
+  // Check the previous server's reencryption proofs.
+  if (variant_ == Variant::kNizk && !msg.reenc_proofs.empty()) {
+    Point prev_pub = WeightedSharePublic(
+        keys.pub, keys.subset[msg.prev_pos], keys.subset);
+    size_t proof_idx = 0;
+    for (size_t b = 0; b < msg.subs.size(); b++) {
+      const Point* next =
+          msg.next_pks.empty() ? nullptr : &msg.next_pks[b];
+      for (size_t m = 0; m < msg.subs[b].size(); m++) {
+        for (size_t c = 0; c < msg.subs[b][m].size(); c++) {
+          ATOM_CHECK(proof_idx < msg.reenc_proofs.size());
+          if (!VerifyReEncProof(prev_pub, next, msg.prev_subs[b][m][c],
+                                msg.subs[b][m][c],
+                                msg.reenc_proofs[proof_idx++])) {
+            return {Envelope{
+                server_id_,
+                AbortMsg(msg.gid, "reencryption proof rejected at pos " +
+                                      std::to_string(msg.chain_pos))}};
+          }
+        }
+      }
+    }
+  }
+
+  Scalar weighted = WeightedShare(keys.key, keys.subset);
+  Point weighted_pub =
+      WeightedSharePublic(keys.pub, keys.key.index, keys.subset);
+  const bool last = (msg.chain_pos + 1 == keys.chain_servers.size());
+
+  NodeMsg out;
+  out.gid = msg.gid;
+  out.next_pks = msg.next_pks;
+  out.subs.resize(msg.subs.size());
+  for (size_t b = 0; b < msg.subs.size(); b++) {
+    const Point* next = msg.next_pks.empty() ? nullptr : &msg.next_pks[b];
+    out.subs[b].resize(msg.subs[b].size());
+    for (size_t m = 0; m < msg.subs[b].size(); m++) {
+      out.subs[b][m].resize(msg.subs[b][m].size());
+      for (size_t c = 0; c < msg.subs[b][m].size(); c++) {
+        Scalar rewrap;
+        ElGamalCiphertext next_ct =
+            ElGamalReEnc(weighted, next, msg.subs[b][m][c], rng, &rewrap);
+        if (variant_ == Variant::kNizk) {
+          out.reenc_proofs.push_back(
+              MakeReEncProof(weighted, weighted_pub, next,
+                             msg.subs[b][m][c], next_ct, rewrap, rng));
+        }
+        if (last) {
+          next_ct = ElGamalFinalizeHop(next_ct);
+        }
+        out.subs[b][m][c] = next_ct;
+      }
+    }
+  }
+
+  if (!last) {
+    out.type = NodeMsg::Type::kReEncStep;
+    out.chain_pos = msg.chain_pos + 1;
+    out.prev_subs = msg.subs;
+    out.prev_pos = msg.chain_pos;
+    return {Envelope{keys.chain_servers[out.chain_pos], std::move(out)}};
+  }
+  // Note: the last server's own proofs would be verified by the receiving
+  // group's first server in a full deployment; the in-process drivers
+  // re-verify at the exit instead.
+  out.type = NodeMsg::Type::kGroupOutput;
+  out.chain_pos = msg.chain_pos;
+  return {Envelope{server_id_, std::move(out)}};
+}
+
+void LocalBus::RegisterNode(AtomNode* node) {
+  ATOM_CHECK(node != nullptr);
+  ATOM_CHECK(nodes_.emplace(node->server_id(), node).second);
+}
+
+void LocalBus::Send(Envelope envelope) {
+  queue_.push_back(std::move(envelope));
+}
+
+bool LocalBus::Run(Rng& rng) {
+  while (!queue_.empty()) {
+    Envelope env = std::move(queue_.front());
+    queue_.pop_front();
+    if (env.msg.type == NodeMsg::Type::kGroupOutput) {
+      outputs_.push_back(std::move(env.msg));
+      continue;
+    }
+    if (env.msg.type == NodeMsg::Type::kAbort) {
+      aborts_.push_back(std::move(env.msg));
+      return false;
+    }
+    auto it = nodes_.find(env.to_server);
+    ATOM_CHECK_MSG(it != nodes_.end(), "envelope for unregistered server");
+    for (Envelope& next : it->second->Handle(env.msg, rng)) {
+      queue_.push_back(std::move(next));
+    }
+  }
+  return aborts_.empty();
+}
+
+void LocalBus::ClearOutputs() { outputs_.clear(); }
+
+NodeGroupKeys MakeNodeGroupKeys(const DkgResult& dkg,
+                                std::span<const uint32_t> chain_servers,
+                                uint32_t position) {
+  ATOM_CHECK(chain_servers.size() <= dkg.keys.size());
+  ATOM_CHECK(position < chain_servers.size());
+  NodeGroupKeys keys;
+  keys.pub = dkg.pub;
+  keys.key = dkg.keys[position];  // chain order == DKG participant order
+  keys.subset.resize(chain_servers.size());
+  for (size_t i = 0; i < chain_servers.size(); i++) {
+    keys.subset[i] = static_cast<uint32_t>(i + 1);
+  }
+  keys.chain_servers.assign(chain_servers.begin(), chain_servers.end());
+  return keys;
+}
+
+}  // namespace atom

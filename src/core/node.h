@@ -1,0 +1,131 @@
+// A single Atom server as a message-driven state machine.
+//
+// GroupRuntime (src/core/group_runtime.h) executes a whole group's chain in
+// one call and is convenient for tests and benches; AtomNode is the shape
+// of a real deployment process: it holds exactly ONE server's per-group key
+// shares and acts only on protocol messages, emitting messages to other
+// servers. The LocalBus delivers envelopes in process; a network transport
+// would deliver the same envelopes over TLS.
+//
+// Message flow for one group hop (Algorithm 1/2):
+//   kShuffleStep(pos=0) -> server at chain position 0 shuffles, sends
+//   kShuffleStep(pos=1) -> ... last position divides into β sub-batches and
+//   sends kReEncStep(pos=0) back to the first participant, which strips its
+//   layer and rewraps; ... the last participant finalizes the hop and emits
+//   kGroupOutput with the β outgoing batches.
+//
+// In the NIZK variant each step carries its proof; the receiving server
+// verifies before acting (at least one receiving server per group is
+// honest, so any deviation halts the chain with an abort notice).
+#ifndef SRC_CORE_NODE_H_
+#define SRC_CORE_NODE_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/core/params.h"
+#include "src/crypto/dkg.h"
+#include "src/crypto/shuffle.h"
+#include "src/crypto/sigma.h"
+
+namespace atom {
+
+struct NodeMsg {
+  enum class Type {
+    kShuffleStep,   // batch + optional shuffle proof
+    kReEncStep,     // β sub-batches + optional reenc proofs
+    kGroupOutput,   // hop finished: β outgoing batches (to the driver)
+    kAbort,         // proof verification failed
+  };
+
+  Type type = Type::kShuffleStep;
+  uint32_t gid = 0;
+  uint32_t chain_pos = 0;  // position of the server that should act next
+  std::vector<Point> next_pks;  // β neighbour keys; empty = exit layer
+
+  // Shuffle phase payload.
+  CiphertextBatch batch;
+  CiphertextBatch prev_batch;           // NIZK: verifier needs the input
+  std::optional<ShuffleProof> shuffle_proof;
+
+  // ReEnc phase payload.
+  std::vector<CiphertextBatch> subs;
+  std::vector<CiphertextBatch> prev_subs;
+  std::vector<ReEncProof> reenc_proofs;  // flattened, per component
+  uint32_t prev_pos = 0;                 // who produced the proofs
+
+  std::string abort_reason;
+};
+
+struct Envelope {
+  uint32_t to_server = 0;  // server id; the driver routes kGroupOutput/kAbort
+  NodeMsg msg;
+};
+
+// One server's view of one group it serves in.
+struct NodeGroupKeys {
+  DkgPublic pub;
+  DkgServerKey key;                 // this server's share
+  std::vector<uint32_t> subset;     // participating chain (1-based indices)
+  std::vector<uint32_t> chain_servers;  // server ids by chain position
+};
+
+class AtomNode {
+ public:
+  AtomNode(uint32_t server_id, Variant variant);
+
+  uint32_t server_id() const { return server_id_; }
+
+  // Registers this server's keys for a group (position derived from
+  // chain_servers).
+  void JoinGroup(uint32_t gid, NodeGroupKeys keys);
+
+  // Processes one protocol message, returning the envelopes to deliver.
+  std::vector<Envelope> Handle(const NodeMsg& msg, Rng& rng);
+
+ private:
+  std::vector<Envelope> HandleShuffle(const NodeMsg& msg,
+                                      const NodeGroupKeys& keys, Rng& rng);
+  std::vector<Envelope> HandleReEnc(const NodeMsg& msg,
+                                    const NodeGroupKeys& keys, Rng& rng);
+
+  uint32_t server_id_;
+  Variant variant_;
+  std::map<uint32_t, NodeGroupKeys> groups_;
+};
+
+// In-process message bus: FIFO delivery between registered nodes. Group
+// outputs and aborts are collected for the driver.
+class LocalBus {
+ public:
+  void RegisterNode(AtomNode* node);
+
+  // Queues a message for a server.
+  void Send(Envelope envelope);
+
+  // Delivers until quiescent. Returns false if any node aborted.
+  bool Run(Rng& rng);
+
+  // Collected kGroupOutput messages (one per finished group hop).
+  const std::vector<NodeMsg>& outputs() const { return outputs_; }
+  const std::vector<NodeMsg>& aborts() const { return aborts_; }
+  void ClearOutputs();
+
+ private:
+  std::map<uint32_t, AtomNode*> nodes_;
+  std::deque<Envelope> queue_;
+  std::vector<NodeMsg> outputs_;
+  std::vector<NodeMsg> aborts_;
+};
+
+// Builds per-server NodeGroupKeys from a group's DKG result and its chain
+// (helper for drivers/tests).
+NodeGroupKeys MakeNodeGroupKeys(const DkgResult& dkg,
+                                std::span<const uint32_t> chain_servers,
+                                uint32_t position);
+
+}  // namespace atom
+
+#endif  // SRC_CORE_NODE_H_

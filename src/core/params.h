@@ -1,0 +1,79 @@
+// Atom protocol parameters.
+#ifndef SRC_CORE_PARAMS_H_
+#define SRC_CORE_PARAMS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace atom {
+
+// The two defenses against actively malicious servers (§4.3 / §4.4).
+enum class Variant {
+  kNizk,  // verifiable shuffles + verifiable reencryption after every step
+  kTrap,  // trap ciphertexts + trustee-gated decryption
+};
+
+// Which random permutation network connects the groups (§3).
+enum class TopologyKind {
+  kSquare,     // Håstad square network: β = G, T = O(1) (the paper's choice)
+  kButterfly,  // iterated butterfly: β = 2, T = O(log² G); G must be 2^n
+};
+
+struct AtomParams {
+  Variant variant = Variant::kTrap;
+
+  // Network shape.
+  TopologyKind topology = TopologyKind::kSquare;
+  size_t num_servers = 0;
+  size_t num_groups = 0;   // groups per layer (topology width G)
+  size_t group_size = 0;   // servers per group (k)
+  size_t honest_needed = 1;  // h: group tolerates h-1 faults (§4.5)
+  size_t iterations = 10;    // mixing iterations T; for the butterfly this
+                             // is the number of passes (T·log2(G) layers)
+
+  // Application.
+  size_t message_len = 160;  // plaintext bytes (160 microblog, 80 dialing)
+
+  // Dummy padding fraction for the butterfly topology (§3: the iterated
+  // butterfly is an "almost ideal" permutation network; mixing in a small
+  // constant fraction of dummies makes it usable as a uniform one).
+  double butterfly_dummy_fraction = 0.25;
+
+  // Threat model.
+  double adversary_fraction = 0.2;  // f
+
+  // Servers that must participate to use a group key.
+  size_t Threshold() const { return group_size - (honest_needed - 1); }
+
+  // Returns an empty string when the configuration is coherent, otherwise a
+  // human-readable description of the first problem found.
+  std::string Validate() const {
+    if (num_groups == 0 || group_size == 0 || iterations == 0 ||
+        message_len == 0) {
+      return "num_groups, group_size, iterations, message_len must be >= 1";
+    }
+    if (num_servers < group_size) {
+      return "need at least group_size servers";
+    }
+    if (honest_needed == 0 || honest_needed > group_size) {
+      return "honest_needed must be in [1, group_size]";
+    }
+    if (topology == TopologyKind::kButterfly) {
+      if ((num_groups & (num_groups - 1)) != 0) {
+        return "butterfly topology needs a power-of-two group count";
+      }
+      if (variant == Variant::kNizk && message_len < 16 &&
+          butterfly_dummy_fraction > 0) {
+        return "butterfly dummies need NIZK messages of >= 16 bytes";
+      }
+    }
+    if (butterfly_dummy_fraction < 0 || butterfly_dummy_fraction > 4) {
+      return "butterfly_dummy_fraction out of range";
+    }
+    return "";
+  }
+};
+
+}  // namespace atom
+
+#endif  // SRC_CORE_PARAMS_H_

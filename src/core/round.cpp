@@ -1,0 +1,354 @@
+#include "src/core/round.h"
+
+#include <cmath>
+#include <set>
+
+#include "src/crypto/kem.h"
+#include "src/crypto/sha256.h"
+#include "src/util/hex.h"
+
+namespace atom {
+
+Round::Round(RoundConfig config, Rng& rng)
+    : config_(std::move(config)),
+      layout_(LayoutFor(config_.params.variant, config_.params.message_len)) {
+  const AtomParams& p = config_.params;
+  std::string problem = p.Validate();
+  ATOM_CHECK_MSG(problem.empty(), "invalid AtomParams: %s", problem.c_str());
+
+  group_layout_ = FormGroups(p.num_servers, p.num_groups, p.group_size,
+                             BytesView(config_.beacon));
+  groups_.reserve(p.num_groups);
+  for (uint32_t g = 0; g < p.num_groups; g++) {
+    DkgParams dkg_params{p.group_size, p.Threshold()};
+    groups_.push_back(
+        std::make_unique<GroupRuntime>(g, RunDkg(dkg_params, rng)));
+  }
+  if (p.variant == Variant::kTrap) {
+    trustees_ = std::make_unique<Trustees>(p.group_size, p.Threshold(), rng);
+  }
+  if (p.topology == TopologyKind::kSquare) {
+    topology_ = std::make_unique<SquareTopology>(p.num_groups, p.iterations);
+  } else {
+    size_t log2_width = 0;
+    while ((size_t{1} << log2_width) < p.num_groups) {
+      log2_width++;
+    }
+    ATOM_CHECK_MSG((size_t{1} << log2_width) == p.num_groups,
+                   "butterfly topology needs a power-of-two group count");
+    topology_ = std::make_unique<ButterflyTopology>(log2_width,
+                                                    p.iterations);
+  }
+
+  entry_batches_.resize(p.num_groups);
+  trap_commitments_.resize(p.num_groups);
+  trap_submissions_.resize(p.num_groups);
+}
+
+const Point& Round::EntryPk(uint32_t gid) const {
+  ATOM_CHECK(gid < groups_.size());
+  return groups_[gid]->pk();
+}
+
+const Point& Round::TrusteePk() const {
+  ATOM_CHECK(trustees_ != nullptr);
+  return trustees_->round_pk();
+}
+
+bool Round::SubmitNizk(const NizkSubmission& submission) {
+  ATOM_CHECK(config_.params.variant == Variant::kNizk);
+  if (submission.entry_gid >= groups_.size() ||
+      !VerifyNizkSubmission(EntryPk(submission.entry_gid), submission,
+                            layout_)) {
+    return false;
+  }
+  entry_batches_[submission.entry_gid].push_back(submission.ciphertext);
+  return true;
+}
+
+bool Round::SubmitTrap(const TrapSubmission& submission) {
+  ATOM_CHECK(config_.params.variant == Variant::kTrap);
+  if (submission.entry_gid >= groups_.size() ||
+      !VerifyTrapSubmission(EntryPk(submission.entry_gid), submission,
+                            layout_)) {
+    return false;
+  }
+  CiphertextBatch& batch = entry_batches_[submission.entry_gid];
+  batch.push_back(submission.first);
+  batch.push_back(submission.second);
+  trap_commitments_[submission.entry_gid].push_back(
+      submission.trap_commitment);
+  trap_submissions_[submission.entry_gid].push_back(submission);
+  return true;
+}
+
+RoundResult Round::Run(Rng& rng, const Evil* evil) {
+  if (evil == nullptr) {
+    return RunWithEvils(rng, {});
+  }
+  return RunWithEvils(rng, std::span<const Evil>(evil, 1));
+}
+
+RoundResult Round::RunWithEvils(Rng& rng, std::span<const Evil> evils) {
+  RoundResult result;
+  const AtomParams& p = config_.params;
+  const size_t T = topology_->NumLayers();
+  const size_t G = topology_->Width();
+
+  // Collect neighbour keys once per layer shape (square: all groups).
+  std::vector<CiphertextBatch> at(G);
+  for (uint32_t g = 0; g < G; g++) {
+    at[g] = entry_batches_[g];
+  }
+
+  // §3: butterfly mixing needs a constant fraction of dummies; each entry
+  // group pads its own batch (dummies are discarded at the exit).
+  if (p.topology == TopologyKind::kButterfly &&
+      p.butterfly_dummy_fraction > 0) {
+    for (uint32_t g = 0; g < G; g++) {
+      size_t dummies = static_cast<size_t>(
+          std::ceil(static_cast<double>(at[g].size()) *
+                    p.butterfly_dummy_fraction));
+      for (size_t d = 0; d < dummies; d++) {
+        Bytes plain = MakeDummyPlaintext(layout_, rng);
+        at[g].push_back(ElGamalEncryptVec(
+            groups_[g]->pk(), FragmentToPoints(BytesView(plain), layout_),
+            rng));
+      }
+    }
+  }
+
+  for (size_t layer = 0; layer < T; layer++) {
+    const bool last = (layer + 1 == T);
+    std::vector<CiphertextBatch> next(G);
+    std::vector<CiphertextBatch> exits(G);
+    for (uint32_t g = 0; g < G; g++) {
+      if (at[g].empty()) {
+        continue;
+      }
+      std::vector<Point> next_pks;
+      std::vector<uint32_t> neighbors;
+      if (!last) {
+        neighbors = topology_->Neighbors(layer, g);
+        next_pks.reserve(neighbors.size());
+        for (uint32_t n : neighbors) {
+          next_pks.push_back(groups_[n]->pk());
+        }
+      }
+      const MaliciousAction* action = nullptr;
+      for (const Evil& evil : evils) {
+        if (evil.layer == layer && evil.gid == g) {
+          action = &evil.action;
+          break;
+        }
+      }
+      HopResult hop = groups_[g]->RunHop(at[g], next_pks, p.variant, rng,
+                                         config_.workers, action);
+      if (hop.aborted) {
+        result.aborted = true;
+        result.abort_reason = "group " + std::to_string(g) + " layer " +
+                              std::to_string(layer) + ": " + hop.abort_reason;
+        return result;
+      }
+      if (last) {
+        ATOM_CHECK(hop.batches.size() == 1);
+        exits[g] = std::move(hop.batches[0]);
+      } else {
+        for (size_t b = 0; b < neighbors.size(); b++) {
+          auto& dst = next[neighbors[b]];
+          for (auto& vec : hop.batches[b]) {
+            dst.push_back(std::move(vec));
+          }
+        }
+      }
+    }
+    if (last) {
+      at = std::move(exits);
+    } else {
+      at = std::move(next);
+    }
+  }
+
+  // ---- Exit phase.
+  if (p.variant == Variant::kNizk) {
+    for (uint32_t g = 0; g < G; g++) {
+      auto points = ExitPlaintexts(at[g]);
+      if (!points.has_value()) {
+        result.aborted = true;
+        result.abort_reason = "exit batch not fully decrypted";
+        return result;
+      }
+      for (const auto& vec : *points) {
+        auto bytes = ReassembleFromPoints(vec, layout_);
+        if (!bytes.has_value()) {
+          result.aborted = true;
+          result.abort_reason = "undecodable exit plaintext";
+          return result;
+        }
+        if (IsDummy(BytesView(*bytes))) {
+          continue;  // butterfly padding, discard
+        }
+        result.plaintexts.push_back(*bytes);
+      }
+    }
+    return result;
+  }
+
+  // Trap variant (§4.4): sort exits into traps (to their entry group) and
+  // inner ciphertexts (load-balanced by hash), check, report, maybe decrypt.
+  std::vector<std::vector<Bytes>> traps_for(G);
+  std::vector<std::vector<Bytes>> inner_for(G);
+  for (uint32_t g = 0; g < G; g++) {
+    auto points = ExitPlaintexts(at[g]);
+    if (!points.has_value()) {
+      result.aborted = true;
+      result.abort_reason = "exit batch not fully decrypted";
+      return result;
+    }
+    for (const auto& vec : *points) {
+      auto bytes = ReassembleFromPoints(vec, layout_);
+      if (!bytes.has_value()) {
+        // An undecodable exit message counts as a failed check for the
+        // group that holds it: report and abort via the trustees.
+        traps_for[g].push_back(Bytes{0xff});  // sentinel that matches nothing
+        continue;
+      }
+      if (IsDummy(BytesView(*bytes))) {
+        continue;  // butterfly padding, discard before the checks
+      }
+      auto trap = ParseTrap(BytesView(*bytes));
+      if (trap.has_value()) {
+        if (trap->gid < G) {
+          traps_for[trap->gid].push_back(*bytes);
+        } else {
+          traps_for[g].push_back(Bytes{0xff});
+        }
+        continue;
+      }
+      auto inner = ParseMessage(BytesView(*bytes));
+      if (inner.has_value()) {
+        // Universal-hash load balancing over groups.
+        auto digest = Sha256::Hash(BytesView(*inner));
+        uint32_t dst = static_cast<uint32_t>(digest[0] | (digest[1] << 8) |
+                                             (digest[2] << 16)) %
+                       static_cast<uint32_t>(G);
+        inner_for[dst].push_back(*inner);
+      } else {
+        traps_for[g].push_back(Bytes{0xff});
+      }
+    }
+  }
+
+  // Per-group checks + reports.
+  std::vector<GroupReport> reports;
+  reports.reserve(G);
+  for (uint32_t g = 0; g < G; g++) {
+    GroupReport report;
+    report.gid = g;
+    report.num_traps = traps_for[g].size();
+    report.num_inner = inner_for[g].size();
+
+    // Trap check: multiset of arriving trap commitments must equal the
+    // registered multiset.
+    std::multiset<std::string> expected;
+    for (const auto& commitment : trap_commitments_[g]) {
+      expected.insert(HexEncode(BytesView(commitment)));
+    }
+    bool traps_ok = true;
+    for (const auto& trap_bytes : traps_for[g]) {
+      auto commitment = CommitTrap(BytesView(trap_bytes));
+      auto it = expected.find(
+          HexEncode(BytesView(commitment.data(), commitment.size())));
+      if (it == expected.end()) {
+        traps_ok = false;
+        break;
+      }
+      expected.erase(it);
+    }
+    report.traps_ok = traps_ok && expected.empty();
+
+    // Inner check: no duplicates among the ciphertexts this group received.
+    std::set<std::string> inner_set;
+    bool inner_ok = true;
+    for (const auto& inner : inner_for[g]) {
+      if (!inner_set.insert(HexEncode(BytesView(inner))).second) {
+        inner_ok = false;
+        break;
+      }
+    }
+    report.inner_ok = inner_ok;
+    result.traps_seen += report.num_traps;
+    result.inner_seen += report.num_inner;
+    reports.push_back(report);
+  }
+
+  auto round_secret = trustees_->MaybeReleaseKey(reports);
+  if (!round_secret.has_value()) {
+    result.aborted = true;
+    result.abort_reason =
+        "trustees refused to release the round key (trap check failed)";
+    return result;
+  }
+
+  for (uint32_t g = 0; g < G; g++) {
+    for (const auto& inner : inner_for[g]) {
+      auto msg = KemDecrypt(*round_secret, BytesView(inner));
+      if (msg.has_value()) {
+        result.plaintexts.push_back(*msg);
+      }
+    }
+  }
+  return result;
+}
+
+Scalar Round::GroupSecret(uint32_t gid) const {
+  const DkgResult& dkg = groups_[gid]->dkg();
+  std::vector<Share> shares;
+  shares.reserve(dkg.pub.params.threshold);
+  for (size_t i = 0; i < dkg.pub.params.threshold; i++) {
+    shares.push_back(Share{dkg.keys[i].index, dkg.keys[i].share});
+  }
+  auto secret = ShamirReconstruct(shares, dkg.pub.params.threshold);
+  ATOM_CHECK(secret.has_value());
+  return *secret;
+}
+
+BlameResult Round::BlameEntryGroup(uint32_t gid) {
+  ATOM_CHECK(gid < groups_.size());
+  return RunBlame(GroupSecret(gid), trap_submissions_[gid], layout_);
+}
+
+void Round::EscrowAllShares(Rng& rng) {
+  const size_t k = config_.params.group_size;
+  const size_t buddy_threshold = k / 2 + 1;
+  escrows_.assign(groups_.size(), {});
+  for (uint32_t g = 0; g < groups_.size(); g++) {
+    escrows_[g].reserve(k);
+    for (const DkgServerKey& key : groups_[g]->dkg().keys) {
+      // Buddy group = next group in gid order (the paper suggests one or
+      // more buddies per group; one suffices for recovery coverage).
+      escrows_[g].push_back(EscrowShare(key, k, buddy_threshold, rng));
+    }
+  }
+}
+
+bool Round::RecoverServer(uint32_t gid, uint32_t server_index) {
+  if (escrows_.empty() || gid >= groups_.size() || server_index == 0 ||
+      server_index > config_.params.group_size) {
+    return false;
+  }
+  const BuddyEscrow& escrow = escrows_[gid][server_index - 1];
+  // Any buddy_threshold sub-shares reconstruct; take the first ones (in a
+  // deployment: whichever buddy servers respond).
+  auto recovered = RecoverShare(
+      groups_[gid]->dkg().pub, server_index,
+      std::span(escrow.sub_shares).subspan(0, escrow.threshold),
+      escrow.threshold);
+  if (!recovered.has_value()) {
+    return false;
+  }
+  groups_[gid]->Restore(*recovered);
+  return true;
+}
+
+}  // namespace atom

@@ -1,0 +1,110 @@
+// One full Atom protocol round, run in process with real cryptography.
+//
+// The Round owns the network for one epoch: the group layout (sampled from
+// the beacon), one DKG per group, the trustees (trap variant), the mixing
+// topology, and the exit-phase bookkeeping (trap commitments per entry
+// group, trap/inner sorting, trustee reports). Tests, examples, and the
+// single-group benchmarks all drive the protocol through this class; the
+// discrete-event simulator (src/sim) replays the identical control flow
+// against a cost model for network-scale experiments.
+#ifndef SRC_CORE_ROUND_H_
+#define SRC_CORE_ROUND_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/blame.h"
+#include "src/core/client.h"
+#include "src/core/group_runtime.h"
+#include "src/core/trustees.h"
+#include "src/topology/groups.h"
+#include "src/topology/permnet.h"
+
+namespace atom {
+
+struct RoundConfig {
+  AtomParams params;
+  Bytes beacon;        // public randomness for this round's group formation
+  size_t workers = 1;  // intra-server parallelism
+};
+
+struct RoundResult {
+  bool aborted = false;
+  std::string abort_reason;
+  // Anonymized application plaintexts (padded length = params.message_len).
+  std::vector<Bytes> plaintexts;
+  // Trap-variant accounting.
+  uint64_t traps_seen = 0;
+  uint64_t inner_seen = 0;
+};
+
+class Round {
+ public:
+  // Forms groups from the beacon, runs every group's DKG and the trustee
+  // DKG. Deterministic given (config, rng state).
+  Round(RoundConfig config, Rng& rng);
+
+  size_t NumGroups() const { return groups_.size(); }
+  const Point& EntryPk(uint32_t gid) const;
+  const Point& TrusteePk() const;
+  const MessageLayout& layout() const { return layout_; }
+  GroupRuntime& group(uint32_t gid) { return *groups_[gid]; }
+
+  // Submission intake: every entry-group server verifies the proofs; a
+  // submission failing verification is rejected (returns false).
+  bool SubmitNizk(const NizkSubmission& submission);
+  bool SubmitTrap(const TrapSubmission& submission);
+
+  // Optional fault injection for one (layer, group).
+  struct Evil {
+    size_t layer = 0;
+    uint32_t gid = 0;
+    MaliciousAction action;
+  };
+
+  // Runs T mixing iterations plus the exit phase.
+  RoundResult Run(Rng& rng, const Evil* evil = nullptr);
+
+  // Variant with several independent malicious actions (§7 intersection-
+  // attack analysis: κ tamperings survive undetected only with
+  // probability 2^-κ).
+  RoundResult RunWithEvils(Rng& rng, std::span<const Evil> evils);
+
+  // §4.6: after a disrupted trap round, an entry group reveals its key and
+  // identifies malformed submissions. Returns indices into that group's
+  // accepted submissions, in submission order.
+  BlameResult BlameEntryGroup(uint32_t gid);
+
+  // §4.5 buddy groups: every server escrows its share with the next group
+  // (gid+1 mod G), threshold ⌈k/2⌉+1, so a replacement can rebuild any
+  // share as long as the buddy group is mostly online. Call once after
+  // construction; then RecoverServer() restores a server that failed beyond
+  // the h-1 tolerance.
+  void EscrowAllShares(Rng& rng);
+  bool RecoverServer(uint32_t gid, uint32_t server_index);
+
+ private:
+  Scalar GroupSecret(uint32_t gid) const;  // threshold-reconstructed
+
+  RoundConfig config_;
+  MessageLayout layout_;
+  GroupLayout group_layout_;
+  std::vector<std::unique_ptr<GroupRuntime>> groups_;
+  std::unique_ptr<Trustees> trustees_;  // trap variant only
+  std::unique_ptr<Topology> topology_;
+
+  // Per entry group: the accepted input batches and (trap variant) the
+  // registered trap commitments and raw submissions (kept for blame).
+  std::vector<CiphertextBatch> entry_batches_;
+  std::vector<std::vector<std::array<uint8_t, 32>>> trap_commitments_;
+  std::vector<std::vector<TrapSubmission>> trap_submissions_;
+
+  // Buddy escrow: escrows_[gid][i] holds group gid's server i+1's share,
+  // sub-shared to the buddy group (gid+1 mod G).
+  std::vector<std::vector<BuddyEscrow>> escrows_;
+};
+
+}  // namespace atom
+
+#endif  // SRC_CORE_ROUND_H_

@@ -1,0 +1,31 @@
+#include "src/core/trustees.h"
+
+namespace atom {
+
+Trustees::Trustees(size_t k, size_t threshold, Rng& rng)
+    : dkg_(RunDkg(DkgParams{k, threshold}, rng)) {}
+
+std::optional<Scalar> Trustees::MaybeReleaseKey(
+    std::span<const GroupReport> reports) const {
+  uint64_t traps = 0, inner = 0;
+  for (const GroupReport& r : reports) {
+    if (!r.traps_ok || !r.inner_ok) {
+      return std::nullopt;
+    }
+    traps += r.num_traps;
+    inner += r.num_inner;
+  }
+  if (traps != inner) {
+    return std::nullopt;
+  }
+  // All clear: each trustee releases its share; any threshold subset
+  // reconstructs the round secret.
+  std::vector<Share> shares;
+  shares.reserve(dkg_.pub.params.threshold);
+  for (size_t i = 0; i < dkg_.pub.params.threshold; i++) {
+    shares.push_back(Share{dkg_.keys[i].index, dkg_.keys[i].share});
+  }
+  return ShamirReconstruct(shares, dkg_.pub.params.threshold);
+}
+
+}  // namespace atom

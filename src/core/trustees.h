@@ -1,0 +1,48 @@
+// The trustee group for the trap variant (§4.4).
+//
+// Trustees are an extra anytrust group holding a per-round threshold keypair.
+// Users encrypt their real messages (IND-CCA2) under the round key. After
+// mixing, every group reports whether its trap and inner-ciphertext checks
+// passed; the trustees release their key shares — reconstructing the round
+// secret — if and only if every report is clean and the global trap count
+// equals the inner-ciphertext count. Otherwise the shares are destroyed and
+// the round yields nothing.
+#ifndef SRC_CORE_TRUSTEES_H_
+#define SRC_CORE_TRUSTEES_H_
+
+#include <optional>
+
+#include "src/crypto/dkg.h"
+
+namespace atom {
+
+// What each group reports to the trustees after the exit sorting phase.
+struct GroupReport {
+  uint32_t gid = 0;
+  bool traps_ok = false;   // every commitment matched by exactly one trap
+  bool inner_ok = false;   // forwarding correct, no duplicate inner cts
+  uint64_t num_traps = 0;
+  uint64_t num_inner = 0;
+};
+
+class Trustees {
+ public:
+  // Runs the trustee DKG: k trustees, any `threshold` can reconstruct.
+  Trustees(size_t k, size_t threshold, Rng& rng);
+
+  const Point& round_pk() const { return dkg_.pub.group_pk; }
+  const DkgPublic& dkg_public() const { return dkg_.pub; }
+
+  // The all-clear decision plus threshold key release. Returns the round
+  // secret when every group reported clean checks and counts balance;
+  // nullopt means the shares are deleted and the round aborts.
+  std::optional<Scalar> MaybeReleaseKey(
+      std::span<const GroupReport> reports) const;
+
+ private:
+  DkgResult dkg_;
+};
+
+}  // namespace atom
+
+#endif  // SRC_CORE_TRUSTEES_H_

@@ -1,0 +1,352 @@
+#include "src/core/wire.h"
+
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+void PutCiphertextVec(ByteWriter& w, const ElGamalCiphertextVec& cts) {
+  w.U32(static_cast<uint32_t>(cts.size()));
+  for (const auto& ct : cts) {
+    w.Raw(BytesView(ct.Encode()));
+  }
+}
+
+bool GetCiphertextVec(ByteReader& r, ElGamalCiphertextVec* out) {
+  auto n = r.U32();
+  if (!n || *n > (1u << 16)) {
+    return false;
+  }
+  out->reserve(*n);
+  for (uint32_t i = 0; i < *n; i++) {
+    auto raw = r.Raw(ElGamalCiphertext::kEncodedSize);
+    if (!raw) {
+      return false;
+    }
+    auto ct = ElGamalCiphertext::Decode(BytesView(*raw));
+    if (!ct) {
+      return false;
+    }
+    out->push_back(*ct);
+  }
+  return true;
+}
+
+void PutProofs(ByteWriter& w, const std::vector<EncProof>& proofs) {
+  w.U32(static_cast<uint32_t>(proofs.size()));
+  for (const auto& proof : proofs) {
+    w.Raw(BytesView(proof.Encode()));
+  }
+}
+
+bool GetProofs(ByteReader& r, std::vector<EncProof>* out) {
+  auto n = r.U32();
+  if (!n || *n > (1u << 16)) {
+    return false;
+  }
+  out->reserve(*n);
+  for (uint32_t i = 0; i < *n; i++) {
+    auto raw = r.Raw(EncProof::kEncodedSize);
+    if (!raw) {
+      return false;
+    }
+    auto proof = EncProof::Decode(BytesView(*raw));
+    if (!proof) {
+      return false;
+    }
+    out->push_back(*proof);
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes EncodeNizkSubmission(const NizkSubmission& submission) {
+  ByteWriter w;
+  w.U32(submission.entry_gid);
+  PutCiphertextVec(w, submission.ciphertext);
+  PutProofs(w, submission.proofs);
+  return w.Take();
+}
+
+std::optional<NizkSubmission> DecodeNizkSubmission(BytesView bytes) {
+  ByteReader r(bytes);
+  NizkSubmission out;
+  auto gid = r.U32();
+  if (!gid || !GetCiphertextVec(r, &out.ciphertext) ||
+      !GetProofs(r, &out.proofs) || !r.Done()) {
+    return std::nullopt;
+  }
+  out.entry_gid = *gid;
+  return out;
+}
+
+namespace {
+
+void PutBatch(ByteWriter& w, const CiphertextBatch& batch) {
+  w.U32(static_cast<uint32_t>(batch.size()));
+  for (const auto& vec : batch) {
+    PutCiphertextVec(w, vec);
+  }
+}
+
+bool GetBatch(ByteReader& r, CiphertextBatch* out) {
+  auto n = r.U32();
+  if (!n || *n > (1u << 22)) {
+    return false;
+  }
+  out->resize(*n);
+  for (uint32_t i = 0; i < *n; i++) {
+    if (!GetCiphertextVec(r, &(*out)[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PutPoints(ByteWriter& w, const std::vector<Point>& points) {
+  w.U32(static_cast<uint32_t>(points.size()));
+  for (const Point& p : points) {
+    w.Raw(BytesView(p.Encode()));
+  }
+}
+
+bool GetPoints(ByteReader& r, std::vector<Point>* out) {
+  auto n = r.U32();
+  if (!n || *n > (1u << 20)) {
+    return false;
+  }
+  out->reserve(*n);
+  for (uint32_t i = 0; i < *n; i++) {
+    auto raw = r.Raw(Point::kEncodedSize);
+    if (!raw) {
+      return false;
+    }
+    auto p = Point::Decode(BytesView(*raw));
+    if (!p) {
+      return false;
+    }
+    out->push_back(*p);
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes EncodeDkgDealing(const DkgDealing& dealing) {
+  ByteWriter w;
+  w.U32(dealing.dealer);
+  ByteWriter points;
+  for (const Point& p : dealing.commitments) {
+    points.Raw(BytesView(p.Encode()));
+  }
+  w.U32(static_cast<uint32_t>(dealing.commitments.size()));
+  w.Raw(BytesView(points.bytes()));
+  w.U32(static_cast<uint32_t>(dealing.shares.size()));
+  for (const Share& share : dealing.shares) {
+    w.U32(share.index);
+    auto sv = share.value.ToBytes();
+    w.Raw(BytesView(sv.data(), sv.size()));
+  }
+  return w.Take();
+}
+
+std::optional<DkgDealing> DecodeDkgDealing(BytesView bytes) {
+  ByteReader r(bytes);
+  DkgDealing dealing;
+  auto dealer = r.U32();
+  auto num_commitments = r.U32();
+  if (!dealer || !num_commitments || *num_commitments > (1u << 12)) {
+    return std::nullopt;
+  }
+  dealing.dealer = *dealer;
+  for (uint32_t i = 0; i < *num_commitments; i++) {
+    auto raw = r.Raw(Point::kEncodedSize);
+    if (!raw) {
+      return std::nullopt;
+    }
+    auto p = Point::Decode(BytesView(*raw));
+    if (!p) {
+      return std::nullopt;
+    }
+    dealing.commitments.push_back(*p);
+  }
+  auto num_shares = r.U32();
+  if (!num_shares || *num_shares > (1u << 12)) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < *num_shares; i++) {
+    auto index = r.U32();
+    auto raw = r.Raw(32);
+    if (!index || !raw) {
+      return std::nullopt;
+    }
+    auto value = Scalar::FromBytes(BytesView(*raw));
+    if (!value) {
+      return std::nullopt;
+    }
+    dealing.shares.push_back(Share{*index, *value});
+  }
+  if (!r.Done()) {
+    return std::nullopt;
+  }
+  return dealing;
+}
+
+Bytes EncodeDkgComplaint(const DkgComplaint& complaint) {
+  ByteWriter w;
+  w.U32(complaint.accuser);
+  w.U32(complaint.dealer);
+  return w.Take();
+}
+
+std::optional<DkgComplaint> DecodeDkgComplaint(BytesView bytes) {
+  ByteReader r(bytes);
+  auto accuser = r.U32();
+  auto dealer = r.U32();
+  if (!accuser || !dealer || !r.Done()) {
+    return std::nullopt;
+  }
+  return DkgComplaint{*accuser, *dealer};
+}
+
+Bytes EncodeNodeMsg(const NodeMsg& msg) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(msg.type));
+  w.U32(msg.gid);
+  w.U32(msg.chain_pos);
+  w.U32(msg.prev_pos);
+  PutPoints(w, msg.next_pks);
+  PutBatch(w, msg.batch);
+  PutBatch(w, msg.prev_batch);
+  if (msg.shuffle_proof.has_value()) {
+    w.U8(1);
+    w.Var(BytesView(msg.shuffle_proof->Encode()));
+  } else {
+    w.U8(0);
+  }
+  w.U32(static_cast<uint32_t>(msg.subs.size()));
+  for (const auto& sub : msg.subs) {
+    PutBatch(w, sub);
+  }
+  w.U32(static_cast<uint32_t>(msg.prev_subs.size()));
+  for (const auto& sub : msg.prev_subs) {
+    PutBatch(w, sub);
+  }
+  w.U32(static_cast<uint32_t>(msg.reenc_proofs.size()));
+  for (const auto& proof : msg.reenc_proofs) {
+    w.Raw(BytesView(proof.Encode()));
+  }
+  w.Var(BytesView(ToBytes(msg.abort_reason)));
+  return w.Take();
+}
+
+std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes) {
+  ByteReader r(bytes);
+  NodeMsg msg;
+  auto type = r.U8();
+  if (!type || *type > static_cast<uint8_t>(NodeMsg::Type::kAbort)) {
+    return std::nullopt;
+  }
+  msg.type = static_cast<NodeMsg::Type>(*type);
+  auto gid = r.U32();
+  auto chain_pos = r.U32();
+  auto prev_pos = r.U32();
+  if (!gid || !chain_pos || !prev_pos) {
+    return std::nullopt;
+  }
+  msg.gid = *gid;
+  msg.chain_pos = *chain_pos;
+  msg.prev_pos = *prev_pos;
+  if (!GetPoints(r, &msg.next_pks) || !GetBatch(r, &msg.batch) ||
+      !GetBatch(r, &msg.prev_batch)) {
+    return std::nullopt;
+  }
+  auto has_proof = r.U8();
+  if (!has_proof || *has_proof > 1) {
+    return std::nullopt;
+  }
+  if (*has_proof == 1) {
+    auto raw = r.Var();
+    if (!raw) {
+      return std::nullopt;
+    }
+    auto proof = ShuffleProof::Decode(BytesView(*raw));
+    if (!proof) {
+      return std::nullopt;
+    }
+    msg.shuffle_proof = std::move(*proof);
+  }
+  auto get_batches = [&r](std::vector<CiphertextBatch>* out) -> bool {
+    auto n = r.U32();
+    if (!n || *n > (1u << 16)) {
+      return false;
+    }
+    out->resize(*n);
+    for (uint32_t i = 0; i < *n; i++) {
+      if (!GetBatch(r, &(*out)[i])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!get_batches(&msg.subs) || !get_batches(&msg.prev_subs)) {
+    return std::nullopt;
+  }
+  auto num_proofs = r.U32();
+  if (!num_proofs || *num_proofs > (1u << 22)) {
+    return std::nullopt;
+  }
+  msg.reenc_proofs.reserve(*num_proofs);
+  for (uint32_t i = 0; i < *num_proofs; i++) {
+    auto raw = r.Raw(ReEncProof::kEncodedSize);
+    if (!raw) {
+      return std::nullopt;
+    }
+    auto proof = ReEncProof::Decode(BytesView(*raw));
+    if (!proof) {
+      return std::nullopt;
+    }
+    msg.reenc_proofs.push_back(*proof);
+  }
+  auto reason = r.Var();
+  if (!reason || !r.Done()) {
+    return std::nullopt;
+  }
+  msg.abort_reason.assign(reason->begin(), reason->end());
+  return msg;
+}
+
+Bytes EncodeTrapSubmission(const TrapSubmission& submission) {
+  ByteWriter w;
+  w.U32(submission.entry_gid);
+  PutCiphertextVec(w, submission.first);
+  PutProofs(w, submission.first_proofs);
+  PutCiphertextVec(w, submission.second);
+  PutProofs(w, submission.second_proofs);
+  w.Raw(BytesView(submission.trap_commitment.data(),
+                  submission.trap_commitment.size()));
+  return w.Take();
+}
+
+std::optional<TrapSubmission> DecodeTrapSubmission(BytesView bytes) {
+  ByteReader r(bytes);
+  TrapSubmission out;
+  auto gid = r.U32();
+  if (!gid || !GetCiphertextVec(r, &out.first) ||
+      !GetProofs(r, &out.first_proofs) ||
+      !GetCiphertextVec(r, &out.second) ||
+      !GetProofs(r, &out.second_proofs)) {
+    return std::nullopt;
+  }
+  auto commitment = r.Raw(32);
+  if (!commitment || !r.Done()) {
+    return std::nullopt;
+  }
+  out.entry_gid = *gid;
+  std::copy(commitment->begin(), commitment->end(),
+            out.trap_commitment.begin());
+  return out;
+}
+
+}  // namespace atom

@@ -1,0 +1,35 @@
+// Wire encodings for client-to-server protocol messages. Everything a user
+// uploads to its entry group serializes through these functions; decoding
+// validates structure (point/scalar well-formedness comes from the
+// underlying Decode routines) so a malformed upload is rejected before any
+// proof verification work.
+#ifndef SRC_CORE_WIRE_H_
+#define SRC_CORE_WIRE_H_
+
+#include <optional>
+
+#include "src/core/client.h"
+#include "src/core/node.h"
+
+namespace atom {
+
+Bytes EncodeNizkSubmission(const NizkSubmission& submission);
+std::optional<NizkSubmission> DecodeNizkSubmission(BytesView bytes);
+
+Bytes EncodeTrapSubmission(const TrapSubmission& submission);
+std::optional<TrapSubmission> DecodeTrapSubmission(BytesView bytes);
+
+// Inter-server protocol envelopes (the node runtime's messages): what a
+// network transport would put on the wire between Atom servers.
+Bytes EncodeNodeMsg(const NodeMsg& msg);
+std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes);
+
+// DKG round-1/round-2 messages (group setup gossip).
+Bytes EncodeDkgDealing(const DkgDealing& dealing);
+std::optional<DkgDealing> DecodeDkgDealing(BytesView bytes);
+Bytes EncodeDkgComplaint(const DkgComplaint& complaint);
+std::optional<DkgComplaint> DecodeDkgComplaint(BytesView bytes);
+
+}  // namespace atom
+
+#endif  // SRC_CORE_WIRE_H_

@@ -1,0 +1,81 @@
+#include "src/crypto/aead.h"
+
+#include <cstring>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/poly1305.h"
+#include "src/util/chacha_core.h"
+
+namespace atom {
+namespace {
+
+// Derives the one-time Poly1305 key: first 32 bytes of ChaCha20 block 0.
+void DeriveMacKey(const uint8_t key[32], const uint8_t nonce[12],
+                  uint8_t mac_key[32]) {
+  uint8_t block[64];
+  ChaCha20Block(key, 0, nonce, block);
+  std::memcpy(mac_key, block, 32);
+}
+
+// Builds the RFC 8439 MAC input: aad || pad || ct || pad || len(aad) || len(ct).
+Bytes MacInput(BytesView aad, BytesView ct) {
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ct.size() + 32);
+  auto pad16 = [&mac_data] {
+    while (mac_data.size() % 16 != 0) {
+      mac_data.push_back(0);
+    }
+  };
+  mac_data.insert(mac_data.end(), aad.begin(), aad.end());
+  pad16();
+  mac_data.insert(mac_data.end(), ct.begin(), ct.end());
+  pad16();
+  auto append_le64 = [&mac_data](uint64_t v) {
+    for (int i = 0; i < 8; i++) {
+      mac_data.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  append_le64(aad.size());
+  append_le64(ct.size());
+  return mac_data;
+}
+
+}  // namespace
+
+Bytes AeadSeal(const uint8_t key[kAeadKeySize],
+               const uint8_t nonce[kAeadNonceSize], BytesView aad,
+               BytesView plaintext) {
+  Bytes out(plaintext.begin(), plaintext.end());
+  ChaCha20Xor(key, nonce, 1, out.data(), out.size());
+
+  uint8_t mac_key[32];
+  DeriveMacKey(key, nonce, mac_key);
+  Bytes mac_data = MacInput(aad, BytesView(out));
+  auto tag = Poly1305Tag(mac_key, BytesView(mac_data));
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<Bytes> AeadOpen(const uint8_t key[kAeadKeySize],
+                              const uint8_t nonce[kAeadNonceSize],
+                              BytesView aad, BytesView sealed) {
+  if (sealed.size() < kAeadTagSize) {
+    return std::nullopt;
+  }
+  BytesView ct = sealed.subspan(0, sealed.size() - kAeadTagSize);
+  BytesView tag = sealed.subspan(sealed.size() - kAeadTagSize);
+
+  uint8_t mac_key[32];
+  DeriveMacKey(key, nonce, mac_key);
+  Bytes mac_data = MacInput(aad, ct);
+  auto expect = Poly1305Tag(mac_key, BytesView(mac_data));
+  if (!ConstantTimeEqual(BytesView(expect), tag)) {
+    return std::nullopt;
+  }
+
+  Bytes out(ct.begin(), ct.end());
+  ChaCha20Xor(key, nonce, 1, out.data(), out.size());
+  return out;
+}
+
+}  // namespace atom

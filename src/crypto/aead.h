@@ -1,0 +1,30 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439). This is the authenticated symmetric
+// scheme "AEnc"/"ADec" used by Atom's IND-CCA2 hybrid encryption (Appendix A;
+// the paper uses NaCl's secretbox, same construction family).
+#ifndef SRC_CRYPTO_AEAD_H_
+#define SRC_CRYPTO_AEAD_H_
+
+#include <optional>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+inline constexpr size_t kAeadKeySize = 32;
+inline constexpr size_t kAeadNonceSize = 12;
+inline constexpr size_t kAeadTagSize = 16;
+
+// Encrypts `plaintext` with additional data `aad`. Output layout:
+// ciphertext || 16-byte tag.
+Bytes AeadSeal(const uint8_t key[kAeadKeySize],
+               const uint8_t nonce[kAeadNonceSize], BytesView aad,
+               BytesView plaintext);
+
+// Verifies and decrypts; returns std::nullopt on authentication failure.
+std::optional<Bytes> AeadOpen(const uint8_t key[kAeadKeySize],
+                              const uint8_t nonce[kAeadNonceSize],
+                              BytesView aad, BytesView sealed);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_AEAD_H_

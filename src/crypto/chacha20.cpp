@@ -1,0 +1,23 @@
+#include "src/crypto/chacha20.h"
+
+#include <algorithm>
+
+#include "src/util/chacha_core.h"
+
+namespace atom {
+
+void ChaCha20Xor(const uint8_t key[32], const uint8_t nonce[12],
+                 uint32_t counter, uint8_t* data, size_t len) {
+  uint8_t block[64];
+  size_t off = 0;
+  while (off < len) {
+    ChaCha20Block(key, counter++, nonce, block);
+    size_t take = std::min<size_t>(64, len - off);
+    for (size_t i = 0; i < take; i++) {
+      data[off + i] ^= block[i];
+    }
+    off += take;
+  }
+}
+
+}  // namespace atom

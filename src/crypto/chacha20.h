@@ -1,0 +1,18 @@
+// ChaCha20 stream cipher (RFC 8439), built on the shared block function.
+#ifndef SRC_CRYPTO_CHACHA20_H_
+#define SRC_CRYPTO_CHACHA20_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// XORs `data` with the ChaCha20 keystream for (key, nonce) starting at block
+// `counter`, in place. Encrypt and decrypt are the same operation.
+void ChaCha20Xor(const uint8_t key[32], const uint8_t nonce[12],
+                 uint32_t counter, uint8_t* data, size_t len);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_CHACHA20_H_

@@ -1,0 +1,95 @@
+// Dealer-less distributed key generation (DVSS, §4.5).
+//
+// The paper uses the Stinson–Strobl protocol [67] to generate each group's
+// threshold ElGamal key without a trusted dealer. We implement the
+// joint-Feldman construction (same family, same message complexity): every
+// participant deals a random secret with Feldman VSS; dealings that fail
+// verification are disqualified by complaint; the group key is the sum of
+// the qualified dealers' A_0 commitments, and each participant's share of
+// the group secret is the sum of the shares it received from qualified
+// dealers. The resulting shares are a (threshold, k) Shamir sharing of the
+// group secret, which is what the threshold ReEnc path (src/crypto/
+// threshold.h) consumes.
+//
+// The protocol is expressed as explicit per-participant states and message
+// rounds so the in-process driver, the tests (including cheating dealers),
+// and the discrete-event simulator all exercise the same logic.
+#ifndef SRC_CRYPTO_DKG_H_
+#define SRC_CRYPTO_DKG_H_
+
+#include <vector>
+
+#include "src/crypto/shamir.h"
+
+namespace atom {
+
+struct DkgParams {
+  size_t k = 0;          // participants
+  size_t threshold = 0;  // shares needed to use the key: k - (h - 1) in Atom
+};
+
+// Round-1 broadcast from one dealer: Feldman commitments (public) plus one
+// encrypted share per recipient (modelled as direct delivery here).
+struct DkgDealing {
+  uint32_t dealer = 0;  // 1-based participant index
+  std::vector<Point> commitments;
+  std::vector<Share> shares;  // shares[i] destined for participant i+1
+};
+
+// Round-2 complaint: `accuser` could not verify the share from `dealer`.
+struct DkgComplaint {
+  uint32_t accuser = 0;
+  uint32_t dealer = 0;
+};
+
+// Final per-participant private output.
+struct DkgServerKey {
+  uint32_t index = 0;  // 1-based
+  Scalar share;        // share of the group secret at x = index
+};
+
+// Public output agreed by all participants.
+struct DkgPublic {
+  DkgParams params;
+  Point group_pk;
+  // Verification key for each participant's share: X_i = x_i·G, derivable
+  // from the qualified dealings. Used to verify ReEncProofs in the threshold
+  // setting and to check buddy-group recovery.
+  std::vector<Point> share_pks;  // share_pks[i] for participant i+1
+  std::vector<uint32_t> disqualified;  // dealers removed by complaint
+};
+
+struct DkgResult {
+  DkgPublic pub;
+  std::vector<DkgServerKey> keys;  // keys[i] for participant i+1
+};
+
+// One participant's dealing (round 1). If `corrupt_share_for` is nonzero,
+// the share destined for that participant index is corrupted — the honest
+// participant will complain and the dealer is disqualified (used by tests
+// and failure-injection benches).
+DkgDealing MakeDealing(uint32_t dealer, const DkgParams& params, Rng& rng,
+                       uint32_t corrupt_share_for = 0);
+
+// Verifies the shares addressed to `participant` in every dealing and
+// returns complaints against dealers whose share fails Feldman verification.
+std::vector<DkgComplaint> VerifyDealings(
+    uint32_t participant, const DkgParams& params,
+    std::span<const DkgDealing> dealings);
+
+// Aggregates qualified dealings into the group key and per-participant
+// shares. Dealers named in any complaint are disqualified (with Feldman
+// commitments public, a complaint is publicly checkable; we model the
+// honest-majority outcome where cheaters are removed).
+DkgResult AggregateDkg(const DkgParams& params,
+                       std::span<const DkgDealing> dealings,
+                       std::span<const DkgComplaint> complaints);
+
+// Convenience driver: runs the full protocol among k honest participants
+// (plus optional cheating dealers) in process.
+DkgResult RunDkg(const DkgParams& params, Rng& rng,
+                 std::span<const uint32_t> cheating_dealers = {});
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_DKG_H_

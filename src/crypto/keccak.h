@@ -1,0 +1,19 @@
+// SHA3-256 (FIPS 202, Keccak-f[1600] sponge). The paper uses SHA-3 as the
+// commitment function for trap messages (§4.4): traps carry a high-entropy
+// nonce, so a plain hash is a binding and hiding commitment.
+#ifndef SRC_CRYPTO_KECCAK_H_
+#define SRC_CRYPTO_KECCAK_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// One-shot SHA3-256.
+std::array<uint8_t, 32> Sha3_256(BytesView data);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_KECCAK_H_

@@ -1,0 +1,86 @@
+#include "src/crypto/kem.h"
+
+#include "src/crypto/aead.h"
+#include "src/crypto/sha256.h"
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+// KDF: symmetric key = SHA-256("atom/kem/v1" || encap point || shared point).
+std::array<uint8_t, 32> DeriveKey(const Point& encap, const Point& shared) {
+  ByteWriter w;
+  w.Raw(ToBytes("atom/kem/v1"));
+  w.Raw(BytesView(encap.Encode()));
+  w.Raw(BytesView(shared.Encode()));
+  return Sha256::Hash(BytesView(w.bytes()));
+}
+
+std::optional<Bytes> OpenWithShared(const Point& encap, const Point& shared,
+                                    BytesView ciphertext) {
+  auto key = DeriveKey(encap, shared);
+  uint8_t nonce[kAeadNonceSize] = {0};  // fresh key per message: zero nonce
+  Bytes aad = encap.Encode();
+  return AeadOpen(key.data(), nonce, BytesView(aad),
+                  ciphertext.subspan(Point::kEncodedSize));
+}
+
+}  // namespace
+
+KemKeypair KemKeyGen(Rng& rng) {
+  KemKeypair kp;
+  kp.sk = Scalar::Random(rng);
+  kp.pk = Point::BaseMul(kp.sk);
+  return kp;
+}
+
+Bytes KemEncrypt(const Point& pk, BytesView msg, Rng& rng) {
+  Scalar r = Scalar::Random(rng);
+  Point encap = Point::BaseMul(r);
+  Point shared = pk.Mul(r);
+  auto key = DeriveKey(encap, shared);
+  uint8_t nonce[kAeadNonceSize] = {0};
+  Bytes aad = encap.Encode();
+  Bytes sealed = AeadSeal(key.data(), nonce, BytesView(aad), msg);
+  Bytes out = encap.Encode();
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+std::optional<Bytes> KemDecrypt(const Scalar& sk, BytesView ciphertext) {
+  if (ciphertext.size() < kKemOverhead) {
+    return std::nullopt;
+  }
+  auto encap = Point::Decode(ciphertext.subspan(0, Point::kEncodedSize));
+  if (!encap.has_value() || encap->IsInfinity()) {
+    return std::nullopt;
+  }
+  Point shared = encap->Mul(sk);
+  return OpenWithShared(*encap, shared, ciphertext);
+}
+
+Point KemPartialDecap(const Scalar& weighted_share, BytesView ciphertext) {
+  auto encap = Point::Decode(ciphertext.subspan(0, Point::kEncodedSize));
+  if (!encap.has_value()) {
+    return Point::Infinity();
+  }
+  return encap->Mul(weighted_share);
+}
+
+std::optional<Bytes> KemCombineDecap(std::span<const Point> partials,
+                                     BytesView ciphertext) {
+  if (ciphertext.size() < kKemOverhead) {
+    return std::nullopt;
+  }
+  auto encap = Point::Decode(ciphertext.subspan(0, Point::kEncodedSize));
+  if (!encap.has_value() || encap->IsInfinity()) {
+    return std::nullopt;
+  }
+  Point shared = Point::Infinity();
+  for (const Point& p : partials) {
+    shared = shared + p;
+  }
+  return OpenWithShared(*encap, shared, ciphertext);
+}
+
+}  // namespace atom

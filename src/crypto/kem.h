@@ -1,0 +1,44 @@
+// IND-CCA2 hybrid encryption: ElGamal key encapsulation + ChaCha20-Poly1305
+// DEM (Shoup-style KEM-DEM, as in paper Appendix A which uses ElGamal key
+// encapsulation with NaCl's authenticated encryption).
+//
+// Atom's trap variant wraps every real message in this scheme under the
+// trustees' key: the AEAD makes inner ciphertexts non-malleable, so a
+// malicious server cannot transform an honest user's message into a related
+// one (§4.4).
+#ifndef SRC_CRYPTO_KEM_H_
+#define SRC_CRYPTO_KEM_H_
+
+#include <optional>
+
+#include "src/crypto/p256.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+struct KemKeypair {
+  Scalar sk;
+  Point pk;
+};
+
+KemKeypair KemKeyGen(Rng& rng);
+
+// Encrypts msg under pk. Output: 33-byte encapsulation || AEAD ciphertext
+// (msg.size() + 16 bytes). Overhead is kKemOverhead bytes total.
+inline constexpr size_t kKemOverhead = Point::kEncodedSize + 16;
+Bytes KemEncrypt(const Point& pk, BytesView msg, Rng& rng);
+
+// Decrypts; nullopt on malformed input or authentication failure.
+std::optional<Bytes> KemDecrypt(const Scalar& sk, BytesView ciphertext);
+
+// Threshold variant: decapsulation shares. Each holder of a share x_i of the
+// secret (with Lagrange coefficient folded in) computes a partial point
+// (λ_i·x_i)·R; the combiner sums the partials to recover the KEM shared
+// point without any party learning the full secret. Used by the trustees.
+Point KemPartialDecap(const Scalar& weighted_share, BytesView ciphertext);
+std::optional<Bytes> KemCombineDecap(std::span<const Point> partials,
+                                     BytesView ciphertext);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_KEM_H_

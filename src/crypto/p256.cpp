@@ -1,0 +1,565 @@
+#include "src/crypto/p256.h"
+
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+// (p+1)/4, the exponent for square roots mod p (p ≡ 3 mod 4).
+const U256& SqrtExponent() {
+  static const U256 exp = [] {
+    U256 e;
+    uint64_t carry = U256Add(&e, P256Prime(), U256::FromU64(1));
+    ATOM_CHECK(carry == 0);
+    // Shift right by 2.
+    for (int i = 0; i < 4; i++) {
+      e.v[i] = (e.v[i] >> 2) | (i < 3 ? (e.v[i + 1] << 62) : 0);
+    }
+    return e;
+  }();
+  return exp;
+}
+
+// Curve coefficient a = -3 in Montgomery form.
+const U256& MontA() {
+  static const U256 a = [] {
+    U256 three = U256::FromU64(3);
+    U256 neg3;
+    U256Sub(&neg3, P256Prime(), three);
+    return FieldP().ToMont(neg3);
+  }();
+  return a;
+}
+
+// Curve coefficient b in Montgomery form.
+const U256& MontB() {
+  static const U256 b = FieldP().ToMont(P256B());
+  return b;
+}
+
+// Computes x^3 + ax + b in Montgomery form.
+U256 CurveRhs(const U256& mx) {
+  const Mont& fp = FieldP();
+  U256 x2 = fp.Mul(mx, mx);
+  U256 x3 = fp.Mul(x2, mx);
+  U256 ax = fp.Mul(MontA(), mx);
+  return fp.Add(fp.Add(x3, ax), MontB());
+}
+
+// Square root mod p if it exists (p ≡ 3 mod 4 so a^((p+1)/4) works).
+std::optional<U256> MontSqrt(const U256& ma) {
+  const Mont& fp = FieldP();
+  U256 s = fp.Pow(ma, SqrtExponent());
+  if (fp.Mul(s, s) == ma) {
+    return s;
+  }
+  return std::nullopt;
+}
+
+// Parity (least significant bit) of a Montgomery-form field element.
+int MontParity(const U256& ma) {
+  return FieldP().FromMont(ma).Bit(0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Scalar --
+
+Scalar Scalar::One() {
+  Scalar s;
+  s.m_ = FieldN().one();
+  return s;
+}
+
+Scalar Scalar::FromU64(uint64_t v) {
+  Scalar s;
+  s.m_ = FieldN().ToMont(U256::FromU64(v));
+  return s;
+}
+
+Scalar Scalar::Random(Rng& rng) {
+  for (;;) {
+    Bytes raw = rng.NextBytes(32);
+    U256 candidate = U256::FromBytesBe(BytesView(raw));
+    if (U256Less(candidate, P256Order()) && !candidate.IsZero()) {
+      Scalar s;
+      s.m_ = FieldN().ToMont(candidate);
+      return s;
+    }
+  }
+}
+
+Scalar Scalar::FromBytesReduced(BytesView bytes32) {
+  ATOM_CHECK(bytes32.size() == 32);
+  U256 v = FieldN().Reduce(U256::FromBytesBe(bytes32));
+  Scalar s;
+  s.m_ = FieldN().ToMont(v);
+  return s;
+}
+
+std::optional<Scalar> Scalar::FromBytes(BytesView bytes32) {
+  if (bytes32.size() != 32) {
+    return std::nullopt;
+  }
+  U256 v = U256::FromBytesBe(bytes32);
+  if (!U256Less(v, P256Order())) {
+    return std::nullopt;
+  }
+  Scalar s;
+  s.m_ = FieldN().ToMont(v);
+  return s;
+}
+
+std::array<uint8_t, 32> Scalar::ToBytes() const {
+  return FieldN().FromMont(m_).ToBytesBe();
+}
+
+Scalar Scalar::operator+(const Scalar& o) const {
+  Scalar s;
+  s.m_ = FieldN().Add(m_, o.m_);
+  return s;
+}
+
+Scalar Scalar::operator-(const Scalar& o) const {
+  Scalar s;
+  s.m_ = FieldN().Sub(m_, o.m_);
+  return s;
+}
+
+Scalar Scalar::operator*(const Scalar& o) const {
+  Scalar s;
+  s.m_ = FieldN().Mul(m_, o.m_);
+  return s;
+}
+
+Scalar Scalar::Neg() const {
+  Scalar s;
+  s.m_ = FieldN().Neg(m_);
+  return s;
+}
+
+Scalar Scalar::Inv() const {
+  Scalar s;
+  s.m_ = FieldN().Inv(m_);
+  return s;
+}
+
+U256 Scalar::PlainValue() const { return FieldN().FromMont(m_); }
+
+// ----------------------------------------------------------------- Point --
+
+const Point& Point::Generator() {
+  static const Point g = [] {
+    auto p = Point::FromAffine(P256Gx(), P256Gy());
+    ATOM_CHECK(p.has_value());
+    return *p;
+  }();
+  return g;
+}
+
+std::optional<Point> Point::FromAffine(const U256& x, const U256& y) {
+  const Mont& fp = FieldP();
+  if (!U256Less(x, P256Prime()) || !U256Less(y, P256Prime())) {
+    return std::nullopt;
+  }
+  Point p;
+  p.x_ = fp.ToMont(x);
+  p.y_ = fp.ToMont(y);
+  p.z_ = fp.one();
+  if (!p.IsOnCurve()) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+bool Point::IsOnCurve() const {
+  if (IsInfinity()) {
+    return true;
+  }
+  // y^2 == x^3 + a x z^4 + b z^6 in Jacobian form.
+  const Mont& fp = FieldP();
+  U256 y2 = fp.Mul(y_, y_);
+  U256 z2 = fp.Mul(z_, z_);
+  U256 z4 = fp.Mul(z2, z2);
+  U256 z6 = fp.Mul(z4, z2);
+  U256 x3 = fp.Mul(fp.Mul(x_, x_), x_);
+  U256 rhs = fp.Add(fp.Add(x3, fp.Mul(fp.Mul(MontA(), x_), z4)),
+                    fp.Mul(MontB(), z6));
+  return y2 == rhs;
+}
+
+Point Point::Double() const {
+  if (IsInfinity() || y_.IsZero()) {
+    return Infinity();
+  }
+  const Mont& fp = FieldP();
+  // dbl-2001-b for a = -3.
+  U256 delta = fp.Mul(z_, z_);
+  U256 gamma = fp.Mul(y_, y_);
+  U256 beta = fp.Mul(x_, gamma);
+  U256 t0 = fp.Sub(x_, delta);
+  U256 t1 = fp.Add(x_, delta);
+  U256 alpha = fp.Mul(t0, t1);
+  alpha = fp.Add(fp.Add(alpha, alpha), alpha);  // 3 * (x-delta)(x+delta)
+
+  Point out;
+  U256 beta4 = fp.Add(fp.Add(beta, beta), fp.Add(beta, beta));
+  U256 beta8 = fp.Add(beta4, beta4);
+  out.x_ = fp.Sub(fp.Mul(alpha, alpha), beta8);
+  U256 yz = fp.Add(y_, z_);
+  out.z_ = fp.Sub(fp.Sub(fp.Mul(yz, yz), gamma), delta);
+  U256 gamma2 = fp.Mul(gamma, gamma);
+  U256 gamma2_8 = fp.Add(gamma2, gamma2);
+  gamma2_8 = fp.Add(gamma2_8, gamma2_8);
+  gamma2_8 = fp.Add(gamma2_8, gamma2_8);
+  out.y_ = fp.Sub(fp.Mul(alpha, fp.Sub(beta4, out.x_)), gamma2_8);
+  return out;
+}
+
+Point operator+(const Point& a, const Point& b) {
+  if (a.IsInfinity()) {
+    return b;
+  }
+  if (b.IsInfinity()) {
+    return a;
+  }
+  const Mont& fp = FieldP();
+  U256 z1z1 = fp.Mul(a.z_, a.z_);
+  U256 z2z2 = fp.Mul(b.z_, b.z_);
+  U256 u1 = fp.Mul(a.x_, z2z2);
+  U256 u2 = fp.Mul(b.x_, z1z1);
+  U256 s1 = fp.Mul(fp.Mul(a.y_, b.z_), z2z2);
+  U256 s2 = fp.Mul(fp.Mul(b.y_, a.z_), z1z1);
+
+  if (u1 == u2) {
+    if (s1 == s2) {
+      return a.Double();
+    }
+    return Point::Infinity();
+  }
+
+  U256 h = fp.Sub(u2, u1);
+  U256 r = fp.Sub(s2, s1);
+  U256 hh = fp.Mul(h, h);
+  U256 hhh = fp.Mul(hh, h);
+  U256 v = fp.Mul(u1, hh);
+
+  Point out;
+  U256 v2 = fp.Add(v, v);
+  out.x_ = fp.Sub(fp.Sub(fp.Mul(r, r), hhh), v2);
+  out.y_ = fp.Sub(fp.Mul(r, fp.Sub(v, out.x_)), fp.Mul(s1, hhh));
+  out.z_ = fp.Mul(fp.Mul(a.z_, b.z_), h);
+  return out;
+}
+
+Point Point::Neg() const {
+  if (IsInfinity()) {
+    return *this;
+  }
+  Point out = *this;
+  out.y_ = FieldP().Neg(y_);
+  return out;
+}
+
+bool Point::operator==(const Point& o) const {
+  if (IsInfinity() || o.IsInfinity()) {
+    return IsInfinity() == o.IsInfinity();
+  }
+  // Compare cross-multiplied Jacobian coordinates.
+  const Mont& fp = FieldP();
+  U256 z1z1 = fp.Mul(z_, z_);
+  U256 z2z2 = fp.Mul(o.z_, o.z_);
+  if (!(fp.Mul(x_, z2z2) == fp.Mul(o.x_, z1z1))) {
+    return false;
+  }
+  U256 z1z1z1 = fp.Mul(z1z1, z_);
+  U256 z2z2z2 = fp.Mul(z2z2, o.z_);
+  return fp.Mul(y_, z2z2z2) == fp.Mul(o.y_, z1z1z1);
+}
+
+Point Point::Mul(const Scalar& k) const {
+  if (IsInfinity() || k.IsZero()) {
+    return Infinity();
+  }
+  // 4-bit fixed window: table[i] = i * P for i in [1, 15].
+  Point table[15];
+  table[0] = *this;
+  for (int i = 1; i < 15; i++) {
+    table[i] = table[i - 1] + *this;
+  }
+
+  U256 e = k.PlainValue();
+  Point acc = Infinity();
+  for (int window = 63; window >= 0; window--) {
+    for (int i = 0; i < 4; i++) {
+      acc = acc.Double();
+    }
+    uint64_t digit = (e.v[window / 16] >> (4 * (window % 16))) & 0xf;
+    if (digit != 0) {
+      acc = acc + table[digit - 1];
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+// Precomputed 4-bit window tables for the generator: kGenTable[w][d-1] holds
+// (d << (4w)) * G, so BaseMul needs only ~64 additions and no doublings.
+struct GeneratorTables {
+  Point table[64][15];
+
+  GeneratorTables() {
+    Point base = Point::Generator();
+    for (int w = 0; w < 64; w++) {
+      table[w][0] = base;
+      for (int d = 1; d < 15; d++) {
+        table[w][d] = table[w][d - 1] + base;
+      }
+      // base <<= 4
+      Point next = table[w][14] + base;  // 16 * base
+      base = next;
+    }
+  }
+};
+
+const GeneratorTables& GenTables() {
+  static const GeneratorTables tables;
+  return tables;
+}
+
+}  // namespace
+
+Point Point::BaseMul(const Scalar& k) {
+  if (k.IsZero()) {
+    return Infinity();
+  }
+  const GeneratorTables& tables = GenTables();
+  U256 e = k.PlainValue();
+  Point acc = Infinity();
+  for (int window = 0; window < 64; window++) {
+    uint64_t digit = (e.v[window / 16] >> (4 * (window % 16))) & 0xf;
+    if (digit != 0) {
+      acc = acc + tables.table[window][digit - 1];
+    }
+  }
+  return acc;
+}
+
+void Point::ToAffine(U256* out_x, U256* out_y) const {
+  ATOM_CHECK(!IsInfinity());
+  const Mont& fp = FieldP();
+  U256 zinv = fp.Inv(z_);
+  U256 zinv2 = fp.Mul(zinv, zinv);
+  U256 zinv3 = fp.Mul(zinv2, zinv);
+  *out_x = fp.FromMont(fp.Mul(x_, zinv2));
+  *out_y = fp.FromMont(fp.Mul(y_, zinv3));
+}
+
+Bytes Point::Encode() const {
+  Bytes out(kEncodedSize, 0);
+  if (IsInfinity()) {
+    return out;
+  }
+  U256 ax, ay;
+  ToAffine(&ax, &ay);
+  out[0] = static_cast<uint8_t>(0x02 | ay.Bit(0));
+  auto xb = ax.ToBytesBe();
+  std::copy(xb.begin(), xb.end(), out.begin() + 1);
+  return out;
+}
+
+std::optional<Point> Point::Decode(BytesView bytes33) {
+  if (bytes33.size() != kEncodedSize) {
+    return std::nullopt;
+  }
+  if (bytes33[0] == 0x00) {
+    for (size_t i = 1; i < kEncodedSize; i++) {
+      if (bytes33[i] != 0) {
+        return std::nullopt;
+      }
+    }
+    return Infinity();
+  }
+  if (bytes33[0] != 0x02 && bytes33[0] != 0x03) {
+    return std::nullopt;
+  }
+  U256 x = U256::FromBytesBe(bytes33.subspan(1));
+  if (!U256Less(x, P256Prime())) {
+    return std::nullopt;
+  }
+  const Mont& fp = FieldP();
+  U256 mx = fp.ToMont(x);
+  auto my = MontSqrt(CurveRhs(mx));
+  if (!my.has_value()) {
+    return std::nullopt;
+  }
+  int want_parity = bytes33[0] & 1;
+  U256 y = *my;
+  if (MontParity(y) != want_parity) {
+    y = fp.Neg(y);
+  }
+  Point p;
+  p.x_ = mx;
+  p.y_ = y;
+  p.z_ = fp.one();
+  return p;
+}
+
+// ------------------------------------------------------------------- MSM --
+
+Point MultiScalarMul(std::span<const Point> points,
+                     std::span<const Scalar> scalars) {
+  ATOM_CHECK(points.size() == scalars.size());
+  const size_t n = points.size();
+  if (n == 0) {
+    return Point::Infinity();
+  }
+  if (n < 8) {
+    Point acc = Point::Infinity();
+    for (size_t i = 0; i < n; i++) {
+      acc = acc + points[i].Mul(scalars[i]);
+    }
+    return acc;
+  }
+
+  // Pippenger bucket method.
+  int c = 4;
+  if (n >= 32) {
+    c = 7;
+  }
+  if (n >= 256) {
+    c = 9;
+  }
+  if (n >= 2048) {
+    c = 11;
+  }
+  const int num_windows = (256 + c - 1) / c;
+  const size_t num_buckets = (1u << c) - 1;
+
+  std::vector<U256> plain(n);
+  for (size_t i = 0; i < n; i++) {
+    plain[i] = scalars[i].PlainValue();
+  }
+
+  auto digit_of = [&](const U256& e, int window) -> uint64_t {
+    int bit = window * c;
+    uint64_t d = 0;
+    // Collect c bits starting at `bit` (may straddle a limb boundary).
+    int limb = bit / 64, off = bit % 64;
+    d = e.v[limb] >> off;
+    if (off + c > 64 && limb + 1 < 4) {
+      d |= e.v[limb + 1] << (64 - off);
+    }
+    return d & ((1ull << c) - 1);
+  };
+
+  Point result = Point::Infinity();
+  std::vector<Point> buckets(num_buckets);
+  for (int window = num_windows - 1; window >= 0; window--) {
+    for (int i = 0; i < c; i++) {
+      result = result.Double();
+    }
+    for (auto& b : buckets) {
+      b = Point::Infinity();
+    }
+    for (size_t i = 0; i < n; i++) {
+      uint64_t d = digit_of(plain[i], window);
+      if (d != 0) {
+        buckets[d - 1] = buckets[d - 1] + points[i];
+      }
+    }
+    // Running-sum trick: sum_{d} d * bucket[d].
+    Point running = Point::Infinity();
+    Point window_sum = Point::Infinity();
+    for (size_t d = num_buckets; d > 0; d--) {
+      running = running + buckets[d - 1];
+      window_sum = window_sum + running;
+    }
+    result = result + window_sum;
+  }
+  return result;
+}
+
+// ---------------------------------------------------- derived generators --
+
+Point HashToPoint(BytesView label) {
+  for (uint32_t counter = 0;; counter++) {
+    ByteWriter w;
+    w.Raw(ToBytes("atom/hash-to-point/v1"));
+    w.Var(label);
+    w.U32(counter);
+    auto digest = Sha256::Hash(BytesView(w.bytes()));
+    U256 x = U256::FromBytesBe(BytesView(digest));
+    if (!U256Less(x, P256Prime())) {
+      continue;
+    }
+    const Mont& fp = FieldP();
+    U256 mx = fp.ToMont(x);
+    auto my = MontSqrt(CurveRhs(mx));
+    if (!my.has_value()) {
+      continue;
+    }
+    // Pick the even-parity root deterministically.
+    U256 y = *my;
+    if (MontParity(y) != 0) {
+      y = fp.Neg(y);
+    }
+    Point p;
+    U256 ax = x;
+    U256 ay = fp.FromMont(y);
+    auto q = Point::FromAffine(ax, ay);
+    ATOM_CHECK(q.has_value());
+    p = *q;
+    return p;
+  }
+}
+
+// -------------------------------------------------------- message embed --
+
+std::optional<Point> EmbedMessage(BytesView data) {
+  if (data.size() > kEmbedCapacity) {
+    return std::nullopt;
+  }
+  // x = [len | data | zero padding | counter], big-endian bytes. The top
+  // byte is <= 30, so x < p always holds.
+  std::array<uint8_t, 32> xbuf{};
+  xbuf[0] = static_cast<uint8_t>(data.size());
+  std::copy(data.begin(), data.end(), xbuf.begin() + 1);
+  for (int counter = 0; counter < 256; counter++) {
+    xbuf[31] = static_cast<uint8_t>(counter);
+    U256 x = U256::FromBytesBe(BytesView(xbuf));
+    const Mont& fp = FieldP();
+    U256 mx = fp.ToMont(x);
+    auto my = MontSqrt(CurveRhs(mx));
+    if (!my.has_value()) {
+      continue;
+    }
+    U256 y = fp.FromMont(*my);
+    auto p = Point::FromAffine(x, y);
+    ATOM_CHECK(p.has_value());
+    return p;
+  }
+  // Each try succeeds with probability ~1/2; 256 misses is astronomically
+  // unlikely for any input.
+  return std::nullopt;
+}
+
+std::optional<Bytes> ExtractMessage(const Point& p) {
+  if (p.IsInfinity()) {
+    return std::nullopt;
+  }
+  U256 ax, ay;
+  p.ToAffine(&ax, &ay);
+  auto xb = ax.ToBytesBe();
+  size_t len = xb[0];
+  if (len > kEmbedCapacity) {
+    return std::nullopt;
+  }
+  return Bytes(xb.begin() + 1, xb.begin() + 1 + static_cast<ptrdiff_t>(len));
+}
+
+}  // namespace atom

@@ -1,0 +1,117 @@
+// NIST P-256 group operations: scalars mod the group order, Jacobian points,
+// windowed scalar multiplication, Pippenger multi-scalar multiplication,
+// hash-to-point, and reversible message-to-point embedding.
+//
+// This is the DDH group G from the paper (§5 uses NIST P-256 [6]); every
+// cryptosystem in src/crypto builds on these two types.
+#ifndef SRC_CRYPTO_P256_H_
+#define SRC_CRYPTO_P256_H_
+
+#include <optional>
+#include <span>
+
+#include "src/crypto/mont.h"
+#include "src/crypto/u256.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+// Scalar mod the P-256 group order n. Stored in Montgomery form; use the
+// named constructors, never the raw field.
+class Scalar {
+ public:
+  Scalar() = default;  // zero
+
+  static Scalar Zero() { return Scalar(); }
+  static Scalar One();
+  static Scalar FromU64(uint64_t v);
+  // Uniform scalar via rejection sampling (no modulo bias).
+  static Scalar Random(Rng& rng);
+  // Interprets 32 big-endian bytes, reduced mod n. Used for Fiat-Shamir
+  // challenges (reduction bias is ~2^-224, negligible).
+  static Scalar FromBytesReduced(BytesView bytes32);
+  // Strict parse: rejects values >= n. Inverse of ToBytes.
+  static std::optional<Scalar> FromBytes(BytesView bytes32);
+
+  // 32-byte big-endian canonical encoding.
+  std::array<uint8_t, 32> ToBytes() const;
+
+  bool IsZero() const { return m_.IsZero(); }
+  bool operator==(const Scalar& o) const { return m_ == o.m_; }
+
+  Scalar operator+(const Scalar& o) const;
+  Scalar operator-(const Scalar& o) const;
+  Scalar operator*(const Scalar& o) const;
+  Scalar Neg() const;
+  // Multiplicative inverse; must be nonzero.
+  Scalar Inv() const;
+
+  // Plain (non-Montgomery) integer value, for bit extraction in scalar mult.
+  U256 PlainValue() const;
+
+ private:
+  U256 m_;  // Montgomery form mod n
+};
+
+// P-256 point in Jacobian coordinates (coordinates in Montgomery form).
+// z == 0 encodes the identity.
+class Point {
+ public:
+  Point() : x_(FieldP().one()), y_(FieldP().one()), z_() {}  // identity
+
+  static Point Infinity() { return Point(); }
+  static const Point& Generator();
+
+  bool IsInfinity() const { return z_.IsZero(); }
+
+  // Group operations.
+  friend Point operator+(const Point& a, const Point& b);
+  Point Double() const;
+  Point Neg() const;
+  friend Point operator-(const Point& a, const Point& b) { return a + b.Neg(); }
+
+  // Variable-base scalar multiplication (4-bit window).
+  Point Mul(const Scalar& k) const;
+  // Fixed-base multiplication by the generator (precomputed table).
+  static Point BaseMul(const Scalar& k);
+
+  bool operator==(const Point& o) const;
+
+  // Affine coordinates in plain form; must not be the identity.
+  void ToAffine(U256* out_x, U256* out_y) const;
+
+  // 33-byte encoding: SEC1 compressed (0x02/0x03 || x), or 33 zero bytes for
+  // the identity.
+  static constexpr size_t kEncodedSize = 33;
+  Bytes Encode() const;
+  // Validates the point is on the curve.
+  static std::optional<Point> Decode(BytesView bytes33);
+
+  bool IsOnCurve() const;
+
+  // Constructs from affine coordinates in plain form (checked on-curve).
+  static std::optional<Point> FromAffine(const U256& x, const U256& y);
+
+ private:
+  U256 x_, y_, z_;
+};
+
+// Sum of scalars[i] * points[i] (Pippenger bucket method).
+Point MultiScalarMul(std::span<const Point> points,
+                     std::span<const Scalar> scalars);
+
+// Deterministic nothing-up-my-sleeve point: try-and-increment over
+// SHA-256(label || counter). Nobody knows its discrete log w.r.t. any other
+// generator produced with a different label.
+Point HashToPoint(BytesView label);
+
+// Reversible message embedding. Up to kEmbedCapacity bytes per point; the
+// x-coordinate layout is [length | data | padding | try-counter].
+inline constexpr size_t kEmbedCapacity = 30;
+std::optional<Point> EmbedMessage(BytesView data);
+std::optional<Bytes> ExtractMessage(const Point& p);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_P256_H_

@@ -1,0 +1,171 @@
+#include "src/crypto/poly1305.h"
+
+#include <cstring>
+
+namespace atom {
+namespace {
+
+// 26-bit limb implementation (after Floodyberry's poly1305-donna-32).
+constexpr uint32_t kMask26 = 0x3ffffff;
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<uint8_t, 16> Poly1305Tag(const uint8_t key[32], BytesView msg) {
+  // r with the required clamping.
+  uint32_t r0 = LoadLe32(key + 0) & 0x3ffffff;
+  uint32_t r1 = (LoadLe32(key + 3) >> 2) & 0x3ffff03;
+  uint32_t r2 = (LoadLe32(key + 6) >> 4) & 0x3ffc0ff;
+  uint32_t r3 = (LoadLe32(key + 9) >> 6) & 0x3f03fff;
+  uint32_t r4 = (LoadLe32(key + 12) >> 8) & 0x00fffff;
+
+  const uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  size_t off = 0;
+  size_t remaining = msg.size();
+  while (remaining > 0) {
+    uint8_t block[16];
+    uint32_t hibit;
+    if (remaining >= 16) {
+      std::memcpy(block, msg.data() + off, 16);
+      hibit = 1u << 24;
+      off += 16;
+      remaining -= 16;
+    } else {
+      std::memset(block, 0, 16);
+      std::memcpy(block, msg.data() + off, remaining);
+      block[remaining] = 1;
+      hibit = 0;
+      off += remaining;
+      remaining = 0;
+    }
+
+    h0 += LoadLe32(block + 0) & kMask26;
+    h1 += (LoadLe32(block + 3) >> 2) & kMask26;
+    h2 += (LoadLe32(block + 6) >> 4) & kMask26;
+    h3 += (LoadLe32(block + 9) >> 6) & kMask26;
+    h4 += (LoadLe32(block + 12) >> 8) | hibit;
+
+    uint64_t d0 = static_cast<uint64_t>(h0) * r0 +
+                  static_cast<uint64_t>(h1) * s4 +
+                  static_cast<uint64_t>(h2) * s3 +
+                  static_cast<uint64_t>(h3) * s2 +
+                  static_cast<uint64_t>(h4) * s1;
+    uint64_t d1 = static_cast<uint64_t>(h0) * r1 +
+                  static_cast<uint64_t>(h1) * r0 +
+                  static_cast<uint64_t>(h2) * s4 +
+                  static_cast<uint64_t>(h3) * s3 +
+                  static_cast<uint64_t>(h4) * s2;
+    uint64_t d2 = static_cast<uint64_t>(h0) * r2 +
+                  static_cast<uint64_t>(h1) * r1 +
+                  static_cast<uint64_t>(h2) * r0 +
+                  static_cast<uint64_t>(h3) * s4 +
+                  static_cast<uint64_t>(h4) * s3;
+    uint64_t d3 = static_cast<uint64_t>(h0) * r3 +
+                  static_cast<uint64_t>(h1) * r2 +
+                  static_cast<uint64_t>(h2) * r1 +
+                  static_cast<uint64_t>(h3) * r0 +
+                  static_cast<uint64_t>(h4) * s4;
+    uint64_t d4 = static_cast<uint64_t>(h0) * r4 +
+                  static_cast<uint64_t>(h1) * r3 +
+                  static_cast<uint64_t>(h2) * r2 +
+                  static_cast<uint64_t>(h3) * r1 +
+                  static_cast<uint64_t>(h4) * r0;
+
+    uint64_t c;
+    c = d0 >> 26;
+    h0 = static_cast<uint32_t>(d0) & kMask26;
+    d1 += c;
+    c = d1 >> 26;
+    h1 = static_cast<uint32_t>(d1) & kMask26;
+    d2 += c;
+    c = d2 >> 26;
+    h2 = static_cast<uint32_t>(d2) & kMask26;
+    d3 += c;
+    c = d3 >> 26;
+    h3 = static_cast<uint32_t>(d3) & kMask26;
+    d4 += c;
+    c = d4 >> 26;
+    h4 = static_cast<uint32_t>(d4) & kMask26;
+    h0 += static_cast<uint32_t>(c) * 5;
+    c = h0 >> 26;
+    h0 &= kMask26;
+    h1 += static_cast<uint32_t>(c);
+  }
+
+  // Full carry.
+  uint32_t c;
+  c = h1 >> 26;
+  h1 &= kMask26;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= kMask26;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= kMask26;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= kMask26;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= kMask26;
+  h1 += c;
+
+  // Compute h + -p and select.
+  uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= kMask26;
+  uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= kMask26;
+  uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= kMask26;
+  uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= kMask26;
+  uint32_t g4 = h4 + c - (1u << 26);
+
+  uint32_t mask = (g4 >> 31) - 1;  // all-ones when h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // Recombine into 32-bit words.
+  uint32_t w0 = h0 | (h1 << 26);
+  uint32_t w1 = (h1 >> 6) | (h2 << 20);
+  uint32_t w2 = (h2 >> 12) | (h3 << 14);
+  uint32_t w3 = (h3 >> 18) | (h4 << 8);
+
+  // Add s = key[16..32) mod 2^128.
+  uint64_t f;
+  f = static_cast<uint64_t>(w0) + LoadLe32(key + 16);
+  w0 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(w1) + LoadLe32(key + 20) + (f >> 32);
+  w1 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(w2) + LoadLe32(key + 24) + (f >> 32);
+  w2 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(w3) + LoadLe32(key + 28) + (f >> 32);
+  w3 = static_cast<uint32_t>(f);
+
+  std::array<uint8_t, 16> tag;
+  uint32_t words[4] = {w0, w1, w2, w3};
+  for (int i = 0; i < 4; i++) {
+    for (int b = 0; b < 4; b++) {
+      tag[static_cast<size_t>(4 * i + b)] =
+          static_cast<uint8_t>(words[i] >> (8 * b));
+    }
+  }
+  return tag;
+}
+
+}  // namespace atom

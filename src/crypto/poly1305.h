@@ -1,0 +1,17 @@
+// Poly1305 one-time authenticator (RFC 8439).
+#ifndef SRC_CRYPTO_POLY1305_H_
+#define SRC_CRYPTO_POLY1305_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// Computes the Poly1305 tag of `msg` under the 32-byte one-time `key`.
+std::array<uint8_t, 16> Poly1305Tag(const uint8_t key[32], BytesView msg);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_POLY1305_H_

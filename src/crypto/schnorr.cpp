@@ -1,0 +1,60 @@
+#include "src/crypto/schnorr.h"
+
+#include "src/crypto/transcript.h"
+
+namespace atom {
+namespace {
+
+Scalar Challenge(const Point& commit, const Point& pk, BytesView message) {
+  Transcript t("atom/schnorr/v1");
+  t.AppendPoint("commit", commit);
+  t.AppendPoint("pk", pk);
+  t.AppendBytes("msg", message);
+  return t.ChallengeScalar("e");
+}
+
+}  // namespace
+
+SchnorrKeypair SchnorrKeyGen(Rng& rng) {
+  SchnorrKeypair kp;
+  kp.sk = Scalar::Random(rng);
+  kp.pk = Point::BaseMul(kp.sk);
+  return kp;
+}
+
+Bytes SchnorrSignature::Encode() const {
+  Bytes out = commit.Encode();
+  auto rb = response.ToBytes();
+  out.insert(out.end(), rb.begin(), rb.end());
+  return out;
+}
+
+std::optional<SchnorrSignature> SchnorrSignature::Decode(BytesView bytes) {
+  if (bytes.size() != kEncodedSize) {
+    return std::nullopt;
+  }
+  auto commit = Point::Decode(bytes.subspan(0, Point::kEncodedSize));
+  auto response = Scalar::FromBytes(bytes.subspan(Point::kEncodedSize));
+  if (!commit.has_value() || !response.has_value()) {
+    return std::nullopt;
+  }
+  return SchnorrSignature{*commit, *response};
+}
+
+SchnorrSignature SchnorrSign(const Scalar& sk, const Point& pk,
+                             BytesView message, Rng& rng) {
+  Scalar k = Scalar::Random(rng);
+  SchnorrSignature sig;
+  sig.commit = Point::BaseMul(k);
+  Scalar e = Challenge(sig.commit, pk, message);
+  sig.response = k + e * sk;
+  return sig;
+}
+
+bool SchnorrVerify(const Point& pk, BytesView message,
+                   const SchnorrSignature& sig) {
+  Scalar e = Challenge(sig.commit, pk, message);
+  return Point::BaseMul(sig.response) == sig.commit + pk.Mul(e);
+}
+
+}  // namespace atom

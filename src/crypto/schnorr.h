@@ -1,0 +1,39 @@
+// Schnorr signatures over P-256. Server identities in Atom are public keys
+// (§2.1: "a cryptographic public key defines the identity of each server");
+// the directory authority verifies signed registrations, and protocol
+// messages between servers can be authenticated with these keys.
+#ifndef SRC_CRYPTO_SCHNORR_H_
+#define SRC_CRYPTO_SCHNORR_H_
+
+#include <optional>
+
+#include "src/crypto/p256.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+struct SchnorrKeypair {
+  Scalar sk;
+  Point pk;
+};
+
+SchnorrKeypair SchnorrKeyGen(Rng& rng);
+
+struct SchnorrSignature {
+  Point commit;     // R = k·G
+  Scalar response;  // s = k + e·x, e = H(R ‖ pk ‖ msg)
+
+  static constexpr size_t kEncodedSize = Point::kEncodedSize + 32;
+  Bytes Encode() const;
+  static std::optional<SchnorrSignature> Decode(BytesView bytes);
+};
+
+SchnorrSignature SchnorrSign(const Scalar& sk, const Point& pk,
+                             BytesView message, Rng& rng);
+
+bool SchnorrVerify(const Point& pk, BytesView message,
+                   const SchnorrSignature& sig);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_SCHNORR_H_

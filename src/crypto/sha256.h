@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4). Used for Fiat-Shamir challenges, key derivation, and
+// hash-to-curve try-and-increment inputs.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+
+  Sha256();
+
+  // Absorbs more input.
+  Sha256& Update(BytesView data);
+
+  // Finalizes and returns the 32-byte digest. The context must not be used
+  // after Finish().
+  std::array<uint8_t, kDigestSize> Finish();
+
+  // One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(BytesView data);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_len_ = 0;
+  std::array<uint8_t, 64> buf_;
+  size_t buf_len_ = 0;
+};
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_SHA256_H_

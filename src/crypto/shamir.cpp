@@ -1,0 +1,119 @@
+#include "src/crypto/shamir.h"
+
+#include <set>
+
+namespace atom {
+namespace {
+
+// Evaluates the polynomial with the given coefficients (low to high) at x.
+Scalar PolyEval(std::span<const Scalar> coeffs, const Scalar& x) {
+  Scalar acc = Scalar::Zero();
+  for (size_t j = coeffs.size(); j > 0; j--) {
+    acc = acc * x + coeffs[j - 1];
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<Share> ShamirShare(const Scalar& secret, size_t threshold,
+                               size_t n, Rng& rng) {
+  ATOM_CHECK(threshold >= 1 && threshold <= n);
+  std::vector<Scalar> coeffs;
+  coeffs.reserve(threshold);
+  coeffs.push_back(secret);
+  for (size_t j = 1; j < threshold; j++) {
+    coeffs.push_back(Scalar::Random(rng));
+  }
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (uint32_t i = 1; i <= n; i++) {
+    shares.push_back(Share{i, PolyEval(coeffs, Scalar::FromU64(i))});
+  }
+  return shares;
+}
+
+Scalar LagrangeCoefficient(std::span<const uint32_t> subset, uint32_t i) {
+  // λ_i = Π_{j != i} j / (j - i), evaluated in the scalar field.
+  Scalar num = Scalar::One();
+  Scalar den = Scalar::One();
+  Scalar xi = Scalar::FromU64(i);
+  for (uint32_t j : subset) {
+    if (j == i) {
+      continue;
+    }
+    Scalar xj = Scalar::FromU64(j);
+    num = num * xj;
+    den = den * (xj - xi);
+  }
+  ATOM_CHECK(!den.IsZero());
+  return num * den.Inv();
+}
+
+std::optional<Scalar> ShamirReconstruct(std::span<const Share> shares,
+                                        size_t threshold) {
+  if (shares.size() < threshold || threshold == 0) {
+    return std::nullopt;
+  }
+  std::vector<uint32_t> subset;
+  std::set<uint32_t> seen;
+  for (size_t i = 0; i < threshold; i++) {
+    if (shares[i].index == 0 || !seen.insert(shares[i].index).second) {
+      return std::nullopt;
+    }
+    subset.push_back(shares[i].index);
+  }
+  Scalar secret = Scalar::Zero();
+  for (size_t i = 0; i < threshold; i++) {
+    secret = secret +
+             LagrangeCoefficient(subset, shares[i].index) * shares[i].value;
+  }
+  return secret;
+}
+
+FeldmanDealing FeldmanDeal(const Scalar& secret, size_t threshold, size_t n,
+                           Rng& rng) {
+  ATOM_CHECK(threshold >= 1 && threshold <= n);
+  std::vector<Scalar> coeffs;
+  coeffs.reserve(threshold);
+  coeffs.push_back(secret);
+  for (size_t j = 1; j < threshold; j++) {
+    coeffs.push_back(Scalar::Random(rng));
+  }
+  FeldmanDealing out;
+  out.commitments.reserve(threshold);
+  for (const Scalar& a : coeffs) {
+    out.commitments.push_back(Point::BaseMul(a));
+  }
+  out.shares.reserve(n);
+  for (uint32_t i = 1; i <= n; i++) {
+    out.shares.push_back(Share{i, PolyEval(coeffs, Scalar::FromU64(i))});
+  }
+  return out;
+}
+
+Point FeldmanSharePublic(std::span<const Point> commitments, uint32_t index) {
+  // Horner in the exponent: Σ_j index^j · A_j.
+  Scalar x = Scalar::FromU64(index);
+  Point acc = Point::Infinity();
+  for (size_t j = commitments.size(); j > 0; j--) {
+    acc = acc.Mul(x) + commitments[j - 1];
+  }
+  return acc;
+}
+
+bool FeldmanVerifyShare(std::span<const Point> commitments,
+                        const Share& share) {
+  if (share.index == 0 || commitments.empty()) {
+    return false;
+  }
+  return Point::BaseMul(share.value) ==
+         FeldmanSharePublic(commitments, share.index);
+}
+
+Point FeldmanPublicKey(std::span<const Point> commitments) {
+  ATOM_CHECK(!commitments.empty());
+  return commitments[0];
+}
+
+}  // namespace atom

@@ -1,0 +1,60 @@
+// Shamir secret sharing and Feldman verifiable secret sharing over the
+// P-256 scalar field. Building blocks for the dealer-less DKG (src/crypto/
+// dkg.h) and for Atom's buddy-group share escrow (§4.5).
+#ifndef SRC_CRYPTO_SHAMIR_H_
+#define SRC_CRYPTO_SHAMIR_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/crypto/p256.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+// One share of a secret. Indices are the nonzero x-coordinates at which the
+// sharing polynomial is evaluated (1-based; index 0 is the secret itself).
+struct Share {
+  uint32_t index = 0;
+  Scalar value;
+};
+
+// Splits `secret` into n shares such that any `threshold` of them
+// reconstruct it and fewer reveal nothing. Requires 1 <= threshold <= n.
+std::vector<Share> ShamirShare(const Scalar& secret, size_t threshold,
+                               size_t n, Rng& rng);
+
+// Reconstructs the secret from exactly `threshold` shares with distinct
+// indices. Returns nullopt on duplicate indices or too few shares.
+std::optional<Scalar> ShamirReconstruct(std::span<const Share> shares,
+                                        size_t threshold);
+
+// Lagrange coefficient λ_i evaluated at x = 0 for the subset of share
+// indices `subset`: Σ_{i∈subset} λ_i · f(i) = f(0).
+Scalar LagrangeCoefficient(std::span<const uint32_t> subset, uint32_t i);
+
+// Feldman VSS: a Shamir dealing plus commitments A_j = a_j·G to the
+// polynomial coefficients, letting every shareholder verify its share
+// against public data.
+struct FeldmanDealing {
+  std::vector<Point> commitments;  // A_0 .. A_{threshold-1}; A_0 = secret·G
+  std::vector<Share> shares;       // shares[i] has index i+1
+};
+
+FeldmanDealing FeldmanDeal(const Scalar& secret, size_t threshold, size_t n,
+                           Rng& rng);
+
+// Checks share.value·G == Σ_j share.index^j · A_j.
+bool FeldmanVerifyShare(std::span<const Point> commitments,
+                        const Share& share);
+
+// Public key of the shared secret (A_0).
+Point FeldmanPublicKey(std::span<const Point> commitments);
+
+// The public verification point for a specific index: Σ_j index^j · A_j.
+// Equals share.value·G for an honest dealing.
+Point FeldmanSharePublic(std::span<const Point> commitments, uint32_t index);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_SHAMIR_H_

@@ -1,0 +1,562 @@
+#include "src/crypto/shuffle.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "src/crypto/transcript.h"
+#include "src/util/parallel.h"
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+// ------------------------------------------------------------- generators
+
+// Pedersen generator cache: H (chain base) plus H[0..n). All derived via
+// hash-to-point, so no discrete-log relation between any of them (or G) is
+// known to anyone.
+class ShuffleGens {
+ public:
+  static ShuffleGens& Instance() {
+    static ShuffleGens gens;
+    return gens;
+  }
+
+  Point ChainBase() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chain_base_;
+  }
+
+  std::vector<Point> FirstN(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (hs_.size() < n) {
+      ByteWriter label;
+      label.Raw(ToBytes("atom/shuffle-gen"));
+      label.U32(static_cast<uint32_t>(hs_.size()));
+      hs_.push_back(HashToPoint(BytesView(label.bytes())));
+    }
+    return std::vector<Point>(hs_.begin(),
+                              hs_.begin() + static_cast<ptrdiff_t>(n));
+  }
+
+ private:
+  ShuffleGens() : chain_base_(HashToPoint(BytesView(ToBytes(
+                      "atom/shuffle-chain-base")))) {}
+
+  std::mutex mu_;
+  Point chain_base_;
+  std::vector<Point> hs_;
+};
+
+Bytes EncodeBatch(const CiphertextBatch& batch) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(batch.size()));
+  for (const auto& vec : batch) {
+    w.Raw(BytesView(EncodeCiphertextVec(vec)));
+  }
+  return w.Take();
+}
+
+// Derives the per-element challenges u[j] (Fiat-Shamir round 1): everything
+// up to and including the permutation commitments is hashed, and the digest
+// seeds a deterministic scalar stream.
+std::vector<Scalar> DeriveU(Transcript& t, size_t n) {
+  auto seed = t.ChallengeBytes("u-seed");
+  Rng stream{BytesView(seed.data(), seed.size())};
+  std::vector<Scalar> u;
+  u.reserve(n);
+  for (size_t j = 0; j < n; j++) {
+    u.push_back(Scalar::Random(stream));
+  }
+  return u;
+}
+
+// MSM split across workers.
+Point ParallelMsm(std::span<const Point> points, std::span<const Scalar> scalars,
+                  size_t workers) {
+  if (workers <= 1 || points.size() < 64) {
+    return MultiScalarMul(points, scalars);
+  }
+  size_t chunks = workers;
+  size_t chunk_size = (points.size() + chunks - 1) / chunks;
+  std::vector<Point> partial(chunks, Point::Infinity());
+  ParallelFor(workers, chunks, [&](size_t w) {
+    size_t lo = w * chunk_size;
+    size_t hi = std::min(points.size(), lo + chunk_size);
+    if (lo < hi) {
+      partial[w] = MultiScalarMul(points.subspan(lo, hi - lo),
+                                  scalars.subspan(lo, hi - lo));
+    }
+  });
+  Point acc = Point::Infinity();
+  for (const Point& p : partial) {
+    acc = acc + p;
+  }
+  return acc;
+}
+
+struct BatchShape {
+  size_t n = 0;  // messages
+  size_t l = 0;  // components per message
+};
+
+// Validates the batch is rectangular with Y = ⊥ everywhere.
+std::optional<BatchShape> ShapeOf(const CiphertextBatch& batch) {
+  if (batch.empty() || batch[0].empty()) {
+    return std::nullopt;
+  }
+  BatchShape shape{batch.size(), batch[0].size()};
+  for (const auto& vec : batch) {
+    if (vec.size() != shape.l) {
+      return std::nullopt;
+    }
+    for (const auto& ct : vec) {
+      if (!ct.YIsNull()) {
+        return std::nullopt;
+      }
+    }
+  }
+  return shape;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- plain shuffle
+
+std::vector<uint32_t> RandomPermutation(size_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; i++) {
+    perm[i] = static_cast<uint32_t>(i);
+  }
+  for (size_t i = n; i > 1; i--) {
+    size_t j = rng.NextBelow(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+CiphertextBatch ShuffleBatch(const Point& pk, const CiphertextBatch& input,
+                             Rng& rng, std::vector<uint32_t>* perm_out,
+                             std::vector<std::vector<Scalar>>* rands_out,
+                             size_t workers) {
+  auto shape = ShapeOf(input);
+  ATOM_CHECK_MSG(shape.has_value(), "malformed batch passed to ShuffleBatch");
+  const size_t n = shape->n, l = shape->l;
+
+  std::vector<uint32_t> perm = RandomPermutation(n, rng);
+  // Pre-draw all randomness serially (Rng is not thread-safe), then do the
+  // point arithmetic in parallel.
+  std::vector<std::vector<Scalar>> rands(n, std::vector<Scalar>(l));
+  for (size_t i = 0; i < n; i++) {
+    for (size_t c = 0; c < l; c++) {
+      rands[i][c] = Scalar::Random(rng);
+    }
+  }
+
+  CiphertextBatch output(n, ElGamalCiphertextVec(l));
+  ParallelFor(workers, n, [&](size_t i) {
+    for (size_t c = 0; c < l; c++) {
+      const ElGamalCiphertext& in = input[perm[i]][c];
+      const Scalar& r = rands[i][c];
+      ElGamalCiphertext& out = output[i][c];
+      out.r = in.r + Point::BaseMul(r);
+      out.c = in.c + pk.Mul(r);
+      out.y = Point::Infinity();
+    }
+  });
+
+  if (perm_out != nullptr) {
+    *perm_out = std::move(perm);
+  }
+  if (rands_out != nullptr) {
+    *rands_out = std::move(rands);
+  }
+  return output;
+}
+
+// -------------------------------------------------------- proof encoding
+
+Bytes ShuffleProof::Encode() const {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(perm_commit.size()));
+  w.U32(static_cast<uint32_t>(t4a.size()));
+  auto put_points = [&w](const std::vector<Point>& ps) {
+    for (const Point& p : ps) {
+      w.Raw(BytesView(p.Encode()));
+    }
+  };
+  auto put_scalars = [&w](const std::vector<Scalar>& ss) {
+    for (const Scalar& s : ss) {
+      auto b = s.ToBytes();
+      w.Raw(BytesView(b.data(), b.size()));
+    }
+  };
+  put_points(perm_commit);
+  put_points(chain_commit);
+  put_points({t1, t2, t3});
+  put_points(t4a);
+  put_points(t4b);
+  put_points(t_hat);
+  put_scalars({s1, s2, s3});
+  put_scalars(s4);
+  put_scalars(s_hat);
+  put_scalars(s_prime);
+  return w.Take();
+}
+
+std::optional<ShuffleProof> ShuffleProof::Decode(BytesView bytes) {
+  ByteReader r(bytes);
+  auto n = r.U32();
+  auto l = r.U32();
+  if (!n || !l || *n == 0 || *l == 0 || *n > (1u << 24) || *l > (1u << 16)) {
+    return std::nullopt;
+  }
+  auto get_points = [&r](size_t count,
+                         std::vector<Point>* out) -> bool {
+    out->reserve(count);
+    for (size_t i = 0; i < count; i++) {
+      auto raw = r.Raw(Point::kEncodedSize);
+      if (!raw) {
+        return false;
+      }
+      auto p = Point::Decode(BytesView(*raw));
+      if (!p) {
+        return false;
+      }
+      out->push_back(*p);
+    }
+    return true;
+  };
+  auto get_scalars = [&r](size_t count,
+                          std::vector<Scalar>* out) -> bool {
+    out->reserve(count);
+    for (size_t i = 0; i < count; i++) {
+      auto raw = r.Raw(32);
+      if (!raw) {
+        return false;
+      }
+      auto s = Scalar::FromBytes(BytesView(*raw));
+      if (!s) {
+        return false;
+      }
+      out->push_back(*s);
+    }
+    return true;
+  };
+
+  ShuffleProof proof;
+  std::vector<Point> t123;
+  std::vector<Scalar> s123;
+  if (!get_points(*n, &proof.perm_commit) ||
+      !get_points(*n, &proof.chain_commit) || !get_points(3, &t123) ||
+      !get_points(*l, &proof.t4a) || !get_points(*l, &proof.t4b) ||
+      !get_points(*n, &proof.t_hat) || !get_scalars(3, &s123) ||
+      !get_scalars(*l, &proof.s4) || !get_scalars(*n, &proof.s_hat) ||
+      !get_scalars(*n, &proof.s_prime) || !r.Done()) {
+    return std::nullopt;
+  }
+  proof.t1 = t123[0];
+  proof.t2 = t123[1];
+  proof.t3 = t123[2];
+  proof.s1 = s123[0];
+  proof.s2 = s123[1];
+  proof.s3 = s123[2];
+  return proof;
+}
+
+// ------------------------------------------------------------------ prove
+
+ShuffleResult ShuffleAndProve(const Point& pk, const CiphertextBatch& input,
+                              Rng& rng, size_t workers) {
+  auto shape = ShapeOf(input);
+  ATOM_CHECK_MSG(shape.has_value(), "malformed batch passed to ShuffleAndProve");
+  const size_t n = shape->n, l = shape->l;
+
+  std::vector<uint32_t> perm;
+  std::vector<std::vector<Scalar>> rands;
+  ShuffleResult result;
+  result.output = ShuffleBatch(pk, input, rng, &perm, &rands, workers);
+
+  Point chain_base = ShuffleGens::Instance().ChainBase();
+  std::vector<Point> hs = ShuffleGens::Instance().FirstN(n);
+
+  // Inverse permutation: inv[j] = i with perm[i] = j.
+  std::vector<uint32_t> inv(n);
+  for (size_t i = 0; i < n; i++) {
+    inv[perm[i]] = static_cast<uint32_t>(i);
+  }
+
+  // Permutation commitments c[j] = r[j]·G + H[inv[j]].
+  std::vector<Scalar> cr(n);
+  for (size_t j = 0; j < n; j++) {
+    cr[j] = Scalar::Random(rng);
+  }
+  ShuffleProof& proof = result.proof;
+  proof.perm_commit.resize(n);
+  ParallelFor(workers, n, [&](size_t j) {
+    proof.perm_commit[j] = Point::BaseMul(cr[j]) + hs[inv[j]];
+  });
+
+  // Fiat-Shamir round 1: derive u[j].
+  Transcript transcript("atom/shuffle-proof/v1");
+  transcript.AppendPoint("pk", pk);
+  transcript.AppendU64("n", n);
+  transcript.AppendU64("l", l);
+  transcript.AppendBytes("input", BytesView(EncodeBatch(input)));
+  transcript.AppendBytes("output", BytesView(EncodeBatch(result.output)));
+  {
+    ByteWriter w;
+    for (const Point& p : proof.perm_commit) {
+      w.Raw(BytesView(p.Encode()));
+    }
+    transcript.AppendBytes("perm-commit", BytesView(w.bytes()));
+  }
+  std::vector<Scalar> u = DeriveU(transcript, n);
+  std::vector<Scalar> u_perm(n);  // u'[i] = u[perm[i]]
+  for (size_t i = 0; i < n; i++) {
+    u_perm[i] = u[perm[i]];
+  }
+
+  // Commitment chain ĉ[i] = r̂[i]·G + u'[i]·ĉ[i-1] (sequential by design).
+  std::vector<Scalar> rhat(n);
+  for (size_t i = 0; i < n; i++) {
+    rhat[i] = Scalar::Random(rng);
+  }
+  proof.chain_commit.resize(n);
+  Point prev = chain_base;
+  for (size_t i = 0; i < n; i++) {
+    proof.chain_commit[i] = Point::BaseMul(rhat[i]) + prev.Mul(u_perm[i]);
+    prev = proof.chain_commit[i];
+  }
+
+  // Aggregate witnesses.
+  Scalar r_bar = Scalar::Zero();   // Σ r[j]
+  Scalar r_tilde = Scalar::Zero(); // Σ u[j]·r[j]
+  for (size_t j = 0; j < n; j++) {
+    r_bar = r_bar + cr[j];
+    r_tilde = r_tilde + u[j] * cr[j];
+  }
+  std::vector<Scalar> r_prime(l, Scalar::Zero());  // Σ u'[i]·r̃[i][c]
+  for (size_t i = 0; i < n; i++) {
+    for (size_t c = 0; c < l; c++) {
+      r_prime[c] = r_prime[c] + u_perm[i] * rands[i][c];
+    }
+  }
+  // Chain aggregate: R[i] = r̂[i] + u'[i]·R[i-1]; r̂ = R[n-1].
+  Scalar chain_r = Scalar::Zero();
+  for (size_t i = 0; i < n; i++) {
+    chain_r = rhat[i] + u_perm[i] * chain_r;
+  }
+
+  // Sigma commitments.
+  Scalar w1 = Scalar::Random(rng);
+  Scalar w2 = Scalar::Random(rng);
+  Scalar w3 = Scalar::Random(rng);
+  std::vector<Scalar> w4(l);
+  for (size_t c = 0; c < l; c++) {
+    w4[c] = Scalar::Random(rng);
+  }
+  std::vector<Scalar> w_hat(n), w_prime(n);
+  for (size_t i = 0; i < n; i++) {
+    w_hat[i] = Scalar::Random(rng);
+    w_prime[i] = Scalar::Random(rng);
+  }
+
+  proof.t1 = Point::BaseMul(w1);
+  proof.t2 = Point::BaseMul(w2);
+  proof.t3 = Point::BaseMul(w3) + ParallelMsm(hs, w_prime, workers);
+  proof.t4a.resize(l);
+  proof.t4b.resize(l);
+  {
+    // Per component: t4a = Σ ω'[i]·ẽ[i].r - ω4·G, t4b likewise with .c / pk.
+    std::vector<Point> col(n);
+    for (size_t c = 0; c < l; c++) {
+      for (size_t i = 0; i < n; i++) {
+        col[i] = result.output[i][c].r;
+      }
+      proof.t4a[c] =
+          ParallelMsm(col, w_prime, workers) - Point::BaseMul(w4[c]);
+      for (size_t i = 0; i < n; i++) {
+        col[i] = result.output[i][c].c;
+      }
+      proof.t4b[c] = ParallelMsm(col, w_prime, workers) - pk.Mul(w4[c]);
+    }
+  }
+  proof.t_hat.resize(n);
+  ParallelFor(workers, n, [&](size_t i) {
+    const Point& link = (i == 0) ? chain_base : proof.chain_commit[i - 1];
+    proof.t_hat[i] = Point::BaseMul(w_hat[i]) + link.Mul(w_prime[i]);
+  });
+
+  // Fiat-Shamir round 2: the main challenge.
+  {
+    ByteWriter w;
+    for (const Point& p : proof.chain_commit) {
+      w.Raw(BytesView(p.Encode()));
+    }
+    for (const Point& p : proof.t_hat) {
+      w.Raw(BytesView(p.Encode()));
+    }
+    for (size_t c = 0; c < l; c++) {
+      w.Raw(BytesView(proof.t4a[c].Encode()));
+      w.Raw(BytesView(proof.t4b[c].Encode()));
+    }
+    w.Raw(BytesView(proof.t1.Encode()));
+    w.Raw(BytesView(proof.t2.Encode()));
+    w.Raw(BytesView(proof.t3.Encode()));
+    transcript.AppendBytes("commitments", BytesView(w.bytes()));
+  }
+  Scalar challenge = transcript.ChallengeScalar("c");
+
+  // Responses.
+  proof.s1 = w1 + challenge * r_bar;
+  proof.s2 = w2 + challenge * chain_r;
+  proof.s3 = w3 + challenge * r_tilde;
+  proof.s4.resize(l);
+  for (size_t c = 0; c < l; c++) {
+    proof.s4[c] = w4[c] + challenge * r_prime[c];
+  }
+  proof.s_hat.resize(n);
+  proof.s_prime.resize(n);
+  for (size_t i = 0; i < n; i++) {
+    proof.s_hat[i] = w_hat[i] + challenge * rhat[i];
+    proof.s_prime[i] = w_prime[i] + challenge * u_perm[i];
+  }
+  return result;
+}
+
+// ----------------------------------------------------------------- verify
+
+bool VerifyShuffle(const Point& pk, const CiphertextBatch& input,
+                   const CiphertextBatch& output, const ShuffleProof& proof,
+                   size_t workers) {
+  auto in_shape = ShapeOf(input);
+  auto out_shape = ShapeOf(output);
+  if (!in_shape || !out_shape || in_shape->n != out_shape->n ||
+      in_shape->l != out_shape->l) {
+    return false;
+  }
+  const size_t n = in_shape->n, l = in_shape->l;
+  if (proof.perm_commit.size() != n || proof.chain_commit.size() != n ||
+      proof.t_hat.size() != n || proof.s_hat.size() != n ||
+      proof.s_prime.size() != n || proof.t4a.size() != l ||
+      proof.t4b.size() != l || proof.s4.size() != l) {
+    return false;
+  }
+
+  Point chain_base = ShuffleGens::Instance().ChainBase();
+  std::vector<Point> hs = ShuffleGens::Instance().FirstN(n);
+
+  // Recompute both Fiat-Shamir challenges.
+  Transcript transcript("atom/shuffle-proof/v1");
+  transcript.AppendPoint("pk", pk);
+  transcript.AppendU64("n", n);
+  transcript.AppendU64("l", l);
+  transcript.AppendBytes("input", BytesView(EncodeBatch(input)));
+  transcript.AppendBytes("output", BytesView(EncodeBatch(output)));
+  {
+    ByteWriter w;
+    for (const Point& p : proof.perm_commit) {
+      w.Raw(BytesView(p.Encode()));
+    }
+    transcript.AppendBytes("perm-commit", BytesView(w.bytes()));
+  }
+  std::vector<Scalar> u = DeriveU(transcript, n);
+  {
+    ByteWriter w;
+    for (const Point& p : proof.chain_commit) {
+      w.Raw(BytesView(p.Encode()));
+    }
+    for (const Point& p : proof.t_hat) {
+      w.Raw(BytesView(p.Encode()));
+    }
+    for (size_t c = 0; c < l; c++) {
+      w.Raw(BytesView(proof.t4a[c].Encode()));
+      w.Raw(BytesView(proof.t4b[c].Encode()));
+    }
+    w.Raw(BytesView(proof.t1.Encode()));
+    w.Raw(BytesView(proof.t2.Encode()));
+    w.Raw(BytesView(proof.t3.Encode()));
+    transcript.AppendBytes("commitments", BytesView(w.bytes()));
+  }
+  Scalar challenge = transcript.ChallengeScalar("c");
+
+  // REL1: Σc[j] - ΣH[i] = r̄·G.
+  Point c_bar = Point::Infinity();
+  for (size_t j = 0; j < n; j++) {
+    c_bar = c_bar + proof.perm_commit[j];
+  }
+  for (size_t i = 0; i < n; i++) {
+    c_bar = c_bar - hs[i];
+  }
+  if (!(Point::BaseMul(proof.s1) == proof.t1 + c_bar.Mul(challenge))) {
+    return false;
+  }
+
+  // REL2: ĉ[n-1] - (Πu[j])·H = r̂·G.
+  Scalar u_product = Scalar::One();
+  for (size_t j = 0; j < n; j++) {
+    u_product = u_product * u[j];
+  }
+  Point c_hat = proof.chain_commit[n - 1] - chain_base.Mul(u_product);
+  if (!(Point::BaseMul(proof.s2) == proof.t2 + c_hat.Mul(challenge))) {
+    return false;
+  }
+
+  // REL3: Σu[j]·c[j] = r~·G + Σu'[i]·H[i], checked as
+  //   s3·G + Σ s'[i]·H[i] == t3 + c·c~.
+  Point c_tilde = ParallelMsm(proof.perm_commit, u, workers);
+  Point lhs3 = Point::BaseMul(proof.s3) + ParallelMsm(hs, proof.s_prime,
+                                                      workers);
+  if (!(lhs3 == proof.t3 + c_tilde.Mul(challenge))) {
+    return false;
+  }
+
+  // REL4 per component: Σ s'[i]·ẽ[i] - s4·(G|pk) == t4 + c·(Σ u[j]·e[j]).
+  {
+    std::vector<Point> col(n);
+    for (size_t c = 0; c < l; c++) {
+      for (size_t i = 0; i < n; i++) {
+        col[i] = input[i][c].r;
+      }
+      Point e_bar_a = ParallelMsm(col, u, workers);
+      for (size_t i = 0; i < n; i++) {
+        col[i] = output[i][c].r;
+      }
+      Point lhs_a =
+          ParallelMsm(col, proof.s_prime, workers) - Point::BaseMul(proof.s4[c]);
+      if (!(lhs_a == proof.t4a[c] + e_bar_a.Mul(challenge))) {
+        return false;
+      }
+      for (size_t i = 0; i < n; i++) {
+        col[i] = input[i][c].c;
+      }
+      Point e_bar_b = ParallelMsm(col, u, workers);
+      for (size_t i = 0; i < n; i++) {
+        col[i] = output[i][c].c;
+      }
+      Point lhs_b =
+          ParallelMsm(col, proof.s_prime, workers) - pk.Mul(proof.s4[c]);
+      if (!(lhs_b == proof.t4b[c] + e_bar_b.Mul(challenge))) {
+        return false;
+      }
+    }
+  }
+
+  // Chain steps: ŝ[i]·G + s'[i]·ĉ[i-1] == t̂[i] + c·ĉ[i].
+  std::atomic<bool> chain_ok{true};
+  ParallelFor(workers, n, [&](size_t i) {
+    if (!chain_ok.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const Point& link = (i == 0) ? chain_base : proof.chain_commit[i - 1];
+    Point lhs = Point::BaseMul(proof.s_hat[i]) + link.Mul(proof.s_prime[i]);
+    Point rhs = proof.t_hat[i] + proof.chain_commit[i].Mul(challenge);
+    if (!(lhs == rhs)) {
+      chain_ok.store(false, std::memory_order_relaxed);
+    }
+  });
+  return chain_ok.load();
+}
+
+}  // namespace atom

@@ -1,0 +1,266 @@
+#include "src/crypto/sigma.h"
+
+#include "src/crypto/transcript.h"
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+Scalar EncChallenge(const Point& pk, uint32_t gid, const ElGamalCiphertext& ct,
+                    const Point& commit) {
+  Transcript t("atom/enc-proof/v1");
+  t.AppendPoint("pk", pk);
+  t.AppendU64("gid", gid);
+  t.AppendPoint("ct.r", ct.r);
+  t.AppendPoint("ct.c", ct.c);
+  t.AppendPoint("ct.y", ct.y);
+  t.AppendPoint("commit", commit);
+  return t.ChallengeScalar("t");
+}
+
+// Applies the ReEnc Y-normalization so prover and verifier agree on the
+// effective input.
+ElGamalCiphertext NormalizeInput(const ElGamalCiphertext& input) {
+  ElGamalCiphertext in = input;
+  if (in.YIsNull()) {
+    in.y = in.r;
+    in.r = Point::Infinity();
+  }
+  return in;
+}
+
+Scalar ReEncChallenge(const Point& server_pk, const Point* next_pk,
+                      const ElGamalCiphertext& in,
+                      const ElGamalCiphertext& out, const Point& a1,
+                      const Point& a2, const Point& a3) {
+  Transcript t("atom/reenc-proof/v1");
+  t.AppendPoint("server_pk", server_pk);
+  t.AppendPoint("next_pk", next_pk != nullptr ? *next_pk : Point::Infinity());
+  t.AppendU64("has_next", next_pk != nullptr ? 1 : 0);
+  t.AppendPoint("in.r", in.r);
+  t.AppendPoint("in.c", in.c);
+  t.AppendPoint("in.y", in.y);
+  t.AppendPoint("out.r", out.r);
+  t.AppendPoint("out.c", out.c);
+  t.AppendPoint("out.y", out.y);
+  t.AppendPoint("a1", a1);
+  t.AppendPoint("a2", a2);
+  t.AppendPoint("a3", a3);
+  return t.ChallengeScalar("e");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- EncProof
+
+Bytes EncProof::Encode() const {
+  Bytes out = commit.Encode();
+  auto ub = u.ToBytes();
+  out.insert(out.end(), ub.begin(), ub.end());
+  return out;
+}
+
+std::optional<EncProof> EncProof::Decode(BytesView bytes) {
+  if (bytes.size() != kEncodedSize) {
+    return std::nullopt;
+  }
+  auto commit = Point::Decode(bytes.subspan(0, Point::kEncodedSize));
+  auto u = Scalar::FromBytes(bytes.subspan(Point::kEncodedSize));
+  if (!commit.has_value() || !u.has_value()) {
+    return std::nullopt;
+  }
+  return EncProof{*commit, *u};
+}
+
+EncProof MakeEncProof(const Point& pk, uint32_t gid,
+                      const ElGamalCiphertext& ct, const Scalar& randomness,
+                      Rng& rng) {
+  Scalar s = Scalar::Random(rng);
+  EncProof proof;
+  proof.commit = Point::BaseMul(s);
+  Scalar t = EncChallenge(pk, gid, ct, proof.commit);
+  proof.u = s + t * randomness;
+  return proof;
+}
+
+bool VerifyEncProof(const Point& pk, uint32_t gid,
+                    const ElGamalCiphertext& ct, const EncProof& proof) {
+  Scalar t = EncChallenge(pk, gid, ct, proof.commit);
+  // g^u == commit * R^t.
+  return Point::BaseMul(proof.u) == proof.commit + ct.r.Mul(t);
+}
+
+std::vector<EncProof> MakeEncProofVec(const Point& pk, uint32_t gid,
+                                      const ElGamalCiphertextVec& cts,
+                                      std::span<const Scalar> randomness,
+                                      Rng& rng) {
+  ATOM_CHECK(cts.size() == randomness.size());
+  std::vector<EncProof> out;
+  out.reserve(cts.size());
+  for (size_t i = 0; i < cts.size(); i++) {
+    out.push_back(MakeEncProof(pk, gid, cts[i], randomness[i], rng));
+  }
+  return out;
+}
+
+bool VerifyEncProofVec(const Point& pk, uint32_t gid,
+                       const ElGamalCiphertextVec& cts,
+                       std::span<const EncProof> proofs) {
+  if (cts.size() != proofs.size()) {
+    return false;
+  }
+  if (cts.size() >= 8) {
+    return VerifyEncProofBatch(pk, gid, cts, proofs);
+  }
+  for (size_t i = 0; i < cts.size(); i++) {
+    if (!VerifyEncProof(pk, gid, cts[i], proofs[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VerifyEncProofBatch(const Point& pk, uint32_t gid,
+                         const ElGamalCiphertextVec& cts,
+                         std::span<const EncProof> proofs) {
+  if (cts.size() != proofs.size() || cts.empty()) {
+    return false;
+  }
+  const size_t n = cts.size();
+
+  // Derandomized batch coefficients: γ_i from a hash of the whole
+  // statement, so no coefficient can be predicted before the proofs are
+  // fixed.
+  Transcript t("atom/enc-proof-batch/v1");
+  t.AppendPoint("pk", pk);
+  t.AppendU64("gid", gid);
+  for (size_t i = 0; i < n; i++) {
+    t.AppendPoint("ct.r", cts[i].r);
+    t.AppendPoint("ct.c", cts[i].c);
+    t.AppendPoint("ct.y", cts[i].y);
+    t.AppendPoint("commit", proofs[i].commit);
+    t.AppendScalar("u", proofs[i].u);
+  }
+  auto seed = t.ChallengeBytes("gamma-seed");
+  Rng stream{BytesView(seed.data(), seed.size())};
+
+  // Per-proof equation: u_i·G == commit_i + t_i·R_i. Random-combined:
+  //   (Σ γ_i·u_i)·G - Σ γ_i·commit_i - Σ (γ_i·t_i)·R_i == identity.
+  Scalar lhs_scalar = Scalar::Zero();
+  std::vector<Point> points;
+  std::vector<Scalar> scalars;
+  points.reserve(2 * n);
+  scalars.reserve(2 * n);
+  for (size_t i = 0; i < n; i++) {
+    Scalar gamma = Scalar::Random(stream);
+    Scalar challenge = EncChallenge(pk, gid, cts[i], proofs[i].commit);
+    lhs_scalar = lhs_scalar + gamma * proofs[i].u;
+    points.push_back(proofs[i].commit);
+    scalars.push_back(gamma);
+    points.push_back(cts[i].r);
+    scalars.push_back(gamma * challenge);
+  }
+  Point rhs = MultiScalarMul(points, scalars);
+  return Point::BaseMul(lhs_scalar) == rhs;
+}
+
+// -------------------------------------------------------------- ReEncProof
+
+Bytes ReEncProof::Encode() const {
+  Bytes out;
+  out.reserve(kEncodedSize);
+  for (const Point* p : {&a1, &a2, &a3}) {
+    Bytes enc = p->Encode();
+    out.insert(out.end(), enc.begin(), enc.end());
+  }
+  for (const Scalar* s : {&zx, &zr}) {
+    auto sb = s->ToBytes();
+    out.insert(out.end(), sb.begin(), sb.end());
+  }
+  return out;
+}
+
+std::optional<ReEncProof> ReEncProof::Decode(BytesView bytes) {
+  if (bytes.size() != kEncodedSize) {
+    return std::nullopt;
+  }
+  ReEncProof proof;
+  Point* points[3] = {&proof.a1, &proof.a2, &proof.a3};
+  size_t off = 0;
+  for (auto* p : points) {
+    auto dec = Point::Decode(bytes.subspan(off, Point::kEncodedSize));
+    if (!dec.has_value()) {
+      return std::nullopt;
+    }
+    *p = *dec;
+    off += Point::kEncodedSize;
+  }
+  Scalar* scalars[2] = {&proof.zx, &proof.zr};
+  for (auto* s : scalars) {
+    auto dec = Scalar::FromBytes(bytes.subspan(off, 32));
+    if (!dec.has_value()) {
+      return std::nullopt;
+    }
+    *s = *dec;
+    off += 32;
+  }
+  return proof;
+}
+
+ReEncProof MakeReEncProof(const Scalar& server_sk, const Point& server_pk,
+                          const Point* next_pk, const ElGamalCiphertext& input,
+                          const ElGamalCiphertext& output,
+                          const Scalar& rewrap_randomness, Rng& rng) {
+  ElGamalCiphertext in = NormalizeInput(input);
+
+  Scalar kx = Scalar::Random(rng);
+  Scalar kr = Scalar::Random(rng);
+
+  ReEncProof proof;
+  proof.a1 = Point::BaseMul(kx);
+  proof.a2 = Point::BaseMul(kr);
+  // a3 commits to the c-relation: -kx*Y (+ kr*next_pk).
+  proof.a3 = in.y.Mul(kx).Neg();
+  if (next_pk != nullptr) {
+    proof.a3 = proof.a3 + next_pk->Mul(kr);
+  }
+
+  Scalar e = ReEncChallenge(server_pk, next_pk, in, output, proof.a1,
+                            proof.a2, proof.a3);
+  proof.zx = kx + e * server_sk;
+  proof.zr = kr + e * rewrap_randomness;
+  return proof;
+}
+
+bool VerifyReEncProof(const Point& server_pk, const Point* next_pk,
+                      const ElGamalCiphertext& input,
+                      const ElGamalCiphertext& output,
+                      const ReEncProof& proof) {
+  ElGamalCiphertext in = NormalizeInput(input);
+  // The hop's Y must carry through unchanged.
+  if (!(output.y == in.y)) {
+    return false;
+  }
+
+  Scalar e = ReEncChallenge(server_pk, next_pk, in, output, proof.a1,
+                            proof.a2, proof.a3);
+
+  // Relation 1: zx*G == a1 + e*server_pk.
+  if (!(Point::BaseMul(proof.zx) == proof.a1 + server_pk.Mul(e))) {
+    return false;
+  }
+  // Relation 2: zr*G == a2 + e*(out.r - in.r).
+  Point dr = output.r - in.r;
+  if (!(Point::BaseMul(proof.zr) == proof.a2 + dr.Mul(e))) {
+    return false;
+  }
+  // Relation 3: -zx*Y (+ zr*next_pk) == a3 + e*(out.c - in.c).
+  Point lhs = in.y.Mul(proof.zx).Neg();
+  if (next_pk != nullptr) {
+    lhs = lhs + next_pk->Mul(proof.zr);
+  }
+  Point dc = output.c - in.c;
+  return lhs == proof.a3 + dc.Mul(e);
+}
+
+}  // namespace atom

@@ -1,0 +1,65 @@
+#include "src/crypto/threshold.h"
+
+#include <algorithm>
+
+namespace atom {
+
+Scalar WeightedShare(const DkgServerKey& key,
+                     std::span<const uint32_t> subset) {
+  ATOM_CHECK(std::find(subset.begin(), subset.end(), key.index) !=
+             subset.end());
+  return LagrangeCoefficient(subset, key.index) * key.share;
+}
+
+Point WeightedSharePublic(const DkgPublic& pub, uint32_t index,
+                          std::span<const uint32_t> subset) {
+  ATOM_CHECK(index >= 1 && index <= pub.share_pks.size());
+  return pub.share_pks[index - 1].Mul(LagrangeCoefficient(subset, index));
+}
+
+std::optional<Point> ThresholdDecrypt(const DkgPublic& pub,
+                                      std::span<const DkgServerKey> keys,
+                                      std::span<const uint32_t> subset,
+                                      const ElGamalCiphertext& ct) {
+  if (subset.size() != pub.params.threshold || !ct.YIsNull()) {
+    return std::nullopt;
+  }
+  // Strip with each participant's weighted share, order-independent; the
+  // driver Rng is unused on the pure-decrypt path.
+  Rng unused(uint64_t{0});
+  ElGamalCiphertext cur = ct;
+  for (uint32_t idx : subset) {
+    ATOM_CHECK(idx >= 1 && idx <= keys.size());
+    Scalar w = WeightedShare(keys[idx - 1], subset);
+    cur = ElGamalReEnc(w, nullptr, cur, unused);
+  }
+  cur = ElGamalFinalizeHop(cur);
+  return ElGamalDecrypt(Scalar::Zero(), cur);
+}
+
+BuddyEscrow EscrowShare(const DkgServerKey& key, size_t buddy_group_size,
+                        size_t threshold, Rng& rng) {
+  BuddyEscrow escrow;
+  escrow.owner_index = key.index;
+  escrow.threshold = threshold;
+  escrow.sub_shares = ShamirShare(key.share, threshold, buddy_group_size, rng);
+  return escrow;
+}
+
+std::optional<DkgServerKey> RecoverShare(const DkgPublic& pub,
+                                         uint32_t owner_index,
+                                         std::span<const Share> sub_shares,
+                                         size_t threshold) {
+  auto share = ShamirReconstruct(sub_shares, threshold);
+  if (!share.has_value()) {
+    return std::nullopt;
+  }
+  // Check against the public verification key X_i from the DKG transcript.
+  if (owner_index == 0 || owner_index > pub.share_pks.size() ||
+      !(Point::BaseMul(*share) == pub.share_pks[owner_index - 1])) {
+    return std::nullopt;
+  }
+  return DkgServerKey{owner_index, *share};
+}
+
+}  // namespace atom

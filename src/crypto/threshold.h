@@ -1,0 +1,64 @@
+// Threshold ElGamal on top of the DKG: any `threshold` of a group's k
+// servers can jointly perform the out-of-order decrypt-and-reencrypt step
+// (or final decryption) under the group key, by using Lagrange-weighted
+// shares in the ordinary ReEnc operation. This is Atom's "many-trust"
+// mechanism (§4.5): with at least h honest servers per group and threshold
+// k-(h-1), any participating subset contains an honest server, and up to
+// h-1 servers may fail without stalling the group.
+//
+// Buddy-group escrow (§4.5): each server Shamir-shares its own key share
+// with a buddy group so that a replacement group can reconstruct it after a
+// catastrophic failure.
+#ifndef SRC_CRYPTO_THRESHOLD_H_
+#define SRC_CRYPTO_THRESHOLD_H_
+
+#include <vector>
+
+#include "src/crypto/dkg.h"
+#include "src/crypto/elgamal.h"
+
+namespace atom {
+
+// The Lagrange-weighted share w_i = λ_i^S · x_i for server i participating
+// in subset S. Passing w_i as the "secret key" to ElGamalReEnc makes the
+// subset's combined strips equal one strip under the group secret.
+Scalar WeightedShare(const DkgServerKey& key,
+                     std::span<const uint32_t> subset);
+
+// The matching public key W_i = λ_i^S · X_i against which this server's
+// ReEncProof verifies. Computable by anyone from the DKG public output.
+Point WeightedSharePublic(const DkgPublic& pub, uint32_t index,
+                          std::span<const uint32_t> subset);
+
+// Full threshold decryption of a ciphertext (Y = ⊥) by subset S: every
+// participant strips with its weighted share, in any order.
+std::optional<Point> ThresholdDecrypt(const DkgPublic& pub,
+                                      std::span<const DkgServerKey> keys,
+                                      std::span<const uint32_t> subset,
+                                      const ElGamalCiphertext& ct);
+
+// --------------------------------------------------------- buddy escrow --
+
+// One server's escrow of its DKG share with a buddy group of size n and
+// reconstruction threshold t (paper: an anytrust buddy group, t chosen so
+// an honest quorum can reconstruct).
+struct BuddyEscrow {
+  uint32_t owner_index = 0;          // whose share is escrowed
+  std::vector<Share> sub_shares;     // sub_shares[j] held by buddy j+1
+  size_t threshold = 0;
+};
+
+BuddyEscrow EscrowShare(const DkgServerKey& key, size_t buddy_group_size,
+                        size_t threshold, Rng& rng);
+
+// Reconstructs the lost server's share from any `threshold` sub-shares and
+// verifies it against the DKG public output. Returns nullopt if the
+// sub-shares are inconsistent or fail verification.
+std::optional<DkgServerKey> RecoverShare(const DkgPublic& pub,
+                                         uint32_t owner_index,
+                                         std::span<const Share> sub_shares,
+                                         size_t threshold);
+
+}  // namespace atom
+
+#endif  // SRC_CRYPTO_THRESHOLD_H_

@@ -1,0 +1,38 @@
+#include "src/sim/des.h"
+
+#include <algorithm>
+
+namespace atom {
+
+void EventQueue::Schedule(double time, Callback cb) {
+  ATOM_CHECK(time >= now_);
+  queue_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::Run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the callback after popping the ordering fields.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+  }
+}
+
+SimHost::SimHost(EventQueue* queue, size_t cores) : queue_(queue) {
+  ATOM_CHECK(cores >= 1);
+  core_free_.assign(cores, 0.0);
+}
+
+void SimHost::Submit(double duration, std::function<void(double)> done) {
+  // Earliest-available core; work cannot start before the current time.
+  auto it = std::min_element(core_free_.begin(), core_free_.end());
+  double start = std::max(*it, queue_->now());
+  double finish = start + duration;
+  *it = finish;
+  busy_ += duration;
+  queue_->Schedule(finish, [finish, done = std::move(done)] { done(finish); });
+}
+
+}  // namespace atom

@@ -1,0 +1,66 @@
+// A small discrete-event simulation engine: an event queue plus
+// core-constrained hosts. Used to simulate server utilization across
+// overlapping group chains (the §4.7 staggering experiment) and to
+// cross-validate the analytic layer model in src/sim/netsim.h.
+#ifndef SRC_SIM_DES_H_
+#define SRC_SIM_DES_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace atom {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute simulation time `time` (>= now()).
+  void Schedule(double time, Callback cb);
+
+  // Processes events in time order until none remain.
+  void Run();
+
+  double now() const { return now_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;  // FIFO tie-break for simultaneous events
+    Callback cb;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+// A host with a fixed number of cores. Jobs are single-core work slices;
+// each occupies the earliest-available core for its duration (FIFO in
+// submission order). Tracks busy core-seconds for utilization accounting.
+class SimHost {
+ public:
+  SimHost(EventQueue* queue, size_t cores);
+
+  // Submits `duration` seconds of single-core work starting no earlier than
+  // now(); `done` fires (as an event) at the finish time.
+  void Submit(double duration, std::function<void(double)> done);
+
+  double busy_core_seconds() const { return busy_; }
+  size_t cores() const { return core_free_.size(); }
+
+ private:
+  EventQueue* queue_;
+  std::vector<double> core_free_;  // earliest next-free time per core
+  double busy_ = 0;
+};
+
+}  // namespace atom
+
+#endif  // SRC_SIM_DES_H_

@@ -1,0 +1,64 @@
+#include "src/sim/groupsim.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace atom {
+namespace {
+
+// Amdahl-adjusted wall time for `work` core-seconds with a parallel
+// fraction. One mixing step runs on a single server.
+double WallTime(double work, double parallel_fraction, size_t cores) {
+  double par = work * parallel_fraction / static_cast<double>(cores);
+  double seq = work * (1.0 - parallel_fraction);
+  return par + seq;
+}
+
+}  // namespace
+
+GroupHopEstimate EstimateGroupHop(const GroupSimConfig& config,
+                                  const CostModel& costs) {
+  ATOM_CHECK(config.threshold >= 1 && config.threshold <= config.group_size);
+  const double n = static_cast<double>(config.messages);
+  const double l = static_cast<double>(config.components);
+  const double elements = n * l;
+  const bool nizk = config.variant == Variant::kNizk;
+  const double parallel_fraction =
+      nizk ? costs.nizk_parallel_fraction : costs.trap_parallel_fraction;
+
+  GroupHopEstimate est;
+
+  // Per-step compute (one server's turn in the chain).
+  double shuffle_work = elements * costs.shuffle_per_msg;
+  double reenc_work = elements * costs.reenc;
+  if (nizk) {
+    // The shuffling server also produces the proof; the (honest) verifiers
+    // run concurrently with each other but extend the critical path by one
+    // verification before the next server may proceed (Algorithm 2).
+    shuffle_work += elements * costs.shuf_prove_per_msg +
+                    elements * costs.shuf_verify_per_msg;
+    reenc_work += elements * (costs.reenc_prove + costs.reenc_verify);
+  }
+  double step_compute =
+      WallTime(shuffle_work, parallel_fraction, config.cores_per_server) +
+      WallTime(reenc_work, parallel_fraction, config.cores_per_server);
+  est.compute_seconds = step_compute * static_cast<double>(config.threshold);
+
+  // Network: the batch crosses threshold-1 intra-group links in each of the
+  // two phases (shuffle chain, reenc chain); NIZK proof broadcasts ride the
+  // same links. One transfer = serialization + one-way latency.
+  double bytes_per_transfer = elements * kCiphertextBytes;
+  if (nizk) {
+    bytes_per_transfer += elements * kNizkProofBytesPerComponent;
+  }
+  double transfer =
+      bytes_per_transfer / config.bandwidth_bps + config.hop_latency_seconds;
+  est.network_seconds =
+      2.0 * static_cast<double>(config.threshold - 1) * transfer;
+
+  est.total_seconds = est.compute_seconds + est.network_seconds;
+  return est;
+}
+
+}  // namespace atom

@@ -1,0 +1,46 @@
+// Timeline model of ONE anytrust group's mixing iteration (paper §6.1,
+// Figs. 5-7): the serial chain of threshold servers shuffling and
+// reencrypting a batch, including proof generation/verification in the NIZK
+// variant, WAN hops between chain positions, and per-server core counts.
+//
+// The model is an op-count decomposition over the calibrated CostModel, so
+// its absolute numbers track this machine's real crypto; tests cross-check
+// it against actual GroupRuntime::RunHop executions.
+#ifndef SRC_SIM_GROUPSIM_H_
+#define SRC_SIM_GROUPSIM_H_
+
+#include "src/core/params.h"
+#include "src/sim/costmodel.h"
+
+namespace atom {
+
+struct GroupSimConfig {
+  size_t group_size = 32;   // k
+  size_t threshold = 32;    // participating servers (k - (h-1))
+  size_t messages = 1024;   // batch size N (the trap variant's doubling is
+                            // the caller's responsibility)
+  size_t components = 1;    // points per message L
+  Variant variant = Variant::kTrap;
+  size_t cores_per_server = 4;
+  double hop_latency_seconds = 0.1;    // one-way server-to-server WAN
+  double bandwidth_bps = 100e6;
+};
+
+struct GroupHopEstimate {
+  double total_seconds = 0;
+  double compute_seconds = 0;  // critical-path crypto time
+  double network_seconds = 0;  // latency + transfer time in the chain
+};
+
+GroupHopEstimate EstimateGroupHop(const GroupSimConfig& config,
+                                  const CostModel& costs);
+
+// Wire size of one ciphertext component (three encoded points).
+inline constexpr double kCiphertextBytes = 99.0;
+// Approximate per-component proof bytes in the NIZK variant (shuffle proof
+// amortized: ~5 points + 3 scalars per element, plus ReEnc proofs).
+inline constexpr double kNizkProofBytesPerComponent = 550.0;
+
+}  // namespace atom
+
+#endif  // SRC_SIM_GROUPSIM_H_

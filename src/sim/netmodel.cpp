@@ -1,0 +1,63 @@
+#include "src/sim/netmodel.h"
+
+#include "src/util/check.h"
+
+namespace atom {
+
+NetworkModel::NetworkModel(std::vector<HostSpec> hosts, size_t num_clusters)
+    : hosts_(std::move(hosts)), num_clusters_(num_clusters) {
+  ATOM_CHECK(!hosts_.empty() && num_clusters_ >= 1);
+}
+
+NetworkModel NetworkModel::TorLike(size_t n, Rng& rng, size_t num_clusters) {
+  std::vector<HostSpec> hosts;
+  hosts.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    HostSpec spec;
+    uint64_t roll = rng.NextBelow(100);
+    if (roll < 80) {
+      spec.cores = 4;
+      spec.bandwidth_bps = 50e6 + static_cast<double>(rng.NextBelow(50)) * 1e6;
+    } else if (roll < 90) {
+      spec.cores = 8;
+      spec.bandwidth_bps = 100e6 + static_cast<double>(rng.NextBelow(100)) * 1e6;
+    } else if (roll < 95) {
+      spec.cores = 16;
+      spec.bandwidth_bps = 200e6 + static_cast<double>(rng.NextBelow(100)) * 1e6;
+    } else {
+      spec.cores = 32;
+      spec.bandwidth_bps = 300e6 + static_cast<double>(rng.NextBelow(200)) * 1e6;
+    }
+    spec.cluster = static_cast<uint32_t>(rng.NextBelow(num_clusters));
+    hosts.push_back(spec);
+  }
+  return NetworkModel(std::move(hosts), num_clusters);
+}
+
+NetworkModel NetworkModel::Uniform(size_t n, uint32_t cores,
+                                   double bandwidth_bps) {
+  std::vector<HostSpec> hosts(n, HostSpec{cores, bandwidth_bps, 0});
+  return NetworkModel(std::move(hosts), 1);
+}
+
+double NetworkModel::LatencySeconds(uint32_t a, uint32_t b) const {
+  ATOM_CHECK(a < hosts_.size() && b < hosts_.size());
+  uint32_t ca = hosts_[a].cluster, cb = hosts_[b].cluster;
+  if (ca == cb) {
+    return 0.040;
+  }
+  // Deterministic 80-160 ms spread over cluster pairs.
+  uint32_t lo = std::min(ca, cb), hi = std::max(ca, cb);
+  uint32_t mix = (lo * 2654435761u + hi * 40503u) >> 16;
+  return 0.080 + static_cast<double>(mix % 81) * 0.001;
+}
+
+double NetworkModel::TotalCores() const {
+  double total = 0;
+  for (const HostSpec& h : hosts_) {
+    total += h.cores;
+  }
+  return total;
+}
+
+}  // namespace atom

@@ -1,0 +1,55 @@
+// Network and host model for the evaluation harness (§6 experimental setup).
+//
+// The paper ran on 1,024 heterogeneous EC2 machines — 80% 4-core, 10%
+// 8-core, 5% 16-core, 5% 32-core — with a Tor-metrics-derived bandwidth
+// distribution (80% <100 Mbps, 10% 100-200, 5% 200-300, 5% >300) and
+// tc-injected pairwise latencies of 40 ms within a cluster and 80-160 ms
+// across clusters (Fig. 8). TorLike() reproduces that distribution.
+#ifndef SRC_SIM_NETMODEL_H_
+#define SRC_SIM_NETMODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace atom {
+
+struct HostSpec {
+  uint32_t cores = 4;
+  double bandwidth_bps = 100e6;
+  uint32_t cluster = 0;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(std::vector<HostSpec> hosts, size_t num_clusters);
+
+  // The paper's heterogeneous testbed distribution over n hosts.
+  static NetworkModel TorLike(size_t n, Rng& rng, size_t num_clusters = 4);
+
+  // A homogeneous network (for ablations).
+  static NetworkModel Uniform(size_t n, uint32_t cores, double bandwidth_bps);
+
+  size_t size() const { return hosts_.size(); }
+  const HostSpec& host(uint32_t i) const { return hosts_[i]; }
+  const std::vector<HostSpec>& hosts() const { return hosts_; }
+
+  // One-way latency between two hosts: 40 ms intra-cluster, 80-160 ms
+  // inter-cluster (deterministic in the cluster pair).
+  double LatencySeconds(uint32_t a, uint32_t b) const;
+
+  // Worst-case one-way latency in the network.
+  double MaxLatencySeconds() const { return 0.160; }
+
+  // Aggregate compute capacity in core-units.
+  double TotalCores() const;
+
+ private:
+  std::vector<HostSpec> hosts_;
+  size_t num_clusters_;
+};
+
+}  // namespace atom
+
+#endif  // SRC_SIM_NETMODEL_H_

@@ -1,0 +1,175 @@
+#include "src/sim/netsim.h"
+
+#include <algorithm>
+
+#include "src/sim/groupsim.h"
+#include "src/topology/groups.h"
+#include "src/util/check.h"
+
+namespace atom {
+namespace {
+
+double WallTime(double work, double parallel_fraction, size_t cores) {
+  return work * parallel_fraction / static_cast<double>(cores) +
+         work * (1.0 - parallel_fraction);
+}
+
+}  // namespace
+
+RoundEstimate EstimateRound(const NetSimConfig& config,
+                            const NetworkModel& net, const CostModel& costs) {
+  const AtomParams& p = config.params;
+  ATOM_CHECK(p.num_groups >= 1 && p.group_size >= 1);
+  const bool nizk = p.variant == Variant::kNizk;
+  const double parallel_fraction =
+      nizk ? costs.nizk_parallel_fraction : costs.trap_parallel_fraction;
+
+  // Messages inside the mixnet: traps double the load in the trap variant.
+  const double logical =
+      static_cast<double>(config.total_messages + config.dummy_messages);
+  const double in_network = logical * (nizk ? 1.0 : 2.0);
+  const double per_group = in_network / static_cast<double>(p.num_groups);
+  const double elements = per_group * static_cast<double>(config.components);
+
+  // Assign groups to hosts exactly as the protocol would.
+  Bytes beacon = ToBytes("netsim-beacon");
+  GroupLayout layout = FormGroups(net.size(), p.num_groups, p.group_size,
+                                  BytesView(beacon));
+
+  RoundEstimate est;
+
+  // ---- Entry phase: every entry-group server verifies its users' proofs
+  // (all k servers verify in parallel, each checks all of its group's
+  // submissions), plus one client upload of WAN latency.
+  {
+    double verify_work =
+        elements * costs.enc_verify;  // per server, per component set
+    double slowest = 0;
+    for (const auto& members : layout.groups) {
+      for (uint32_t host_id : members) {
+        slowest = std::max(
+            slowest, WallTime(verify_work, 0.97, net.host(host_id).cores));
+      }
+    }
+    est.entry_seconds = slowest + net.MaxLatencySeconds();
+  }
+
+  // ---- Mixing: T layers.
+  const double total_cores = net.TotalCores();
+  double mixing = 0;
+  double per_layer_chain_max = 0;
+  for (size_t layer = 0; layer < p.iterations; layer++) {
+    // Per-group serial chain on real member hosts.
+    double chain_max = 0;
+    double total_work = 0;
+    for (const auto& members : layout.groups) {
+      double chain = 0;
+      size_t steps = std::min<size_t>(p.Threshold(), members.size());
+      for (size_t s = 0; s < steps; s++) {
+        const HostSpec& host = net.host(members[s]);
+        double shuffle_work = elements * costs.shuffle_per_msg;
+        double reenc_work = elements * costs.reenc;
+        if (nizk) {
+          shuffle_work += elements * (costs.shuf_prove_per_msg +
+                                      costs.shuf_verify_per_msg);
+          reenc_work += elements * (costs.reenc_prove + costs.reenc_verify);
+        }
+        double step_work = shuffle_work + reenc_work;
+        chain += WallTime(step_work, parallel_fraction, host.cores);
+        total_work += step_work;
+
+        // Intra-group hand-off to the next chain position.
+        if (s + 1 < steps) {
+          uint32_t next_host = members[s + 1];
+          double bytes = elements * kCiphertextBytes;
+          if (nizk) {
+            bytes += elements * kNizkProofBytesPerComponent;
+          }
+          chain += bytes / net.host(members[s]).bandwidth_bps +
+                   net.LatencySeconds(members[s], next_host);
+        }
+      }
+      chain_max = std::max(chain_max, chain);
+    }
+
+    // Wall clock for the layer: slowest chain vs. the contention floor
+    // (every server serves in ~k·G/N groups; staggering keeps them busy, so
+    // aggregate throughput is the binding constraint at high load).
+    double throughput_floor = total_work / total_cores;
+    double layer_wall = std::max(chain_max, throughput_floor);
+    per_layer_chain_max = std::max(per_layer_chain_max, layer_wall);
+
+    // Inter-layer barrier: each group's last server opens β connections and
+    // ships 1/β of its batch over each; the next layer starts when the
+    // slowest input arrives. The β·G flows of the boundary each cost
+    // per_connection_seconds of management (the G² term of §6.2).
+    double beta = static_cast<double>(p.num_groups);  // square network
+    double out_bytes = elements * kCiphertextBytes;
+    double min_bw = 1e18;
+    for (const auto& members : layout.groups) {
+      min_bw = std::min(min_bw, net.host(members.back()).bandwidth_bps);
+    }
+    double barrier = net.MaxLatencySeconds() + out_bytes / min_bw +
+                     beta * static_cast<double>(p.num_groups) *
+                         config.per_connection_seconds;
+    mixing += layer_wall + barrier;
+    est.max_chain_seconds = std::max(est.max_chain_seconds, chain_max);
+    est.layer_work_core_seconds =
+        std::max(est.layer_work_core_seconds, total_work);
+    est.barrier_seconds = std::max(est.barrier_seconds, barrier);
+  }
+  est.mixing_seconds = mixing;
+  est.avg_layer_seconds = mixing / static_cast<double>(p.iterations);
+
+  // ---- Exit phase.
+  if (nizk) {
+    est.exit_seconds = net.MaxLatencySeconds();  // publish plaintexts
+  } else {
+    // Sort traps/inners (hashing, negligible), report to trustees, release
+    // key, decrypt inner ciphertexts. The trustee group terminates G·k
+    // report connections, spread across its k members.
+    double report_conns = static_cast<double>(p.num_groups) *
+                          static_cast<double>(p.group_size) /
+                          static_cast<double>(p.group_size);
+    double trustee_time = report_conns * config.trustee_conn_seconds;
+    double inner_per_group =
+        static_cast<double>(config.total_messages + config.dummy_messages) /
+        static_cast<double>(p.num_groups);
+    double decrypt = WallTime(inner_per_group * costs.kem_decrypt, 0.97, 4);
+    est.exit_seconds = trustee_time + decrypt + 2 * net.MaxLatencySeconds();
+  }
+
+  est.total_seconds = est.entry_seconds + est.mixing_seconds +
+                      est.exit_seconds;
+
+  // Peak per-server bandwidth: one batch in + one batch out per chain slot.
+  double batch_bytes = elements * kCiphertextBytes;
+  est.per_server_bytes_per_second =
+      per_layer_chain_max > 0 ? 2.0 * batch_bytes / per_layer_chain_max : 0;
+  return est;
+}
+
+PipelineEstimate EstimatePipelined(const NetSimConfig& config,
+                                   const NetworkModel& net,
+                                   const CostModel& costs) {
+  RoundEstimate round = EstimateRound(config, net, costs);
+  const double layers = static_cast<double>(config.params.iterations);
+
+  PipelineEstimate est;
+  // With servers partitioned across layers, each layer owns 1/T of the
+  // aggregate cores, so the contention floor rises by T; the critical chain
+  // and barrier are per-layer properties and do not change.
+  double throughput_floor =
+      layers * round.layer_work_core_seconds / net.TotalCores();
+  est.beat_seconds = std::max(round.max_chain_seconds, throughput_floor) +
+                     round.barrier_seconds;
+  est.latency_seconds = round.entry_seconds + layers * est.beat_seconds +
+                        round.exit_seconds;
+  double logical = static_cast<double>(config.total_messages +
+                                       config.dummy_messages);
+  est.throughput_msgs_per_second =
+      est.beat_seconds > 0 ? logical / est.beat_seconds : 0;
+  return est;
+}
+
+}  // namespace atom

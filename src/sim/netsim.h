@@ -1,0 +1,72 @@
+// Full-network round estimator (§6.2): the substitute for the paper's
+// 1,024-machine EC2 deployment, and the engine behind Figs. 9-11 and
+// Table 12's Atom rows.
+//
+// The estimator replays the Round control flow against the calibrated cost
+// model and the heterogeneous network model: per layer, every group's
+// serial server chain is timed on the actual member hosts (drawn from the
+// same FormGroups used by the real protocol), the layer wall-clock is the
+// maximum of the slowest group chain and the network-wide throughput bound
+// (total core-seconds / total cores — the contention floor from servers
+// serving ~k groups each), plus the inter-layer barrier (latency, transfer,
+// and per-connection management overhead — the G² connection term that
+// bends Fig. 11 sub-linear).
+#ifndef SRC_SIM_NETSIM_H_
+#define SRC_SIM_NETSIM_H_
+
+#include "src/core/params.h"
+#include "src/sim/costmodel.h"
+#include "src/sim/netmodel.h"
+
+namespace atom {
+
+struct NetSimConfig {
+  AtomParams params;
+  size_t total_messages = 0;  // application messages M
+  size_t components = 1;      // points per message L
+  size_t dummy_messages = 0;  // differential-privacy dummies (dialing)
+
+  // Connection-management overhead per inter-layer FLOW (TLS record/session
+  // bookkeeping, socket churn). The square network creates β·G = G² flows
+  // per layer boundary, so this term is negligible at G ≈ 2^10 (~1 s/layer)
+  // but costs ~20 min/layer at G = 2^15 — reproducing the sub-linearity the
+  // paper observed ("the number of connections became unmanageable", §6.2).
+  double per_connection_seconds = 1.2e-6;
+  double trustee_conn_seconds = 1.5e-3;
+};
+
+struct RoundEstimate {
+  double total_seconds = 0;
+  double entry_seconds = 0;
+  double mixing_seconds = 0;
+  double exit_seconds = 0;
+  double avg_layer_seconds = 0;
+  // Per-layer profile (worst layer), for the pipelining estimator.
+  double max_chain_seconds = 0;        // slowest group chain
+  double layer_work_core_seconds = 0;  // total crypto work in one layer
+  double barrier_seconds = 0;          // inter-layer transfer + connections
+  // Peak per-server bandwidth demand (bytes/sec) during mixing, for the §7
+  // deployment-cost discussion.
+  double per_server_bytes_per_second = 0;
+};
+
+RoundEstimate EstimateRound(const NetSimConfig& config,
+                            const NetworkModel& net, const CostModel& costs);
+
+// §4.7 pipelining: disjoint server sets per layer, a new batch admitted
+// every "beat". Latency for one batch is unchanged (plus pipeline fill);
+// throughput becomes one full batch per beat instead of per round. Each
+// layer only has 1/T of the servers, so the throughput floor rises by T.
+struct PipelineEstimate {
+  double beat_seconds = 0;        // time between consecutive batch outputs
+  double latency_seconds = 0;     // end-to-end for one batch
+  double throughput_msgs_per_second = 0;
+};
+
+PipelineEstimate EstimatePipelined(const NetSimConfig& config,
+                                   const NetworkModel& net,
+                                   const CostModel& costs);
+
+}  // namespace atom
+
+#endif  // SRC_SIM_NETSIM_H_

@@ -1,0 +1,97 @@
+#include "src/sim/stagger.h"
+
+#include <memory>
+
+#include "src/sim/des.h"
+#include "src/util/check.h"
+
+namespace atom {
+
+LayerSimResult SimulateLayer(const LayerSimConfig& config,
+                             const NetworkModel& net) {
+  ATOM_CHECK(!config.groups.empty());
+  EventQueue queue;
+  std::vector<std::unique_ptr<SimHost>> hosts;
+  hosts.reserve(net.size());
+  for (size_t h = 0; h < net.size(); h++) {
+    hosts.push_back(std::make_unique<SimHost>(&queue, net.host(
+        static_cast<uint32_t>(h)).cores));
+  }
+
+  double makespan = 0;
+
+  // Recursive chain scheduler: step j of group g runs when step j-1's
+  // output has crossed the link.
+  std::function<void(size_t, size_t, double)> schedule_step =
+      [&](size_t g, size_t j, double ready) {
+        const auto& members = config.groups[g];
+        queue.Schedule(ready, [&, g, j] {
+          hosts[members[j]]->Submit(
+              config.step_seconds, [&, g, j](double finish) {
+                const auto& chain = config.groups[g];
+                if (j + 1 < chain.size()) {
+                  double latency = net.LatencySeconds(
+                      chain[j], chain[j + 1]);
+                  schedule_step(g, j + 1, finish + latency);
+                } else {
+                  makespan = std::max(makespan, finish);
+                }
+              });
+        });
+      };
+
+  for (size_t g = 0; g < config.groups.size(); g++) {
+    schedule_step(g, 0, 0.0);
+  }
+  queue.Run();
+
+  double busy = 0, capacity = 0;
+  for (const auto& host : hosts) {
+    busy += host->busy_core_seconds();
+    capacity += static_cast<double>(host->cores()) * makespan;
+  }
+  LayerSimResult result;
+  result.makespan_seconds = makespan;
+  result.utilization = capacity > 0 ? busy / capacity : 0;
+  return result;
+}
+
+std::vector<std::vector<uint32_t>> AlignedLayout(size_t num_servers,
+                                                 size_t group_size) {
+  ATOM_CHECK(group_size <= num_servers);
+  ATOM_CHECK(num_servers % group_size == 0);
+  // The §4.7 pathology: partition servers into position classes so that
+  // every server occupies the SAME chain position in every group it joins
+  // (server k·q + j always sits at position j). Only N/k distinct servers
+  // can ever be "first", so every chain queues behind them while the rest
+  // of the network idles.
+  const size_t classes = num_servers / group_size;
+  std::vector<std::vector<uint32_t>> groups(num_servers);
+  for (size_t g = 0; g < num_servers; g++) {
+    for (size_t j = 0; j < group_size; j++) {
+      size_t q = (g + j * 7 + 1) % classes;  // spread membership across classes
+      groups[g].push_back(static_cast<uint32_t>(group_size * q + j));
+    }
+  }
+  return groups;
+}
+
+std::vector<std::vector<uint32_t>> StaggeredLayout(size_t num_servers,
+                                                   size_t group_size) {
+  // Same membership as AlignedLayout, with each group's order rotated
+  // (§4.7) so a server's chain positions differ across its groups. A
+  // server's groups all share g mod classes, so rotating by g/classes walks
+  // each server through every chain position exactly once — one unit of
+  // work per wave, the paper's "every server active as much as possible".
+  auto groups = AlignedLayout(num_servers, group_size);
+  const size_t classes = num_servers / group_size;
+  for (size_t g = 0; g < groups.size(); g++) {
+    std::rotate(groups[g].begin(),
+                groups[g].begin() +
+                    static_cast<ptrdiff_t>((g / classes) % group_size),
+                groups[g].end());
+  }
+  return groups;
+}
+
+}  // namespace atom

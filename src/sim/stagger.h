@@ -1,0 +1,47 @@
+// §4.7 server-utilization simulation: many group chains sharing the same
+// physical servers, executed on the discrete-event engine.
+//
+// Every group is a serial chain of k steps; step j of group g runs on the
+// host at position j of that group's member list, and a host with c cores
+// runs at most c steps at once. When a server occupies the SAME chain
+// position in all its groups, all of its work lands in the same time slice
+// and the network idles around it; staggering the positions (the paper's
+// fix) spreads the load and raises utilization.
+#ifndef SRC_SIM_STAGGER_H_
+#define SRC_SIM_STAGGER_H_
+
+#include <vector>
+
+#include "src/sim/costmodel.h"
+#include "src/sim/netmodel.h"
+
+namespace atom {
+
+struct LayerSimConfig {
+  // groups[g] = ordered host ids forming group g's chain.
+  std::vector<std::vector<uint32_t>> groups;
+  double step_seconds = 1.0;     // single-core work per chain step
+  double hop_latency_seconds = 0.1;  // link latency between chain positions
+};
+
+struct LayerSimResult {
+  double makespan_seconds = 0;   // all groups finished one iteration
+  double utilization = 0;        // busy core-seconds / (makespan * cores)
+};
+
+// Simulates one mixing iteration of every group on the shared hosts.
+LayerSimResult SimulateLayer(const LayerSimConfig& config,
+                             const NetworkModel& net);
+
+// Builds an adversarially aligned layout (every server at the same chain
+// position in each of its groups) and its staggered counterpart, for the
+// §4.7 comparison. `groups_per_server` controls how many chains share a
+// host.
+std::vector<std::vector<uint32_t>> AlignedLayout(size_t num_servers,
+                                                 size_t group_size);
+std::vector<std::vector<uint32_t>> StaggeredLayout(size_t num_servers,
+                                                   size_t group_size);
+
+}  // namespace atom
+
+#endif  // SRC_SIM_STAGGER_H_

@@ -1,0 +1,97 @@
+#include "src/topology/groups.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/crypto/sha256.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+// log2 of the binomial coefficient C(k, i) via lgamma.
+double Log2Choose(size_t k, size_t i) {
+  return (std::lgamma(static_cast<double>(k) + 1) -
+          std::lgamma(static_cast<double>(i) + 1) -
+          std::lgamma(static_cast<double>(k - i) + 1)) /
+         std::log(2.0);
+}
+
+}  // namespace
+
+double Log2ProbGroupBad(size_t k, double f, size_t h) {
+  ATOM_CHECK(k >= 1 && h >= 1 && h <= k);
+  ATOM_CHECK(f > 0.0 && f < 1.0);
+  // Sum the h binomial tail terms in log space with the max factored out.
+  double log2f = std::log2(f);
+  double log2g = std::log2(1.0 - f);
+  double max_term = -1e300;
+  std::vector<double> terms;
+  terms.reserve(h);
+  for (size_t i = 0; i < h; i++) {
+    double t = Log2Choose(k, i) + static_cast<double>(i) * log2g +
+               static_cast<double>(k - i) * log2f;
+    terms.push_back(t);
+    max_term = std::max(max_term, t);
+  }
+  double sum = 0.0;
+  for (double t : terms) {
+    sum += std::exp2(t - max_term);
+  }
+  return max_term + std::log2(sum);
+}
+
+size_t MinGroupSize(double f, size_t num_groups, size_t h,
+                    double log2_target) {
+  double log2_groups = std::log2(static_cast<double>(num_groups));
+  for (size_t k = h;; k++) {
+    if (Log2ProbGroupBad(k, f, h) + log2_groups < log2_target) {
+      return k;
+    }
+    ATOM_CHECK_MSG(k < 100000, "group size diverged");
+  }
+}
+
+GroupLayout FormGroups(size_t num_servers, size_t num_groups, size_t k,
+                       BytesView beacon) {
+  ATOM_CHECK(k >= 1 && k <= num_servers);
+  GroupLayout layout;
+  layout.group_size = k;
+  layout.groups.reserve(num_groups);
+
+  for (size_t g = 0; g < num_groups; g++) {
+    // Derive a per-group seed from the beacon so group membership is a pure
+    // function of public randomness. Hash down to 32 bytes: Rng keys on at
+    // most 32 seed bytes, so the group index must be folded in by hashing.
+    ByteWriter w;
+    w.Var(beacon);
+    w.Raw(ToBytes("atom/group-formation"));
+    w.U32(static_cast<uint32_t>(g));
+    auto seed = Sha256::Hash(BytesView(w.bytes()));
+    Rng rng{BytesView(seed.data(), seed.size())};
+
+    // Sample k distinct servers (rejection; k << num_servers in practice,
+    // and even k == num_servers terminates).
+    std::vector<uint32_t> members;
+    members.reserve(k);
+    std::vector<bool> used(num_servers, false);
+    while (members.size() < k) {
+      auto s = static_cast<uint32_t>(rng.NextBelow(num_servers));
+      if (!used[s]) {
+        used[s] = true;
+        members.push_back(s);
+      }
+    }
+    // Stagger: rotate the in-group order by the group index, so a server in
+    // many groups sits at different chain positions (§4.7).
+    std::rotate(members.begin(),
+                members.begin() + static_cast<ptrdiff_t>(g % k),
+                members.end());
+    layout.groups.push_back(std::move(members));
+  }
+  return layout;
+}
+
+}  // namespace atom

@@ -1,0 +1,45 @@
+// Anytrust / many-trust group formation (§4.1, §4.5, Appendix B).
+//
+// Groups are sampled from a public unbiased randomness beacon so that no
+// adversary can bias membership. The group size k is chosen so that, with an
+// adversary controlling a fraction f of all servers, the probability that
+// ANY of the G groups contains fewer than h honest servers is below a target
+// (2^-64 in the paper).
+#ifndef SRC_TOPOLOGY_GROUPS_H_
+#define SRC_TOPOLOGY_GROUPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// log2 of the probability that one uniformly sampled group of k servers
+// contains fewer than h honest servers, when a fraction f of servers is
+// malicious:  log2( Σ_{i<h} C(k,i) (1-f)^i f^(k-i) ).
+double Log2ProbGroupBad(size_t k, double f, size_t h);
+
+// Smallest k with G * Pr[group bad] < 2^log2_target (Appendix B; Fig. 13 is
+// this function graphed over h).
+size_t MinGroupSize(double f, size_t num_groups, size_t h,
+                    double log2_target = -64.0);
+
+// A full network's group assignment: `groups[g]` lists the k server ids in
+// group g, in protocol order after staggering (§4.7).
+struct GroupLayout {
+  size_t group_size = 0;
+  std::vector<std::vector<uint32_t>> groups;
+};
+
+// Samples `num_groups` groups of k distinct servers each from `num_servers`
+// using the beacon value as the seed (a server may serve in many groups, as
+// in the paper's 1,024-server/1,024-group deployment). Positions within each
+// group are staggered by group index so that a server appearing in several
+// groups occupies different chain positions and stays busy (§4.7).
+GroupLayout FormGroups(size_t num_servers, size_t num_groups, size_t k,
+                       BytesView beacon);
+
+}  // namespace atom
+
+#endif  // SRC_TOPOLOGY_GROUPS_H_

@@ -1,0 +1,80 @@
+#include "src/topology/mixquality.h"
+
+#include <cmath>
+
+namespace atom {
+
+std::vector<size_t> RoutePositions(const Topology& topo, size_t per_vertex,
+                                   Rng& rng) {
+  const size_t width = topo.Width();
+  const size_t m = width * per_vertex;
+  std::vector<std::vector<size_t>> at(width);
+  for (size_t i = 0; i < m; i++) {
+    at[i / per_vertex].push_back(i);
+  }
+  for (size_t layer = 0; layer < topo.NumLayers(); layer++) {
+    std::vector<std::vector<size_t>> next(width);
+    for (uint32_t v = 0; v < width; v++) {
+      auto& batch = at[v];
+      for (size_t i = batch.size(); i > 1; i--) {
+        std::swap(batch[i - 1], batch[rng.NextBelow(i)]);
+      }
+      auto neighbors = topo.Neighbors(layer, v);
+      for (size_t i = 0; i < batch.size(); i++) {
+        next[neighbors[i % neighbors.size()]].push_back(batch[i]);
+      }
+    }
+    at = std::move(next);
+  }
+  std::vector<size_t> position(m);
+  size_t pos = 0;
+  for (uint32_t v = 0; v < width; v++) {
+    for (size_t id : at[v]) {
+      position[id] = pos++;
+    }
+  }
+  return position;
+}
+
+MixQuality MeasureMixQuality(const Topology& topo, size_t per_vertex,
+                             size_t trials, Rng& rng) {
+  ATOM_CHECK(trials > 0 && per_vertex > 0);
+  const size_t width = topo.Width();
+  std::vector<size_t> marginal(width, 0);
+  std::vector<size_t> joint(width * width, 0);
+
+  for (size_t t = 0; t < trials; t++) {
+    auto pos = RoutePositions(topo, per_vertex, rng);
+    size_t v0 = pos[0] / per_vertex;
+    size_t v1 = pos[1] / per_vertex;
+    marginal[v0]++;
+    joint[v0 * width + v1]++;
+  }
+
+  MixQuality quality;
+  const double n = static_cast<double>(trials);
+  for (size_t v = 0; v < width; v++) {
+    quality.marginal_tv += std::abs(static_cast<double>(marginal[v]) / n -
+                                    1.0 / static_cast<double>(width));
+  }
+  quality.marginal_tv /= 2.0;
+
+  // Ideal joint distribution of two distinct elements' exit vertices, for
+  // per_vertex slots per vertex: same vertex with probability
+  // (per_vertex-1)/(m-1), a specific other vertex with per_vertex/(m-1).
+  const double m = static_cast<double>(width * per_vertex);
+  const double pv = static_cast<double>(per_vertex);
+  for (size_t a = 0; a < width; a++) {
+    for (size_t b = 0; b < width; b++) {
+      double ideal = (a == b) ? (pv - 1.0) / (m - 1.0) / 1.0
+                              : pv / (m - 1.0);
+      ideal /= static_cast<double>(width);  // marginal of element 0
+      quality.joint_tv += std::abs(
+          static_cast<double>(joint[a * width + b]) / n - ideal);
+    }
+  }
+  quality.joint_tv /= 2.0;
+  return quality;
+}
+
+}  // namespace atom

@@ -1,0 +1,41 @@
+// Empirical mixing quality of a permutation topology (§3).
+//
+// The paper relies on Håstad's analysis that the square network yields a
+// near-uniform permutation after T ∈ O(1) iterations (it runs T = 10), and
+// on Czumaj-Vöcking for the butterfly. This module measures the claim
+// directly: it repeatedly routes a batch through the topology with fresh
+// shuffle randomness and estimates how far the induced permutation is from
+// uniform — both for a single tracked element (marginal) and for a pair of
+// elements (joint), since correlations that marginals miss are exactly what
+// weak mixing leaves behind.
+#ifndef SRC_TOPOLOGY_MIXQUALITY_H_
+#define SRC_TOPOLOGY_MIXQUALITY_H_
+
+#include "src/topology/permnet.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+// Routes `per_vertex * Width()` abstract messages through the topology once
+// (shuffle at each vertex, deal round-robin to the neighbours); returns the
+// exit position of each message.
+std::vector<size_t> RoutePositions(const Topology& topo, size_t per_vertex,
+                                   Rng& rng);
+
+struct MixQuality {
+  // Total-variation distance of the tracked element's empirical exit-vertex
+  // distribution from uniform.
+  double marginal_tv = 0;
+  // TV distance of the (element 0, element 1) joint exit-vertex pair
+  // distribution from the ideal (uniform on distinct-slot pairs collapses
+  // to near-independent vertices for per_vertex >= 2).
+  double joint_tv = 0;
+};
+
+// Estimates quality over `trials` independent routings.
+MixQuality MeasureMixQuality(const Topology& topo, size_t per_vertex,
+                             size_t trials, Rng& rng);
+
+}  // namespace atom
+
+#endif  // SRC_TOPOLOGY_MIXQUALITY_H_

@@ -1,0 +1,36 @@
+#include "src/topology/permnet.h"
+
+#include <numeric>
+
+namespace atom {
+
+SquareTopology::SquareTopology(size_t width, size_t iterations)
+    : width_(width), iterations_(iterations) {
+  ATOM_CHECK(width >= 1 && iterations >= 1);
+}
+
+std::vector<uint32_t> SquareTopology::Neighbors(size_t layer,
+                                                uint32_t vertex) const {
+  ATOM_CHECK(layer < iterations_ && vertex < width_);
+  std::vector<uint32_t> out(width_);
+  std::iota(out.begin(), out.end(), 0u);
+  return out;
+}
+
+ButterflyTopology::ButterflyTopology(size_t log2_width, size_t passes)
+    : log2_width_(log2_width), passes_(passes) {
+  ATOM_CHECK(log2_width >= 1 && passes >= 1);
+}
+
+std::vector<uint32_t> ButterflyTopology::Neighbors(size_t layer,
+                                                   uint32_t vertex) const {
+  ATOM_CHECK(layer < NumLayers() && vertex < Width());
+  uint32_t bit = 1u << (layer % log2_width_);
+  return {vertex, vertex ^ bit};
+}
+
+size_t ButterflyPassesFor(size_t log2_width) {
+  return log2_width + 2;
+}
+
+}  // namespace atom

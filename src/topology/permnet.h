@@ -1,0 +1,85 @@
+// Random permutation network topologies (§3).
+//
+// Atom arranges its server groups into a layered graph. Each vertex of layer
+// t shuffles its batch, splits it into β equal sub-batches, and forwards one
+// sub-batch to each of its β neighbours in layer t+1. After T layers of a
+// suitable topology, the induced permutation of all M messages is
+// near-uniform. Two topologies from the paper:
+//
+//  * Square network (Håstad's square-lattice shuffle [40]): G vertices per
+//    layer, complete bipartite between layers (β = G), T ∈ O(1) iterations.
+//    This is the network the paper evaluates (T = 10) — G² links per layer
+//    boundary, which is also the sub-linearity culprit in Fig. 11.
+//  * Iterated butterfly [26]: G = 2^w vertices, β = 2 (identity + XOR of one
+//    bit per stage), repeated for several passes; T ∈ O(log² G).
+#ifndef SRC_TOPOLOGY_PERMNET_H_
+#define SRC_TOPOLOGY_PERMNET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace atom {
+
+// A layered mixing topology. Layer indices run 0..NumLayers()-1; messages
+// enter at layer 0 and exit after layer NumLayers()-1 processes them.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  // Number of mixing iterations T.
+  virtual size_t NumLayers() const = 0;
+  // Vertices (groups) per layer.
+  virtual size_t Width() const = 0;
+  // Branching factor β (number of neighbours of every vertex).
+  virtual size_t Branching() const = 0;
+  // Neighbours of `vertex` in the next layer; size() == Branching().
+  // Undefined for layer == NumLayers()-1 callers should treat the last
+  // layer's output as the exit batch.
+  virtual std::vector<uint32_t> Neighbors(size_t layer,
+                                          uint32_t vertex) const = 0;
+};
+
+// Håstad square network: complete bipartite layers.
+class SquareTopology : public Topology {
+ public:
+  // `width` groups per layer, `iterations` mixing layers (paper uses 10).
+  SquareTopology(size_t width, size_t iterations);
+
+  size_t NumLayers() const override { return iterations_; }
+  size_t Width() const override { return width_; }
+  size_t Branching() const override { return width_; }
+  std::vector<uint32_t> Neighbors(size_t layer,
+                                  uint32_t vertex) const override;
+
+ private:
+  size_t width_;
+  size_t iterations_;
+};
+
+// Iterated butterfly: width must be a power of two; each pass has log2(width)
+// stages; stage s of a pass connects v to {v, v XOR 2^s}.
+class ButterflyTopology : public Topology {
+ public:
+  ButterflyTopology(size_t log2_width, size_t passes);
+
+  size_t NumLayers() const override { return log2_width_ * passes_; }
+  size_t Width() const override { return size_t{1} << log2_width_; }
+  size_t Branching() const override { return 2; }
+  std::vector<uint32_t> Neighbors(size_t layer,
+                                  uint32_t vertex) const override;
+
+ private:
+  size_t log2_width_;
+  size_t passes_;
+};
+
+// Number of passes giving a near-uniform permutation for the iterated
+// butterfly per Czumaj-Vöcking: O(log M); we use ceil(log2(width)) + 2.
+size_t ButterflyPassesFor(size_t log2_width);
+
+}  // namespace atom
+
+#endif  // SRC_TOPOLOGY_PERMNET_H_

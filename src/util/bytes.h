@@ -1,0 +1,53 @@
+// Common byte-buffer aliases and small helpers shared across the codebase.
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace atom {
+
+// Owned byte buffer. All wire formats in this project are vectors of bytes.
+using Bytes = std::vector<uint8_t>;
+
+// Non-owning view over bytes.
+using BytesView = std::span<const uint8_t>;
+
+// Concatenates any number of byte buffers / views into a fresh buffer.
+inline Bytes Concat(std::initializer_list<BytesView> parts) {
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+  }
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+// Makes a Bytes from a string literal / std::string (no NUL terminator).
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Constant-time equality over equal-length buffers; returns false on length
+// mismatch. Used for MAC/commitment comparisons.
+inline bool ConstantTimeEqual(BytesView a, BytesView b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); i++) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace atom
+
+#endif  // SRC_UTIL_BYTES_H_

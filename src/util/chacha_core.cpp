@@ -1,0 +1,67 @@
+#include "src/util/chacha_core.h"
+
+namespace atom {
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl32(d ^ a, 16);
+  c += d;
+  b = Rotl32(b ^ c, 12);
+  a += b;
+  d = Rotl32(d ^ a, 8);
+  c += d;
+  b = Rotl32(b ^ c, 7);
+}
+
+}  // namespace
+
+void ChaCha20Block(const uint8_t key[32], uint32_t counter,
+                   const uint8_t nonce[12], uint8_t out[64]) {
+  // "expand 32-byte k"
+  uint32_t state[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+  for (int i = 0; i < 8; i++) {
+    state[4 + i] = LoadLe32(key + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; i++) {
+    state[13 + i] = LoadLe32(nonce + 4 * i);
+  }
+
+  uint32_t x[16];
+  for (int i = 0; i < 16; i++) {
+    x[i] = state[i];
+  }
+  for (int round = 0; round < 10; round++) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; i++) {
+    StoreLe32(out + 4 * i, x[i] + state[i]);
+  }
+}
+
+}  // namespace atom

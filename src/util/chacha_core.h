@@ -1,0 +1,22 @@
+// ChaCha20 block function (RFC 8439). Lives in util/ so that both the DRBG
+// (src/util/rng.h) and the stream cipher / AEAD (src/crypto/chacha20.h) can
+// share one implementation without a layering inversion.
+#ifndef SRC_UTIL_CHACHA_CORE_H_
+#define SRC_UTIL_CHACHA_CORE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace atom {
+
+// Computes one 64-byte ChaCha20 block.
+//   key:     32 bytes, interpreted as 8 little-endian u32 words.
+//   counter: 32-bit block counter.
+//   nonce:   12 bytes, interpreted as 3 little-endian u32 words.
+// Output: 64 bytes of keystream.
+void ChaCha20Block(const uint8_t key[32], uint32_t counter,
+                   const uint8_t nonce[12], uint8_t out[64]);
+
+}  // namespace atom
+
+#endif  // SRC_UTIL_CHACHA_CORE_H_

@@ -1,0 +1,33 @@
+// Invariant checking. The codebase is exception-free (Google style); fatal
+// violations of internal invariants abort with a diagnostic instead of
+// throwing. Recoverable failures use atom::Result / std::optional.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process when `cond` is false. Always enabled (release builds
+// included): protocol code must never continue past a broken invariant.
+#define ATOM_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "ATOM_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+// Like ATOM_CHECK but with a printf-style message appended.
+#define ATOM_CHECK_MSG(cond, ...)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "ATOM_CHECK failed at %s:%d: %s: ", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::fprintf(stderr, __VA_ARGS__);                                      \
+      std::fprintf(stderr, "\n");                                             \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,21 @@
+// Hexadecimal encoding and decoding for byte buffers.
+#ifndef SRC_UTIL_HEX_H_
+#define SRC_UTIL_HEX_H_
+
+#include <optional>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// Lower-case hex encoding of `data`.
+std::string HexEncode(BytesView data);
+
+// Decodes a hex string (case-insensitive). Returns std::nullopt if `hex` has
+// odd length or contains a non-hex character.
+std::optional<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace atom
+
+#endif  // SRC_UTIL_HEX_H_

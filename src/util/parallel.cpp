@@ -1,0 +1,52 @@
+#include "src/util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace atom {
+
+void ParallelFor(size_t workers, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers <= 1 || n == 1) {
+    for (size_t i = 0; i < n; i++) {
+      fn(i);
+    }
+    return;
+  }
+  if (workers > n) {
+    workers = n;
+  }
+  std::atomic<size_t> next{0};
+  auto body = [&] {
+    // Dynamic scheduling in small chunks: crypto work per item is uniform but
+    // this keeps tail latency low when n is not a multiple of the worker
+    // count.
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 0; w + 1 < workers; w++) {
+    threads.emplace_back(body);
+  }
+  body();
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+size_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace atom

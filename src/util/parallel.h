@@ -1,0 +1,25 @@
+// Data-parallel helper used to parallelize per-ciphertext crypto work
+// (shuffle rerandomization, reencryption, proof batches) across cores.
+//
+// The paper's Figure 7 measures exactly this: how one mixing iteration speeds
+// up with core count. ParallelFor lets benches pin the worker count.
+#ifndef SRC_UTIL_PARALLEL_H_
+#define SRC_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace atom {
+
+// Runs fn(i) for i in [0, n) using up to `workers` threads. With workers <= 1
+// runs inline on the caller's thread. fn must be safe to call concurrently
+// for distinct i. Blocks until all iterations complete.
+void ParallelFor(size_t workers, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+// Number of hardware threads (>= 1).
+size_t HardwareThreads();
+
+}  // namespace atom
+
+#endif  // SRC_UTIL_PARALLEL_H_

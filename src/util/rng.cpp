@@ -1,0 +1,92 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <random>
+
+#include "src/util/chacha_core.h"
+#include "src/util/check.h"
+
+namespace atom {
+
+Rng::Rng(BytesView seed) {
+  // Longer seeds would be silently truncated — callers must hash down first.
+  ATOM_CHECK(seed.size() <= 32);
+  key_.fill(0);
+  std::copy_n(seed.begin(), seed.size(), key_.begin());
+  nonce_.fill(0);
+}
+
+Rng::Rng(uint64_t seed) {
+  key_.fill(0);
+  for (int i = 0; i < 8; i++) {
+    key_[static_cast<size_t>(i)] = static_cast<uint8_t>(seed >> (8 * i));
+  }
+  nonce_.fill(0);
+}
+
+Rng Rng::FromOsEntropy() {
+  std::random_device rd;
+  std::array<uint8_t, 32> seed;
+  for (size_t i = 0; i < seed.size(); i += 4) {
+    uint32_t word = rd();
+    seed[i] = static_cast<uint8_t>(word);
+    seed[i + 1] = static_cast<uint8_t>(word >> 8);
+    seed[i + 2] = static_cast<uint8_t>(word >> 16);
+    seed[i + 3] = static_cast<uint8_t>(word >> 24);
+  }
+  return Rng(BytesView(seed));
+}
+
+void Rng::Refill() {
+  ChaCha20Block(key_.data(), counter_, nonce_.data(), block_.data());
+  counter_++;
+  ATOM_CHECK(counter_ != 0);  // 256 GiB per instance is plenty; never wrap.
+  used_ = 0;
+}
+
+void Rng::Fill(uint8_t* out, size_t n) {
+  while (n > 0) {
+    if (used_ == 64) {
+      Refill();
+    }
+    size_t take = std::min<size_t>(n, 64 - used_);
+    std::copy_n(block_.begin() + static_cast<ptrdiff_t>(used_), take, out);
+    used_ += take;
+    out += take;
+    n -= take;
+  }
+}
+
+Bytes Rng::NextBytes(size_t n) {
+  Bytes out(n);
+  Fill(out.data(), n);
+  return out;
+}
+
+uint64_t Rng::NextU64() {
+  uint8_t buf[8];
+  Fill(buf, 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) {
+    v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  ATOM_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+Rng Rng::Fork() {
+  Bytes child_seed = NextBytes(32);
+  return Rng(BytesView(child_seed));
+}
+
+}  // namespace atom

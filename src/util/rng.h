@@ -1,0 +1,55 @@
+// Deterministic cryptographic random number generator (ChaCha20 DRBG).
+//
+// Every protocol component takes an Rng& so that multi-party protocol runs
+// are reproducible in tests (seed it) and unpredictable in deployment
+// (Rng::FromOsEntropy). The generator is NOT thread-safe; use one per thread.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+class Rng {
+ public:
+  // Seeds the generator from a 32-byte key. Shorter seeds are zero-padded.
+  explicit Rng(BytesView seed);
+
+  // Convenience: seed from a 64-bit integer (tests).
+  explicit Rng(uint64_t seed);
+
+  // Seeds from the operating system's entropy source.
+  static Rng FromOsEntropy();
+
+  // Fills `out` with random bytes.
+  void Fill(uint8_t* out, size_t n);
+
+  // Returns n random bytes.
+  Bytes NextBytes(size_t n);
+
+  // Uniform random 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform value in [0, bound) via rejection sampling; bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Forks a child generator whose stream is independent of future output of
+  // this one (key-separates on the next 32 bytes of our stream).
+  Rng Fork();
+
+ private:
+  void Refill();
+
+  std::array<uint8_t, 32> key_;
+  std::array<uint8_t, 12> nonce_;
+  uint32_t counter_ = 0;
+  std::array<uint8_t, 64> block_;
+  size_t used_ = 64;  // bytes of block_ already consumed
+};
+
+}  // namespace atom
+
+#endif  // SRC_UTIL_RNG_H_

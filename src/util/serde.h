@@ -1,0 +1,125 @@
+// Minimal binary serialization: little-endian writer/reader over Bytes.
+// Every protocol message and ciphertext in this project serializes through
+// these two classes so that hashing (Fiat-Shamir transcripts, commitments)
+// has a single canonical encoding.
+#ifndef SRC_UTIL_SERDE_H_
+#define SRC_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/bytes.h"
+#include "src/util/check.h"
+
+namespace atom {
+
+// Appends primitive values to an owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+
+  void U16(uint16_t v) {
+    U8(static_cast<uint8_t>(v));
+    U8(static_cast<uint8_t>(v >> 8));
+  }
+
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v));
+    U16(static_cast<uint16_t>(v >> 16));
+  }
+
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+
+  // Raw bytes without a length prefix (for fixed-size fields).
+  void Raw(BytesView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+  // Length-prefixed (u32) variable-size byte string.
+  void Var(BytesView data) {
+    U32(static_cast<uint32_t>(data.size()));
+    Raw(data);
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+// Reads primitive values back out; all accessors return std::nullopt once the
+// buffer is exhausted or malformed. Callers propagate failure — a malformed
+// message from a peer is a recoverable protocol fault, not a crash.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::optional<uint8_t> U8() {
+    if (pos_ + 1 > data_.size()) {
+      return std::nullopt;
+    }
+    return data_[pos_++];
+  }
+
+  std::optional<uint16_t> U16() {
+    auto lo = U8();
+    auto hi = U8();
+    if (!lo || !hi) {
+      return std::nullopt;
+    }
+    return static_cast<uint16_t>(*lo | (*hi << 8));
+  }
+
+  std::optional<uint32_t> U32() {
+    auto lo = U16();
+    auto hi = U16();
+    if (!lo || !hi) {
+      return std::nullopt;
+    }
+    return static_cast<uint32_t>(*lo) | (static_cast<uint32_t>(*hi) << 16);
+  }
+
+  std::optional<uint64_t> U64() {
+    auto lo = U32();
+    auto hi = U32();
+    if (!lo || !hi) {
+      return std::nullopt;
+    }
+    return static_cast<uint64_t>(*lo) | (static_cast<uint64_t>(*hi) << 32);
+  }
+
+  // Fixed-size read.
+  std::optional<Bytes> Raw(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return std::nullopt;
+    }
+    Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+              data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  // Length-prefixed read matching ByteWriter::Var.
+  std::optional<Bytes> Var() {
+    auto n = U32();
+    if (!n) {
+      return std::nullopt;
+    }
+    return Raw(*n);
+  }
+
+  bool Done() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace atom
+
+#endif  // SRC_UTIL_SERDE_H_

@@ -1,0 +1,207 @@
+// Tests for the application layer (bulletin board, dialing mailboxes,
+// DP dummies) and the Riposte / Vuvuzela baselines.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/apps/dialing.h"
+#include "src/apps/microblog.h"
+#include "src/baselines/riposte.h"
+#include "src/baselines/vuvuzela.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+TEST(Microblog, PostsStripPadding) {
+  BulletinBoard board;
+  Bytes padded = ToBytes("hello world");
+  padded.resize(160, 0);
+  std::vector<Bytes> round = {padded};
+  board.PostRound(7, round);
+  ASSERT_EQ(board.posts().size(), 1u);
+  EXPECT_EQ(board.posts()[0].content, ToBytes("hello world"));
+  EXPECT_EQ(board.posts()[0].round, 7u);
+}
+
+TEST(Microblog, RenderEscapesNonPrintable) {
+  BulletinBoard board;
+  std::vector<Bytes> round = {Bytes{'h', 'i', 0x01, '!'}};
+  board.PostRound(1, round);
+  auto rendered = board.RenderRound(1);
+  ASSERT_EQ(rendered.size(), 1u);
+  EXPECT_EQ(rendered[0], "hi.!");
+  EXPECT_TRUE(board.RenderRound(2).empty());
+}
+
+// ---------------------------------------------------------------- dialing --
+
+TEST(Dialing, RequestRoundTrip) {
+  Rng rng(1000u);
+  auto bob = KemKeyGen(rng);
+  Bytes payload = rng.NextBytes(kDialPayloadLen);
+  Bytes request = MakeDialRequest(42, bob.pk, BytesView(payload), rng);
+  EXPECT_EQ(request.size(), kDialMessageLen);
+  EXPECT_EQ(DialRecipient(BytesView(request)), 42u);
+
+  auto opened = OpenDialRequest(42, bob.sk, BytesView(request));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+TEST(Dialing, WrongRecipientCannotOpen) {
+  Rng rng(1001u);
+  auto bob = KemKeyGen(rng);
+  auto eve = KemKeyGen(rng);
+  Bytes payload = rng.NextBytes(kDialPayloadLen);
+  Bytes request = MakeDialRequest(42, bob.pk, BytesView(payload), rng);
+  EXPECT_FALSE(OpenDialRequest(42, eve.sk, BytesView(request)).has_value());
+  EXPECT_FALSE(OpenDialRequest(43, bob.sk, BytesView(request)).has_value());
+}
+
+TEST(Dialing, MailboxRouting) {
+  Rng rng(1002u);
+  MailboxSystem boxes(16);
+  auto key = KemKeyGen(rng);
+  Bytes payload(kDialPayloadLen, 1);
+  std::vector<Bytes> messages;
+  for (uint64_t id : {0ull, 16ull, 5ull, 21ull, 15ull}) {
+    messages.push_back(MakeDialRequest(id, key.pk, BytesView(payload), rng));
+  }
+  messages.push_back(ToBytes("garbage"));  // must be dropped
+  EXPECT_EQ(boxes.Deliver(messages), 1u);
+  EXPECT_EQ(boxes.mailbox(0).size(), 2u);   // ids 0 and 16
+  EXPECT_EQ(boxes.mailbox(5).size(), 2u);   // ids 5 and 21
+  EXPECT_EQ(boxes.mailbox(15).size(), 1u);  // id 15
+  EXPECT_EQ(boxes.mailbox(3).size(), 0u);
+}
+
+TEST(Dialing, DummyCountsCenterOnMu) {
+  Rng rng(1003u);
+  double total = 0;
+  constexpr int kTrials = 500;
+  for (int i = 0; i < kTrials; i++) {
+    total += static_cast<double>(SampleDummyCount(13000, 500, rng));
+  }
+  EXPECT_NEAR(total / kTrials, 13000, 200);
+}
+
+TEST(Dialing, DummiesLookLikeRealDials) {
+  Rng rng(1004u);
+  auto dummies = MakeDummyDials(20, 1 << 20, rng);
+  ASSERT_EQ(dummies.size(), 20u);
+  MailboxSystem boxes(64);
+  EXPECT_EQ(boxes.Deliver(dummies), 0u);  // all parse as real dials
+  for (const auto& d : dummies) {
+    EXPECT_EQ(d.size(), kDialMessageLen);
+  }
+}
+
+// ---------------------------------------------------------------- riposte --
+
+TEST(Riposte, DpfPointFunctionCorrect) {
+  Rng rng(1010u);
+  DpfParams params = DpfParams::For(64, 8);
+  Bytes msg = ToBytes("8 bytes!");
+  for (size_t alpha : {0u, 7u, 31u, 63u}) {
+    auto keys = DpfGen(params, alpha, BytesView(msg), rng);
+    Bytes a = DpfEval(keys.a);
+    Bytes b = DpfEval(keys.b);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t slot = 0; slot < params.Slots(); slot++) {
+      Bytes combined(8);
+      for (size_t i = 0; i < 8; i++) {
+        combined[i] = static_cast<uint8_t>(a[slot * 8 + i] ^
+                                           b[slot * 8 + i]);
+      }
+      if (slot == alpha) {
+        EXPECT_EQ(combined, msg) << "slot " << slot;
+      } else {
+        EXPECT_EQ(combined, Bytes(8, 0)) << "slot " << slot;
+      }
+    }
+  }
+}
+
+TEST(Riposte, SingleKeyRevealsNothingObvious) {
+  // One server's expansion must look pseudorandom: in particular it must
+  // not contain the message in the clear at the target slot.
+  Rng rng(1011u);
+  DpfParams params = DpfParams::For(16, 8);
+  Bytes msg = ToBytes("secret!!");
+  auto keys = DpfGen(params, 5, BytesView(msg), rng);
+  Bytes a = DpfEval(keys.a);
+  Bytes at_slot(a.begin() + 5 * 8, a.begin() + 6 * 8);
+  EXPECT_NE(at_slot, msg);
+  EXPECT_NE(at_slot, Bytes(8, 0));
+}
+
+TEST(Riposte, FullWriteRoundRecoversMessages) {
+  Rng rng(1012u);
+  DpfParams params = DpfParams::For(32, 16);
+  RiposteServer server_a(params), server_b(params);
+  Bytes m1 = ToBytes("anonymous post 1");
+  Bytes m2 = ToBytes("anonymous post 2");
+  auto k1 = DpfGen(params, 3, BytesView(m1), rng);
+  auto k2 = DpfGen(params, 17, BytesView(m2), rng);
+  server_a.ApplyWrite(k1.a);
+  server_b.ApplyWrite(k1.b);
+  server_a.ApplyWrite(k2.a);
+  server_b.ApplyWrite(k2.b);
+
+  const RiposteServer* servers[] = {&server_a, &server_b};
+  Bytes db = CombineReplicas(servers);
+  EXPECT_EQ(Bytes(db.begin() + 3 * 16, db.begin() + 4 * 16), m1);
+  EXPECT_EQ(Bytes(db.begin() + 17 * 16, db.begin() + 18 * 16), m2);
+  // Untouched slots are zero.
+  EXPECT_EQ(Bytes(db.begin(), db.begin() + 16), Bytes(16, 0));
+}
+
+TEST(Riposte, CostEstimateScalesQuadratically) {
+  // Server work per round is Θ(M²): doubling M quadruples the round time.
+  Rng rng(1013u);
+  auto small = EstimateRiposteRound(100'000, 160, 36, rng);
+  auto big = EstimateRiposteRound(200'000, 160, 36, rng);
+  EXPECT_GT(big.round_seconds, small.round_seconds * 2.5);
+  EXPECT_LT(big.round_seconds, small.round_seconds * 6.0);
+}
+
+// --------------------------------------------------------------- vuvuzela --
+
+TEST(Vuvuzela, OnionPipelineDeliversPayloads) {
+  Rng rng(1020u);
+  VuvuzelaChain chain(3, rng);
+  std::vector<Bytes> sent;
+  std::vector<Bytes> batch;
+  for (int i = 0; i < 10; i++) {
+    Bytes payload = rng.NextBytes(32);
+    sent.push_back(payload);
+    batch.push_back(chain.Wrap(BytesView(payload), rng));
+  }
+  auto out = chain.Process(batch, rng);
+  ASSERT_EQ(out.size(), 10u);
+  // Same multiset of payloads, likely different order.
+  auto sorted_sent = sent, sorted_out = out;
+  std::sort(sorted_sent.begin(), sorted_sent.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_sent, sorted_out);
+}
+
+TEST(Vuvuzela, MalformedOnionsDropped) {
+  Rng rng(1021u);
+  VuvuzelaChain chain(2, rng);
+  std::vector<Bytes> batch = {chain.Wrap(BytesView(ToBytes("ok")), rng),
+                              ToBytes("not an onion at all......")};
+  auto out = chain.Process(batch, rng);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Vuvuzela, EstimateScalesLinearly) {
+  CostModel cm = CostModel::PaperTable3();
+  double t1 = EstimateVuvuzelaDialing(1'000'000, 0, 3, 36, cm);
+  double t2 = EstimateVuvuzelaDialing(2'000'000, 0, 3, 36, cm);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace atom

@@ -1,0 +1,293 @@
+// Tests for Shamir/Feldman secret sharing, the joint-Feldman DKG, threshold
+// ElGamal reencryption, and buddy-group share escrow / recovery.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/crypto/dkg.h"
+#include "src/crypto/shamir.h"
+#include "src/crypto/sigma.h"
+#include "src/crypto/threshold.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+TEST(Shamir, ReconstructFromAnySubset) {
+  Rng rng(500u);
+  Scalar secret = Scalar::Random(rng);
+  auto shares = ShamirShare(secret, /*threshold=*/3, /*n=*/5, rng);
+  ASSERT_EQ(shares.size(), 5u);
+
+  // Every 3-subset reconstructs.
+  for (size_t a = 0; a < 5; a++) {
+    for (size_t b = a + 1; b < 5; b++) {
+      for (size_t c = b + 1; c < 5; c++) {
+        std::vector<Share> subset = {shares[a], shares[b], shares[c]};
+        auto rec = ShamirReconstruct(subset, 3);
+        ASSERT_TRUE(rec.has_value());
+        EXPECT_EQ(*rec, secret);
+      }
+    }
+  }
+}
+
+TEST(Shamir, TooFewSharesFail) {
+  Rng rng(501u);
+  Scalar secret = Scalar::Random(rng);
+  auto shares = ShamirShare(secret, 3, 5, rng);
+  std::vector<Share> two = {shares[0], shares[1]};
+  EXPECT_FALSE(ShamirReconstruct(two, 3).has_value());
+}
+
+TEST(Shamir, TwoOfTwoThreshold) {
+  Rng rng(502u);
+  Scalar secret = Scalar::Random(rng);
+  auto shares = ShamirShare(secret, 2, 2, rng);
+  auto rec = ShamirReconstruct(shares, 2);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(*rec, secret);
+}
+
+TEST(Shamir, DuplicateIndicesRejected) {
+  Rng rng(503u);
+  Scalar secret = Scalar::Random(rng);
+  auto shares = ShamirShare(secret, 2, 3, rng);
+  std::vector<Share> dup = {shares[0], shares[0]};
+  EXPECT_FALSE(ShamirReconstruct(dup, 2).has_value());
+}
+
+TEST(Shamir, WrongShareGivesWrongSecret) {
+  Rng rng(504u);
+  Scalar secret = Scalar::Random(rng);
+  auto shares = ShamirShare(secret, 2, 3, rng);
+  shares[1].value = shares[1].value + Scalar::One();
+  auto rec = ShamirReconstruct(std::span(shares).subspan(0, 2), 2);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(*rec == secret);
+}
+
+TEST(Shamir, LagrangeIdentity) {
+  // Σ λ_i·i-th-power-basis sanity: reconstruct f(0) for f(x) = 7 + 3x.
+  std::vector<uint32_t> subset = {2, 5};
+  Scalar f2 = Scalar::FromU64(7 + 3 * 2);
+  Scalar f5 = Scalar::FromU64(7 + 3 * 5);
+  Scalar rec = LagrangeCoefficient(subset, 2) * f2 +
+               LagrangeCoefficient(subset, 5) * f5;
+  EXPECT_EQ(rec, Scalar::FromU64(7));
+}
+
+TEST(Feldman, SharesVerify) {
+  Rng rng(505u);
+  Scalar secret = Scalar::Random(rng);
+  auto dealing = FeldmanDeal(secret, 3, 5, rng);
+  EXPECT_EQ(FeldmanPublicKey(dealing.commitments), Point::BaseMul(secret));
+  for (const Share& s : dealing.shares) {
+    EXPECT_TRUE(FeldmanVerifyShare(dealing.commitments, s));
+  }
+}
+
+TEST(Feldman, CorruptShareFailsVerification) {
+  Rng rng(506u);
+  auto dealing = FeldmanDeal(Scalar::Random(rng), 3, 5, rng);
+  Share bad = dealing.shares[2];
+  bad.value = bad.value + Scalar::One();
+  EXPECT_FALSE(FeldmanVerifyShare(dealing.commitments, bad));
+  Share zero_index = dealing.shares[0];
+  zero_index.index = 0;
+  EXPECT_FALSE(FeldmanVerifyShare(dealing.commitments, zero_index));
+}
+
+// -------------------------------------------------------------------- DKG
+
+TEST(Dkg, HonestRunProducesConsistentKeys) {
+  Rng rng(510u);
+  DkgParams params{/*k=*/5, /*threshold=*/4};
+  auto result = RunDkg(params, rng);
+  EXPECT_TRUE(result.pub.disqualified.empty());
+  ASSERT_EQ(result.keys.size(), 5u);
+
+  // Every share matches its public verification key.
+  for (size_t i = 0; i < 5; i++) {
+    EXPECT_EQ(Point::BaseMul(result.keys[i].share), result.pub.share_pks[i]);
+  }
+  // Any threshold subset reconstructs a secret matching the group key.
+  std::vector<Share> shares;
+  for (const auto& key : result.keys) {
+    shares.push_back(Share{key.index, key.share});
+  }
+  auto secret = ShamirReconstruct(std::span(shares).subspan(0, 4), 4);
+  ASSERT_TRUE(secret.has_value());
+  EXPECT_EQ(Point::BaseMul(*secret), result.pub.group_pk);
+}
+
+TEST(Dkg, CheatingDealerIsDisqualified) {
+  Rng rng(511u);
+  DkgParams params{5, 4};
+  std::vector<uint32_t> cheaters = {2};
+  auto result = RunDkg(params, rng, cheaters);
+  ASSERT_EQ(result.pub.disqualified.size(), 1u);
+  EXPECT_EQ(result.pub.disqualified[0], 2u);
+
+  // The remaining aggregate is still a consistent sharing.
+  std::vector<Share> shares;
+  for (const auto& key : result.keys) {
+    shares.push_back(Share{key.index, key.share});
+  }
+  auto secret = ShamirReconstruct(std::span(shares).subspan(1, 4), 4);
+  ASSERT_TRUE(secret.has_value());
+  EXPECT_EQ(Point::BaseMul(*secret), result.pub.group_pk);
+}
+
+TEST(Dkg, MultipleCheatersDisqualified) {
+  Rng rng(512u);
+  DkgParams params{6, 4};
+  std::vector<uint32_t> cheaters = {1, 4};
+  auto result = RunDkg(params, rng, cheaters);
+  EXPECT_EQ(result.pub.disqualified.size(), 2u);
+}
+
+TEST(Dkg, AnytrustGroupIsThresholdK) {
+  // h = 1 (plain anytrust): threshold = k, all servers must participate.
+  Rng rng(513u);
+  DkgParams params{4, 4};
+  auto result = RunDkg(params, rng);
+  std::vector<Share> shares;
+  for (const auto& key : result.keys) {
+    shares.push_back(Share{key.index, key.share});
+  }
+  EXPECT_FALSE(ShamirReconstruct(std::span(shares).subspan(0, 3), 4)
+                   .has_value());
+  auto secret = ShamirReconstruct(shares, 4);
+  ASSERT_TRUE(secret.has_value());
+  EXPECT_EQ(Point::BaseMul(*secret), result.pub.group_pk);
+}
+
+// -------------------------------------------------------- threshold ReEnc
+
+struct ThresholdFixture {
+  Rng rng{uint64_t{520}};
+  DkgParams params{/*k=*/5, /*threshold=*/4};  // h = 2
+  DkgResult dkg = RunDkg(params, rng);
+  Point m = *EmbedMessage(BytesView(ToBytes("threshold msg")));
+};
+
+TEST(ThresholdElGamal, DecryptWithAnyQuorum) {
+  ThresholdFixture f;
+  auto ct = ElGamalEncrypt(f.dkg.pub.group_pk, f.m, f.rng);
+  // Any 4-of-5 subset decrypts (server 5 down, server 1 down, ...).
+  for (uint32_t down = 1; down <= 5; down++) {
+    std::vector<uint32_t> subset;
+    for (uint32_t i = 1; i <= 5; i++) {
+      if (i != down) {
+        subset.push_back(i);
+      }
+    }
+    auto dec = ThresholdDecrypt(f.dkg.pub, f.dkg.keys, subset, ct);
+    ASSERT_TRUE(dec.has_value()) << "down=" << down;
+    EXPECT_EQ(*dec, f.m);
+  }
+}
+
+TEST(ThresholdElGamal, WrongSubsetSizeRejected) {
+  ThresholdFixture f;
+  auto ct = ElGamalEncrypt(f.dkg.pub.group_pk, f.m, f.rng);
+  std::vector<uint32_t> too_few = {1, 2, 3};
+  EXPECT_FALSE(ThresholdDecrypt(f.dkg.pub, f.dkg.keys, too_few, ct)
+                   .has_value());
+}
+
+TEST(ThresholdElGamal, WeightedReEncChainAcrossGroups) {
+  // The full Atom §4.5 flow: group A (threshold 4-of-5) reencrypts toward
+  // group B (threshold 2-of-3) using weighted shares; group B then decrypts.
+  ThresholdFixture f;
+  DkgParams params_b{3, 2};
+  auto dkg_b = RunDkg(params_b, f.rng);
+
+  auto ct = ElGamalEncrypt(f.dkg.pub.group_pk, f.m, f.rng);
+  std::vector<uint32_t> subset_a = {1, 2, 4, 5};  // server 3 is down
+  for (uint32_t idx : subset_a) {
+    Scalar w = WeightedShare(f.dkg.keys[idx - 1], subset_a);
+    ct = ElGamalReEnc(w, &dkg_b.pub.group_pk, ct, f.rng);
+  }
+  ct = ElGamalFinalizeHop(ct);
+
+  std::vector<uint32_t> subset_b = {1, 3};
+  auto dec = ThresholdDecrypt(dkg_b.pub, dkg_b.keys, subset_b, ct);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, f.m);
+}
+
+TEST(ThresholdElGamal, WeightedReEncProofVerifies) {
+  // A server's ReEncProof in the threshold setting verifies against its
+  // Lagrange-weighted public key, which anyone can derive.
+  ThresholdFixture f;
+  auto next = ElGamalKeyGen(f.rng);
+  auto ct = ElGamalEncrypt(f.dkg.pub.group_pk, f.m, f.rng);
+  std::vector<uint32_t> subset = {1, 2, 3, 4};
+
+  Scalar w = WeightedShare(f.dkg.keys[0], subset);
+  Point w_pub = WeightedSharePublic(f.dkg.pub, 1, subset);
+  EXPECT_EQ(Point::BaseMul(w), w_pub);
+
+  Scalar rewrap;
+  auto out = ElGamalReEnc(w, &next.pk, ct, f.rng, &rewrap);
+  auto proof = MakeReEncProof(w, w_pub, &next.pk, ct, out, rewrap, f.rng);
+  EXPECT_TRUE(VerifyReEncProof(w_pub, &next.pk, ct, out, proof));
+}
+
+// ----------------------------------------------------------- buddy escrow
+
+TEST(BuddyEscrow, RecoverLostShare) {
+  ThresholdFixture f;
+  // Server 3 escrows its share with a 4-server buddy group, threshold 3.
+  auto escrow = EscrowShare(f.dkg.keys[2], 4, 3, f.rng);
+  ASSERT_EQ(escrow.sub_shares.size(), 4u);
+
+  // Server 3 fails; buddies 1, 2, 4 reconstruct.
+  std::vector<Share> subs = {escrow.sub_shares[0], escrow.sub_shares[1],
+                             escrow.sub_shares[3]};
+  auto recovered = RecoverShare(f.dkg.pub, 3, subs, 3);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->index, 3u);
+  EXPECT_EQ(recovered->share, f.dkg.keys[2].share);
+}
+
+TEST(BuddyEscrow, RecoveredShareIsUsable) {
+  ThresholdFixture f;
+  auto escrow = EscrowShare(f.dkg.keys[4], 3, 2, f.rng);
+  std::vector<Share> subs = {escrow.sub_shares[1], escrow.sub_shares[2]};
+  auto recovered = RecoverShare(f.dkg.pub, 5, subs, 2);
+  ASSERT_TRUE(recovered.has_value());
+
+  // Use the recovered share in a threshold decryption.
+  auto ct = ElGamalEncrypt(f.dkg.pub.group_pk, f.m, f.rng);
+  std::vector<DkgServerKey> keys = f.dkg.keys;
+  keys[4] = *recovered;
+  std::vector<uint32_t> subset = {1, 2, 3, 5};
+  auto dec = ThresholdDecrypt(f.dkg.pub, keys, subset, ct);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, f.m);
+}
+
+TEST(BuddyEscrow, CorruptSubShareDetected) {
+  ThresholdFixture f;
+  auto escrow = EscrowShare(f.dkg.keys[0], 3, 2, f.rng);
+  auto subs = escrow.sub_shares;
+  subs[0].value = subs[0].value + Scalar::One();
+  // Reconstruction succeeds arithmetically but fails the public-key check.
+  EXPECT_FALSE(RecoverShare(f.dkg.pub, 1,
+                            std::span(subs).subspan(0, 2), 2)
+                   .has_value());
+}
+
+TEST(BuddyEscrow, WrongOwnerRejected) {
+  ThresholdFixture f;
+  auto escrow = EscrowShare(f.dkg.keys[0], 3, 2, f.rng);
+  EXPECT_FALSE(RecoverShare(f.dkg.pub, 2,
+                            std::span(escrow.sub_shares).subspan(0, 2), 2)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace atom

@@ -1,0 +1,233 @@
+// Tests for the Atom rerandomizable ElGamal cryptosystem (Appendix A) and
+// the IND-CCA2 hybrid KEM.
+#include <gtest/gtest.h>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/kem.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+TEST(ElGamal, EncryptDecryptRoundTrip) {
+  Rng rng(100u);
+  auto kp = ElGamalKeyGen(rng);
+  auto m = EmbedMessage(BytesView(ToBytes("hello anonymity")));
+  ASSERT_TRUE(m.has_value());
+  auto ct = ElGamalEncrypt(kp.pk, *m, rng);
+  auto dec = ElGamalDecrypt(kp.sk, ct);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, *m);
+  EXPECT_EQ(*ExtractMessage(*dec), ToBytes("hello anonymity"));
+}
+
+TEST(ElGamal, DecryptWithWrongKeyGivesGarbage) {
+  Rng rng(101u);
+  auto kp = ElGamalKeyGen(rng);
+  auto other = ElGamalKeyGen(rng);
+  auto m = EmbedMessage(BytesView(ToBytes("msg")));
+  auto ct = ElGamalEncrypt(kp.pk, *m, rng);
+  auto dec = ElGamalDecrypt(other.sk, ct);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_FALSE(*dec == *m);
+}
+
+TEST(ElGamal, RerandomizePreservesPlaintextAndChangesCiphertext) {
+  Rng rng(102u);
+  auto kp = ElGamalKeyGen(rng);
+  auto m = EmbedMessage(BytesView(ToBytes("rerand me")));
+  auto ct = ElGamalEncrypt(kp.pk, *m, rng);
+  auto ct2 = ElGamalRerandomize(kp.pk, ct, rng);
+  ASSERT_TRUE(ct2.has_value());
+  EXPECT_FALSE(*ct2 == ct);  // fresh randomness
+  auto dec = ElGamalDecrypt(kp.sk, *ct2);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, *m);
+}
+
+TEST(ElGamal, RerandomizeRejectsMidHopCiphertext) {
+  Rng rng(103u);
+  auto kp = ElGamalKeyGen(rng);
+  auto next = ElGamalKeyGen(rng);
+  auto m = EmbedMessage(BytesView(ToBytes("m")));
+  auto ct = ElGamalEncrypt(kp.pk, *m, rng);
+  auto mid = ElGamalReEnc(kp.sk, &next.pk, ct, rng);  // Y != ⊥ now
+  EXPECT_FALSE(mid.YIsNull());
+  EXPECT_FALSE(ElGamalRerandomize(kp.pk, mid, rng).has_value());
+  EXPECT_FALSE(ElGamalDecrypt(kp.sk, mid).has_value());
+}
+
+// The defining property of the Atom cryptosystem: a chain of servers can
+// strip a group's layers out of order with the rewrap toward the next group
+// interleaved, and the result is a clean encryption under the next key.
+TEST(ElGamal, OutOfOrderReEncAcrossGroups) {
+  Rng rng(104u);
+  // Group 1 has three servers; the group key is the sum of their keys.
+  auto s1 = ElGamalKeyGen(rng), s2 = ElGamalKeyGen(rng),
+       s3 = ElGamalKeyGen(rng);
+  Point group1_pk = s1.pk + s2.pk + s3.pk;
+  // Group 2 has two servers.
+  auto t1 = ElGamalKeyGen(rng), t2 = ElGamalKeyGen(rng);
+  Point group2_pk = t1.pk + t2.pk;
+
+  auto m = EmbedMessage(BytesView(ToBytes("through the mix")));
+  auto ct = ElGamalEncrypt(group1_pk, *m, rng);
+
+  // Each group-1 server strips its own layer and adds randomness for
+  // group 2 — note server order does not matter for correctness.
+  ct = ElGamalReEnc(s2.sk, &group2_pk, ct, rng);
+  ct = ElGamalReEnc(s3.sk, &group2_pk, ct, rng);
+  ct = ElGamalReEnc(s1.sk, &group2_pk, ct, rng);
+  ct = ElGamalFinalizeHop(ct);
+
+  // The result must now be a plain encryption under group 2's key.
+  ASSERT_TRUE(ct.YIsNull());
+  ct = ElGamalReEnc(t2.sk, nullptr, ct, rng);
+  ct = ElGamalReEnc(t1.sk, nullptr, ct, rng);
+  ct = ElGamalFinalizeHop(ct);
+  auto dec = ElGamalDecrypt(Scalar::Zero(), ct);  // layers all stripped
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*ExtractMessage(*dec), ToBytes("through the mix"));
+}
+
+TEST(ElGamal, MultiHopThroughFourGroups) {
+  Rng rng(105u);
+  constexpr int kGroups = 4, kServersPerGroup = 3;
+  std::vector<std::vector<ElGamalKeypair>> groups(kGroups);
+  std::vector<Point> group_pks(kGroups, Point::Infinity());
+  for (int g = 0; g < kGroups; g++) {
+    for (int s = 0; s < kServersPerGroup; s++) {
+      groups[g].push_back(ElGamalKeyGen(rng));
+      group_pks[g] = group_pks[g] + groups[g].back().pk;
+    }
+  }
+
+  auto m = EmbedMessage(BytesView(ToBytes("4 hops")));
+  auto ct = ElGamalEncrypt(group_pks[0], *m, rng);
+  for (int g = 0; g < kGroups; g++) {
+    const Point* next = (g + 1 < kGroups) ? &group_pks[g + 1] : nullptr;
+    for (int s = 0; s < kServersPerGroup; s++) {
+      ct = ElGamalReEnc(groups[g][s].sk, next, ct, rng);
+    }
+    ct = ElGamalFinalizeHop(ct);
+  }
+  auto dec = ElGamalDecrypt(Scalar::Zero(), ct);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*ExtractMessage(*dec), ToBytes("4 hops"));
+}
+
+TEST(ElGamal, CiphertextEncodeDecodeRoundTrip) {
+  Rng rng(106u);
+  auto kp = ElGamalKeyGen(rng);
+  auto m = EmbedMessage(BytesView(ToBytes("serialize")));
+  auto ct = ElGamalEncrypt(kp.pk, *m, rng);
+  auto next = ElGamalKeyGen(rng);
+  auto mid = ElGamalReEnc(kp.sk, &next.pk, ct, rng);  // exercise Y != ⊥ too
+  for (const auto& c : {ct, mid}) {
+    Bytes enc = c.Encode();
+    auto back = ElGamalCiphertext::Decode(BytesView(enc));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+}
+
+TEST(ElGamal, DecodeRejectsMalformed) {
+  Bytes junk(ElGamalCiphertext::kEncodedSize, 0x5a);
+  EXPECT_FALSE(ElGamalCiphertext::Decode(BytesView(junk)).has_value());
+  Bytes short_buf(10, 0);
+  EXPECT_FALSE(ElGamalCiphertext::Decode(BytesView(short_buf)).has_value());
+}
+
+TEST(ElGamal, VectorRoundTrip) {
+  Rng rng(107u);
+  auto kp = ElGamalKeyGen(rng);
+  std::vector<Point> ms;
+  for (int i = 0; i < 5; i++) {
+    Bytes chunk = rng.NextBytes(kEmbedCapacity);
+    ms.push_back(*EmbedMessage(BytesView(chunk)));
+  }
+  auto cts = ElGamalEncryptVec(kp.pk, ms, rng);
+  auto dec = ElGamalDecryptVec(kp.sk, cts);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->size(), ms.size());
+  for (size_t i = 0; i < ms.size(); i++) {
+    EXPECT_EQ((*dec)[i], ms[i]);
+  }
+}
+
+TEST(ElGamal, VectorEncodeDecodeRoundTrip) {
+  Rng rng(108u);
+  auto kp = ElGamalKeyGen(rng);
+  std::vector<Point> ms = {*EmbedMessage(BytesView(ToBytes("a"))),
+                           *EmbedMessage(BytesView(ToBytes("b")))};
+  auto cts = ElGamalEncryptVec(kp.pk, ms, rng);
+  Bytes enc = EncodeCiphertextVec(cts);
+  auto back = DecodeCiphertextVec(BytesView(enc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, cts);
+  // Trailing garbage must be rejected.
+  enc.push_back(0);
+  EXPECT_FALSE(DecodeCiphertextVec(BytesView(enc)).has_value());
+}
+
+// ---------------------------------------------------------------- KEM --
+
+TEST(Kem, RoundTrip) {
+  Rng rng(110u);
+  auto kp = KemKeyGen(rng);
+  Bytes msg = ToBytes("dialing: here is my public key");
+  Bytes ct = KemEncrypt(kp.pk, BytesView(msg), rng);
+  EXPECT_EQ(ct.size(), msg.size() + kKemOverhead);
+  auto dec = KemDecrypt(kp.sk, BytesView(ct));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, msg);
+}
+
+TEST(Kem, WrongKeyFails) {
+  Rng rng(111u);
+  auto kp = KemKeyGen(rng);
+  auto other = KemKeyGen(rng);
+  Bytes ct = KemEncrypt(kp.pk, BytesView(ToBytes("msg")), rng);
+  EXPECT_FALSE(KemDecrypt(other.sk, BytesView(ct)).has_value());
+}
+
+TEST(Kem, NonMalleable) {
+  // IND-CCA2 in practice: flipping any ciphertext bit breaks decryption.
+  Rng rng(112u);
+  auto kp = KemKeyGen(rng);
+  Bytes ct = KemEncrypt(kp.pk, BytesView(ToBytes("do not touch")), rng);
+  for (size_t i = Point::kEncodedSize; i < ct.size(); i++) {
+    Bytes tampered = ct;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(KemDecrypt(kp.sk, BytesView(tampered)).has_value())
+        << "byte " << i;
+  }
+}
+
+TEST(Kem, RejectsTruncated) {
+  Rng rng(113u);
+  auto kp = KemKeyGen(rng);
+  Bytes tiny(kKemOverhead - 1, 0);
+  EXPECT_FALSE(KemDecrypt(kp.sk, BytesView(tiny)).has_value());
+}
+
+TEST(Kem, ThresholdDecapMatchesDirect) {
+  // Split the secret into additive weighted shares; combining partial
+  // decapsulations must reproduce direct decryption.
+  Rng rng(114u);
+  auto kp = KemKeyGen(rng);
+  Bytes msg = ToBytes("threshold");
+  Bytes ct = KemEncrypt(kp.pk, BytesView(msg), rng);
+
+  Scalar share1 = Scalar::Random(rng);
+  Scalar share2 = kp.sk - share1;
+  Point p1 = KemPartialDecap(share1, BytesView(ct));
+  Point p2 = KemPartialDecap(share2, BytesView(ct));
+  std::vector<Point> partials = {p1, p2};
+  auto dec = KemCombineDecap(partials, BytesView(ct));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, msg);
+}
+
+}  // namespace
+}  // namespace atom

@@ -1,0 +1,320 @@
+// Tests for the per-server message-passing runtime: complete group hops
+// executed by independent AtomNode state machines over the LocalBus,
+// cross-checked against direct decryption, including multi-group
+// interleaving and NIZK abort behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/core/node.h"
+#include "src/core/wire.h"
+#include "src/util/hex.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+struct NodeNetwork {
+  Rng rng{uint64_t{6000}};
+  std::vector<std::unique_ptr<AtomNode>> nodes;
+  LocalBus bus;
+
+  // Creates one group of `k` servers with ids [first_id, first_id+k) and
+  // registers the nodes. Returns the DKG result (the test plays "driver").
+  DkgResult AddGroup(uint32_t gid, uint32_t first_id, size_t k,
+                     Variant variant) {
+    DkgResult dkg = RunDkg(DkgParams{k, k}, rng);
+    std::vector<uint32_t> chain;
+    for (uint32_t i = 0; i < k; i++) {
+      chain.push_back(first_id + i);
+    }
+    for (uint32_t pos = 0; pos < k; pos++) {
+      auto node = std::make_unique<AtomNode>(first_id + pos, variant);
+      node->JoinGroup(gid, MakeNodeGroupKeys(dkg, chain, pos));
+      bus.RegisterNode(node.get());
+      nodes.push_back(std::move(node));
+    }
+    return dkg;
+  }
+
+  CiphertextBatch MakeBatch(const Point& pk, size_t n) {
+    CiphertextBatch batch(n);
+    for (size_t i = 0; i < n; i++) {
+      Bytes payload = {static_cast<uint8_t>(i), 0x77};
+      batch[i].push_back(
+          ElGamalEncrypt(pk, *EmbedMessage(BytesView(payload)), rng));
+    }
+    return batch;
+  }
+
+  void Inject(uint32_t gid, uint32_t first_server, CiphertextBatch batch,
+              std::vector<Point> next_pks) {
+    NodeMsg msg;
+    msg.type = NodeMsg::Type::kShuffleStep;
+    msg.gid = gid;
+    msg.chain_pos = 0;
+    msg.batch = std::move(batch);
+    msg.next_pks = std::move(next_pks);
+    bus.Send(Envelope{first_server, std::move(msg)});
+  }
+};
+
+Scalar GroupSecret(const DkgResult& dkg) {
+  std::vector<Share> shares;
+  for (const auto& key : dkg.keys) {
+    shares.push_back(Share{key.index, key.share});
+  }
+  auto secret = ShamirReconstruct(shares, dkg.pub.params.threshold);
+  EXPECT_TRUE(secret.has_value());
+  return *secret;
+}
+
+std::multiset<std::string> DecryptBatch(const Scalar& secret,
+                                        const CiphertextBatch& batch) {
+  std::multiset<std::string> out;
+  for (const auto& vec : batch) {
+    for (const auto& ct : vec) {
+      auto m = ElGamalDecrypt(secret, ct);
+      EXPECT_TRUE(m.has_value());
+      auto bytes = ExtractMessage(*m);
+      EXPECT_TRUE(bytes.has_value());
+      out.insert(HexEncode(BytesView(*bytes)));
+    }
+  }
+  return out;
+}
+
+TEST(NodeRuntime, TrapHopForwardsToNextGroup) {
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kTrap);
+  auto g1 = net.AddGroup(1, 200, 3, Variant::kTrap);
+
+  auto batch = net.MakeBatch(g0.pub.group_pk, 6);
+  auto sent = DecryptBatch(GroupSecret(g0), batch);
+  net.Inject(0, 100, batch, {g1.pub.group_pk});
+
+  ASSERT_TRUE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.outputs().size(), 1u);
+  const NodeMsg& output = net.bus.outputs()[0];
+  ASSERT_EQ(output.subs.size(), 1u);
+  EXPECT_EQ(output.subs[0].size(), 6u);
+  // The forwarded batch decrypts under group 1's secret to the same
+  // payload multiset.
+  EXPECT_EQ(DecryptBatch(GroupSecret(g1), output.subs[0]), sent);
+}
+
+TEST(NodeRuntime, ExitHopYieldsPlaintexts) {
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kTrap);
+  auto batch = net.MakeBatch(g0.pub.group_pk, 4);
+  auto sent = DecryptBatch(GroupSecret(g0), batch);
+  net.Inject(0, 100, batch, {});  // exit layer
+
+  ASSERT_TRUE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.outputs().size(), 1u);
+  // Fully stripped: decrypting with the zero key recovers plaintexts.
+  EXPECT_EQ(DecryptBatch(Scalar::Zero(), net.bus.outputs()[0].subs[0]),
+            sent);
+}
+
+TEST(NodeRuntime, SplitsAcrossTwoNeighbours) {
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kTrap);
+  auto g1 = net.AddGroup(1, 200, 2, Variant::kTrap);
+  auto g2 = net.AddGroup(2, 300, 2, Variant::kTrap);
+
+  auto batch = net.MakeBatch(g0.pub.group_pk, 6);
+  auto sent = DecryptBatch(GroupSecret(g0), batch);
+  net.Inject(0, 100, batch, {g1.pub.group_pk, g2.pub.group_pk});
+
+  ASSERT_TRUE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.outputs().size(), 1u);
+  const NodeMsg& output = net.bus.outputs()[0];
+  ASSERT_EQ(output.subs.size(), 2u);
+  EXPECT_EQ(output.subs[0].size(), 3u);
+  EXPECT_EQ(output.subs[1].size(), 3u);
+
+  auto got = DecryptBatch(GroupSecret(g1), output.subs[0]);
+  auto more = DecryptBatch(GroupSecret(g2), output.subs[1]);
+  got.insert(more.begin(), more.end());
+  EXPECT_EQ(got, sent);
+}
+
+TEST(NodeRuntime, TwoGroupsInterleaveOnTheBus) {
+  // Two independent groups process simultaneously; the FIFO bus interleaves
+  // their messages and both must complete correctly.
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kTrap);
+  auto g1 = net.AddGroup(1, 200, 3, Variant::kTrap);
+
+  auto batch0 = net.MakeBatch(g0.pub.group_pk, 4);
+  auto batch1 = net.MakeBatch(g1.pub.group_pk, 4);
+  auto sent0 = DecryptBatch(GroupSecret(g0), batch0);
+  auto sent1 = DecryptBatch(GroupSecret(g1), batch1);
+  net.Inject(0, 100, batch0, {});
+  net.Inject(1, 200, batch1, {});
+
+  ASSERT_TRUE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.outputs().size(), 2u);
+  std::multiset<std::string> got;
+  for (const NodeMsg& output : net.bus.outputs()) {
+    auto part = DecryptBatch(Scalar::Zero(), output.subs[0]);
+    got.insert(part.begin(), part.end());
+  }
+  auto want = sent0;
+  want.insert(sent1.begin(), sent1.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(NodeRuntime, NizkHopSucceedsHonestly) {
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kNizk);
+  auto g1 = net.AddGroup(1, 200, 3, Variant::kNizk);
+  auto batch = net.MakeBatch(g0.pub.group_pk, 4);
+  auto sent = DecryptBatch(GroupSecret(g0), batch);
+  net.Inject(0, 100, batch, {g1.pub.group_pk});
+  ASSERT_TRUE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.outputs().size(), 1u);
+  EXPECT_EQ(DecryptBatch(GroupSecret(g1), net.bus.outputs()[0].subs[0]),
+            sent);
+}
+
+// A node wrapper that maliciously mauls the batch it emits after shuffling.
+TEST(NodeRuntime, NizkPeerRejectsTamperedShuffle) {
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kNizk);
+  auto batch = net.MakeBatch(g0.pub.group_pk, 4);
+
+  // Deliver position 0's honest output, then tamper with it in transit
+  // (equivalently: position 0 lied); position 1 must abort the chain.
+  NodeMsg msg;
+  msg.type = NodeMsg::Type::kShuffleStep;
+  msg.gid = 0;
+  msg.chain_pos = 0;
+  msg.batch = batch;
+  auto envelopes = net.nodes[0]->Handle(msg, net.rng);
+  ASSERT_EQ(envelopes.size(), 1u);
+  envelopes[0].msg.batch[2][0].c =
+      envelopes[0].msg.batch[2][0].c + Point::Generator();
+  net.bus.Send(std::move(envelopes[0]));
+
+  EXPECT_FALSE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.aborts().size(), 1u);
+  EXPECT_NE(net.bus.aborts()[0].abort_reason.find("shuffle proof"),
+            std::string::npos);
+}
+
+TEST(NodeRuntime, NizkPeerRejectsTamperedReEnc) {
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kNizk);
+  auto batch = net.MakeBatch(g0.pub.group_pk, 3);
+
+  // Run the full shuffle phase honestly, capture the first reenc step, and
+  // maul one reencrypted component before delivering to position 1.
+  net.Inject(0, 100, batch, {});
+  // Drive manually: shuffle chain is pos 0 -> 1 -> 2 -> reenc pos 0.
+  // Easiest: run the bus but intercept by tampering mid-queue is not
+  // supported; instead replay the reenc step by hand.
+  ASSERT_TRUE(net.bus.Run(net.rng));
+  net.bus.ClearOutputs();
+
+  // Hand-build a reenc chain: position 0 acts honestly, we corrupt output.
+  NodeMsg reenc;
+  reenc.type = NodeMsg::Type::kReEncStep;
+  reenc.gid = 0;
+  reenc.chain_pos = 0;
+  reenc.subs = {net.MakeBatch(g0.pub.group_pk, 3)};
+  auto envelopes = net.nodes[0]->Handle(reenc, net.rng);
+  ASSERT_EQ(envelopes.size(), 1u);
+  ASSERT_EQ(envelopes[0].msg.type, NodeMsg::Type::kReEncStep);
+  envelopes[0].msg.subs[0][1][0].c =
+      envelopes[0].msg.subs[0][1][0].c + Point::Generator();
+  net.bus.Send(std::move(envelopes[0]));
+
+  EXPECT_FALSE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.aborts().size(), 1u);
+  EXPECT_NE(net.bus.aborts()[0].abort_reason.find("reencryption proof"),
+            std::string::npos);
+}
+
+TEST(NodeRuntime, MultiHopAcrossThreeGroups) {
+  // Chain three group hops end to end through the bus: g0 -> g1 -> exit.
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 2, Variant::kTrap);
+  auto g1 = net.AddGroup(1, 200, 2, Variant::kTrap);
+
+  auto batch = net.MakeBatch(g0.pub.group_pk, 4);
+  auto sent = DecryptBatch(GroupSecret(g0), batch);
+
+  net.Inject(0, 100, batch, {g1.pub.group_pk});
+  ASSERT_TRUE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.outputs().size(), 1u);
+  CiphertextBatch forwarded = net.bus.outputs()[0].subs[0];
+  net.bus.ClearOutputs();
+
+  net.Inject(1, 200, forwarded, {});  // exit hop
+  ASSERT_TRUE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.outputs().size(), 1u);
+  EXPECT_EQ(DecryptBatch(Scalar::Zero(), net.bus.outputs()[0].subs[0]),
+            sent);
+}
+
+TEST(NodeRuntime, MessagesSurviveWireSerialization) {
+  // The node runtime's envelopes must round-trip through the wire format
+  // and drive the protocol identically — a transport could sit between any
+  // two Handle() calls. Run a full NIZK hop with every envelope
+  // reserialized in transit.
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kNizk);
+  auto batch = net.MakeBatch(g0.pub.group_pk, 4);
+  auto sent = DecryptBatch(GroupSecret(g0), batch);
+
+  NodeMsg first;
+  first.type = NodeMsg::Type::kShuffleStep;
+  first.gid = 0;
+  first.chain_pos = 0;
+  first.batch = batch;
+  std::deque<Envelope> queue;
+  queue.push_back(Envelope{100, std::move(first)});
+  std::vector<NodeMsg> outputs;
+  while (!queue.empty()) {
+    Envelope env = std::move(queue.front());
+    queue.pop_front();
+    // Through the wire and back.
+    auto decoded = DecodeNodeMsg(BytesView(EncodeNodeMsg(env.msg)));
+    ASSERT_TRUE(decoded.has_value());
+    if (decoded->type == NodeMsg::Type::kGroupOutput) {
+      outputs.push_back(std::move(*decoded));
+      continue;
+    }
+    ASSERT_NE(decoded->type, NodeMsg::Type::kAbort);
+    size_t node_index = env.to_server - 100;
+    for (Envelope& next : net.nodes[node_index]->Handle(*decoded, net.rng)) {
+      queue.push_back(std::move(next));
+    }
+  }
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(DecryptBatch(Scalar::Zero(), outputs[0].subs[0]), sent);
+}
+
+TEST(NodeRuntime, WireRejectsMalformedNodeMsgs) {
+  NodeMsg msg;
+  msg.type = NodeMsg::Type::kAbort;
+  msg.abort_reason = "test";
+  Bytes enc = EncodeNodeMsg(msg);
+  auto back = DecodeNodeMsg(BytesView(enc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->abort_reason, "test");
+  // Truncations fail.
+  for (size_t len = 0; len < enc.size(); len++) {
+    EXPECT_FALSE(DecodeNodeMsg(BytesView(enc.data(), len)).has_value());
+  }
+  // Bad type byte fails.
+  Bytes bad = enc;
+  bad[0] = 0x7f;
+  EXPECT_FALSE(DecodeNodeMsg(BytesView(bad)).has_value());
+}
+
+}  // namespace
+}  // namespace atom

@@ -1,0 +1,243 @@
+// Tests for the deployment-infrastructure pieces: Schnorr identities, the
+// directory authority (registration, beacon chain, round descriptors), and
+// the client wire formats.
+#include <gtest/gtest.h>
+
+#include "src/core/directory.h"
+#include "src/core/wire.h"
+#include "src/util/serde.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+// ---------------------------------------------------------------- schnorr --
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  Rng rng(1100u);
+  auto kp = SchnorrKeyGen(rng);
+  Bytes msg = ToBytes("server registration payload");
+  auto sig = SchnorrSign(kp.sk, kp.pk, BytesView(msg), rng);
+  EXPECT_TRUE(SchnorrVerify(kp.pk, BytesView(msg), sig));
+}
+
+TEST(Schnorr, RejectsWrongMessage) {
+  Rng rng(1101u);
+  auto kp = SchnorrKeyGen(rng);
+  auto sig = SchnorrSign(kp.sk, kp.pk, BytesView(ToBytes("real")), rng);
+  EXPECT_FALSE(SchnorrVerify(kp.pk, BytesView(ToBytes("fake")), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  Rng rng(1102u);
+  auto kp = SchnorrKeyGen(rng);
+  auto other = SchnorrKeyGen(rng);
+  Bytes msg = ToBytes("msg");
+  auto sig = SchnorrSign(kp.sk, kp.pk, BytesView(msg), rng);
+  EXPECT_FALSE(SchnorrVerify(other.pk, BytesView(msg), sig));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  Rng rng(1103u);
+  auto kp = SchnorrKeyGen(rng);
+  Bytes msg = ToBytes("msg");
+  auto sig = SchnorrSign(kp.sk, kp.pk, BytesView(msg), rng);
+  auto bad = sig;
+  bad.response = bad.response + Scalar::One();
+  EXPECT_FALSE(SchnorrVerify(kp.pk, BytesView(msg), bad));
+}
+
+TEST(Schnorr, EncodeDecodeRoundTrip) {
+  Rng rng(1104u);
+  auto kp = SchnorrKeyGen(rng);
+  Bytes msg = ToBytes("encode me");
+  auto sig = SchnorrSign(kp.sk, kp.pk, BytesView(msg), rng);
+  Bytes enc = sig.Encode();
+  EXPECT_EQ(enc.size(), SchnorrSignature::kEncodedSize);
+  auto back = SchnorrSignature::Decode(BytesView(enc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(SchnorrVerify(kp.pk, BytesView(msg), *back));
+  enc.pop_back();
+  EXPECT_FALSE(SchnorrSignature::Decode(BytesView(enc)).has_value());
+}
+
+// -------------------------------------------------------------- directory --
+
+TEST(DirectoryTest, RegistrationLifecycle) {
+  Rng rng(1110u);
+  Directory directory(ToBytes("genesis"));
+  auto identity = SchnorrKeyGen(rng);
+  auto reg = MakeServerRegistration(7, /*cluster=*/2, identity, rng);
+  EXPECT_TRUE(directory.Register(reg));
+  EXPECT_EQ(directory.NumServers(), 1u);
+  ASSERT_NE(directory.FindServer(7), nullptr);
+  EXPECT_EQ(directory.FindServer(7)->cluster, 2u);
+  EXPECT_EQ(directory.FindServer(8), nullptr);
+}
+
+TEST(DirectoryTest, RejectsBadSignature) {
+  Rng rng(1111u);
+  Directory directory(ToBytes("genesis"));
+  auto identity = SchnorrKeyGen(rng);
+  auto other = SchnorrKeyGen(rng);
+  auto reg = MakeServerRegistration(1, 0, identity, rng);
+  reg.record.identity_pk = other.pk;  // claim someone else's key
+  EXPECT_FALSE(directory.Register(reg));
+  EXPECT_EQ(directory.NumServers(), 0u);
+}
+
+TEST(DirectoryTest, RejectsDuplicateId) {
+  Rng rng(1112u);
+  Directory directory(ToBytes("genesis"));
+  auto a = SchnorrKeyGen(rng), b = SchnorrKeyGen(rng);
+  EXPECT_TRUE(directory.Register(MakeServerRegistration(3, 0, a, rng)));
+  EXPECT_FALSE(directory.Register(MakeServerRegistration(3, 1, b, rng)));
+}
+
+TEST(DirectoryTest, BeaconDeterministicPerRound) {
+  Directory d1(ToBytes("genesis"));
+  Directory d2(ToBytes("genesis"));
+  Directory d3(ToBytes("other-genesis"));
+  EXPECT_EQ(d1.BeaconFor(5), d2.BeaconFor(5));
+  EXPECT_NE(d1.BeaconFor(5), d1.BeaconFor(6));
+  EXPECT_NE(d1.BeaconFor(5), d3.BeaconFor(5));
+}
+
+TEST(DirectoryTest, RoundDescriptorIsConsistent) {
+  Rng rng(1113u);
+  Directory directory(ToBytes("genesis"));
+  for (uint32_t i = 0; i < 8; i++) {
+    auto identity = SchnorrKeyGen(rng);
+    ASSERT_TRUE(directory.Register(
+        MakeServerRegistration(i, i % 4, identity, rng)));
+  }
+  AtomParams params;
+  params.num_servers = 8;
+  params.num_groups = 4;
+  params.group_size = 3;
+  auto descriptor = directory.DescribeRound(1, params);
+  EXPECT_EQ(descriptor.layout.groups.size(), 4u);
+  for (const auto& group : descriptor.layout.groups) {
+    EXPECT_EQ(group.size(), 3u);
+  }
+  // Same round -> same layout; different round -> (almost surely) not.
+  auto again = directory.DescribeRound(1, params);
+  EXPECT_EQ(descriptor.layout.groups, again.layout.groups);
+  auto next = directory.DescribeRound(2, params);
+  EXPECT_NE(descriptor.beacon, next.beacon);
+}
+
+TEST(DirectoryTest, ServerRecordEncodeDecode) {
+  Rng rng(1114u);
+  auto identity = SchnorrKeyGen(rng);
+  ServerRecord record{42, identity.pk, 3};
+  auto back = ServerRecord::Decode(BytesView(record.Encode()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, 42u);
+  EXPECT_EQ(back->cluster, 3u);
+  EXPECT_EQ(back->identity_pk, identity.pk);
+  Bytes junk(10, 0xee);
+  EXPECT_FALSE(ServerRecord::Decode(BytesView(junk)).has_value());
+}
+
+// ------------------------------------------------------------------- wire --
+
+struct WireFixture {
+  Rng rng{uint64_t{1120}};
+  ElGamalKeypair group = ElGamalKeyGen(rng);
+  ElGamalKeypair trustee = ElGamalKeyGen(rng);
+  MessageLayout nizk_layout = LayoutFor(Variant::kNizk, 64);
+  MessageLayout trap_layout = LayoutFor(Variant::kTrap, 64);
+};
+
+TEST(Wire, NizkSubmissionRoundTrip) {
+  WireFixture f;
+  auto sub = MakeNizkSubmission(f.group.pk, 5, BytesView(ToBytes("post")),
+                                f.nizk_layout, f.rng);
+  Bytes enc = EncodeNizkSubmission(sub);
+  auto back = DecodeNizkSubmission(BytesView(enc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->entry_gid, 5u);
+  EXPECT_TRUE(VerifyNizkSubmission(f.group.pk, *back, f.nizk_layout));
+}
+
+TEST(Wire, TrapSubmissionRoundTrip) {
+  WireFixture f;
+  auto sub = MakeTrapSubmission(f.group.pk, 2, f.trustee.pk,
+                                BytesView(ToBytes("msg")), f.trap_layout,
+                                f.rng);
+  Bytes enc = EncodeTrapSubmission(sub);
+  auto back = DecodeTrapSubmission(BytesView(enc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trap_commitment, sub.trap_commitment);
+  EXPECT_TRUE(VerifyTrapSubmission(f.group.pk, *back, f.trap_layout));
+}
+
+TEST(Wire, RejectsTruncationAtEveryBoundary) {
+  WireFixture f;
+  auto sub = MakeTrapSubmission(f.group.pk, 2, f.trustee.pk,
+                                BytesView(ToBytes("msg")), f.trap_layout,
+                                f.rng);
+  Bytes enc = EncodeTrapSubmission(sub);
+  // Any strict prefix must fail to decode (sampled for speed).
+  for (size_t len = 0; len < enc.size(); len += 97) {
+    EXPECT_FALSE(
+        DecodeTrapSubmission(BytesView(enc.data(), len)).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+  // Trailing garbage must fail too.
+  Bytes extended = enc;
+  extended.push_back(0);
+  EXPECT_FALSE(DecodeTrapSubmission(BytesView(extended)).has_value());
+}
+
+TEST(Wire, RejectsCorruptPointEncodings) {
+  WireFixture f;
+  auto sub = MakeNizkSubmission(f.group.pk, 0, BytesView(ToBytes("x")),
+                                f.nizk_layout, f.rng);
+  Bytes enc = EncodeNizkSubmission(sub);
+  // Smash a ciphertext point's prefix byte to an invalid value.
+  enc[4] = 0x09;
+  EXPECT_FALSE(DecodeNizkSubmission(BytesView(enc)).has_value());
+}
+
+TEST(Wire, DkgDealingRoundTrip) {
+  Rng rng(1130u);
+  DkgParams params{5, 4};
+  DkgDealing dealing = MakeDealing(3, params, rng);
+  Bytes enc = EncodeDkgDealing(dealing);
+  auto back = DecodeDkgDealing(BytesView(enc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dealer, 3u);
+  ASSERT_EQ(back->commitments.size(), dealing.commitments.size());
+  for (size_t i = 0; i < dealing.commitments.size(); i++) {
+    EXPECT_EQ(back->commitments[i], dealing.commitments[i]);
+  }
+  // The decoded shares still verify against the decoded commitments.
+  for (const Share& share : back->shares) {
+    EXPECT_TRUE(FeldmanVerifyShare(back->commitments, share));
+  }
+  // Truncation fails.
+  EXPECT_FALSE(
+      DecodeDkgDealing(BytesView(enc.data(), enc.size() - 1)).has_value());
+}
+
+TEST(Wire, DkgComplaintRoundTrip) {
+  DkgComplaint complaint{7, 2};
+  auto back = DecodeDkgComplaint(BytesView(EncodeDkgComplaint(complaint)));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->accuser, 7u);
+  EXPECT_EQ(back->dealer, 2u);
+  Bytes junk(3, 0);
+  EXPECT_FALSE(DecodeDkgComplaint(BytesView(junk)).has_value());
+}
+
+TEST(Wire, RejectsAbsurdCounts) {
+  ByteWriter w;
+  w.U32(0);           // gid
+  w.U32(0xffffffff);  // claimed ciphertext count
+  EXPECT_FALSE(DecodeNizkSubmission(BytesView(w.bytes())).has_value());
+}
+
+}  // namespace
+}  // namespace atom

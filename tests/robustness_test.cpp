@@ -1,0 +1,112 @@
+// Robustness: every Decode entry point is fed adversarial byte strings —
+// random blobs, truncations, bit-flips of valid encodings — and must reject
+// cleanly (no crash, no acceptance of mangled structures). These are the
+// parsers that face untrusted peers in a deployment.
+#include <gtest/gtest.h>
+
+#include "src/core/wire.h"
+#include "src/crypto/schnorr.h"
+#include "src/crypto/shuffle.h"
+#include "src/crypto/sigma.h"
+#include "src/core/directory.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+// Deterministic random blobs of assorted sizes.
+std::vector<Bytes> Blobs(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> out;
+  for (size_t len : {0u, 1u, 7u, 32u, 33u, 64u, 99u, 128u, 512u, 4096u}) {
+    out.push_back(rng.NextBytes(len));
+    out.push_back(Bytes(len, 0x00));
+    out.push_back(Bytes(len, 0xff));
+  }
+  return out;
+}
+
+TEST(DecodeFuzz, PointRejectsRandomBlobs) {
+  size_t accepted = 0;
+  for (const Bytes& blob : Blobs(4000)) {
+    auto p = Point::Decode(BytesView(blob));
+    if (p.has_value()) {
+      accepted++;
+      EXPECT_TRUE(p->IsOnCurve());  // anything accepted must be valid
+    }
+  }
+  // All-zero 33-byte blob decodes as infinity; random blobs almost never.
+  EXPECT_LE(accepted, 2u);
+}
+
+TEST(DecodeFuzz, ScalarRejectsOutOfRange) {
+  for (const Bytes& blob : Blobs(4001)) {
+    auto s = Scalar::FromBytes(BytesView(blob));
+    if (blob.size() != 32) {
+      EXPECT_FALSE(s.has_value());
+    }
+  }
+}
+
+TEST(DecodeFuzz, StructuredDecodersNeverCrash) {
+  for (const Bytes& blob : Blobs(4002)) {
+    BytesView view(blob);
+    ElGamalCiphertext::Decode(view);
+    DecodeCiphertextVec(view);
+    EncProof::Decode(view);
+    ReEncProof::Decode(view);
+    ShuffleProof::Decode(view);
+    SchnorrSignature::Decode(view);
+    ServerRecord::Decode(view);
+    DecodeNizkSubmission(view);
+    DecodeTrapSubmission(view);
+  }
+  SUCCEED();  // reaching here without aborting is the property
+}
+
+TEST(DecodeFuzz, BitFlippedCiphertextNeverEqualsOriginal) {
+  Rng rng(4003u);
+  auto kp = ElGamalKeyGen(rng);
+  auto m = EmbedMessage(BytesView(ToBytes("bits")));
+  auto ct = ElGamalEncrypt(kp.pk, *m, rng);
+  Bytes enc = ct.Encode();
+  for (size_t byte = 0; byte < enc.size(); byte += 5) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      Bytes flipped = enc;
+      flipped[byte] ^= static_cast<uint8_t>(1 << bit);
+      auto back = ElGamalCiphertext::Decode(BytesView(flipped));
+      if (back.has_value()) {
+        // A flip may still decode (e.g. the sign bit of a compressed
+        // point), but it must decode to a DIFFERENT ciphertext.
+        EXPECT_FALSE(*back == ct)
+            << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(DecodeFuzz, ShuffleProofStructuralMutations) {
+  Rng rng(4004u);
+  auto kp = ElGamalKeyGen(rng);
+  CiphertextBatch batch(4);
+  for (size_t i = 0; i < 4; i++) {
+    Bytes payload = {static_cast<uint8_t>(i)};
+    batch[i].push_back(
+        ElGamalEncrypt(kp.pk, *EmbedMessage(BytesView(payload)), rng));
+  }
+  auto result = ShuffleAndProve(kp.pk, batch, rng);
+  Bytes enc = result.proof.Encode();
+
+  // Mutating the element counts in the header must not crash or verify.
+  for (size_t byte = 0; byte < 8; byte++) {
+    Bytes mutated = enc;
+    mutated[byte] ^= 0x01;
+    auto proof = ShuffleProof::Decode(BytesView(mutated));
+    if (proof.has_value()) {
+      EXPECT_FALSE(VerifyShuffle(kp.pk, batch, result.output, *proof));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atom

@@ -1,0 +1,175 @@
+// Parameterized full-round sweeps: the complete protocol must deliver every
+// honest message across variants, topologies, fault-tolerance settings, and
+// message sizes. Also: the statistical §4.4 property that tampering with
+// one ciphertext aborts the round with probability ~1/2.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/core/round.h"
+#include "src/util/hex.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+struct RoundCase {
+  Variant variant;
+  TopologyKind topology;
+  size_t honest_needed;
+  size_t message_len;
+  size_t users;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<RoundCase>& info) {
+  const RoundCase& c = info.param;
+  std::string name = c.variant == Variant::kTrap ? "Trap" : "Nizk";
+  name += c.topology == TopologyKind::kSquare ? "Square" : "Butterfly";
+  name += "H" + std::to_string(c.honest_needed);
+  name += "Len" + std::to_string(c.message_len);
+  return name;
+}
+
+class FullRoundSweep : public ::testing::TestWithParam<RoundCase> {};
+
+TEST_P(FullRoundSweep, DeliversEveryHonestMessage) {
+  const RoundCase& c = GetParam();
+  RoundConfig config;
+  config.params.variant = c.variant;
+  config.params.topology = c.topology;
+  config.params.num_servers = 6;
+  config.params.num_groups = 4;
+  config.params.group_size = 3;
+  config.params.honest_needed = c.honest_needed;
+  // Square: 3 mixing iterations. Butterfly: 2 passes over log2(4)=2 bits.
+  config.params.iterations = c.topology == TopologyKind::kSquare ? 3 : 2;
+  config.params.message_len = c.message_len;
+  config.beacon = ToBytes("sweep-" + CaseName({GetParam(), 0}));
+
+  Rng rng(2000u + c.users + c.message_len);
+  Round round(config, rng);
+
+  std::set<std::string> sent;
+  for (size_t u = 0; u < c.users; u++) {
+    uint32_t gid = static_cast<uint32_t>(u) % round.NumGroups();
+    Bytes msg = ToBytes("sweep message " + std::to_string(u));
+    sent.insert(
+        HexEncode(BytesView(PadTo(BytesView(msg), c.message_len))));
+    if (c.variant == Variant::kTrap) {
+      auto sub = MakeTrapSubmission(round.EntryPk(gid), gid,
+                                    round.TrusteePk(), BytesView(msg),
+                                    round.layout(), rng);
+      ASSERT_TRUE(round.SubmitTrap(sub));
+    } else {
+      auto sub = MakeNizkSubmission(round.EntryPk(gid), gid, BytesView(msg),
+                                    round.layout(), rng);
+      ASSERT_TRUE(round.SubmitNizk(sub));
+    }
+  }
+
+  auto result = round.Run(rng);
+  ASSERT_FALSE(result.aborted) << result.abort_reason;
+  ASSERT_EQ(result.plaintexts.size(), c.users);
+  std::set<std::string> got;
+  for (const auto& p : result.plaintexts) {
+    got.insert(HexEncode(BytesView(p)));
+  }
+  EXPECT_EQ(got, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FullRoundSweep,
+    ::testing::Values(
+        RoundCase{Variant::kTrap, TopologyKind::kSquare, 1, 32, 8},
+        RoundCase{Variant::kTrap, TopologyKind::kSquare, 2, 32, 8},
+        RoundCase{Variant::kTrap, TopologyKind::kButterfly, 1, 32, 8},
+        RoundCase{Variant::kTrap, TopologyKind::kSquare, 1, 160, 6},
+        RoundCase{Variant::kNizk, TopologyKind::kSquare, 1, 32, 8},
+        RoundCase{Variant::kNizk, TopologyKind::kButterfly, 1, 32, 8},
+        RoundCase{Variant::kNizk, TopologyKind::kSquare, 2, 64, 6}),
+    CaseName);
+
+// ----------------------------------------------- §4.4 detection statistics
+
+TEST(TrapStatistics, TamperingCaughtAboutHalfTheTime) {
+  // A malicious server replacing one ciphertext hits a trap (round aborts)
+  // with probability 1/2 because traps and messages are indistinguishable
+  // and submitted in random order. 10 deterministic trials: the abort count
+  // must be neither 0 nor 10 and hover around 5.
+  int aborts = 0;
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; trial++) {
+    RoundConfig config;
+    config.params.variant = Variant::kTrap;
+    config.params.num_servers = 6;
+    config.params.num_groups = 4;
+    config.params.group_size = 3;
+    config.params.iterations = 2;
+    config.params.message_len = 32;
+    config.beacon = ToBytes("stats-" + std::to_string(trial));
+    Rng rng(3000u + static_cast<uint64_t>(trial));
+    Round round(config, rng);
+    for (int u = 0; u < 4; u++) {
+      uint32_t gid = static_cast<uint32_t>(u) % round.NumGroups();
+      auto sub = MakeTrapSubmission(round.EntryPk(gid), gid,
+                                    round.TrusteePk(),
+                                    BytesView(ToBytes("s")), round.layout(),
+                                    rng);
+      ASSERT_TRUE(round.SubmitTrap(sub));
+    }
+    Round::Evil evil{
+        1, static_cast<uint32_t>(trial % 4),
+        {MaliciousAction::Kind::kTamperDuringReEnc, 1,
+         static_cast<size_t>(trial)}};
+    auto result = round.Run(rng, &evil);
+    aborts += result.aborted ? 1 : 0;
+  }
+  EXPECT_GE(aborts, 2);
+  EXPECT_LE(aborts, 8);
+}
+
+TEST(TrapStatistics, MultipleTamperingsAmplifyDetection) {
+  // §7: removing κ ciphertexts escapes detection only with probability
+  // 2^-κ. Three independent tamperings per round: the survival probability
+  // drops to 1/8, so over four deterministic trials we expect (nearly) all
+  // rounds to abort, and any survivor to have lost exactly 3 messages.
+  int aborts = 0;
+  constexpr int kTrials = 4;
+  for (int trial = 0; trial < kTrials; trial++) {
+    RoundConfig config;
+    config.params.variant = Variant::kTrap;
+    config.params.num_servers = 6;
+    config.params.num_groups = 4;
+    config.params.group_size = 3;
+    config.params.iterations = 2;
+    config.params.message_len = 32;
+    config.beacon = ToBytes("amplify-" + std::to_string(trial));
+    Rng rng(3100u + static_cast<uint64_t>(trial));
+    Round round(config, rng);
+    for (int u = 0; u < 8; u++) {
+      uint32_t gid = static_cast<uint32_t>(u) % round.NumGroups();
+      auto sub = MakeTrapSubmission(round.EntryPk(gid), gid,
+                                    round.TrusteePk(),
+                                    BytesView(ToBytes("a")), round.layout(),
+                                    rng);
+      ASSERT_TRUE(round.SubmitTrap(sub));
+    }
+    // Three different groups each maul one ciphertext at layer 1.
+    std::vector<Round::Evil> evils = {
+        {1, 0, {MaliciousAction::Kind::kTamperDuringReEnc, 1, 0}},
+        {1, 1, {MaliciousAction::Kind::kTamperDuringReEnc, 2, 1}},
+        {1, 2, {MaliciousAction::Kind::kTamperDuringReEnc, 1, 2}},
+    };
+    auto result = round.RunWithEvils(rng, evils);
+    if (result.aborted) {
+      aborts++;
+    } else {
+      EXPECT_EQ(result.plaintexts.size(), 5u);  // exactly 3 lost
+    }
+  }
+  EXPECT_GE(aborts, 2);  // survival probability is only (1/2)^3 per trial
+}
+
+}  // namespace
+}  // namespace atom

@@ -1,0 +1,296 @@
+// Tests for the evaluation harness: cost-model calibration, network model,
+// single-group hop estimates (cross-checked against real execution), and
+// the full-network round estimator's scaling properties.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/core/group_runtime.h"
+#include "src/sim/groupsim.h"
+#include "src/sim/netsim.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+const CostModel& SharedCosts() {
+  static const CostModel costs = [] {
+    Rng rng(900u);
+    return CostModel::Measure(rng, 32);
+  }();
+  return costs;
+}
+
+TEST(CostModel, MeasuredValuesArePositiveAndOrdered) {
+  const CostModel& cm = SharedCosts();
+  EXPECT_GT(cm.enc, 0);
+  EXPECT_GT(cm.reenc, 0);
+  EXPECT_GT(cm.shuffle_per_msg, 0);
+  EXPECT_GT(cm.shuf_prove_per_msg, 0);
+  EXPECT_GT(cm.shuf_verify_per_msg, 0);
+  EXPECT_GT(cm.kem_decrypt, 0);
+  // Structural orderings that must hold for any sane implementation:
+  // a ReEnc (3 scalar mults) costs more than an Enc (2, one fixed-base).
+  EXPECT_GT(cm.reenc, cm.enc * 0.5);
+  // Producing a shuffle proof costs more per message than plain shuffling.
+  EXPECT_GT(cm.shuf_prove_per_msg, cm.shuffle_per_msg);
+}
+
+TEST(CostModel, PaperTable3Loads) {
+  CostModel cm = CostModel::PaperTable3();
+  EXPECT_NEAR(cm.enc, 1.40e-4, 1e-9);
+  EXPECT_NEAR(cm.shuf_verify_per_msg * 1024, 1.41, 1e-6);
+}
+
+TEST(NetworkModelTest, TorLikeDistribution) {
+  Rng rng(901u);
+  NetworkModel net = NetworkModel::TorLike(1024, rng);
+  ASSERT_EQ(net.size(), 1024u);
+  size_t four = 0, eight = 0, sixteen = 0, thirtytwo = 0;
+  for (const HostSpec& h : net.hosts()) {
+    switch (h.cores) {
+      case 4: four++; break;
+      case 8: eight++; break;
+      case 16: sixteen++; break;
+      case 32: thirtytwo++; break;
+      default: FAIL() << "unexpected core count " << h.cores;
+    }
+  }
+  // 80/10/5/5 within sampling slack.
+  EXPECT_NEAR(static_cast<double>(four) / 1024, 0.80, 0.05);
+  EXPECT_NEAR(static_cast<double>(eight) / 1024, 0.10, 0.04);
+  EXPECT_NEAR(static_cast<double>(sixteen) / 1024, 0.05, 0.03);
+  EXPECT_NEAR(static_cast<double>(thirtytwo) / 1024, 0.05, 0.03);
+}
+
+TEST(NetworkModelTest, LatencyRanges) {
+  Rng rng(902u);
+  NetworkModel net = NetworkModel::TorLike(64, rng);
+  for (uint32_t a = 0; a < 64; a++) {
+    for (uint32_t b = 0; b < 64; b++) {
+      double lat = net.LatencySeconds(a, b);
+      if (net.host(a).cluster == net.host(b).cluster) {
+        EXPECT_DOUBLE_EQ(lat, 0.040);
+      } else {
+        EXPECT_GE(lat, 0.080);
+        EXPECT_LE(lat, 0.160);
+      }
+      EXPECT_DOUBLE_EQ(lat, net.LatencySeconds(b, a));  // symmetric
+    }
+  }
+}
+
+// ------------------------------------------------------------- group sim --
+
+TEST(GroupSim, LinearInMessages) {
+  // Fig. 5 shape: time per mixing iteration is linear in the batch size.
+  GroupSimConfig config;
+  config.group_size = config.threshold = 32;
+  config.variant = Variant::kTrap;
+  config.messages = 1024;
+  double t1 = EstimateGroupHop(config, SharedCosts()).total_seconds;
+  config.messages = 2048;
+  double t2 = EstimateGroupHop(config, SharedCosts()).total_seconds;
+  config.messages = 4096;
+  double t4 = EstimateGroupHop(config, SharedCosts()).total_seconds;
+  // Compute scales 2x; the fixed network term dilutes it slightly.
+  EXPECT_GT(t2, t1 * 1.3);
+  EXPECT_LT(t2, t1 * 2.1);
+  EXPECT_GT(t4, t2 * 1.5);
+}
+
+TEST(GroupSim, NizkCostsAFewTimesTrap) {
+  // §6.1: "the NIZK variant takes about four times longer than trap".
+  GroupSimConfig config;
+  config.group_size = config.threshold = 32;
+  config.messages = 4096;
+  config.variant = Variant::kTrap;
+  double trap = EstimateGroupHop(config, SharedCosts()).total_seconds;
+  config.variant = Variant::kNizk;
+  double nizk = EstimateGroupHop(config, SharedCosts()).total_seconds;
+  EXPECT_GT(nizk, trap * 2.0);
+  EXPECT_LT(nizk, trap * 12.0);
+}
+
+TEST(GroupSim, LinearInGroupSize) {
+  // Fig. 6 shape: each extra server adds a serial chain step.
+  GroupSimConfig config;
+  config.messages = 1024;
+  config.variant = Variant::kTrap;
+  double prev = 0;
+  for (size_t k : {4u, 8u, 16u, 32u, 64u}) {
+    config.group_size = config.threshold = k;
+    double t = EstimateGroupHop(config, SharedCosts()).total_seconds;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GroupSim, TrapScalesNearLinearlyWithCores) {
+  // Fig. 7 shape: trap variant ~linear speed-up, NIZK sub-linear.
+  GroupSimConfig config;
+  config.group_size = config.threshold = 32;
+  config.messages = 1024;
+  config.hop_latency_seconds = 0;  // isolate compute scaling
+
+  auto speedup = [&](Variant v, size_t cores) {
+    config.variant = v;
+    config.cores_per_server = 4;
+    double base = EstimateGroupHop(config, SharedCosts()).compute_seconds;
+    config.cores_per_server = cores;
+    return base / EstimateGroupHop(config, SharedCosts()).compute_seconds;
+  };
+  double trap36 = speedup(Variant::kTrap, 36);
+  double nizk36 = speedup(Variant::kNizk, 36);
+  EXPECT_GT(trap36, 5.5);   // near-linear (ideal 9)
+  EXPECT_LT(nizk36, trap36);  // NIZK strictly worse (sequential chain)
+  EXPECT_GT(nizk36, 1.5);
+}
+
+TEST(GroupSim, RealExecutionTracksModel) {
+  // Cross-validation: the model's compute estimate for a small hop should
+  // be within a small factor of actually running GroupRuntime::RunHop.
+  Rng rng(903u);
+  DkgParams params{4, 4};
+  GroupRuntime group(0, RunDkg(params, rng));
+  GroupRuntime next(1, RunDkg(params, rng));
+
+  const size_t n = 48;
+  CiphertextBatch batch(n);
+  for (size_t i = 0; i < n; i++) {
+    Bytes payload = {static_cast<uint8_t>(i)};
+    batch[i].push_back(
+        ElGamalEncrypt(group.pk(), *EmbedMessage(BytesView(payload)), rng));
+  }
+  std::vector<Point> next_pks = {next.pk()};
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto hop = group.RunHop(batch, next_pks, Variant::kTrap, rng);
+  double real =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_FALSE(hop.aborted);
+
+  GroupSimConfig config;
+  config.group_size = config.threshold = 4;
+  config.messages = n;
+  config.components = 1;
+  config.variant = Variant::kTrap;
+  config.cores_per_server = 1;
+  config.hop_latency_seconds = 0;  // in-process: no WAN
+  double modeled = EstimateGroupHop(config, SharedCosts()).compute_seconds;
+
+  EXPECT_GT(modeled, real * 0.25);
+  EXPECT_LT(modeled, real * 4.0);
+}
+
+// --------------------------------------------------------------- net sim --
+
+NetSimConfig BaseNetConfig(size_t servers, size_t messages) {
+  NetSimConfig config;
+  config.params.variant = Variant::kTrap;
+  config.params.num_servers = servers;
+  config.params.num_groups = servers;
+  config.params.group_size = 33;
+  config.params.honest_needed = 2;
+  config.params.iterations = 10;
+  config.total_messages = messages;
+  config.components = 7;  // 160-byte microblog in the trap variant
+  return config;
+}
+
+TEST(NetSim, LatencyLinearInMessages) {
+  // Fig. 9 shape.
+  Rng rng(904u);
+  NetworkModel net = NetworkModel::TorLike(256, rng);
+  auto at = [&](size_t m) {
+    return EstimateRound(BaseNetConfig(256, m), net, SharedCosts())
+        .total_seconds;
+  };
+  double t1 = at(250'000), t2 = at(500'000), t4 = at(1'000'000);
+  EXPECT_GT(t2, t1 * 1.5);
+  EXPECT_LT(t2, t1 * 2.5);
+  EXPECT_GT(t4, t2 * 1.5);
+  EXPECT_LT(t4, t2 * 2.5);
+}
+
+TEST(NetSim, NearLinearSpeedupTo1024) {
+  // Fig. 10 shape: doubling servers halves latency (up to ~1024 servers).
+  Rng rng(905u);
+  double prev = 0;
+  std::vector<double> totals;
+  for (size_t servers : {128u, 256u, 512u, 1024u}) {
+    NetworkModel net = NetworkModel::TorLike(servers, rng);
+    totals.push_back(
+        EstimateRound(BaseNetConfig(servers, 1'000'000), net, SharedCosts())
+            .total_seconds);
+  }
+  for (size_t i = 1; i < totals.size(); i++) {
+    double speedup = totals[i - 1] / totals[i];
+    EXPECT_GT(speedup, 1.6) << "step " << i;
+    EXPECT_LT(speedup, 2.4) << "step " << i;
+  }
+  prev = totals[0];
+  EXPECT_GT(prev / totals.back(), 5.0);  // 128 -> 1024: ~8x ideal
+}
+
+TEST(NetSim, SubLinearSpeedupAtHugeScale) {
+  // Fig. 11 shape: with 2^10 -> 2^15 servers on a billion messages the
+  // speed-up falls clearly below the ideal 32x because of the G² connection
+  // overhead (the paper reports 23.6x).
+  Rng rng(906u);
+  auto total = [&](size_t servers) {
+    NetworkModel net = NetworkModel::TorLike(servers, rng);
+    return EstimateRound(BaseNetConfig(servers, 1'000'000'000), net,
+                         SharedCosts())
+        .total_seconds;
+  };
+  double t10 = total(1 << 10);
+  double t15 = total(1 << 15);
+  double speedup = t10 / t15;
+  EXPECT_GT(speedup, 12.0);  // still scaling...
+  EXPECT_LT(speedup, 29.0);  // ...but well below the ideal 32x
+}
+
+TEST(NetSim, NizkVariantSlowerThanTrap) {
+  Rng rng(907u);
+  NetworkModel net = NetworkModel::TorLike(128, rng);
+  NetSimConfig config = BaseNetConfig(128, 100'000);
+  double trap = EstimateRound(config, net, SharedCosts()).total_seconds;
+  config.params.variant = Variant::kNizk;
+  config.components = 6;  // no KEM overhead in NIZK layout
+  double nizk = EstimateRound(config, net, SharedCosts()).total_seconds;
+  EXPECT_GT(nizk, trap * 1.5);
+}
+
+TEST(NetSim, PipeliningTradesLatencyForThroughput) {
+  // §4.7: one batch per beat instead of per round. Throughput must improve
+  // and approach T-fold at light (latency-bound) load; per-batch latency
+  // must not improve.
+  Rng rng(909u);
+  NetworkModel net = NetworkModel::TorLike(256, rng);
+  for (size_t messages : {10'000u, 500'000u}) {
+    NetSimConfig config = BaseNetConfig(256, messages);
+    auto seq = EstimateRound(config, net, SharedCosts());
+    auto pipe = EstimatePipelined(config, net, SharedCosts());
+    double seq_tput = static_cast<double>(messages) / seq.total_seconds;
+    EXPECT_GT(pipe.throughput_msgs_per_second, seq_tput)
+        << messages << " messages";
+    EXPECT_LT(pipe.throughput_msgs_per_second,
+              seq_tput * static_cast<double>(config.params.iterations) * 1.1);
+    EXPECT_GE(pipe.latency_seconds, seq.total_seconds * 0.5);
+  }
+}
+
+TEST(NetSim, PerServerBandwidthIsModest) {
+  // §6.2: "Atom servers use less than 1 MB/sec of bandwidth".
+  Rng rng(908u);
+  NetworkModel net = NetworkModel::TorLike(1024, rng);
+  auto est = EstimateRound(BaseNetConfig(1024, 1'000'000), net,
+                           SharedCosts());
+  EXPECT_LT(est.per_server_bytes_per_second, 20e6);
+  EXPECT_GT(est.per_server_bytes_per_second, 1e3);
+}
+
+}  // namespace
+}  // namespace atom

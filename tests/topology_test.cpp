@@ -1,0 +1,255 @@
+// Tests for the permutation-network topologies, group formation, and the
+// Appendix-B group-size computation — including a statistical check that the
+// square network actually mixes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "src/topology/groups.h"
+#include "src/topology/mixquality.h"
+#include "src/topology/permnet.h"
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+TEST(SquareTopology, CompleteBipartiteLayers) {
+  SquareTopology topo(4, 10);
+  EXPECT_EQ(topo.NumLayers(), 10u);
+  EXPECT_EQ(topo.Width(), 4u);
+  EXPECT_EQ(topo.Branching(), 4u);
+  for (uint32_t v = 0; v < 4; v++) {
+    auto nbrs = topo.Neighbors(0, v);
+    EXPECT_EQ(nbrs, (std::vector<uint32_t>{0, 1, 2, 3}));
+  }
+}
+
+TEST(ButterflyTopology, XorNeighbors) {
+  ButterflyTopology topo(3, 2);  // 8 vertices, 6 layers
+  EXPECT_EQ(topo.NumLayers(), 6u);
+  EXPECT_EQ(topo.Width(), 8u);
+  EXPECT_EQ(topo.Branching(), 2u);
+  EXPECT_EQ(topo.Neighbors(0, 5), (std::vector<uint32_t>{5, 4}));
+  EXPECT_EQ(topo.Neighbors(1, 5), (std::vector<uint32_t>{5, 7}));
+  EXPECT_EQ(topo.Neighbors(2, 5), (std::vector<uint32_t>{5, 1}));
+  // Second pass wraps the bit pattern.
+  EXPECT_EQ(topo.Neighbors(3, 5), topo.Neighbors(0, 5));
+}
+
+// Simulates routing through a topology: each vertex shuffles its batch and
+// deals it round-robin to its neighbours. Returns the final position of each
+// message.
+std::vector<size_t> RouteOnce(const Topology& topo, size_t messages_per_vertex,
+                              Rng& rng) {
+  size_t width = topo.Width();
+  size_t m = width * messages_per_vertex;
+  std::vector<std::vector<size_t>> at(width);
+  for (size_t i = 0; i < m; i++) {
+    at[i / messages_per_vertex].push_back(i);
+  }
+  for (size_t layer = 0; layer < topo.NumLayers(); layer++) {
+    std::vector<std::vector<size_t>> next(width);
+    for (uint32_t v = 0; v < width; v++) {
+      auto& batch = at[v];
+      // Shuffle within the vertex.
+      for (size_t i = batch.size(); i > 1; i--) {
+        std::swap(batch[i - 1], batch[rng.NextBelow(i)]);
+      }
+      auto nbrs = topo.Neighbors(layer, v);
+      for (size_t i = 0; i < batch.size(); i++) {
+        next[nbrs[i % nbrs.size()]].push_back(batch[i]);
+      }
+    }
+    at = std::move(next);
+  }
+  std::vector<size_t> position(m);
+  size_t pos = 0;
+  for (uint32_t v = 0; v < width; v++) {
+    for (size_t id : at[v]) {
+      position[id] = pos++;
+    }
+  }
+  return position;
+}
+
+TEST(SquareTopology, ProducesWellMixedPermutation) {
+  // Statistical sanity for the Håstad network: over many runs, a tracked
+  // message should land near-uniformly across all positions. We check that
+  // every message can reach every *vertex* and that the chi-squared statistic
+  // over exit vertices is sane.
+  SquareTopology topo(4, 10);
+  Rng rng(600u);
+  constexpr int kRuns = 2000;
+  constexpr size_t kPerVertex = 4;  // 16 messages
+  std::vector<int> exit_vertex_count(4, 0);
+  for (int run = 0; run < kRuns; run++) {
+    auto pos = RouteOnce(topo, kPerVertex, rng);
+    exit_vertex_count[pos[0] / kPerVertex]++;
+  }
+  // Expected 500 per vertex; allow generous 5-sigma-ish slack (sigma ~ 19).
+  for (int count : exit_vertex_count) {
+    EXPECT_GT(count, 380);
+    EXPECT_LT(count, 620);
+  }
+}
+
+TEST(Routing, PreservesAllMessages) {
+  for (const Topology* topo :
+       std::initializer_list<const Topology*>{
+           new SquareTopology(8, 10), new ButterflyTopology(3, 5)}) {
+    Rng rng(601u);
+    auto pos = RouteOnce(*topo, 16, rng);
+    std::set<size_t> seen(pos.begin(), pos.end());
+    EXPECT_EQ(seen.size(), pos.size());  // a true permutation: no losses
+    delete topo;
+  }
+}
+
+TEST(MixQualityTest, SquareNetworkConvergesInFewIterations) {
+  // Håstad O(1): the joint pair distribution must be near-ideal after a few
+  // iterations, while a single iteration leaves visible correlations.
+  Rng rng(650u);
+  SquareTopology shallow(4, 1);
+  SquareTopology deep(4, 4);
+  auto q1 = MeasureMixQuality(shallow, 4, 2500, rng);
+  auto q4 = MeasureMixQuality(deep, 4, 2500, rng);
+  EXPECT_GT(q1.joint_tv, 0.12);   // T=1: strongly correlated pairs
+  EXPECT_LT(q4.joint_tv, 0.07);   // T=4: at/near the sampling noise floor
+  EXPECT_LT(q4.joint_tv, q1.joint_tv * 0.5);
+}
+
+TEST(MixQualityTest, SingleButterflyPassIsNotUniform) {
+  // Czumaj-Vöcking: one butterfly pass is far from a random permutation;
+  // iterating fixes it.
+  Rng rng(651u);
+  ButterflyTopology one_pass(3, 1);
+  ButterflyTopology many_pass(3, 4);
+  auto q1 = MeasureMixQuality(one_pass, 2, 2500, rng);
+  auto qn = MeasureMixQuality(many_pass, 2, 2500, rng);
+  EXPECT_GT(q1.joint_tv, 0.3);
+  EXPECT_LT(qn.joint_tv, 0.12);
+}
+
+TEST(MixQualityTest, MarginalsAreUniformEvenWhenJointIsNot) {
+  // The round-robin deal makes single-element marginals look fine at T=1;
+  // only the joint statistic exposes the weak mixing. This is why the
+  // module measures both.
+  Rng rng(652u);
+  SquareTopology shallow(4, 1);
+  auto q = MeasureMixQuality(shallow, 4, 2500, rng);
+  EXPECT_LT(q.marginal_tv, 0.06);
+  EXPECT_GT(q.joint_tv, 0.12);
+}
+
+// ---------------------------------------------------------- group sizing --
+
+TEST(GroupSize, MatchesPaperAnytrustExample) {
+  // §4.1: f = 20%, G = 1024, h = 1 → k = 32.
+  EXPECT_EQ(MinGroupSize(0.2, 1024, 1), 32u);
+}
+
+TEST(GroupSize, MonotoneInH) {
+  size_t prev = 0;
+  for (size_t h = 1; h <= 20; h++) {
+    size_t k = MinGroupSize(0.2, 1024, h);
+    EXPECT_GE(k, prev);
+    EXPECT_GE(k, h);  // must at least contain h honest servers
+    prev = k;
+  }
+  // Fig. 13 range check: k stays under ~75 for h <= 20 at f=0.2.
+  EXPECT_LE(prev, 75u);
+}
+
+TEST(GroupSize, GrowsWithAdversaryFraction) {
+  EXPECT_LT(MinGroupSize(0.1, 1024, 1), MinGroupSize(0.2, 1024, 1));
+  EXPECT_LT(MinGroupSize(0.2, 1024, 1), MinGroupSize(0.3, 1024, 1));
+}
+
+TEST(GroupSize, GrowsWithGroupCount) {
+  EXPECT_LE(MinGroupSize(0.2, 128, 1), MinGroupSize(0.2, 1 << 15, 1));
+}
+
+TEST(GroupSize, ProbabilityComputationSane) {
+  // For k = 32, f = 0.2, h = 1: log2(0.2^32) = 32*log2(0.2) ≈ -74.3.
+  EXPECT_NEAR(Log2ProbGroupBad(32, 0.2, 1), 32 * std::log2(0.2), 1e-6);
+  // Adding the h=2 term makes the group more likely to be bad.
+  EXPECT_GT(Log2ProbGroupBad(32, 0.2, 2), Log2ProbGroupBad(32, 0.2, 1));
+}
+
+// -------------------------------------------------------- group formation --
+
+TEST(FormGroupsTest, DeterministicInBeacon) {
+  Bytes beacon1 = ToBytes("round-42-beacon");
+  Bytes beacon2 = ToBytes("round-43-beacon");
+  auto a = FormGroups(100, 16, 5, BytesView(beacon1));
+  auto b = FormGroups(100, 16, 5, BytesView(beacon1));
+  auto c = FormGroups(100, 16, 5, BytesView(beacon2));
+  EXPECT_EQ(a.groups, b.groups);
+  EXPECT_NE(a.groups, c.groups);
+}
+
+TEST(FormGroupsTest, GroupsHaveDistinctMembers) {
+  Bytes beacon = ToBytes("beacon");
+  auto layout = FormGroups(50, 20, 10, BytesView(beacon));
+  ASSERT_EQ(layout.groups.size(), 20u);
+  for (const auto& g : layout.groups) {
+    ASSERT_EQ(g.size(), 10u);
+    std::set<uint32_t> distinct(g.begin(), g.end());
+    EXPECT_EQ(distinct.size(), g.size());
+    for (uint32_t s : g) {
+      EXPECT_LT(s, 50u);
+    }
+  }
+}
+
+TEST(FormGroupsTest, AllServersUsedWhenGroupIsWholeNetwork) {
+  Bytes beacon = ToBytes("beacon");
+  auto layout = FormGroups(8, 2, 8, BytesView(beacon));
+  for (const auto& g : layout.groups) {
+    std::set<uint32_t> distinct(g.begin(), g.end());
+    EXPECT_EQ(distinct.size(), 8u);
+  }
+}
+
+TEST(FormGroupsTest, StaggeringRotatesPositions) {
+  // With enough groups, some server must appear at different positions in
+  // different groups (§4.7 idle-time optimization).
+  Bytes beacon = ToBytes("stagger-test");
+  auto layout = FormGroups(16, 32, 8, BytesView(beacon));
+  std::map<uint32_t, std::set<size_t>> positions;
+  for (const auto& g : layout.groups) {
+    for (size_t pos = 0; pos < g.size(); pos++) {
+      positions[g[pos]].insert(pos);
+    }
+  }
+  size_t multi_position = 0;
+  for (const auto& [server, pos_set] : positions) {
+    if (pos_set.size() > 1) {
+      multi_position++;
+    }
+  }
+  EXPECT_GT(multi_position, 8u);
+}
+
+TEST(FormGroupsTest, LoadIsBalanced) {
+  // Random sampling should spread membership roughly evenly.
+  Bytes beacon = ToBytes("load");
+  auto layout = FormGroups(64, 64, 16, BytesView(beacon));
+  std::vector<int> load(64, 0);
+  for (const auto& g : layout.groups) {
+    for (uint32_t s : g) {
+      load[s]++;
+    }
+  }
+  // Expected load = 16 groups per server; no server should be wildly off.
+  for (int l : load) {
+    EXPECT_GT(l, 4);
+    EXPECT_LT(l, 32);
+  }
+}
+
+}  // namespace
+}  // namespace atom

@@ -1,0 +1,154 @@
+// Unit tests for src/util: hex, byte helpers, serialization, RNG, parallel.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/util/bytes.h"
+#include "src/util/hex.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  std::string hex = HexEncode(BytesView(data));
+  EXPECT_EQ(hex, "0001abff7f");
+  auto back = HexDecode(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, DecodeUppercase) {
+  auto out = HexDecode("DEADBEEF");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").has_value());
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").has_value());
+}
+
+TEST(Hex, EmptyString) {
+  EXPECT_EQ(HexEncode(BytesView()), "");
+  auto out = HexDecode("");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Bytes, Concat) {
+  Bytes a = {1, 2}, b = {3}, c;
+  Bytes out = Concat({BytesView(a), BytesView(b), BytesView(c)});
+  EXPECT_EQ(out, (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3}, b = {1, 2, 3}, c = {1, 2, 4}, d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(BytesView(a), BytesView(b)));
+  EXPECT_FALSE(ConstantTimeEqual(BytesView(a), BytesView(c)));
+  EXPECT_FALSE(ConstantTimeEqual(BytesView(a), BytesView(d)));
+}
+
+TEST(Serde, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.Var(Bytes{9, 8, 7});
+  Bytes buf = w.Take();
+
+  ByteReader r{BytesView(buf)};
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.Var(), (Bytes{9, 8, 7}));
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(Serde, ReaderFailsOnTruncation) {
+  Bytes buf = {1, 2, 3};
+  ByteReader r{BytesView(buf)};
+  EXPECT_FALSE(r.U32().has_value());
+}
+
+TEST(Serde, VarFailsOnBadLength) {
+  ByteWriter w;
+  w.U32(1000);  // claims 1000 bytes follow; none do
+  Bytes buf = w.Take();
+  ByteReader r{BytesView(buf)};
+  EXPECT_FALSE(r.Var().has_value());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42u), b(42u);
+  EXPECT_EQ(a.NextBytes(64), b.NextBytes(64));
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1u), b(2u);
+  EXPECT_NE(a.NextBytes(32), b.NextBytes(32));
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7u);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(7u);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; i++) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(3u);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continued stream.
+  EXPECT_NE(parent.NextBytes(32), child.NextBytes(32));
+}
+
+TEST(Parallel, RunsAllIndices) {
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(4, 100, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, InlineWhenSingleWorker) {
+  std::vector<int> hits(10, 0);  // not atomic: must run on caller thread
+  ParallelFor(1, 10, [&](size_t i) { hits[i]++; });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(Parallel, ZeroIterations) {
+  ParallelFor(4, 0, [](size_t) { FAIL(); });
+}
+
+TEST(Parallel, MoreWorkersThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(16, 3, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace atom
