@@ -1,0 +1,253 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "src/util/rng.h"
+
+namespace atom {
+
+// One vertex of the hop DAG. `inbound` slots parallel `preds`; each
+// predecessor writes exactly one slot, so slot writes never race, and the
+// acq_rel countdown on `pending` publishes them to the hop task.
+struct RoundEngine::HopNode {
+  std::atomic<size_t> pending{0};
+  std::vector<uint32_t> preds;  // predecessor gids, ascending
+  std::vector<CiphertextBatch> inbound;
+  const MaliciousAction* fault = nullptr;
+};
+
+struct RoundEngine::RoundState {
+  EngineRound spec;
+  size_t layers = 0;
+  size_t width = 0;
+  std::vector<HopNode> hops;  // hops[layer * width + gid]
+  std::atomic<size_t> hops_remaining{0};
+  std::atomic<bool> aborted{false};
+  std::vector<CiphertextBatch> exits;  // written per-gid by exit hops
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::string abort_reason;  // guarded by mu; first abort wins
+};
+
+RoundEngine::RoundEngine(ThreadPool* pool) : pool_(pool) {
+  ATOM_CHECK(pool_ != nullptr);
+}
+
+RoundEngine::~RoundEngine() {
+  std::vector<std::shared_ptr<RoundState>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [ticket, rs] : rounds_) {
+      pending.push_back(rs);
+    }
+    rounds_.clear();
+  }
+  for (auto& rs : pending) {
+    std::unique_lock<std::mutex> lock(rs->mu);
+    rs->cv.wait(lock, [&] { return rs->done; });
+  }
+}
+
+uint64_t RoundEngine::Submit(EngineRound round) {
+  ATOM_CHECK(round.topology != nullptr);
+  auto rs = std::make_shared<RoundState>();
+  rs->spec = std::move(round);
+  EngineRound& spec = rs->spec;
+  rs->layers = spec.topology->NumLayers();
+  rs->width = spec.topology->Width();
+  // A zero-layer/zero-width topology would leave hops_remaining at 0 with
+  // no hop ever scheduled, so Wait would block forever.
+  ATOM_CHECK_MSG(rs->layers >= 1 && rs->width >= 1,
+                 "topology must have at least one layer and one vertex");
+  ATOM_CHECK_MSG(spec.groups.size() == rs->width,
+                 "need one GroupRuntime per topology vertex");
+  ATOM_CHECK_MSG(spec.entry.size() == rs->width,
+                 "need one entry batch per topology vertex");
+  rs->hops = std::vector<HopNode>(rs->layers * rs->width);
+  rs->exits.resize(rs->width);
+  rs->hops_remaining.store(rs->layers * rs->width,
+                           std::memory_order_relaxed);
+
+  // Layer 0 is fed directly by the entry batches.
+  for (uint32_t g = 0; g < rs->width; g++) {
+    HopNode& node = rs->hops[g];
+    node.inbound.push_back(std::move(spec.entry[g]));
+    node.pending.store(0, std::memory_order_relaxed);
+  }
+  spec.entry.clear();
+
+  // Later layers wait on every predecessor — even one whose batch is empty
+  // delivers (an empty sub-batch), so the count is the full in-degree.
+  for (size_t layer = 1; layer < rs->layers; layer++) {
+    for (uint32_t p = 0; p < rs->width; p++) {
+      for (uint32_t dst : spec.topology->Neighbors(layer - 1, p)) {
+        ATOM_CHECK(dst < rs->width);
+        rs->hops[layer * rs->width + dst].preds.push_back(p);
+      }
+    }
+    for (uint32_t g = 0; g < rs->width; g++) {
+      HopNode& node = rs->hops[layer * rs->width + g];
+      ATOM_CHECK_MSG(!node.preds.empty(),
+                     "topology vertex with no inbound edges");
+      // Strictly increasing: a duplicate neighbor edge would make two
+      // deliveries share one inbound slot and silently drop a sub-batch.
+      ATOM_CHECK(std::adjacent_find(node.preds.begin(), node.preds.end(),
+                                    [](uint32_t a, uint32_t b) {
+                                      return a >= b;
+                                    }) == node.preds.end());
+      node.inbound.resize(node.preds.size());
+      node.pending.store(node.preds.size(), std::memory_order_relaxed);
+    }
+  }
+
+  for (const HopFault& fault : spec.faults) {
+    ATOM_CHECK(fault.layer < rs->layers && fault.gid < rs->width);
+    // First matching fault wins, like the old driver's first-match scan.
+    const MaliciousAction*& slot =
+        rs->hops[fault.layer * rs->width + fault.gid].fault;
+    if (slot == nullptr) {
+      slot = &fault.action;
+    }
+  }
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket = next_ticket_++;
+    rounds_[ticket] = rs;
+  }
+  for (uint32_t g = 0; g < rs->width; g++) {
+    ScheduleHop(rs, 0, g);
+  }
+  return ticket;
+}
+
+void RoundEngine::ScheduleHop(const std::shared_ptr<RoundState>& rs,
+                              size_t layer, uint32_t gid) {
+  pool_->Submit([this, rs, layer, gid] { ExecuteHop(rs, layer, gid); });
+}
+
+void RoundEngine::ExecuteHop(const std::shared_ptr<RoundState>& rs,
+                             size_t layer, uint32_t gid) {
+  const EngineRound& spec = rs->spec;
+  HopNode& node = rs->hops[layer * rs->width + gid];
+
+  // Concatenate inbound sub-batches in ascending predecessor order — the
+  // same order the barrier driver produced, so replays are deterministic.
+  CiphertextBatch input;
+  size_t total = 0;
+  for (const CiphertextBatch& b : node.inbound) {
+    total += b.size();
+  }
+  input.reserve(total);
+  for (CiphertextBatch& b : node.inbound) {
+    for (auto& vec : b) {
+      input.push_back(std::move(vec));
+    }
+  }
+  node.inbound.clear();
+  node.inbound.shrink_to_fit();
+
+  const bool last = (layer + 1 == rs->layers);
+  std::vector<uint32_t> neighbors;
+  if (!last) {
+    neighbors = spec.topology->Neighbors(layer, gid);
+  }
+  // Default: empty outputs (aborted round, or nothing routed this way yet —
+  // the barrier driver's `continue` for empty groups).
+  std::vector<CiphertextBatch> out(last ? 1 : neighbors.size());
+
+  if (!rs->aborted.load(std::memory_order_acquire) && !input.empty()) {
+    std::vector<Point> next_pks;
+    next_pks.reserve(neighbors.size());
+    for (uint32_t n : neighbors) {
+      next_pks.push_back(spec.groups[n]->pk());
+    }
+    // This hop's private DRBG: the round's root key, separated by hop
+    // index (independent full-entropy streams, replayable from the spec).
+    std::array<uint8_t, 32> key =
+        DeriveSubKey(spec.seed, layer * rs->width + gid);
+    Rng rng(BytesView(key.data(), key.size()));
+    HopResult hop;
+    try {
+      hop = spec.groups[gid]->RunHop(input, next_pks, spec.variant, rng,
+                                     spec.hop_workers, node.fault);
+    } catch (const std::exception& e) {
+      // A throwing hop (e.g. bad_alloc) must not escape into the pool's
+      // worker loop: convert it into an abort of this round only.
+      hop.aborted = true;
+      hop.abort_reason = std::string("hop threw: ") + e.what();
+    } catch (...) {
+      hop.aborted = true;
+      hop.abort_reason = "hop threw a non-standard exception";
+    }
+    if (hop.aborted) {
+      bool expected = false;
+      if (rs->aborted.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> lock(rs->mu);
+        rs->abort_reason = "group " + std::to_string(gid) + " layer " +
+                           std::to_string(layer) + ": " + hop.abort_reason;
+      }
+    } else {
+      ATOM_CHECK(hop.batches.size() == out.size());
+      out = std::move(hop.batches);
+    }
+  }
+
+  if (last) {
+    rs->exits[gid] = std::move(out[0]);  // per-gid slot: no lock needed
+  } else {
+    for (size_t b = 0; b < neighbors.size(); b++) {
+      Deliver(rs, layer + 1, neighbors[b], gid, std::move(out[b]));
+    }
+  }
+
+  if (rs->hops_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(rs->mu);
+    rs->done = true;
+    rs->cv.notify_all();
+  }
+}
+
+void RoundEngine::Deliver(const std::shared_ptr<RoundState>& rs, size_t layer,
+                          uint32_t dst, uint32_t src, CiphertextBatch batch) {
+  HopNode& node = rs->hops[layer * rs->width + dst];
+  auto it = std::lower_bound(node.preds.begin(), node.preds.end(), src);
+  ATOM_CHECK(it != node.preds.end() && *it == src);
+  node.inbound[static_cast<size_t>(it - node.preds.begin())] =
+      std::move(batch);
+  if (node.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    ScheduleHop(rs, layer, dst);
+  }
+}
+
+EngineRoundResult RoundEngine::Wait(uint64_t ticket) {
+  std::shared_ptr<RoundState> rs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rounds_.find(ticket);
+    ATOM_CHECK_MSG(it != rounds_.end(), "unknown or already-waited ticket");
+    rs = it->second;
+    rounds_.erase(it);
+  }
+  std::unique_lock<std::mutex> lock(rs->mu);
+  rs->cv.wait(lock, [&] { return rs->done; });
+
+  EngineRoundResult result;
+  if (rs->aborted.load(std::memory_order_acquire)) {
+    result.aborted = true;
+    result.abort_reason = rs->abort_reason;
+    return result;
+  }
+  result.exits = std::move(rs->exits);
+  return result;
+}
+
+EngineRoundResult RoundEngine::RunToCompletion(EngineRound round) {
+  return Wait(Submit(std::move(round)));
+}
+
+}  // namespace atom

@@ -1,0 +1,123 @@
+// Dependency-scheduled round execution (§4.7 throughput mode, executed for
+// real instead of estimated).
+//
+// The old driver ran the permutation network layer by layer behind a global
+// barrier: no group could start layer ℓ+1 until every group finished layer
+// ℓ, and a new round could not enter the network until the previous one
+// exited. The RoundEngine replaces the barrier with a DAG of per-group hop
+// tasks on the shared ThreadPool:
+//
+//   * hop (round r, layer ℓ, group g) becomes runnable as soon as all of
+//     its inbound sub-batches from layer ℓ-1 have arrived — groups in the
+//     same layer never wait for each other;
+//   * several rounds can be in flight at once, so a new batch enters the
+//     network every layer-time instead of every round-time — the pipelined
+//     deployment the paper describes but does not evaluate (§4.7), and the
+//     executed counterpart of EstimatePipelined (src/sim/netsim.h);
+//   * intra-hop crypto parallelism (GroupRuntime::RunHop's ParallelFor)
+//     runs on the same pool, so per-ciphertext work and cross-group /
+//     cross-layer pipelining compose instead of fighting for threads.
+//
+// A MaliciousAction that trips a hop marks only its own round aborted; the
+// round's remaining hops drain as cheap no-ops (empty batches) and other
+// in-flight rounds are untouched. Every hop draws its randomness from a
+// private ChaCha20 DRBG key-separated from the round's 256-bit root key,
+// so no Rng is shared across threads and a (spec, seed) pair replays
+// deterministically.
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/group_runtime.h"
+#include "src/topology/permnet.h"
+#include "src/util/parallel.h"
+
+namespace atom {
+
+// One malicious action pinned to a (layer, group) hop of one round.
+struct HopFault {
+  size_t layer = 0;
+  uint32_t gid = 0;
+  MaliciousAction action;
+};
+
+// Specification of one in-flight round: one batch traversing the whole
+// permutation network. The engine only mixes; entry-phase verification and
+// the exit phase (trap sorting, trustee reports, decryption) stay with the
+// caller (Round).
+struct EngineRound {
+  const Topology* topology = nullptr;
+  // One runtime per topology vertex; RunHop is const and thread-safe, so
+  // the same GroupRuntime may appear in many in-flight rounds.
+  std::vector<const GroupRuntime*> groups;
+  Variant variant = Variant::kTrap;
+  size_t hop_workers = 1;  // intra-hop ParallelFor width
+  // Per-group entry batches, moved into the engine (no copy).
+  std::vector<CiphertextBatch> entry;
+  std::vector<HopFault> faults;
+  // 256-bit root key for this round's mixing randomness (fill from the
+  // driver's Rng). Every hop's private ChaCha20 DRBG is key-separated from
+  // it by hop index, so streams are independent, unpredictable with the
+  // full key entropy, and replayable from (spec, seed).
+  std::array<uint8_t, 32> seed{};
+};
+
+struct EngineRoundResult {
+  bool aborted = false;
+  std::string abort_reason;  // "group G layer L: why"
+  // Per exit-layer group, fully stripped ciphertexts (plaintext points in
+  // .c). Size 0 when the round aborted — check `aborted` before using
+  // (ExitPhase requires one batch per group and rejects the empty vector).
+  std::vector<CiphertextBatch> exits;
+};
+
+class RoundEngine {
+ public:
+  // The engine schedules on `pool` and owns no threads itself.
+  explicit RoundEngine(ThreadPool* pool);
+  // Blocks until every submitted round has drained.
+  ~RoundEngine();
+
+  RoundEngine(const RoundEngine&) = delete;
+  RoundEngine& operator=(const RoundEngine&) = delete;
+
+  // Starts a round's layer-0 hops immediately and returns a ticket.
+  // Multiple submitted rounds pipeline through the network concurrently.
+  uint64_t Submit(EngineRound round);
+
+  // Blocks until the round drains and returns its result. Each ticket can
+  // be waited on once.
+  EngineRoundResult Wait(uint64_t ticket);
+
+  // Convenience: one round, drained to completion (the sequential driver).
+  EngineRoundResult RunToCompletion(EngineRound round);
+
+ private:
+  struct HopNode;
+  struct RoundState;
+
+  void ScheduleHop(const std::shared_ptr<RoundState>& rs, size_t layer,
+                   uint32_t gid);
+  void ExecuteHop(const std::shared_ptr<RoundState>& rs, size_t layer,
+                  uint32_t gid);
+  void Deliver(const std::shared_ptr<RoundState>& rs, size_t layer,
+               uint32_t dst, uint32_t src, CiphertextBatch batch);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  uint64_t next_ticket_ = 1;
+  std::map<uint64_t, std::shared_ptr<RoundState>> rounds_;
+};
+
+}  // namespace atom
+
+#endif  // SRC_CORE_ENGINE_H_

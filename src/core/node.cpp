@@ -1,6 +1,9 @@
 #include "src/core/node.h"
 
+#include <exception>
+
 #include "src/crypto/threshold.h"
+#include "src/util/parallel.h"
 
 namespace atom {
 namespace {
@@ -190,35 +193,124 @@ std::vector<Envelope> AtomNode::HandleReEnc(const NodeMsg& msg,
 
 void LocalBus::RegisterNode(AtomNode* node) {
   ATOM_CHECK(node != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
   ATOM_CHECK(nodes_.emplace(node->server_id(), node).second);
 }
 
 void LocalBus::Send(Envelope envelope) {
-  queue_.push_back(std::move(envelope));
+  std::lock_guard<std::mutex> lock(mu_);
+  Enqueue(std::move(envelope));
+}
+
+// Routes one envelope: driver-bound messages land in the collectors,
+// server-bound messages join that server's serial queue, and an idle
+// server with new work becomes a pool task. Caller holds mu_.
+void LocalBus::Enqueue(Envelope envelope) {
+  if (envelope.msg.type == NodeMsg::Type::kGroupOutput) {
+    outputs_.push_back(std::move(envelope.msg));
+    return;
+  }
+  if (envelope.msg.type == NodeMsg::Type::kAbort) {
+    aborts_.push_back(std::move(envelope.msg));
+    abort_seen_ = true;
+    return;
+  }
+  ATOM_CHECK_MSG(nodes_.contains(envelope.to_server),
+                 "envelope for unregistered server");
+  ServerQueue& queue = queues_[envelope.to_server];
+  queue.pending.push_back(std::move(envelope.msg));
+  unfinished_++;
+  if (running_ && !queue.active) {
+    queue.active = true;
+    drains_++;
+    uint32_t server_id = envelope.to_server;
+    ThreadPool::Shared().Submit(
+        [this, server_id] { DrainServer(server_id); });
+  }
+}
+
+void LocalBus::DrainServer(uint32_t server_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ServerQueue& queue = queues_[server_id];
+  AtomNode* node = nodes_[server_id];
+  while (!queue.pending.empty()) {
+    NodeMsg msg = std::move(queue.pending.front());
+    queue.pending.pop_front();
+    if (!abort_seen_) {
+      // Private generator for this delivery: key-separate the run's
+      // 256-bit root key by (server id, per-server delivery count) in
+      // disjoint key bytes. Streams are never reused (each delivery gets a
+      // fresh key even when two batches drive identical protocol steps)
+      // and deterministic whenever a server's arrival order is — which it
+      // is for serial chain traffic, the protocol's shape. Handle runs
+      // unlocked so other servers' drains proceed concurrently.
+      std::array<uint8_t, 32> key =
+          DeriveSubKey(run_key_, server_id, queue.delivered++);
+      Rng step_rng(BytesView(key.data(), key.size()));
+      lock.unlock();
+      std::vector<Envelope> emitted;
+      try {
+        emitted = node->Handle(msg, step_rng);
+      } catch (const std::exception& e) {
+        // Never let a throwing handler escape into the pool's worker
+        // loop; surface it as an abort of this run.
+        NodeMsg abort_msg;
+        abort_msg.type = NodeMsg::Type::kAbort;
+        abort_msg.gid = msg.gid;
+        abort_msg.abort_reason = std::string("handler threw: ") + e.what();
+        emitted.push_back(Envelope{server_id, std::move(abort_msg)});
+      } catch (...) {
+        NodeMsg abort_msg;
+        abort_msg.type = NodeMsg::Type::kAbort;
+        abort_msg.gid = msg.gid;
+        abort_msg.abort_reason = "handler threw a non-standard exception";
+        emitted.push_back(Envelope{server_id, std::move(abort_msg)});
+      }
+      lock.lock();
+      for (Envelope& next : emitted) {
+        Enqueue(std::move(next));
+      }
+    }
+    unfinished_--;
+  }
+  queue.active = false;
+  drains_--;
+  if (unfinished_ == 0 || drains_ == 0) {
+    cv_.notify_all();
+  }
 }
 
 bool LocalBus::Run(Rng& rng) {
-  while (!queue_.empty()) {
-    Envelope env = std::move(queue_.front());
-    queue_.pop_front();
-    if (env.msg.type == NodeMsg::Type::kGroupOutput) {
-      outputs_.push_back(std::move(env.msg));
-      continue;
-    }
-    if (env.msg.type == NodeMsg::Type::kAbort) {
-      aborts_.push_back(std::move(env.msg));
-      return false;
-    }
-    auto it = nodes_.find(env.to_server);
-    ATOM_CHECK_MSG(it != nodes_.end(), "envelope for unregistered server");
-    for (Envelope& next : it->second->Handle(env.msg, rng)) {
-      queue_.push_back(std::move(next));
+  std::unique_lock<std::mutex> lock(mu_);
+  rng.Fill(run_key_.data(), run_key_.size());
+  running_ = true;
+  // Each Run reports the aborts it observes; an abort in an earlier Run
+  // does not poison later ones (the bus stays usable for e.g. a blame or
+  // recovery phase driven after a disrupted hop).
+  abort_seen_ = false;
+  const size_t aborts_before = aborts_.size();
+  for (auto& [server_id, queue] : queues_) {
+    queue.delivered = 0;  // per-run delivery counters
+  }
+  for (auto& [server_id, queue] : queues_) {
+    if (!queue.pending.empty() && !queue.active) {
+      queue.active = true;
+      drains_++;
+      uint32_t sid = server_id;
+      ThreadPool::Shared().Submit([this, sid] { DrainServer(sid); });
     }
   }
-  return aborts_.empty();
+  // Quiescent when every message is handled and every drain task has
+  // retired (so no pool task still references this bus).
+  cv_.wait(lock, [&] { return unfinished_ == 0 && drains_ == 0; });
+  running_ = false;
+  return aborts_.size() == aborts_before;
 }
 
-void LocalBus::ClearOutputs() { outputs_.clear(); }
+void LocalBus::ClearOutputs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  outputs_.clear();
+}
 
 NodeGroupKeys MakeNodeGroupKeys(const DkgResult& dkg,
                                 std::span<const uint32_t> chain_servers,

@@ -20,8 +20,11 @@
 #ifndef SRC_CORE_NODE_H_
 #define SRC_CORE_NODE_H_
 
+#include <array>
+#include <condition_variable>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -29,6 +32,7 @@
 #include "src/crypto/dkg.h"
 #include "src/crypto/shuffle.h"
 #include "src/crypto/sigma.h"
+#include "src/util/rng.h"
 
 namespace atom {
 
@@ -96,28 +100,64 @@ class AtomNode {
   std::map<uint32_t, NodeGroupKeys> groups_;
 };
 
-// In-process message bus: FIFO delivery between registered nodes. Group
-// outputs and aborts are collected for the driver.
+// In-process message bus between registered nodes. Group outputs and
+// aborts are collected for the driver.
+//
+// Delivery runs on the shared ThreadPool with the same ready-queue
+// discipline as the RoundEngine (src/core/engine.h): each server owns a
+// serial message queue (a real server processes its socket in order), a
+// server with pending messages becomes a pool task, and independent
+// servers — different groups, different chain positions — handle their
+// messages concurrently instead of walking one global deque. Each
+// delivered message gets a private Rng key-separated from a per-run root
+// key, so no generator is shared across pool threads.
 class LocalBus {
  public:
   void RegisterNode(AtomNode* node);
 
-  // Queues a message for a server.
+  // Queues a message for a server (thread-safe; pool tasks re-enter it).
   void Send(Envelope envelope);
 
-  // Delivers until quiescent. Returns false if any node aborted.
+  // Delivers until quiescent. Returns false if any node aborted during
+  // this call; once an abort is observed, messages still queued in this
+  // call are discarded. A later Run starts fresh (aborts() keeps the
+  // history).
   bool Run(Rng& rng);
 
-  // Collected kGroupOutput messages (one per finished group hop).
+  // Collected kGroupOutput messages (one per finished group hop). Only
+  // read these while Run is not executing.
   const std::vector<NodeMsg>& outputs() const { return outputs_; }
   const std::vector<NodeMsg>& aborts() const { return aborts_; }
   void ClearOutputs();
 
  private:
+  struct ServerQueue {
+    std::deque<NodeMsg> pending;
+    bool active = false;     // a drain task is scheduled or running
+    uint64_t delivered = 0;  // deliveries this Run (per-delivery Rng salt)
+  };
+
+  void Enqueue(Envelope envelope);  // requires mu_
+  void DrainServer(uint32_t server_id);
+
   std::map<uint32_t, AtomNode*> nodes_;
-  std::deque<Envelope> queue_;
+  std::map<uint32_t, ServerQueue> queues_;
   std::vector<NodeMsg> outputs_;
   std::vector<NodeMsg> aborts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t unfinished_ = 0;  // enqueued but not fully handled messages
+  size_t drains_ = 0;      // outstanding drain tasks on the pool
+  bool running_ = false;
+  bool abort_seen_ = false;
+  // 256-bit root key drawn from the driver's generator once per Run; every
+  // delivery key-separates its private DRBG from it by (server id,
+  // per-server delivery count), so randomness is never reused across
+  // deliveries and a run replays deterministically from a seed whenever
+  // each server's arrival order is deterministic (true for serial chain
+  // traffic).
+  std::array<uint8_t, 32> run_key_{};
 };
 
 // Builds per-server NodeGroupKeys from a group's DKG result and its chain

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
 
 #include "src/crypto/kem.h"
 #include "src/crypto/sha256.h"
@@ -89,17 +90,11 @@ RoundResult Round::Run(Rng& rng, const Evil* evil) {
   return RunWithEvils(rng, std::span<const Evil>(evil, 1));
 }
 
-RoundResult Round::RunWithEvils(Rng& rng, std::span<const Evil> evils) {
-  RoundResult result;
+EngineRound Round::MakeEngineRound(std::vector<CiphertextBatch> entry,
+                                   std::span<const Evil> evils, Rng& rng) {
   const AtomParams& p = config_.params;
-  const size_t T = topology_->NumLayers();
   const size_t G = topology_->Width();
-
-  // Collect neighbour keys once per layer shape (square: all groups).
-  std::vector<CiphertextBatch> at(G);
-  for (uint32_t g = 0; g < G; g++) {
-    at[g] = entry_batches_[g];
-  }
+  ATOM_CHECK(entry.size() == G);
 
   // §3: butterfly mixing needs a constant fraction of dummies; each entry
   // group pads its own batch (dummies are discarded at the exit).
@@ -107,69 +102,70 @@ RoundResult Round::RunWithEvils(Rng& rng, std::span<const Evil> evils) {
       p.butterfly_dummy_fraction > 0) {
     for (uint32_t g = 0; g < G; g++) {
       size_t dummies = static_cast<size_t>(
-          std::ceil(static_cast<double>(at[g].size()) *
+          std::ceil(static_cast<double>(entry[g].size()) *
                     p.butterfly_dummy_fraction));
       for (size_t d = 0; d < dummies; d++) {
         Bytes plain = MakeDummyPlaintext(layout_, rng);
-        at[g].push_back(ElGamalEncryptVec(
+        entry[g].push_back(ElGamalEncryptVec(
             groups_[g]->pk(), FragmentToPoints(BytesView(plain), layout_),
             rng));
       }
     }
   }
 
-  for (size_t layer = 0; layer < T; layer++) {
-    const bool last = (layer + 1 == T);
-    std::vector<CiphertextBatch> next(G);
-    std::vector<CiphertextBatch> exits(G);
-    for (uint32_t g = 0; g < G; g++) {
-      if (at[g].empty()) {
-        continue;
-      }
-      std::vector<Point> next_pks;
-      std::vector<uint32_t> neighbors;
-      if (!last) {
-        neighbors = topology_->Neighbors(layer, g);
-        next_pks.reserve(neighbors.size());
-        for (uint32_t n : neighbors) {
-          next_pks.push_back(groups_[n]->pk());
-        }
-      }
-      const MaliciousAction* action = nullptr;
-      for (const Evil& evil : evils) {
-        if (evil.layer == layer && evil.gid == g) {
-          action = &evil.action;
-          break;
-        }
-      }
-      HopResult hop = groups_[g]->RunHop(at[g], next_pks, p.variant, rng,
-                                         config_.workers, action);
-      if (hop.aborted) {
-        result.aborted = true;
-        result.abort_reason = "group " + std::to_string(g) + " layer " +
-                              std::to_string(layer) + ": " + hop.abort_reason;
-        return result;
-      }
-      if (last) {
-        ATOM_CHECK(hop.batches.size() == 1);
-        exits[g] = std::move(hop.batches[0]);
-      } else {
-        for (size_t b = 0; b < neighbors.size(); b++) {
-          auto& dst = next[neighbors[b]];
-          for (auto& vec : hop.batches[b]) {
-            dst.push_back(std::move(vec));
-          }
-        }
-      }
-    }
-    if (last) {
-      at = std::move(exits);
-    } else {
-      at = std::move(next);
-    }
+  EngineRound spec;
+  spec.topology = topology_.get();
+  spec.groups.reserve(G);
+  for (uint32_t g = 0; g < G; g++) {
+    spec.groups.push_back(groups_[g].get());
   }
+  spec.variant = p.variant;
+  spec.hop_workers = config_.workers;
+  spec.entry = std::move(entry);
+  spec.faults.reserve(evils.size());
+  for (const Evil& evil : evils) {
+    spec.faults.push_back(HopFault{evil.layer, evil.gid, evil.action});
+  }
+  rng.Fill(spec.seed.data(), spec.seed.size());
+  return spec;
+}
 
-  // ---- Exit phase.
+RoundResult Round::RunWithEvils(Rng& rng, std::span<const Evil> evils) {
+  // The accepted submissions move into the engine — a round consumes its
+  // batch (the old driver deep-copied every ciphertext vector here) — and
+  // the raw trap submissions shift to the blame slot. Every path (success
+  // or abort) leaves the Round uniformly drained, so resubmit-and-run
+  // always starts clean: ExitPhase consumes the commitments on completed
+  // runs, the abort path below resets them.
+  std::vector<CiphertextBatch> entry = std::move(entry_batches_);
+  entry_batches_.assign(config_.params.num_groups, {});
+  last_run_submissions_ = std::move(trap_submissions_);
+  trap_submissions_.assign(config_.params.num_groups, {});
+
+  RoundEngine engine(&ThreadPool::Shared());
+  EngineRoundResult mixed =
+      engine.RunToCompletion(MakeEngineRound(std::move(entry), evils, rng));
+  if (mixed.aborted) {
+    trap_commitments_.assign(config_.params.num_groups, {});
+    RoundResult result;
+    result.aborted = true;
+    result.abort_reason = std::move(mixed.abort_reason);
+    return result;
+  }
+  return ExitPhase(std::move(mixed.exits));
+}
+
+RoundResult Round::ExitPhase(std::vector<CiphertextBatch> at) {
+  RoundResult result;
+  const AtomParams& p = config_.params;
+  const size_t G = topology_->Width();
+  ATOM_CHECK(at.size() == G);
+
+  // The commitments registered for this run are consumed on every exit
+  // path (success or abort), keeping the Round's state symmetric.
+  std::vector<std::vector<std::array<uint8_t, 32>>> commitments =
+      std::exchange(trap_commitments_,
+                    std::vector<std::vector<std::array<uint8_t, 32>>>(G));
   if (p.variant == Variant::kNizk) {
     for (uint32_t g = 0; g < G; g++) {
       auto points = ExitPlaintexts(at[g]);
@@ -251,7 +247,7 @@ RoundResult Round::RunWithEvils(Rng& rng, std::span<const Evil> evils) {
     // Trap check: multiset of arriving trap commitments must equal the
     // registered multiset.
     std::multiset<std::string> expected;
-    for (const auto& commitment : trap_commitments_[g]) {
+    for (const auto& commitment : commitments[g]) {
       expected.insert(HexEncode(BytesView(commitment)));
     }
     bool traps_ok = true;
@@ -315,7 +311,13 @@ Scalar Round::GroupSecret(uint32_t gid) const {
 
 BlameResult Round::BlameEntryGroup(uint32_t gid) {
   ATOM_CHECK(gid < groups_.size());
-  return RunBlame(GroupSecret(gid), trap_submissions_[gid], layout_);
+  // Once a run has happened, blame always targets the batch that ran —
+  // submissions accepted afterwards must not mask a disrupted round's
+  // cheater. Before the first run, inspect the pending batch.
+  const std::vector<TrapSubmission>& subs =
+      last_run_submissions_.empty() ? trap_submissions_[gid]
+                                    : last_run_submissions_[gid];
+  return RunBlame(GroupSecret(gid), subs, layout_);
 }
 
 void Round::EscrowAllShares(Rng& rng) {

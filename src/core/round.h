@@ -16,6 +16,7 @@
 
 #include "src/core/blame.h"
 #include "src/core/client.h"
+#include "src/core/engine.h"
 #include "src/core/group_runtime.h"
 #include "src/core/trustees.h"
 #include "src/topology/groups.h"
@@ -63,7 +64,16 @@ class Round {
     MaliciousAction action;
   };
 
-  // Runs T mixing iterations plus the exit phase.
+  // Runs T mixing iterations plus the exit phase. Mixing executes on the
+  // dependency-scheduled RoundEngine (src/core/engine.h) over the shared
+  // thread pool; this call submits one round and drains it to completion,
+  // preserving the old synchronous contract. Every run — completed or
+  // aborted — consumes the accepted submissions (ciphertexts move into
+  // the engine at the start; trap commitments are consumed with them), so
+  // submit again before running another round. After an aborted trap
+  // round, BlameEntryGroup identifies the culprits; note §4.6 blame
+  // reveals the entry key, so a real deployment re-keys with a fresh
+  // Round afterwards.
   RoundResult Run(Rng& rng, const Evil* evil = nullptr);
 
   // Variant with several independent malicious actions (§7 intersection-
@@ -71,9 +81,22 @@ class Round {
   // probability 2^-κ).
   RoundResult RunWithEvils(Rng& rng, std::span<const Evil> evils);
 
+  // Building blocks for pipelined execution (bench/bench_pipeline_execution
+  // and custom drivers): an EngineRound spec for this network's mixing
+  // phase over an arbitrary entry-batch set (one batch per group, moved
+  // in; butterfly dummy padding applied here), and the exit phase applied
+  // to the engine's exit batches. RunWithEvils is exactly
+  // ExitPhase(engine.RunToCompletion(MakeEngineRound(...)).exits).
+  EngineRound MakeEngineRound(std::vector<CiphertextBatch> entry,
+                              std::span<const Evil> evils, Rng& rng);
+  RoundResult ExitPhase(std::vector<CiphertextBatch> exits);
+
   // §4.6: after a disrupted trap round, an entry group reveals its key and
   // identifies malformed submissions. Returns indices into that group's
-  // accepted submissions, in submission order.
+  // accepted submissions, in submission order. Inspects the batch of the
+  // most recent Run (submissions accepted afterwards cannot mask a
+  // disrupted round's cheater); before the first run it inspects the
+  // pending batch.
   BlameResult BlameEntryGroup(uint32_t gid);
 
   // §4.5 buddy groups: every server escrows its share with the next group
@@ -95,10 +118,13 @@ class Round {
   std::unique_ptr<Topology> topology_;
 
   // Per entry group: the accepted input batches and (trap variant) the
-  // registered trap commitments and raw submissions (kept for blame).
+  // registered trap commitments and raw submissions (kept for blame). A
+  // run consumes the batches and commitments; the submissions move into
+  // last_run_submissions_ so blame targets the batch that actually ran.
   std::vector<CiphertextBatch> entry_batches_;
   std::vector<std::vector<std::array<uint8_t, 32>>> trap_commitments_;
   std::vector<std::vector<TrapSubmission>> trap_submissions_;
+  std::vector<std::vector<TrapSubmission>> last_run_submissions_;
 
   // Buddy escrow: escrows_[gid][i] holds group gid's server i+1's share,
   // sub-shared to the buddy group (gid+1 mod G).

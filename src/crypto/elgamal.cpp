@@ -152,7 +152,9 @@ Bytes EncodeCiphertextVec(const ElGamalCiphertextVec& cts) {
 std::optional<ElGamalCiphertextVec> DecodeCiphertextVec(BytesView bytes) {
   ByteReader r(bytes);
   auto n = r.U32();
-  if (!n.has_value()) {
+  // A valid count never exceeds the ciphertexts the buffer can hold, so a
+  // fuzzed length prefix cannot force a huge allocation.
+  if (!n.has_value() || *n > r.remaining() / ElGamalCiphertext::kEncodedSize) {
     return std::nullopt;
   }
   ElGamalCiphertextVec out;

@@ -1,47 +1,146 @@
 #include "src/util/parallel.h"
 
 #include <atomic>
-#include <thread>
-#include <vector>
+#include <exception>
+#include <memory>
+
+#include "src/util/check.h"
 
 namespace atom {
 
-void ParallelFor(size_t workers, size_t n,
-                 const std::function<void(size_t)>& fn) {
+// One ParallelFor region. Iterations are claimed with an atomic cursor
+// (dynamic scheduling in chunks of one: crypto work per item is uniform but
+// this keeps tail latency low when n is not a multiple of the worker
+// count). The region is done when every iteration has been claimed AND
+// executed; helpers that arrive late see next >= n and return immediately.
+struct ThreadPool::ForState {
+  ForState(size_t total, const std::function<void(size_t)>& f)
+      : n(total), fn(&f) {}
+
+  const size_t n;
+  const std::function<void(size_t)>* fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception, written under mu
+};
+
+void ThreadPool::RunSlice(ForState& state) {
+  for (;;) {
+    size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.n) {
+      return;
+    }
+    if (!state.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*state.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (state.error == nullptr) {
+          state.error = std::current_exception();
+        }
+        state.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (state.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state.n) {
+      // Taking the lock orders the notification after the waiter's
+      // predicate check, so the wake-up cannot be lost.
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.cv.notify_all();
+    }
+  }
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; t++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // shutdown with a drained queue
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Accepted even during shutdown: the destructor drains the queue
+    // before joining, so a task Submitted by a still-running task is
+    // executed rather than aborting the process.
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::For(size_t max_workers, size_t n,
+                     const std::function<void(size_t)>& fn) {
   if (n == 0) {
     return;
   }
-  if (workers <= 1 || n == 1) {
+  if (max_workers <= 1 || n == 1) {
     for (size_t i = 0; i < n; i++) {
       fn(i);
     }
     return;
   }
-  if (workers > n) {
-    workers = n;
+  auto state = std::make_shared<ForState>(n, fn);
+  // The caller is one worker; helpers never exceed the pool size or the
+  // iteration count. shared_ptr keeps the state alive for helpers that are
+  // dequeued after the region already drained.
+  size_t helpers = std::min(max_workers - 1, std::min(n - 1, num_threads()));
+  for (size_t h = 0; h < helpers; h++) {
+    Submit([state] { RunSlice(*state); });
   }
-  std::atomic<size_t> next{0};
-  auto body = [&] {
-    // Dynamic scheduling in small chunks: crypto work per item is uniform but
-    // this keeps tail latency low when n is not a multiple of the worker
-    // count.
-    for (;;) {
-      size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) {
-        return;
-      }
-      fn(i);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t w = 0; w + 1 < workers; w++) {
-    threads.emplace_back(body);
+  RunSlice(*state);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) == n;
+    });
   }
-  body();
-  for (auto& t : threads) {
-    t.join();
+  if (state->error != nullptr) {
+    std::rethrow_exception(state->error);
   }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(HardwareThreads());
+  return pool;
+}
+
+void ParallelFor(size_t workers, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  ThreadPool::Shared().For(workers, n, fn);
 }
 
 size_t HardwareThreads() {

@@ -1,19 +1,71 @@
-// Data-parallel helper used to parallelize per-ciphertext crypto work
-// (shuffle rerandomization, reencryption, proof batches) across cores.
+// Persistent worker pool shared by the data-parallel crypto loops
+// (ParallelFor: shuffle rerandomization, reencryption, proof batches) and
+// the round engine's dependency-scheduled hop tasks (src/core/engine.h).
 //
-// The paper's Figure 7 measures exactly this: how one mixing iteration speeds
-// up with core count. ParallelFor lets benches pin the worker count.
+// The paper's Figure 7 measures exactly what ParallelFor provides: how one
+// mixing iteration speeds up with core count. Before the engine refactor
+// every ParallelFor call spawned and joined fresh std::threads — pure churn
+// on the per-ciphertext hot path; now both intra-hop parallelism and
+// cross-group/cross-layer pipelining run on one shared set of threads, so
+// they compose instead of oversubscribing the machine.
 #ifndef SRC_UTIL_PARALLEL_H_
 #define SRC_UTIL_PARALLEL_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace atom {
 
-// Runs fn(i) for i in [0, n) using up to `workers` threads. With workers <= 1
-// runs inline on the caller's thread. fn must be safe to call concurrently
-// for distinct i. Blocks until all iterations complete.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` persistent workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  // Drains queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Enqueues an independent task. Tasks may Submit further tasks and may
+  // run For() regions; they must not block waiting for a task that has not
+  // been submitted yet, and must not let exceptions escape (there is no
+  // caller to rethrow to — an escaping exception terminates the process).
+  void Submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, n) using up to `max_workers` threads. The
+  // caller participates (claims iterations itself), so the region completes
+  // even when every pool thread is busy — which makes nested use from pool
+  // tasks deadlock-free. Blocks until all iterations finish. If fn throws,
+  // the first exception is captured and rethrown on the caller after the
+  // region drains; remaining unclaimed iterations are skipped.
+  void For(size_t max_workers, size_t n, const std::function<void(size_t)>& fn);
+
+  // Process-wide pool with HardwareThreads() workers, created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  struct ForState;
+  static void RunSlice(ForState& state);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs fn(i) for i in [0, n) using up to `workers` threads of the shared
+// pool. With workers <= 1 runs inline on the caller's thread. fn must be
+// safe to call concurrently for distinct i. Blocks until all iterations
+// complete; rethrows the first exception fn throws.
 void ParallelFor(size_t workers, size_t n,
                  const std::function<void(size_t)>& fn);
 

@@ -89,4 +89,24 @@ Rng Rng::Fork() {
   return Rng(BytesView(child_seed));
 }
 
+std::array<uint8_t, 32> DeriveSubKey(const std::array<uint8_t, 32>& root,
+                                     uint64_t salt_a, uint64_t salt_b) {
+  // nonce = salt_a (8 bytes LE) || low half of salt_b; counter = high half
+  // of salt_b. Each (salt_a, salt_b) pair selects a distinct keystream
+  // block, so subkeys are independent PRF outputs under the single root.
+  std::array<uint8_t, 12> nonce;
+  for (size_t i = 0; i < 8; i++) {
+    nonce[i] = static_cast<uint8_t>(salt_a >> (8 * i));
+  }
+  for (size_t i = 0; i < 4; i++) {
+    nonce[8 + i] = static_cast<uint8_t>(salt_b >> (8 * i));
+  }
+  uint32_t counter = static_cast<uint32_t>(salt_b >> 32);
+  std::array<uint8_t, 64> block;
+  ChaCha20Block(root.data(), counter, nonce.data(), block.data());
+  std::array<uint8_t, 32> key;
+  std::copy(block.begin(), block.begin() + 32, key.begin());
+  return key;
+}
+
 }  // namespace atom

@@ -13,6 +13,15 @@
 
 namespace atom {
 
+// Key-separates a 256-bit DRBG root key: returns the first 32 bytes of the
+// ChaCha20 keystream under `root` at the (nonce, counter) encoding of
+// (salt_a, salt_b). Single-key PRF output at distinct inputs — distinct
+// salts give cryptographically independent subkeys (no related-key
+// caveats), deterministically replayable from the root. Used to give
+// every engine hop and bus delivery a private generator.
+std::array<uint8_t, 32> DeriveSubKey(const std::array<uint8_t, 32>& root,
+                                     uint64_t salt_a, uint64_t salt_b = 0);
+
 class Rng {
  public:
   // Seeds the generator from a 32-byte key. Shorter seeds are zero-padded.

@@ -477,6 +477,57 @@ TEST(FullRound, TrapVariantDeliversAllMessages) {
   EXPECT_EQ(got, sent);
 }
 
+TEST(FullRound, TrapRoundRunsAgainAfterResubmission) {
+  // A completed run consumes the submissions AND their trap commitments;
+  // a fresh submit + Run cycle on the same Round (same keys, same epoch)
+  // must succeed without the first run's commitments haunting the check.
+  Rng rng(749u);
+  Round round(SmallConfig(Variant::kTrap), rng);
+  for (int run = 0; run < 2; run++) {
+    for (uint32_t u = 0; u < 4; u++) {
+      uint32_t gid = u % round.NumGroups();
+      auto sub = MakeTrapSubmission(
+          round.EntryPk(gid), gid, round.TrusteePk(),
+          BytesView(ToBytes("run" + std::to_string(run))), round.layout(),
+          rng);
+      ASSERT_TRUE(round.SubmitTrap(sub));
+    }
+    auto result = round.Run(rng);
+    ASSERT_FALSE(result.aborted) << "run " << run << ": "
+                                 << result.abort_reason;
+    EXPECT_EQ(result.plaintexts.size(), 4u) << "run " << run;
+    EXPECT_EQ(result.traps_seen, 4u) << "run " << run;
+  }
+}
+
+TEST(FullRound, TrapRoundRunsAgainAfterAnAbortedRun) {
+  // Aborted runs drain the Round's submission state just like completed
+  // ones, so a fresh honest batch after a disrupted round must succeed.
+  Rng rng(754u);
+  Round round(SmallConfig(Variant::kTrap), rng);
+  for (uint32_t u = 0; u < 8; u++) {
+    uint32_t gid = u % round.NumGroups();
+    auto sub = MakeTrapSubmission(round.EntryPk(gid), gid, round.TrusteePk(),
+                                  BytesView(ToBytes("doomed")),
+                                  round.layout(), rng);
+    ASSERT_TRUE(round.SubmitTrap(sub));
+  }
+  Round::Evil evil{0, 1,
+                   {MaliciousAction::Kind::kDuplicateDuringShuffle, 1, 1}};
+  ASSERT_TRUE(round.Run(rng, &evil).aborted);
+
+  for (uint32_t u = 0; u < 4; u++) {
+    uint32_t gid = u % round.NumGroups();
+    auto sub = MakeTrapSubmission(round.EntryPk(gid), gid, round.TrusteePk(),
+                                  BytesView(ToBytes("fresh")),
+                                  round.layout(), rng);
+    ASSERT_TRUE(round.SubmitTrap(sub));
+  }
+  auto result = round.Run(rng);
+  ASSERT_FALSE(result.aborted) << result.abort_reason;
+  EXPECT_EQ(result.plaintexts.size(), 4u);
+}
+
 TEST(FullRound, NizkVariantAbortsOnMaliciousServer) {
   Rng rng(742u);
   Round round(SmallConfig(Variant::kNizk), rng);
@@ -695,6 +746,36 @@ TEST(Blame, IdentifiesDuplicateInnerCiphertexts) {
   EXPECT_TRUE(result.aborted);  // duplicate inner ciphertexts detected
   auto blame = round.BlameEntryGroup(0);
   EXPECT_EQ(blame.bad_users, (std::vector<size_t>{1, 2}));
+}
+
+TEST(Blame, SecondRunBlamesOnlyItsOwnSubmissions) {
+  // Run 1 completes cleanly; run 2 contains one cheater. Blame indices
+  // must refer to run 2's submission order, not a list polluted by run 1.
+  Rng rng(753u);
+  Round round(SmallConfig(Variant::kTrap), rng);
+  for (int u = 0; u < 3; u++) {
+    auto sub = MakeTrapSubmission(round.EntryPk(0), 0, round.TrusteePk(),
+                                  BytesView(ToBytes("round-one")),
+                                  round.layout(), rng);
+    ASSERT_TRUE(round.SubmitTrap(sub));
+  }
+  ASSERT_FALSE(round.Run(rng).aborted);
+
+  auto honest = MakeTrapSubmission(round.EntryPk(0), 0, round.TrusteePk(),
+                                   BytesView(ToBytes("round-two")),
+                                   round.layout(), rng);
+  ASSERT_TRUE(round.SubmitTrap(honest));
+  auto evil_sub = MakeTrapSubmission(round.EntryPk(0), 0, round.TrusteePk(),
+                                     BytesView(ToBytes("round-two-evil")),
+                                     round.layout(), rng);
+  evil_sub.trap_commitment[0] ^= 0xff;
+  ASSERT_TRUE(round.SubmitTrap(evil_sub));
+
+  auto result = round.Run(rng);
+  EXPECT_TRUE(result.aborted);
+  auto blame = round.BlameEntryGroup(0);
+  ASSERT_EQ(blame.bad_users.size(), 1u);
+  EXPECT_EQ(blame.bad_users[0], 1u);  // index within run 2, not 4
 }
 
 TEST(Blame, HonestUsersAreNotBlamed) {

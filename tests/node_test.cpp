@@ -238,6 +238,36 @@ TEST(NodeRuntime, NizkPeerRejectsTamperedReEnc) {
             std::string::npos);
 }
 
+TEST(NodeRuntime, BusStaysUsableAfterAnAbort) {
+  // An abort ends the run that observed it, not the bus: a later Run
+  // (blame / recovery traffic after a disrupted hop) must deliver again.
+  NodeNetwork net;
+  auto g0 = net.AddGroup(0, 100, 3, Variant::kNizk);
+
+  NodeMsg msg;
+  msg.type = NodeMsg::Type::kShuffleStep;
+  msg.gid = 0;
+  msg.chain_pos = 0;
+  msg.batch = net.MakeBatch(g0.pub.group_pk, 4);
+  auto envelopes = net.nodes[0]->Handle(msg, net.rng);
+  ASSERT_EQ(envelopes.size(), 1u);
+  envelopes[0].msg.batch[0][0].c =
+      envelopes[0].msg.batch[0][0].c + Point::Generator();
+  net.bus.Send(std::move(envelopes[0]));
+  EXPECT_FALSE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.aborts().size(), 1u);
+
+  // Fresh honest hop on the same bus.
+  auto batch = net.MakeBatch(g0.pub.group_pk, 4);
+  auto sent = DecryptBatch(GroupSecret(g0), batch);
+  net.Inject(0, 100, batch, {});
+  net.bus.ClearOutputs();
+  EXPECT_TRUE(net.bus.Run(net.rng));
+  ASSERT_EQ(net.bus.outputs().size(), 1u);
+  EXPECT_EQ(DecryptBatch(Scalar::Zero(), net.bus.outputs()[0].subs[0]),
+            sent);
+}
+
 TEST(NodeRuntime, MultiHopAcrossThreeGroups) {
   // Chain three group hops end to end through the bus: g0 -> g1 -> exit.
   NodeNetwork net;

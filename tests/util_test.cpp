@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <stdexcept>
 
 #include "src/util/bytes.h"
 #include "src/util/hex.h"
@@ -148,6 +151,85 @@ TEST(Parallel, MoreWorkersThanWork) {
   for (auto& h : hits) {
     EXPECT_EQ(h.load(), 1);
   }
+}
+
+TEST(Parallel, RethrowsFirstWorkerException) {
+  // A throw from fn(i) on a pool thread must surface on the caller, not
+  // terminate the process.
+  EXPECT_THROW(ParallelFor(4, 100,
+                           [&](size_t i) {
+                             if (i == 37) {
+                               throw std::runtime_error("worker boom");
+                             }
+                           }),
+               std::runtime_error);
+  // The shared pool is still usable afterwards.
+  std::atomic<int> count{0};
+  ParallelFor(4, 50, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Parallel, RethrowsInlineException) {
+  EXPECT_THROW(
+      ParallelFor(1, 10, [](size_t) { throw std::runtime_error("inline"); }),
+      std::runtime_error);
+}
+
+// Sync state for tasks that outlive the test scope briefly: heap-shared so
+// a task blocked on mu while the waiter already returned cannot touch a
+// destroyed mutex.
+struct TaskSync {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  // guarded by mu
+  std::atomic<size_t> total{0};
+};
+
+TEST(ThreadPoolTest, SubmittedTasksAllRun) {
+  auto sync = std::make_shared<TaskSync>();
+  constexpr size_t kTasks = 64;
+  for (size_t t = 0; t < kTasks; t++) {
+    ThreadPool::Shared().Submit([sync] {
+      std::lock_guard<std::mutex> lock(sync->mu);
+      if (++sync->done == kTasks) {
+        sync->cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&] { return sync->done == kTasks; });
+  EXPECT_EQ(sync->done, kTasks);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromPoolTasksCompletes) {
+  // Hop tasks run ParallelFor from inside pool threads; the caller
+  // participates in its own region, so this must not deadlock even when
+  // every pool thread is occupied by an outer task.
+  const size_t outer = ThreadPool::Shared().num_threads() + 2;
+  auto sync = std::make_shared<TaskSync>();
+  for (size_t t = 0; t < outer; t++) {
+    ThreadPool::Shared().Submit([sync, outer] {
+      ParallelFor(4, 25, [&](size_t) { sync->total.fetch_add(1); });
+      std::lock_guard<std::mutex> lock(sync->mu);
+      if (++sync->done == outer) {
+        sync->cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&] { return sync->done == outer; });
+  EXPECT_EQ(sync->total.load(), outer * 25);
+}
+
+TEST(ThreadPoolTest, DedicatedPoolDrainsOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < 16; t++) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(count.load(), 16);
 }
 
 }  // namespace
