@@ -17,9 +17,23 @@
 
 namespace atom {
 
+// Client identity attached to a submission. Entry-group servers reject a
+// second submission carrying the same id within one engine round (the
+// anti-double-counting rule); kAnonymousClient opts out of the check for
+// drivers that do their own accounting.
+//
+// Trust assumption: the id is bookkeeping, not cryptography — it is not
+// covered by the submission proofs. A real deployment accepts an id only
+// over that registered client's authenticated channel (otherwise an
+// attacker could squat a victim's id for the epoch and censor them);
+// this in-process reproduction has no transport layer, so the drivers
+// stand in for that authentication.
+inline constexpr uint64_t kAnonymousClient = 0;
+
 // NIZK-variant submission: one ciphertext vector + per-component proofs.
 struct NizkSubmission {
   uint32_t entry_gid = 0;
+  uint64_t client_id = kAnonymousClient;
   ElGamalCiphertextVec ciphertext;
   std::vector<EncProof> proofs;
 };
@@ -39,6 +53,7 @@ bool VerifyNizkSubmission(const Point& entry_pk,
 // it is NOT part of what servers can see (ciphertexts are indistinguishable).
 struct TrapSubmission {
   uint32_t entry_gid = 0;
+  uint64_t client_id = kAnonymousClient;
   ElGamalCiphertextVec first;
   std::vector<EncProof> first_proofs;
   ElGamalCiphertextVec second;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
 
+#include "src/crypto/kem.h"
 #include "src/util/rng.h"
 
 namespace atom {
@@ -22,15 +24,47 @@ struct RoundEngine::RoundState {
   size_t layers = 0;
   size_t width = 0;
   std::vector<HopNode> hops;  // hops[layer * width + gid]
-  std::atomic<size_t> hops_remaining{0};
+  // Counts every task of this round — mixing hops plus, with an ExitPlan,
+  // the exit sorts, checks, and finalize. The last task flips `done`.
+  std::atomic<size_t> tasks_remaining{0};
   std::atomic<bool> aborted{false};
   std::vector<CiphertextBatch> exits;  // written per-gid by exit hops
+
+  // Engine-native exit state (allocated only when spec.exit is set). Each
+  // stage writes per-gid slots, so slot writes never race; the acq_rel
+  // countdowns publish them to the next stage, exactly like HopNode.
+  bool native_exit = false;
+  std::vector<ExitSort> sorted;             // trap: per source gid
+  std::vector<std::vector<Bytes>> decoded;  // nizk: per gid
+  std::atomic<size_t> sorts_pending{0};     // barrier before the checks
+  std::vector<GroupReport> reports;         // trap: per destination gid
+  std::vector<std::vector<Bytes>> gathered_inner;  // trap: per dest gid
+  std::atomic<size_t> checks_pending{0};    // barrier before finalize
+  RoundResult round;                        // written by finalize only
 
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
   std::string abort_reason;  // guarded by mu; first abort wins
 };
+
+void RoundEngine::AbortRound(const std::shared_ptr<RoundState>& rs,
+                             std::string reason) {
+  bool expected = false;
+  if (rs->aborted.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(rs->mu);
+    rs->abort_reason = std::move(reason);
+  }
+}
+
+void RoundEngine::FinishTask(const std::shared_ptr<RoundState>& rs) {
+  if (rs->tasks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(rs->mu);
+    rs->done = true;
+    rs->cv.notify_all();
+  }
+}
 
 RoundEngine::RoundEngine(ThreadPool* pool) : pool_(pool) {
   ATOM_CHECK(pool_ != nullptr);
@@ -58,7 +92,7 @@ uint64_t RoundEngine::Submit(EngineRound round) {
   EngineRound& spec = rs->spec;
   rs->layers = spec.topology->NumLayers();
   rs->width = spec.topology->Width();
-  // A zero-layer/zero-width topology would leave hops_remaining at 0 with
+  // A zero-layer/zero-width topology would leave tasks_remaining at 0 with
   // no hop ever scheduled, so Wait would block forever.
   ATOM_CHECK_MSG(rs->layers >= 1 && rs->width >= 1,
                  "topology must have at least one layer and one vertex");
@@ -68,8 +102,26 @@ uint64_t RoundEngine::Submit(EngineRound round) {
                  "need one entry batch per topology vertex");
   rs->hops = std::vector<HopNode>(rs->layers * rs->width);
   rs->exits.resize(rs->width);
-  rs->hops_remaining.store(rs->layers * rs->width,
-                           std::memory_order_relaxed);
+  size_t total_tasks = rs->layers * rs->width;
+  if (spec.exit.has_value()) {
+    rs->native_exit = true;
+    if (spec.variant == Variant::kTrap) {
+      ATOM_CHECK_MSG(spec.exit->trustees != nullptr,
+                     "trap exit plan needs a trustee group");
+      ATOM_CHECK_MSG(spec.exit->commitments.size() == rs->width,
+                     "need one commitment set per entry group");
+      rs->sorted.resize(rs->width);
+      rs->reports.resize(rs->width);
+      rs->gathered_inner.resize(rs->width);
+      rs->checks_pending.store(rs->width, std::memory_order_relaxed);
+      total_tasks += 2 * rs->width + 1;  // sorts + checks + finalize
+    } else {
+      rs->decoded.resize(rs->width);
+      total_tasks += rs->width + 1;  // decodes + finalize
+    }
+    rs->sorts_pending.store(rs->width, std::memory_order_relaxed);
+  }
+  rs->tasks_remaining.store(total_tasks, std::memory_order_relaxed);
 
   // Layer 0 is fed directly by the entry batches.
   for (uint32_t g = 0; g < rs->width; g++) {
@@ -83,7 +135,13 @@ uint64_t RoundEngine::Submit(EngineRound round) {
   // delivers (an empty sub-batch), so the count is the full in-degree.
   for (size_t layer = 1; layer < rs->layers; layer++) {
     for (uint32_t p = 0; p < rs->width; p++) {
-      for (uint32_t dst : spec.topology->Neighbors(layer - 1, p)) {
+      std::vector<uint32_t> neighbors = spec.topology->Neighbors(layer - 1, p);
+      // No sinks before the exit layer: a vertex with no outbound edges
+      // would not be an ancestor of any exit hop, so it could still be
+      // running — and abort — after the exit stages read the abort flag.
+      ATOM_CHECK_MSG(!neighbors.empty(),
+                     "topology vertex with no outbound edges");
+      for (uint32_t dst : neighbors) {
         ATOM_CHECK(dst < rs->width);
         rs->hops[layer * rs->width + dst].preds.push_back(p);
       }
@@ -184,13 +242,8 @@ void RoundEngine::ExecuteHop(const std::shared_ptr<RoundState>& rs,
       hop.abort_reason = "hop threw a non-standard exception";
     }
     if (hop.aborted) {
-      bool expected = false;
-      if (rs->aborted.compare_exchange_strong(expected, true,
-                                              std::memory_order_acq_rel)) {
-        std::lock_guard<std::mutex> lock(rs->mu);
-        rs->abort_reason = "group " + std::to_string(gid) + " layer " +
-                           std::to_string(layer) + ": " + hop.abort_reason;
-      }
+      AbortRound(rs, "group " + std::to_string(gid) + " layer " +
+                         std::to_string(layer) + ": " + hop.abort_reason);
     } else {
       ATOM_CHECK(hop.batches.size() == out.size());
       out = std::move(hop.batches);
@@ -199,17 +252,144 @@ void RoundEngine::ExecuteHop(const std::shared_ptr<RoundState>& rs,
 
   if (last) {
     rs->exits[gid] = std::move(out[0]);  // per-gid slot: no lock needed
+    if (rs->native_exit) {
+      // The exit batch continues straight into this round's exit-stage
+      // DAG; ExecuteExitSort consumes the slot.
+      pool_->Submit([this, rs, gid] { ExecuteExitSort(rs, gid); });
+    }
   } else {
     for (size_t b = 0; b < neighbors.size(); b++) {
       Deliver(rs, layer + 1, neighbors[b], gid, std::move(out[b]));
     }
   }
 
-  if (rs->hops_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(rs->mu);
-    rs->done = true;
-    rs->cv.notify_all();
+  FinishTask(rs);
+}
+
+void RoundEngine::ExecuteExitSort(const std::shared_ptr<RoundState>& rs,
+                                  uint32_t gid) {
+  const ExitPlan& plan = *rs->spec.exit;
+  if (!rs->aborted.load(std::memory_order_acquire)) {
+    // Like a mixing hop, an exit task must not let an exception (e.g.
+    // bad_alloc) escape into the pool's worker loop: convert it into an
+    // abort of this round only.
+    try {
+      CiphertextBatch batch = std::move(rs->exits[gid]);
+      if (rs->spec.variant == Variant::kTrap) {
+        ExitSort sort = SortTrapExits(gid, batch, plan.layout, rs->width);
+        if (!sort.ok) {
+          AbortRound(rs, "exit batch not fully decrypted");
+        } else {
+          rs->sorted[gid] = std::move(sort);  // per-gid slot
+        }
+      } else {
+        NizkExitDecode decode = DecodeNizkExits(batch, plan.layout);
+        if (!decode.ok) {
+          AbortRound(rs, std::move(decode.error));
+        } else {
+          rs->decoded[gid] = std::move(decode.plaintexts);
+        }
+      }
+    } catch (const std::exception& e) {
+      AbortRound(rs, std::string("exit sort threw: ") + e.what());
+    } catch (...) {
+      AbortRound(rs, "exit sort threw a non-standard exception");
+    }
   }
+  // Sort barrier: the §4.4 checks need every group's buckets (a trap exits
+  // anywhere in the network but is checked by the group named inside it).
+  if (rs->sorts_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (rs->spec.variant == Variant::kTrap) {
+      for (uint32_t g = 0; g < rs->width; g++) {
+        pool_->Submit([this, rs, g] { ExecuteExitCheck(rs, g); });
+      }
+    } else {
+      pool_->Submit([this, rs] { ExecuteExitFinalize(rs); });
+    }
+  }
+  FinishTask(rs);
+}
+
+void RoundEngine::ExecuteExitCheck(const std::shared_ptr<RoundState>& rs,
+                                   uint32_t gid) {
+  // All sorts finished before any check was scheduled, so the abort flag
+  // is stable here and the buckets are fully published.
+  if (!rs->aborted.load(std::memory_order_acquire)) {
+    try {
+      const ExitPlan& plan = *rs->spec.exit;
+      std::vector<Bytes> traps, inner;
+      GatherExitBuckets(rs->sorted, gid, &traps, &inner);
+      rs->reports[gid] =
+          CheckExitGroup(gid, traps, inner, plan.commitments[gid]);
+      rs->gathered_inner[gid] = std::move(inner);  // per-gid slot
+    } catch (const std::exception& e) {
+      AbortRound(rs, std::string("exit check threw: ") + e.what());
+    } catch (...) {
+      AbortRound(rs, "exit check threw a non-standard exception");
+    }
+  }
+  if (rs->checks_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    pool_->Submit([this, rs] { ExecuteExitFinalize(rs); });
+  }
+  FinishTask(rs);
+}
+
+void RoundEngine::ExecuteExitFinalize(const std::shared_ptr<RoundState>& rs) {
+  RoundResult& out = rs->round;
+  try {
+    if (rs->aborted.load(std::memory_order_acquire)) {
+      out.aborted = true;
+      std::lock_guard<std::mutex> lock(rs->mu);
+      out.abort_reason = rs->abort_reason;
+    } else if (rs->spec.variant == Variant::kNizk) {
+      for (uint32_t g = 0; g < rs->width; g++) {
+        for (Bytes& p : rs->decoded[g]) {
+          out.plaintexts.push_back(std::move(p));
+        }
+      }
+    } else {
+      for (const GroupReport& report : rs->reports) {
+        out.traps_seen += report.num_traps;
+        out.inner_seen += report.num_inner;
+      }
+      auto round_secret =
+          rs->spec.exit->trustees->MaybeReleaseKey(rs->reports);
+      if (!round_secret.has_value()) {
+        out.aborted = true;
+        out.abort_reason =
+            "trustees refused to release the round key (trap check failed)";
+      } else {
+        // Decrypt the inner ciphertexts on the pool; slots keep the
+        // gather order so the plaintext sequence matches the synchronous
+        // path.
+        std::vector<const Bytes*> flat;
+        for (uint32_t g = 0; g < rs->width; g++) {
+          for (const Bytes& ct : rs->gathered_inner[g]) {
+            flat.push_back(&ct);
+          }
+        }
+        std::vector<std::optional<Bytes>> decrypted(flat.size());
+        ParallelFor(rs->spec.hop_workers, flat.size(), [&](size_t i) {
+          decrypted[i] = KemDecrypt(*round_secret, BytesView(*flat[i]));
+        });
+        for (auto& msg : decrypted) {
+          if (msg.has_value()) {
+            out.plaintexts.push_back(std::move(*msg));
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // An aborted round releases nothing — discard any partial output.
+    out = RoundResult{};
+    out.aborted = true;
+    out.abort_reason = std::string("exit finalize threw: ") + e.what();
+  } catch (...) {
+    out = RoundResult{};
+    out.aborted = true;
+    out.abort_reason = "exit finalize threw a non-standard exception";
+  }
+  FinishTask(rs);
 }
 
 void RoundEngine::Deliver(const std::shared_ptr<RoundState>& rs, size_t layer,
@@ -237,6 +417,14 @@ EngineRoundResult RoundEngine::Wait(uint64_t ticket) {
   rs->cv.wait(lock, [&] { return rs->done; });
 
   EngineRoundResult result;
+  if (rs->native_exit) {
+    // The engine consumed the exit batches; the full round outcome
+    // (including a trustee-refused abort) lives in `round`.
+    result.round = std::move(rs->round);
+    result.aborted = result.round.aborted;
+    result.abort_reason = result.round.abort_reason;
+    return result;
+  }
   if (rs->aborted.load(std::memory_order_acquire)) {
     result.aborted = true;
     result.abort_reason = rs->abort_reason;

@@ -16,7 +16,12 @@
 //     executed counterpart of EstimatePipelined (src/sim/netsim.h);
 //   * intra-hop crypto parallelism (GroupRuntime::RunHop's ParallelFor)
 //     runs on the same pool, so per-ciphertext work and cross-group /
-//     cross-layer pipelining compose instead of fighting for threads.
+//     cross-layer pipelining compose instead of fighting for threads;
+//   * an EngineRound carrying an ExitPlan extends its DAG past the last
+//     mixing layer with exit-stage tasks (sort per group, §4.4 checks per
+//     group, one trustee/decryption finalize), so the exit phase of round
+//     r overlaps the mixing of rounds r+1… instead of running serially on
+//     the caller after the DAG drains.
 //
 // A MaliciousAction that trips a hop marks only its own round aborted; the
 // round's remaining hops drain as cheap no-ops (empty batches) and other
@@ -34,9 +39,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/core/exit.h"
 #include "src/core/group_runtime.h"
 #include "src/topology/permnet.h"
 #include "src/util/parallel.h"
@@ -50,10 +57,29 @@ struct HopFault {
   MaliciousAction action;
 };
 
+// Engine-native exit phase (§4.4): when present on an EngineRound the
+// engine appends exit-stage tasks to the hop DAG — one sort task per group
+// as its exit hop drains, one check task per destination group behind a
+// sort barrier (trap variant), and a finalize task running the trustee
+// decision and inner-ciphertext decryption — so pipelined rounds complete
+// fully inside the engine instead of leaving the exit as a serial tail on
+// the caller. Round i's exit work overlaps round i+1's mixing on the same
+// pool.
+struct ExitPlan {
+  MessageLayout layout;
+  // Trap variant only: the trustee group (shared across engine rounds —
+  // the all-clear decision is const and thread-safe) and THIS engine
+  // round's per-entry-group trap commitments. Commitments are keyed to
+  // the engine round, not accumulated across rounds, so one key epoch
+  // serves a whole pipeline without cross-round contamination.
+  const Trustees* trustees = nullptr;
+  std::vector<std::vector<std::array<uint8_t, 32>>> commitments;
+};
+
 // Specification of one in-flight round: one batch traversing the whole
-// permutation network. The engine only mixes; entry-phase verification and
-// the exit phase (trap sorting, trustee reports, decryption) stay with the
-// caller (Round).
+// permutation network. Entry-phase verification stays with the caller
+// (Round's sharded intake); the exit phase runs inside the engine when an
+// ExitPlan is attached, and stays with the caller otherwise.
 struct EngineRound {
   const Topology* topology = nullptr;
   // One runtime per topology vertex; RunHop is const and thread-safe, so
@@ -69,15 +95,27 @@ struct EngineRound {
   // it by hop index, so streams are independent, unpredictable with the
   // full key entropy, and replayable from (spec, seed).
   std::array<uint8_t, 32> seed{};
+  // When set, the engine runs the exit phase natively (see ExitPlan) and
+  // the result arrives in EngineRoundResult::round instead of ::exits.
+  std::optional<ExitPlan> exit;
+  // Driver-side correlation tag, ignored by the engine. Round::
+  // TakeEngineRound stamps the intake epoch it drained here so that after
+  // an abort the driver can blame the batch that actually ran
+  // (Round::BlameEntryGroup(gid, epoch)) even with later epochs taken.
+  uint64_t intake_epoch = 0;
 };
 
 struct EngineRoundResult {
   bool aborted = false;
   std::string abort_reason;  // "group G layer L: why"
-  // Per exit-layer group, fully stripped ciphertexts (plaintext points in
-  // .c). Size 0 when the round aborted — check `aborted` before using
-  // (ExitPhase requires one batch per group and rejects the empty vector).
+  // Without an ExitPlan: per exit-layer group, fully stripped ciphertexts
+  // (plaintext points in .c). Size 0 when the round aborted — check
+  // `aborted` before using (ExitPhase requires one batch per group and
+  // rejects the empty vector).
   std::vector<CiphertextBatch> exits;
+  // With an ExitPlan: the full round outcome (plaintexts, trap accounting,
+  // abort state); `exits` stays empty because the engine consumed them.
+  RoundResult round;
 };
 
 class RoundEngine {
@@ -111,6 +149,15 @@ class RoundEngine {
                   uint32_t gid);
   void Deliver(const std::shared_ptr<RoundState>& rs, size_t layer,
                uint32_t dst, uint32_t src, CiphertextBatch batch);
+  // Exit-stage tasks (scheduled only when the spec carries an ExitPlan).
+  void ExecuteExitSort(const std::shared_ptr<RoundState>& rs, uint32_t gid);
+  void ExecuteExitCheck(const std::shared_ptr<RoundState>& rs, uint32_t gid);
+  void ExecuteExitFinalize(const std::shared_ptr<RoundState>& rs);
+  // Marks this round aborted (first reason wins, like a failed hop).
+  static void AbortRound(const std::shared_ptr<RoundState>& rs,
+                         std::string reason);
+  // Every task calls this exactly once; the last one flips `done`.
+  static void FinishTask(const std::shared_ptr<RoundState>& rs);
 
   ThreadPool* pool_;
   std::mutex mu_;

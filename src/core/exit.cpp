@@ -1,0 +1,131 @@
+#include "src/core/exit.h"
+
+#include <map>
+#include <set>
+
+#include "src/core/group_runtime.h"
+#include "src/crypto/sha256.h"
+
+namespace atom {
+
+ExitSort SortTrapExits(uint32_t self_gid, const CiphertextBatch& batch,
+                       const MessageLayout& layout, size_t num_groups) {
+  const size_t G = num_groups;
+  ExitSort sort;
+  sort.traps_for.resize(G);
+  sort.inner_for.resize(G);
+
+  auto points = ExitPlaintexts(batch);
+  if (!points.has_value()) {
+    sort.ok = false;
+    return sort;
+  }
+  for (const auto& vec : *points) {
+    auto bytes = ReassembleFromPoints(vec, layout);
+    if (!bytes.has_value()) {
+      // An undecodable exit message counts as a failed check for the
+      // group that holds it: report and abort via the trustees.
+      sort.traps_for[self_gid].push_back(Bytes{0xff});  // matches nothing
+      continue;
+    }
+    if (IsDummy(BytesView(*bytes))) {
+      continue;  // butterfly padding, discard before the checks
+    }
+    auto trap = ParseTrap(BytesView(*bytes));
+    if (trap.has_value()) {
+      if (trap->gid < G) {
+        sort.traps_for[trap->gid].push_back(*bytes);
+      } else {
+        sort.traps_for[self_gid].push_back(Bytes{0xff});
+      }
+      continue;
+    }
+    auto inner = ParseMessage(BytesView(*bytes));
+    if (inner.has_value()) {
+      // Universal-hash load balancing over groups.
+      auto digest = Sha256::Hash(BytesView(*inner));
+      uint32_t dst = static_cast<uint32_t>(digest[0] | (digest[1] << 8) |
+                                           (digest[2] << 16)) %
+                     static_cast<uint32_t>(G);
+      sort.inner_for[dst].push_back(*inner);
+    } else {
+      sort.traps_for[self_gid].push_back(Bytes{0xff});
+    }
+  }
+  return sort;
+}
+
+NizkExitDecode DecodeNizkExits(const CiphertextBatch& batch,
+                               const MessageLayout& layout) {
+  NizkExitDecode out;
+  auto points = ExitPlaintexts(batch);
+  if (!points.has_value()) {
+    out.ok = false;
+    out.error = "exit batch not fully decrypted";
+    return out;
+  }
+  for (const auto& vec : *points) {
+    auto bytes = ReassembleFromPoints(vec, layout);
+    if (!bytes.has_value()) {
+      out.ok = false;
+      out.error = "undecodable exit plaintext";
+      out.plaintexts.clear();
+      return out;
+    }
+    if (IsDummy(BytesView(*bytes))) {
+      continue;  // butterfly padding, discard
+    }
+    out.plaintexts.push_back(*bytes);
+  }
+  return out;
+}
+
+void GatherExitBuckets(std::span<ExitSort> sorted, uint32_t dst,
+                       std::vector<Bytes>* traps, std::vector<Bytes>* inner) {
+  for (ExitSort& sort : sorted) {
+    for (Bytes& trap : sort.traps_for[dst]) {
+      traps->push_back(std::move(trap));
+    }
+    for (Bytes& ct : sort.inner_for[dst]) {
+      inner->push_back(std::move(ct));
+    }
+  }
+}
+
+GroupReport CheckExitGroup(
+    uint32_t gid, std::span<const Bytes> traps, std::span<const Bytes> inner,
+    std::span<const std::array<uint8_t, 32>> commitments) {
+  GroupReport report;
+  report.gid = gid;
+  report.num_traps = traps.size();
+  report.num_inner = inner.size();
+
+  // Trap check: multiset of arriving trap commitments must equal the
+  // registered multiset.
+  std::multiset<std::array<uint8_t, 32>> expected(commitments.begin(),
+                                                  commitments.end());
+  bool traps_ok = true;
+  for (const Bytes& trap_bytes : traps) {
+    auto it = expected.find(CommitTrap(BytesView(trap_bytes)));
+    if (it == expected.end()) {
+      traps_ok = false;
+      break;
+    }
+    expected.erase(it);
+  }
+  report.traps_ok = traps_ok && expected.empty();
+
+  // Inner check: no duplicates among the ciphertexts this group received.
+  std::set<Bytes> inner_set;
+  bool inner_ok = true;
+  for (const Bytes& ct : inner) {
+    if (!inner_set.insert(ct).second) {
+      inner_ok = false;
+      break;
+    }
+  }
+  report.inner_ok = inner_ok;
+  return report;
+}
+
+}  // namespace atom

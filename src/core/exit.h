@@ -1,0 +1,91 @@
+// Exit-phase building blocks (§4.4), shared by the legacy synchronous
+// Round::ExitPhase and the engine-native exit-layer tasks
+// (src/core/engine.h).
+//
+// The exit phase splits into three stages that map one-to-one onto hop
+// tasks in the engine's DAG:
+//
+//   1. Sort (per exit group, independent): decode the group's fully
+//      stripped exit batch and route each plaintext — traps to the entry
+//      group named inside them, inner ciphertexts load-balanced by
+//      universal hash — into destination-indexed buckets.
+//   2. Check (per destination group, after every sort): the multiset of
+//      arriving trap commitments must equal the multiset registered at
+//      submission time, and the inner ciphertexts must be duplicate-free.
+//   3. Finalize (global): the trustees release the round key iff every
+//      report is clean and the global trap/inner counts balance; only
+//      then are the inner ciphertexts decrypted.
+//
+// Both executors call the same functions on the same inputs, which is what
+// the exit-equivalence suite in tests/engine_test.cpp pins down.
+#ifndef SRC_CORE_EXIT_H_
+#define SRC_CORE_EXIT_H_
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/message.h"
+#include "src/core/trustees.h"
+#include "src/crypto/shuffle.h"
+
+namespace atom {
+
+// The caller-facing outcome of one full protocol round (intake → mixing →
+// exit). Produced by RoundEngine::RunToCompletion when the EngineRound
+// carries an ExitPlan, and by the legacy Round::ExitPhase.
+struct RoundResult {
+  bool aborted = false;
+  std::string abort_reason;
+  // Anonymized application plaintexts (padded length = params.message_len).
+  std::vector<Bytes> plaintexts;
+  // Trap-variant accounting (populated even when the trustees refuse the
+  // key, so a disrupted round still reports what arrived).
+  uint64_t traps_seen = 0;
+  uint64_t inner_seen = 0;
+};
+
+// One exit group's locally sorted view of its own exit batch (stage 1).
+struct ExitSort {
+  bool ok = true;  // false: a point in the batch failed extraction
+  // Destination-indexed buckets, each sized num_groups. A trap that names
+  // an out-of-range group, an undecodable plaintext, or an unparseable
+  // payload becomes a sentinel trap for the sorting group itself — it
+  // matches no commitment, so the check fails and the round aborts.
+  std::vector<std::vector<Bytes>> traps_for;
+  std::vector<std::vector<Bytes>> inner_for;
+};
+
+// Trap variant stage 1: decode group `self_gid`'s exit batch (dummies
+// discarded) and sort into per-destination buckets.
+ExitSort SortTrapExits(uint32_t self_gid, const CiphertextBatch& batch,
+                       const MessageLayout& layout, size_t num_groups);
+
+// NIZK variant stage 1: decode one group's exit batch straight into
+// application plaintexts (dummies discarded). !ok carries the abort reason.
+struct NizkExitDecode {
+  bool ok = true;
+  std::string error;
+  std::vector<Bytes> plaintexts;
+};
+NizkExitDecode DecodeNizkExits(const CiphertextBatch& batch,
+                               const MessageLayout& layout);
+
+// Flattens every source group's buckets for destination `dst` in
+// ascending source order, moving the entries into `traps`/`inner`. Both
+// executors route through this one function: the byte-identical plaintext
+// order the equivalence suite pins depends on this gather order.
+void GatherExitBuckets(std::span<ExitSort> sorted, uint32_t dst,
+                       std::vector<Bytes>* traps, std::vector<Bytes>* inner);
+
+// Trap variant stage 2: one destination group's §4.4 checks against the
+// trap commitments registered for THIS engine round (per-engine-round
+// commitment sets: a pipelined driver passes each round its own).
+GroupReport CheckExitGroup(uint32_t gid, std::span<const Bytes> traps,
+                           std::span<const Bytes> inner,
+                           std::span<const std::array<uint8_t, 32>> commitments);
+
+}  // namespace atom
+
+#endif  // SRC_CORE_EXIT_H_

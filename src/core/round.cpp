@@ -1,12 +1,10 @@
 #include "src/core/round.h"
 
 #include <cmath>
-#include <set>
 #include <utility>
 
 #include "src/crypto/kem.h"
-#include "src/crypto/sha256.h"
-#include "src/util/hex.h"
+#include "src/util/parallel.h"
 
 namespace atom {
 
@@ -41,9 +39,10 @@ Round::Round(RoundConfig config, Rng& rng)
                                                     p.iterations);
   }
 
-  entry_batches_.resize(p.num_groups);
-  trap_commitments_.resize(p.num_groups);
-  trap_submissions_.resize(p.num_groups);
+  intake_.reserve(p.num_groups);
+  for (uint32_t g = 0; g < p.num_groups; g++) {
+    intake_.push_back(std::make_unique<IntakeShard>());
+  }
 }
 
 const Point& Round::EntryPk(uint32_t gid) const {
@@ -56,15 +55,41 @@ const Point& Round::TrusteePk() const {
   return trustees_->round_pk();
 }
 
+bool Round::AcceptNizk(const NizkSubmission& submission) {
+  IntakeShard& shard = *intake_[submission.entry_gid];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (submission.client_id != kAnonymousClient &&
+      !shard.clients.insert(submission.client_id).second) {
+    return false;  // duplicate client id within this engine round
+  }
+  shard.batch.push_back(submission.ciphertext);
+  return true;
+}
+
+bool Round::AcceptTrap(const TrapSubmission& submission) {
+  IntakeShard& shard = *intake_[submission.entry_gid];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (submission.client_id != kAnonymousClient &&
+      !shard.clients.insert(submission.client_id).second) {
+    return false;  // duplicate client id within this engine round
+  }
+  shard.batch.push_back(submission.first);
+  shard.batch.push_back(submission.second);
+  shard.commitments.push_back(submission.trap_commitment);
+  shard.submissions.push_back(submission);
+  return true;
+}
+
 bool Round::SubmitNizk(const NizkSubmission& submission) {
   ATOM_CHECK(config_.params.variant == Variant::kNizk);
+  // Verification is the expensive part and touches no shared state; only
+  // the accept runs under the shard lock.
   if (submission.entry_gid >= groups_.size() ||
       !VerifyNizkSubmission(EntryPk(submission.entry_gid), submission,
                             layout_)) {
     return false;
   }
-  entry_batches_[submission.entry_gid].push_back(submission.ciphertext);
-  return true;
+  return AcceptNizk(submission);
 }
 
 bool Round::SubmitTrap(const TrapSubmission& submission) {
@@ -74,13 +99,65 @@ bool Round::SubmitTrap(const TrapSubmission& submission) {
                             layout_)) {
     return false;
   }
-  CiphertextBatch& batch = entry_batches_[submission.entry_gid];
-  batch.push_back(submission.first);
-  batch.push_back(submission.second);
-  trap_commitments_[submission.entry_gid].push_back(
-      submission.trap_commitment);
-  trap_submissions_[submission.entry_gid].push_back(submission);
-  return true;
+  return AcceptTrap(submission);
+}
+
+std::vector<bool> Round::SubmitNizkBatch(std::span<const NizkSubmission> subs,
+                                         size_t workers) {
+  ATOM_CHECK(config_.params.variant == Variant::kNizk);
+  std::vector<uint8_t> valid(subs.size(), 0);
+  ParallelFor(workers, subs.size(), [&](size_t i) {
+    const NizkSubmission& s = subs[i];
+    valid[i] = s.entry_gid < groups_.size() &&
+               VerifyNizkSubmission(EntryPk(s.entry_gid), s, layout_);
+  });
+  std::vector<bool> accepted(subs.size(), false);
+  for (size_t i = 0; i < subs.size(); i++) {
+    accepted[i] = valid[i] && AcceptNizk(subs[i]);
+  }
+  return accepted;
+}
+
+std::vector<bool> Round::SubmitTrapBatch(std::span<const TrapSubmission> subs,
+                                         size_t workers) {
+  ATOM_CHECK(config_.params.variant == Variant::kTrap);
+  std::vector<uint8_t> valid(subs.size(), 0);
+  ParallelFor(workers, subs.size(), [&](size_t i) {
+    const TrapSubmission& s = subs[i];
+    valid[i] = s.entry_gid < groups_.size() &&
+               VerifyTrapSubmission(EntryPk(s.entry_gid), s, layout_);
+  });
+  std::vector<bool> accepted(subs.size(), false);
+  for (size_t i = 0; i < subs.size(); i++) {
+    accepted[i] = valid[i] && AcceptTrap(subs[i]);
+  }
+  return accepted;
+}
+
+Round::IntakeEpoch Round::DrainIntake() {
+  const size_t G = config_.params.num_groups;
+  IntakeEpoch epoch;
+  epoch.entry.resize(G);
+  epoch.commitments.resize(G);
+  std::vector<std::vector<TrapSubmission>> submissions(G);
+  for (uint32_t g = 0; g < G; g++) {
+    IntakeShard& shard = *intake_[g];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    epoch.entry[g] = std::move(shard.batch);
+    epoch.commitments[g] = std::move(shard.commitments);
+    submissions[g] = std::move(shard.submissions);
+    shard.batch = {};
+    shard.commitments = {};
+    shard.submissions = {};
+    shard.clients.clear();
+  }
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  epoch.id = next_epoch_++;
+  blame_history_[epoch.id] = std::move(submissions);
+  while (blame_history_.size() > kBlameHistoryEpochs) {
+    blame_history_.erase(blame_history_.begin());  // oldest epoch first
+  }
+  return epoch;
 }
 
 RoundResult Round::Run(Rng& rng, const Evil* evil) {
@@ -130,29 +207,39 @@ EngineRound Round::MakeEngineRound(std::vector<CiphertextBatch> entry,
   return spec;
 }
 
+EngineRound Round::TakeEngineRound(std::span<const Evil> evils, Rng& rng) {
+  IntakeEpoch epoch = DrainIntake();
+  EngineRound spec = MakeEngineRound(std::move(epoch.entry), evils, rng);
+  ExitPlan plan;
+  plan.layout = layout_;
+  plan.trustees = trustees_.get();
+  plan.commitments = std::move(epoch.commitments);
+  spec.exit = std::move(plan);
+  spec.intake_epoch = epoch.id;
+  return spec;
+}
+
+uint64_t Round::AbandonIntakeEpoch() { return DrainIntake().id; }
+
+void Round::ReleaseBlameEpoch(uint64_t intake_epoch) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  blame_history_.erase(intake_epoch);
+}
+
 RoundResult Round::RunWithEvils(Rng& rng, std::span<const Evil> evils) {
   // The accepted submissions move into the engine — a round consumes its
-  // batch (the old driver deep-copied every ciphertext vector here) — and
-  // the raw trap submissions shift to the blame slot. Every path (success
-  // or abort) leaves the Round uniformly drained, so resubmit-and-run
-  // always starts clean: ExitPhase consumes the commitments on completed
-  // runs, the abort path below resets them.
-  std::vector<CiphertextBatch> entry = std::move(entry_batches_);
-  entry_batches_.assign(config_.params.num_groups, {});
-  last_run_submissions_ = std::move(trap_submissions_);
-  trap_submissions_.assign(config_.params.num_groups, {});
-
+  // intake epoch (ciphertexts, commitments, blame submissions) whether it
+  // completes or aborts, so resubmit-and-run always starts clean. The
+  // engine runs mixing and the exit phase and hands back the RoundResult.
   RoundEngine engine(&ThreadPool::Shared());
-  EngineRoundResult mixed =
-      engine.RunToCompletion(MakeEngineRound(std::move(entry), evils, rng));
-  if (mixed.aborted) {
-    trap_commitments_.assign(config_.params.num_groups, {});
-    RoundResult result;
-    result.aborted = true;
-    result.abort_reason = std::move(mixed.abort_reason);
-    return result;
+  EngineRound spec = TakeEngineRound(evils, rng);
+  const uint64_t epoch = spec.intake_epoch;
+  RoundResult result = engine.RunToCompletion(std::move(spec)).round;
+  if (!result.aborted) {
+    // Blame data only matters for disrupted rounds.
+    ReleaseBlameEpoch(epoch);
   }
-  return ExitPhase(std::move(mixed.exits));
+  return result;
 }
 
 RoundResult Round::ExitPhase(std::vector<CiphertextBatch> at) {
@@ -161,121 +248,56 @@ RoundResult Round::ExitPhase(std::vector<CiphertextBatch> at) {
   const size_t G = topology_->Width();
   ATOM_CHECK(at.size() == G);
 
-  // The commitments registered for this run are consumed on every exit
-  // path (success or abort), keeping the Round's state symmetric.
-  std::vector<std::vector<std::array<uint8_t, 32>>> commitments =
-      std::exchange(trap_commitments_,
-                    std::vector<std::vector<std::array<uint8_t, 32>>>(G));
+  // The intake epoch is consumed on every exit path (success or abort),
+  // keeping the Round's state symmetric with the engine-native path.
+  IntakeEpoch epoch = DrainIntake();
+
   if (p.variant == Variant::kNizk) {
     for (uint32_t g = 0; g < G; g++) {
-      auto points = ExitPlaintexts(at[g]);
-      if (!points.has_value()) {
+      NizkExitDecode decode = DecodeNizkExits(at[g], layout_);
+      if (!decode.ok) {
         result.aborted = true;
-        result.abort_reason = "exit batch not fully decrypted";
+        result.abort_reason = std::move(decode.error);
+        // An aborted round releases nothing: discard earlier groups'
+        // output (the engine-native finalize behaves the same way).
+        result.plaintexts.clear();
         return result;
       }
-      for (const auto& vec : *points) {
-        auto bytes = ReassembleFromPoints(vec, layout_);
-        if (!bytes.has_value()) {
-          result.aborted = true;
-          result.abort_reason = "undecodable exit plaintext";
-          return result;
-        }
-        if (IsDummy(BytesView(*bytes))) {
-          continue;  // butterfly padding, discard
-        }
-        result.plaintexts.push_back(*bytes);
+      for (Bytes& plain : decode.plaintexts) {
+        result.plaintexts.push_back(std::move(plain));
       }
     }
+    ReleaseBlameEpoch(epoch.id);  // clean completion: nothing to blame
     return result;
   }
 
   // Trap variant (§4.4): sort exits into traps (to their entry group) and
   // inner ciphertexts (load-balanced by hash), check, report, maybe decrypt.
-  std::vector<std::vector<Bytes>> traps_for(G);
-  std::vector<std::vector<Bytes>> inner_for(G);
+  std::vector<ExitSort> sorts;
+  sorts.reserve(G);
   for (uint32_t g = 0; g < G; g++) {
-    auto points = ExitPlaintexts(at[g]);
-    if (!points.has_value()) {
+    ExitSort sort = SortTrapExits(g, at[g], layout_, G);
+    if (!sort.ok) {
       result.aborted = true;
       result.abort_reason = "exit batch not fully decrypted";
       return result;
     }
-    for (const auto& vec : *points) {
-      auto bytes = ReassembleFromPoints(vec, layout_);
-      if (!bytes.has_value()) {
-        // An undecodable exit message counts as a failed check for the
-        // group that holds it: report and abort via the trustees.
-        traps_for[g].push_back(Bytes{0xff});  // sentinel that matches nothing
-        continue;
-      }
-      if (IsDummy(BytesView(*bytes))) {
-        continue;  // butterfly padding, discard before the checks
-      }
-      auto trap = ParseTrap(BytesView(*bytes));
-      if (trap.has_value()) {
-        if (trap->gid < G) {
-          traps_for[trap->gid].push_back(*bytes);
-        } else {
-          traps_for[g].push_back(Bytes{0xff});
-        }
-        continue;
-      }
-      auto inner = ParseMessage(BytesView(*bytes));
-      if (inner.has_value()) {
-        // Universal-hash load balancing over groups.
-        auto digest = Sha256::Hash(BytesView(*inner));
-        uint32_t dst = static_cast<uint32_t>(digest[0] | (digest[1] << 8) |
-                                             (digest[2] << 16)) %
-                       static_cast<uint32_t>(G);
-        inner_for[dst].push_back(*inner);
-      } else {
-        traps_for[g].push_back(Bytes{0xff});
-      }
-    }
+    sorts.push_back(std::move(sort));
   }
 
-  // Per-group checks + reports.
+  // Per-group checks + reports (same gather as the engine's check tasks).
+  std::vector<std::vector<Bytes>> inner_for(G);
   std::vector<GroupReport> reports;
   reports.reserve(G);
   for (uint32_t g = 0; g < G; g++) {
-    GroupReport report;
-    report.gid = g;
-    report.num_traps = traps_for[g].size();
-    report.num_inner = inner_for[g].size();
-
-    // Trap check: multiset of arriving trap commitments must equal the
-    // registered multiset.
-    std::multiset<std::string> expected;
-    for (const auto& commitment : commitments[g]) {
-      expected.insert(HexEncode(BytesView(commitment)));
-    }
-    bool traps_ok = true;
-    for (const auto& trap_bytes : traps_for[g]) {
-      auto commitment = CommitTrap(BytesView(trap_bytes));
-      auto it = expected.find(
-          HexEncode(BytesView(commitment.data(), commitment.size())));
-      if (it == expected.end()) {
-        traps_ok = false;
-        break;
-      }
-      expected.erase(it);
-    }
-    report.traps_ok = traps_ok && expected.empty();
-
-    // Inner check: no duplicates among the ciphertexts this group received.
-    std::set<std::string> inner_set;
-    bool inner_ok = true;
-    for (const auto& inner : inner_for[g]) {
-      if (!inner_set.insert(HexEncode(BytesView(inner))).second) {
-        inner_ok = false;
-        break;
-      }
-    }
-    report.inner_ok = inner_ok;
+    std::vector<Bytes> traps, inner;
+    GatherExitBuckets(sorts, g, &traps, &inner);
+    GroupReport report =
+        CheckExitGroup(g, traps, inner, epoch.commitments[g]);
     result.traps_seen += report.num_traps;
     result.inner_seen += report.num_inner;
     reports.push_back(report);
+    inner_for[g] = std::move(inner);
   }
 
   auto round_secret = trustees_->MaybeReleaseKey(reports);
@@ -294,6 +316,7 @@ RoundResult Round::ExitPhase(std::vector<CiphertextBatch> at) {
       }
     }
   }
+  ReleaseBlameEpoch(epoch.id);  // clean completion: nothing to blame
   return result;
 }
 
@@ -311,13 +334,43 @@ Scalar Round::GroupSecret(uint32_t gid) const {
 
 BlameResult Round::BlameEntryGroup(uint32_t gid) {
   ATOM_CHECK(gid < groups_.size());
-  // Once a run has happened, blame always targets the batch that ran —
-  // submissions accepted afterwards must not mask a disrupted round's
-  // cheater. Before the first run, inspect the pending batch.
-  const std::vector<TrapSubmission>& subs =
-      last_run_submissions_.empty() ? trap_submissions_[gid]
-                                    : last_run_submissions_[gid];
-  return RunBlame(GroupSecret(gid), subs, layout_);
+  // Once an epoch has been drained, blame always targets the batch that
+  // ran — submissions accepted afterwards must not mask a disrupted
+  // round's cheater. Before the first drain, inspect the pending batch.
+  // Copies come out under one lock acquisition (a concurrent drain could
+  // prune an epoch id between two acquisitions); RunBlame reveals the
+  // entry key and decrypts every pair, too slow to hold any lock across.
+  std::vector<TrapSubmission> submissions;
+  bool have_epoch = false;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    if (!blame_history_.empty()) {
+      submissions = blame_history_.rbegin()->second[gid];
+      have_epoch = true;
+    }
+  }
+  if (!have_epoch) {
+    IntakeShard& shard = *intake_[gid];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    submissions = shard.submissions;
+  }
+  return RunBlame(GroupSecret(gid), submissions, layout_);
+}
+
+BlameResult Round::BlameEntryGroup(uint32_t gid, uint64_t intake_epoch) {
+  ATOM_CHECK(gid < groups_.size());
+  std::vector<TrapSubmission> submissions;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    auto it = blame_history_.find(intake_epoch);
+    ATOM_CHECK_MSG(it != blame_history_.end(),
+                   "intake epoch %llu not retained (only the last %zu "
+                   "drained epochs keep blame data)",
+                   static_cast<unsigned long long>(intake_epoch),
+                   Round::kBlameHistoryEpochs);
+    submissions = it->second[gid];  // copy: a concurrent drain may prune
+  }
+  return RunBlame(GroupSecret(gid), submissions, layout_);
 }
 
 void Round::EscrowAllShares(Rng& rng) {

@@ -2,16 +2,22 @@
 //
 // The Round owns the network for one epoch: the group layout (sampled from
 // the beacon), one DKG per group, the trustees (trap variant), the mixing
-// topology, and the exit-phase bookkeeping (trap commitments per entry
-// group, trap/inner sorting, trustee reports). Tests, examples, and the
-// single-group benchmarks all drive the protocol through this class; the
-// discrete-event simulator (src/sim) replays the identical control flow
-// against a cost model for network-scale experiments.
+// topology, and the submission intake. Intake is sharded per entry group —
+// each group's servers verify and accept submissions behind their own lock,
+// so many client threads submit concurrently — and every call to
+// TakeEngineRound drains the accepted batch (ciphertexts, trap commitments,
+// raw submissions for blame) into one self-contained EngineRound, so a
+// single key epoch serves a whole pipeline of engine rounds. Tests,
+// examples, and the single-group benchmarks all drive the protocol through
+// this class; the discrete-event simulator (src/sim) replays the identical
+// control flow against a cost model for network-scale experiments.
 #ifndef SRC_CORE_ROUND_H_
 #define SRC_CORE_ROUND_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 
 #include "src/core/blame.h"
@@ -30,15 +36,8 @@ struct RoundConfig {
   size_t workers = 1;  // intra-server parallelism
 };
 
-struct RoundResult {
-  bool aborted = false;
-  std::string abort_reason;
-  // Anonymized application plaintexts (padded length = params.message_len).
-  std::vector<Bytes> plaintexts;
-  // Trap-variant accounting.
-  uint64_t traps_seen = 0;
-  uint64_t inner_seen = 0;
-};
+// RoundResult lives in src/core/exit.h (shared with the engine-native exit
+// phase, which produces it inside RoundEngine::RunToCompletion).
 
 class Round {
  public:
@@ -52,10 +51,29 @@ class Round {
   const MessageLayout& layout() const { return layout_; }
   GroupRuntime& group(uint32_t gid) { return *groups_[gid]; }
 
-  // Submission intake: every entry-group server verifies the proofs; a
-  // submission failing verification is rejected (returns false).
+  // Submission intake, sharded per entry group: proof verification runs
+  // outside any lock, acceptance appends under the target group's shard
+  // lock, so submissions from many threads are safe and never lost or
+  // double-counted. A submission is rejected (returns false) when its
+  // proofs fail, its entry group is out of range, or another accepted
+  // submission to the same entry group in the current intake epoch
+  // already carried the same non-anonymous client id (duplicate ids would
+  // otherwise double-count and poison the exit checks). Ids are scoped to
+  // the entry group, matching the paper's model of users registered with
+  // one group — the submission proof binds the gid, so an id cannot
+  // wander between groups unnoticed by its own group's servers.
   bool SubmitNizk(const NizkSubmission& submission);
   bool SubmitTrap(const TrapSubmission& submission);
+
+  // Batch intake: verifies many submissions concurrently on the shared
+  // ThreadPool (`workers` bounds the fan-out), then accepts the valid ones
+  // in order. accepted[i] mirrors what SubmitX(submissions[i]) would have
+  // returned; acceptance order is deterministic (submission order), which
+  // concurrent single submissions do not guarantee.
+  std::vector<bool> SubmitNizkBatch(std::span<const NizkSubmission> subs,
+                                    size_t workers);
+  std::vector<bool> SubmitTrapBatch(std::span<const TrapSubmission> subs,
+                                    size_t workers);
 
   // Optional fault injection for one (layer, group).
   struct Evil {
@@ -64,16 +82,15 @@ class Round {
     MaliciousAction action;
   };
 
-  // Runs T mixing iterations plus the exit phase. Mixing executes on the
-  // dependency-scheduled RoundEngine (src/core/engine.h) over the shared
-  // thread pool; this call submits one round and drains it to completion,
-  // preserving the old synchronous contract. Every run — completed or
-  // aborted — consumes the accepted submissions (ciphertexts move into
-  // the engine at the start; trap commitments are consumed with them), so
-  // submit again before running another round. After an aborted trap
-  // round, BlameEntryGroup identifies the culprits; note §4.6 blame
-  // reveals the entry key, so a real deployment re-keys with a fresh
-  // Round afterwards.
+  // Runs T mixing iterations plus the exit phase. A thin wrapper: it
+  // drains the intake epoch into one engine round (TakeEngineRound) and
+  // blocks on RoundEngine::RunToCompletion, which executes mixing AND the
+  // exit phase (trap sorting, trustee decision, decryption) as hop tasks
+  // and produces the RoundResult. Every run — completed or aborted —
+  // consumes the accepted submissions, so submit again before running
+  // another round. After an aborted trap round, BlameEntryGroup identifies
+  // the culprits; note §4.6 blame reveals the entry key, so a real
+  // deployment re-keys with a fresh Round afterwards.
   RoundResult Run(Rng& rng, const Evil* evil = nullptr);
 
   // Variant with several independent malicious actions (§7 intersection-
@@ -81,23 +98,60 @@ class Round {
   // probability 2^-κ).
   RoundResult RunWithEvils(Rng& rng, std::span<const Evil> evils);
 
-  // Building blocks for pipelined execution (bench/bench_pipeline_execution
-  // and custom drivers): an EngineRound spec for this network's mixing
-  // phase over an arbitrary entry-batch set (one batch per group, moved
-  // in; butterfly dummy padding applied here), and the exit phase applied
-  // to the engine's exit batches. RunWithEvils is exactly
-  // ExitPhase(engine.RunToCompletion(MakeEngineRound(...)).exits).
+  // Pipelined drivers' building block: drains the current intake epoch —
+  // entry batches, THIS batch's trap commitments, and the raw submissions
+  // (kept for blame) — into a self-contained EngineRound that carries an
+  // ExitPlan, then starts a fresh epoch. Submit the spec to a RoundEngine
+  // (several at once pipeline through the network) and read the
+  // RoundResult from EngineRoundResult::round; a fault or trap mismatch in
+  // one taken round cannot corrupt another, because each spec owns its
+  // commitment set. RunWithEvils is exactly
+  // engine.RunToCompletion(TakeEngineRound(evils, rng)).round.
+  EngineRound TakeEngineRound(std::span<const Evil> evils, Rng& rng);
+
+  // Mixing-only spec over an arbitrary entry-batch set (one batch per
+  // group, moved in; butterfly dummy padding applied here). Does NOT drain
+  // the intake epoch and carries no ExitPlan — pair with ExitPhase below.
   EngineRound MakeEngineRound(std::vector<CiphertextBatch> entry,
                               std::span<const Evil> evils, Rng& rng);
+
+  // Legacy synchronous exit phase, applied to the engine's exit batches on
+  // the caller's thread. Consumes the current intake epoch (commitments
+  // move into the check, submissions into the blame history) exactly like
+  // TakeEngineRound; the engine-native path must match it byte for byte
+  // (tests/engine_test.cpp's exit-equivalence suite).
   RoundResult ExitPhase(std::vector<CiphertextBatch> exits);
+
+  // Legacy-driver companion to ExitPhase: when a MakeEngineRound spec
+  // aborts during mixing, ExitPhase never runs, so the driver must
+  // abandon the epoch instead — otherwise its batches, commitments, and
+  // client ids leak into the next round and poison the trap check. The
+  // submissions still enter the blame history; returns the epoch id for
+  // BlameEntryGroup(gid, epoch). (TakeEngineRound drivers never need
+  // this: taking the spec already drained the epoch.)
+  uint64_t AbandonIntakeEpoch();
 
   // §4.6: after a disrupted trap round, an entry group reveals its key and
   // identifies malformed submissions. Returns indices into that group's
-  // accepted submissions, in submission order. Inspects the batch of the
-  // most recent Run (submissions accepted afterwards cannot mask a
-  // disrupted round's cheater); before the first run it inspects the
-  // pending batch.
+  // accepted submissions, in acceptance order. The one-argument form
+  // inspects the most recently drained intake epoch (submissions accepted
+  // afterwards cannot mask a disrupted round's cheater); before the first
+  // drain it inspects the pending batch. A pipelined driver with several
+  // epochs in flight passes the aborted spec's `intake_epoch` instead —
+  // the Round retains the last kBlameHistoryEpochs drained epochs'
+  // submissions, so a cheater in round i is still identifiable after
+  // rounds i+1, i+2, ... were taken.
+  static constexpr size_t kBlameHistoryEpochs = 16;
   BlameResult BlameEntryGroup(uint32_t gid);
+  BlameResult BlameEntryGroup(uint32_t gid, uint64_t intake_epoch);
+
+  // Drops one epoch's retained submissions (no-op if already pruned).
+  // Blame data only matters for disrupted rounds; a pipelined driver
+  // calls this when a round completes cleanly so steady-state retention
+  // stays near zero instead of pinning kBlameHistoryEpochs rounds of
+  // ciphertexts. Run/RunWithEvils release their epoch automatically on a
+  // clean completion.
+  void ReleaseBlameEpoch(uint64_t intake_epoch);
 
   // §4.5 buddy groups: every server escrows its share with the next group
   // (gid+1 mod G), threshold ⌈k/2⌉+1, so a replacement can rebuild any
@@ -108,7 +162,30 @@ class Round {
   bool RecoverServer(uint32_t gid, uint32_t server_index);
 
  private:
+  // One entry group's share of the intake: its accepted batch and (trap
+  // variant) the registered trap commitments and raw submissions, plus the
+  // client ids seen this epoch. Guarded by its own mutex so groups accept
+  // in parallel — the paper's millions-of-users entry path is exactly this
+  // per-group partition.
+  struct IntakeShard {
+    std::mutex mu;
+    CiphertextBatch batch;
+    std::vector<std::array<uint8_t, 32>> commitments;
+    std::vector<TrapSubmission> submissions;
+    std::set<uint64_t> clients;
+  };
+
+  // What one TakeEngineRound/ExitPhase drains out of the shards.
+  struct IntakeEpoch {
+    uint64_t id = 0;
+    std::vector<CiphertextBatch> entry;
+    std::vector<std::vector<std::array<uint8_t, 32>>> commitments;
+  };
+
   Scalar GroupSecret(uint32_t gid) const;  // threshold-reconstructed
+  bool AcceptNizk(const NizkSubmission& submission);
+  bool AcceptTrap(const TrapSubmission& submission);
+  IntakeEpoch DrainIntake();
 
   RoundConfig config_;
   MessageLayout layout_;
@@ -117,14 +194,16 @@ class Round {
   std::unique_ptr<Trustees> trustees_;  // trap variant only
   std::unique_ptr<Topology> topology_;
 
-  // Per entry group: the accepted input batches and (trap variant) the
-  // registered trap commitments and raw submissions (kept for blame). A
-  // run consumes the batches and commitments; the submissions move into
-  // last_run_submissions_ so blame targets the batch that actually ran.
-  std::vector<CiphertextBatch> entry_batches_;
-  std::vector<std::vector<std::array<uint8_t, 32>>> trap_commitments_;
-  std::vector<std::vector<TrapSubmission>> trap_submissions_;
-  std::vector<std::vector<TrapSubmission>> last_run_submissions_;
+  std::vector<std::unique_ptr<IntakeShard>> intake_;
+  // Drained epochs' submissions (newest last, pruned to
+  // kBlameHistoryEpochs), so blame targets the batch that actually ran —
+  // by epoch id for pipelined drivers, newest by default. epoch_mu_
+  // guards the book: a driver thread may drain the next epoch while
+  // another thread blames an aborted one.
+  std::mutex epoch_mu_;
+  uint64_t next_epoch_ = 1;
+  std::map<uint64_t, std::vector<std::vector<TrapSubmission>>>
+      blame_history_;
 
   // Buddy escrow: escrows_[gid][i] holds group gid's server i+1's share,
   // sub-shared to the buddy group (gid+1 mod G).

@@ -35,7 +35,11 @@ class Trustees {
 
   // The all-clear decision plus threshold key release. Returns the round
   // secret when every group reported clean checks and counts balance;
-  // nullopt means the shares are deleted and the round aborts.
+  // nullopt means the shares are deleted and the round aborts. Const and
+  // state-free, so one trustee group safely serves many pipelined engine
+  // rounds concurrently (the engine's exit-finalize tasks call this from
+  // pool threads); each engine round is judged only on its own reports
+  // and its own commitment set.
   std::optional<Scalar> MaybeReleaseKey(
       std::span<const GroupReport> reports) const;
 

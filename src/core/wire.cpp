@@ -66,6 +66,9 @@ Bytes EncodeNizkSubmission(const NizkSubmission& submission) {
   w.U32(submission.entry_gid);
   PutCiphertextVec(w, submission.ciphertext);
   PutProofs(w, submission.proofs);
+  // Format change (not backward compatible): client_id appended last so
+  // the fixed prefix offsets (gid, vector counts) keep their positions.
+  w.U64(submission.client_id);
   return w.Take();
 }
 
@@ -74,10 +77,15 @@ std::optional<NizkSubmission> DecodeNizkSubmission(BytesView bytes) {
   NizkSubmission out;
   auto gid = r.U32();
   if (!gid || !GetCiphertextVec(r, &out.ciphertext) ||
-      !GetProofs(r, &out.proofs) || !r.Done()) {
+      !GetProofs(r, &out.proofs)) {
+    return std::nullopt;
+  }
+  auto client = r.U64();
+  if (!client || !r.Done()) {
     return std::nullopt;
   }
   out.entry_gid = *gid;
+  out.client_id = *client;
   return out;
 }
 
@@ -326,6 +334,9 @@ Bytes EncodeTrapSubmission(const TrapSubmission& submission) {
   PutProofs(w, submission.second_proofs);
   w.Raw(BytesView(submission.trap_commitment.data(),
                   submission.trap_commitment.size()));
+  // Format change (not backward compatible): client_id appended last so
+  // the fixed prefix offsets (gid, vector counts) keep their positions.
+  w.U64(submission.client_id);
   return w.Take();
 }
 
@@ -340,10 +351,12 @@ std::optional<TrapSubmission> DecodeTrapSubmission(BytesView bytes) {
     return std::nullopt;
   }
   auto commitment = r.Raw(32);
-  if (!commitment || !r.Done()) {
+  auto client = r.U64();
+  if (!commitment || !client || !r.Done()) {
     return std::nullopt;
   }
   out.entry_gid = *gid;
+  out.client_id = *client;
   std::copy(commitment->begin(), commitment->end(),
             out.trap_commitment.begin());
   return out;

@@ -1,6 +1,8 @@
 // Persistent worker pool shared by the data-parallel crypto loops
-// (ParallelFor: shuffle rerandomization, reencryption, proof batches) and
-// the round engine's dependency-scheduled hop tasks (src/core/engine.h).
+// (ParallelFor: shuffle rerandomization, reencryption, proof batches,
+// submission-proof verification in Round::SubmitNizkBatch/SubmitTrapBatch,
+// exit-phase KEM decryption) and the round engine's dependency-scheduled
+// hop, sort, check, and finalize tasks (src/core/engine.h).
 //
 // The paper's Figure 7 measures exactly what ParallelFor provides: how one
 // mixing iteration speeds up with core count. Before the engine refactor

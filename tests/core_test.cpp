@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "src/core/round.h"
 #include "src/crypto/kem.h"
@@ -676,6 +678,158 @@ TEST(FullRound, RejectsInvalidSubmission) {
   mangled.first[0].c = mangled.first[0].c + Point::Generator();
   EXPECT_FALSE(round.SubmitTrap(mangled));
   EXPECT_TRUE(round.SubmitTrap(sub));
+}
+
+// ---------------------------------------------------------------- intake --
+
+TEST(Intake, ConcurrentShardedSubmissionLosesNothing) {
+  // Many client threads hammer every entry group at once; the sharded
+  // intake must accept each valid submission exactly once — no losses, no
+  // double counts — and the round must deliver exactly the submitted set.
+  // (The TSan CI job gates the locking discipline here.)
+  Rng rng(760u);
+  Round round(SmallConfig(Variant::kNizk, 32), rng);
+
+  constexpr size_t kThreads = 6;
+  constexpr size_t kPerThread = 6;
+  constexpr size_t kTotal = kThreads * kPerThread;
+  std::vector<NizkSubmission> subs;
+  std::set<std::string> sent;
+  for (size_t i = 0; i < kTotal; i++) {
+    uint32_t gid = static_cast<uint32_t>(i % round.NumGroups());
+    Bytes msg = ToBytes("concurrent #" + std::to_string(i));
+    sent.insert(HexEncode(BytesView(PadTo(BytesView(msg), 32))));
+    auto sub = MakeNizkSubmission(round.EntryPk(gid), gid, BytesView(msg),
+                                  round.layout(), rng);
+    sub.client_id = i + 1;
+    subs.push_back(std::move(sub));
+  }
+
+  std::atomic<size_t> accepted{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      // Interleaved slices: every thread touches every entry group.
+      for (size_t i = t; i < kTotal; i += kThreads) {
+        if (round.SubmitNizk(subs[i])) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(accepted.load(), kTotal);
+
+  auto result = round.Run(rng);
+  ASSERT_FALSE(result.aborted) << result.abort_reason;
+  std::set<std::string> got;
+  for (const auto& p : result.plaintexts) {
+    got.insert(HexEncode(BytesView(p)));
+  }
+  EXPECT_EQ(result.plaintexts.size(), kTotal);  // set equality + size ==
+  EXPECT_EQ(got, sent);                         // no duplicates hidden
+}
+
+TEST(Intake, ConcurrentDuplicateClientIdAcceptedExactlyOnce) {
+  // Racing submissions that share one client id: exactly one thread wins,
+  // every other gets false — never zero, never two.
+  Rng rng(761u);
+  Round round(SmallConfig(Variant::kNizk, 32), rng);
+
+  constexpr size_t kThreads = 4;
+  std::vector<NizkSubmission> subs;
+  for (size_t i = 0; i < kThreads; i++) {
+    auto sub = MakeNizkSubmission(round.EntryPk(0), 0,
+                                  BytesView(ToBytes("race " +
+                                                    std::to_string(i))),
+                                  round.layout(), rng);
+    sub.client_id = 42;
+    subs.push_back(std::move(sub));
+  }
+  std::atomic<size_t> accepted{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      if (round.SubmitNizk(subs[t])) {
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(accepted.load(), 1u);
+}
+
+TEST(Intake, RejectsDuplicateClientIdWithinAnEngineRound) {
+  // Regression: a second submission with the same client id used to be
+  // silently double-counted (and poisoned the exit checks); now it must
+  // return false, while anonymous submissions stay exempt and a drained
+  // epoch resets the book.
+  Rng rng(762u);
+  Round round(SmallConfig(Variant::kTrap), rng);
+  auto make = [&](uint64_t client_id, const char* msg) {
+    auto sub = MakeTrapSubmission(round.EntryPk(0), 0, round.TrusteePk(),
+                                  BytesView(ToBytes(msg)), round.layout(),
+                                  rng);
+    sub.client_id = client_id;
+    return sub;
+  };
+
+  EXPECT_TRUE(round.SubmitTrap(make(7, "first")));
+  // Same client id, fresh (valid) ciphertexts: rejected, not double-counted.
+  EXPECT_FALSE(round.SubmitTrap(make(7, "second")));
+  EXPECT_TRUE(round.SubmitTrap(make(8, "other client")));
+  // Anonymous submissions opt out of the check.
+  EXPECT_TRUE(round.SubmitTrap(make(kAnonymousClient, "anon one")));
+  EXPECT_TRUE(round.SubmitTrap(make(kAnonymousClient, "anon two")));
+
+  auto result = round.Run(rng);
+  ASSERT_FALSE(result.aborted) << result.abort_reason;
+  EXPECT_EQ(result.plaintexts.size(), 4u);  // the rejected one never ran
+  EXPECT_EQ(result.traps_seen, 4u);
+
+  // A new engine round is a new book: client 7 may submit again.
+  EXPECT_TRUE(round.SubmitTrap(make(7, "next round")));
+}
+
+TEST(Intake, BatchSubmitVerifiesOnThePoolAndFiltersInvalid) {
+  Rng rng(763u);
+  Round round(SmallConfig(Variant::kNizk, 32), rng);
+
+  std::vector<NizkSubmission> subs;
+  std::set<std::string> want;
+  for (size_t i = 0; i < 8; i++) {
+    uint32_t gid = static_cast<uint32_t>(i % round.NumGroups());
+    Bytes msg = ToBytes("batch #" + std::to_string(i));
+    auto sub = MakeNizkSubmission(round.EntryPk(gid), gid, BytesView(msg),
+                                  round.layout(), rng);
+    sub.client_id = 100 + i;
+    if (i != 3 && i != 6) {
+      want.insert(HexEncode(BytesView(PadTo(BytesView(msg), 32))));
+    }
+    subs.push_back(std::move(sub));
+  }
+  // #3: mangled ciphertext (proof mismatch). #6: duplicate client id of
+  // #2 — same entry group (ids are scoped to the client's entry group).
+  subs[3].ciphertext[0].c = subs[3].ciphertext[0].c + Point::Generator();
+  subs[6].client_id = subs[2].client_id;
+
+  auto accepted = round.SubmitNizkBatch(subs, /*workers=*/4);
+  ASSERT_EQ(accepted.size(), subs.size());
+  for (size_t i = 0; i < subs.size(); i++) {
+    EXPECT_EQ(accepted[i], i != 3 && i != 6) << "submission " << i;
+  }
+
+  auto result = round.Run(rng);
+  ASSERT_FALSE(result.aborted) << result.abort_reason;
+  std::set<std::string> got;
+  for (const auto& p : result.plaintexts) {
+    got.insert(HexEncode(BytesView(p)));
+  }
+  EXPECT_EQ(got, want);
 }
 
 // ----------------------------------------------------------------- blame --

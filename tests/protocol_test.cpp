@@ -154,10 +154,12 @@ TEST(Wire, NizkSubmissionRoundTrip) {
   WireFixture f;
   auto sub = MakeNizkSubmission(f.group.pk, 5, BytesView(ToBytes("post")),
                                 f.nizk_layout, f.rng);
+  sub.client_id = 0x0123456789abcdefULL;
   Bytes enc = EncodeNizkSubmission(sub);
   auto back = DecodeNizkSubmission(BytesView(enc));
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->entry_gid, 5u);
+  EXPECT_EQ(back->client_id, sub.client_id);
   EXPECT_TRUE(VerifyNizkSubmission(f.group.pk, *back, f.nizk_layout));
 }
 
@@ -166,10 +168,12 @@ TEST(Wire, TrapSubmissionRoundTrip) {
   auto sub = MakeTrapSubmission(f.group.pk, 2, f.trustee.pk,
                                 BytesView(ToBytes("msg")), f.trap_layout,
                                 f.rng);
+  sub.client_id = 77;
   Bytes enc = EncodeTrapSubmission(sub);
   auto back = DecodeTrapSubmission(BytesView(enc));
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->trap_commitment, sub.trap_commitment);
+  EXPECT_EQ(back->client_id, 77u);
   EXPECT_TRUE(VerifyTrapSubmission(f.group.pk, *back, f.trap_layout));
 }
 
