@@ -1,0 +1,124 @@
+// atom_server: one Atom server in one OS process.
+//
+// Hosts a single AtomNode behind the encrypted TCP peer mesh
+// (src/net/node_process.h). Everything else — the peer roster, per-group
+// key shares, run keys, and protocol traffic — arrives over authenticated
+// links from the round driver (see examples/distributed_nodes.cpp, which
+// spawns a fleet of these and drives a round through it).
+//
+//   atom_server --id N --sk <hex32> --driver-pk <hex33>
+//               [--port P] [--variant trap|nizk]
+//
+// Prints "ATOM_SERVER_PORT=<port>" on stdout once listening (port 0, the
+// default, picks an ephemeral port — the spawner reads this line), then
+// serves until stdin reaches EOF, so a child process exits as soon as its
+// spawner closes the pipe or dies.
+//
+// NOTE: the secret key on argv is a demo convenience for loopback runs; a
+// real deployment loads it from a file or keystore.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/net/node_process.h"
+#include "src/util/hex.h"
+
+namespace {
+
+// strtoul with full validation: rejects junk, trailing characters, and
+// values past `max` instead of throwing or silently truncating.
+std::optional<unsigned long> ParseNumber(const std::string& value,
+                                         unsigned long max) {
+  if (value.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size() || parsed > max) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace atom;
+  uint32_t id = 0;
+  uint16_t port = 0;
+  Variant variant = Variant::kTrap;
+  std::string sk_hex, driver_pk_hex;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--id") {
+      auto parsed = ParseNumber(value, 0xffffffffUL);
+      if (!parsed) {
+        std::fprintf(stderr, "--id must be a number\n");
+        return 2;
+      }
+      id = static_cast<uint32_t>(*parsed);
+    } else if (flag == "--port") {
+      auto parsed = ParseNumber(value, 65535);
+      if (!parsed) {
+        std::fprintf(stderr, "--port must be a number in [0, 65535]\n");
+        return 2;
+      }
+      port = static_cast<uint16_t>(*parsed);
+    } else if (flag == "--sk") {
+      sk_hex = value;
+    } else if (flag == "--driver-pk") {
+      driver_pk_hex = value;
+    } else if (flag == "--variant") {
+      variant = (value == "nizk") ? Variant::kNizk : Variant::kTrap;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (id == kMeshDriverId || sk_hex.empty() || driver_pk_hex.empty()) {
+    std::fprintf(stderr,
+                 "usage: atom_server --id N --sk <hex32> --driver-pk "
+                 "<hex33> [--port P] [--variant trap|nizk]\n");
+    return 2;
+  }
+
+  auto sk_bytes = HexDecode(sk_hex);
+  if (!sk_bytes || sk_bytes->size() != 32) {
+    std::fprintf(stderr, "--sk must be 32 hex-encoded bytes\n");
+    return 2;
+  }
+  auto sk = Scalar::FromBytes(BytesView(*sk_bytes));
+  if (!sk) {
+    std::fprintf(stderr, "--sk is not a valid scalar\n");
+    return 2;
+  }
+  auto pk_bytes = HexDecode(driver_pk_hex);
+  auto driver_pk =
+      pk_bytes ? Point::Decode(BytesView(*pk_bytes)) : std::nullopt;
+  if (!driver_pk) {
+    std::fprintf(stderr, "--driver-pk is not a valid point\n");
+    return 2;
+  }
+
+  KemKeypair identity{*sk, Point::BaseMul(*sk)};
+  NodeProcess process(id, variant, identity, *driver_pk);
+  if (!process.Listen(port)) {
+    std::fprintf(stderr, "server %u: could not bind port %u\n", id, port);
+    return 1;
+  }
+  process.Start();
+  std::printf("ATOM_SERVER_PORT=%u\n", process.port());
+  std::fflush(stdout);
+
+  // Serve until the spawner closes our stdin (or we get EOF any other
+  // way); NodeProcess threads do all the work.
+  while (std::fgetc(stdin) != EOF) {
+  }
+  process.Stop();
+  return 0;
+}

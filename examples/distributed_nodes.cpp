@@ -2,23 +2,91 @@
 // messages, instead of the in-process Round orchestrator.
 //
 // Each AtomNode holds exactly ONE server's key shares and reacts to
-// messages — the structure a real multi-machine deployment would have, with
-// the LocalBus standing in for TLS links. Two groups of three servers mix a
-// batch across two hops (one forwarding hop, one exit hop) while a second
-// batch from another entry group interleaves on the same bus.
+// messages. Two groups of three servers mix a batch across two hops (one
+// forwarding hop, one exit hop).
 //
-// Build & run:  cmake --build build && ./build/examples/distributed_nodes
+// Two modes:
+//
+//   ./build/examples/distributed_nodes
+//       In-process: six AtomNodes on a LocalBus (the original demo).
+//
+//   ./build/examples/distributed_nodes --tcp [--seed N]
+//       Multi-process: spawns six ./atom_server processes (one per
+//       server) over loopback TCP with encrypted authenticated links,
+//       drives the SAME seeded round through BOTH transports, and checks
+//       the group outputs are byte-identical. Then it SIGKILLs a
+//       mid-chain server and verifies the next round surfaces an abort
+//       instead of hanging. Exits nonzero on any mismatch — CI runs this
+//       as the multi-process transport smoke test.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/core/node.h"
+#include "src/core/wire.h"
+#include "src/net/mesh.h"
+#include "src/util/hex.h"
 #include "src/util/rng.h"
 
-int main() {
-  using namespace atom;
-  Rng rng = Rng::FromOsEntropy();
+namespace {
 
-  // ---- Stand up six server processes forming two anytrust groups.
+using namespace atom;
+
+const char* kPosts[] = {"first!", "hello from nowhere", "mix me",
+                        "fourth message"};
+
+CiphertextBatch MakeBatch(const Point& pk, Rng& rng) {
+  CiphertextBatch batch;
+  for (const char* post : kPosts) {
+    Bytes padded = ToBytes(post);
+    padded.resize(kEmbedCapacity, 0);
+    batch.push_back(
+        {ElGamalEncrypt(pk, *EmbedMessage(BytesView(padded)), rng)});
+  }
+  return batch;
+}
+
+NodeMsg EntryMsg(uint32_t gid, CiphertextBatch batch,
+                 std::vector<Point> next_pks) {
+  NodeMsg msg;
+  msg.type = NodeMsg::Type::kShuffleStep;
+  msg.gid = gid;
+  msg.chain_pos = 0;
+  msg.batch = std::move(batch);
+  msg.next_pks = std::move(next_pks);
+  return msg;
+}
+
+void PrintPlaintexts(const CiphertextBatch& batch) {
+  for (const auto& vec : batch) {
+    auto m = ElGamalDecrypt(Scalar::Zero(), vec[0]);
+    if (!m.has_value()) {
+      continue;
+    }
+    auto bytes = ExtractMessage(*m);
+    if (!bytes.has_value()) {
+      continue;
+    }
+    size_t end = bytes->size();
+    while (end > 0 && (*bytes)[end - 1] == 0) {
+      end--;
+    }
+    std::printf("  > %.*s\n", static_cast<int>(end),
+                reinterpret_cast<const char*>(bytes->data()));
+  }
+}
+
+// ------------------------------------------------------- in-process mode
+
+int RunLocal() {
+  Rng rng = Rng::FromOsEntropy();
   std::vector<std::unique_ptr<AtomNode>> servers;
   LocalBus bus;
   auto add_group = [&](uint32_t gid, uint32_t first_id) {
@@ -37,25 +105,8 @@ int main() {
   std::printf("6 server nodes up: group 0 = {100,101,102}, "
               "group 1 = {200,201,202}\n");
 
-  // ---- Users encrypt to their entry group (group 0 here).
-  const char* posts[] = {"first!", "hello from nowhere", "mix me",
-                         "fourth message"};
-  CiphertextBatch batch;
-  for (const char* post : posts) {
-    Bytes padded = ToBytes(post);
-    padded.resize(kEmbedCapacity, 0);
-    batch.push_back({ElGamalEncrypt(g0.pub.group_pk,
-                                    *EmbedMessage(BytesView(padded)), rng)});
-  }
-
-  // ---- Hop 1: group 0 shuffles and reencrypts toward group 1.
-  NodeMsg entry;
-  entry.type = NodeMsg::Type::kShuffleStep;
-  entry.gid = 0;
-  entry.chain_pos = 0;
-  entry.batch = std::move(batch);
-  entry.next_pks = {g1.pub.group_pk};
-  bus.Send(Envelope{100, std::move(entry)});
+  bus.Send(Envelope{100, EntryMsg(0, MakeBatch(g0.pub.group_pk, rng),
+                                  {g1.pub.group_pk})});
   if (!bus.Run(rng)) {
     std::fprintf(stderr, "hop 1 aborted: %s\n",
                  bus.aborts()[0].abort_reason.c_str());
@@ -67,32 +118,274 @@ int main() {
   CiphertextBatch forwarded = bus.outputs()[0].subs[0];
   bus.ClearOutputs();
 
-  // ---- Hop 2: group 1 is the exit layer.
-  NodeMsg exit_msg;
-  exit_msg.type = NodeMsg::Type::kShuffleStep;
-  exit_msg.gid = 1;
-  exit_msg.chain_pos = 0;
-  exit_msg.batch = std::move(forwarded);
-  bus.Send(Envelope{200, std::move(exit_msg)});
+  bus.Send(Envelope{200, EntryMsg(1, std::move(forwarded), {})});
   if (!bus.Run(rng)) {
     std::fprintf(stderr, "hop 2 aborted\n");
     return 1;
   }
-
   std::printf("hop 2 complete; anonymized output:\n");
-  for (const auto& vec : bus.outputs()[0].subs[0]) {
-    auto m = ElGamalDecrypt(Scalar::Zero(), vec[0]);
-    if (m.has_value()) {
-      auto bytes = ExtractMessage(*m);
-      if (bytes.has_value()) {
-        size_t end = bytes->size();
-        while (end > 0 && (*bytes)[end - 1] == 0) {
-          end--;
-        }
-        std::printf("  > %.*s\n", static_cast<int>(end),
-                    reinterpret_cast<const char*>(bytes->data()));
-      }
+  PrintPlaintexts(bus.outputs()[0].subs[0]);
+  return 0;
+}
+
+// ----------------------------------------------------- multi-process mode
+
+struct ServerHandle {
+  pid_t pid = -1;
+  int stdin_w = -1;   // closing this tells the child to exit
+  uint16_t port = 0;
+};
+
+std::string ServerBinaryPath(const char* argv0) {
+  std::string self = argv0;
+  size_t slash = self.rfind('/');
+  std::string dir = (slash == std::string::npos) ? "." : self.substr(0, slash);
+  return dir + "/atom_server";
+}
+
+bool SpawnServer(const std::string& binary, uint32_t id, const Scalar& sk,
+                 const Point& driver_pk, ServerHandle* out) {
+  int in_pipe[2], out_pipe[2];
+  if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0) {
+    return false;
+  }
+  std::string id_str = std::to_string(id);
+  auto sk_bytes = sk.ToBytes();
+  std::string sk_hex = HexEncode(BytesView(sk_bytes.data(), sk_bytes.size()));
+  std::string pk_hex = HexEncode(BytesView(driver_pk.Encode()));
+  pid_t pid = fork();
+  if (pid < 0) {
+    return false;
+  }
+  if (pid == 0) {
+    dup2(in_pipe[0], STDIN_FILENO);
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    execl(binary.c_str(), "atom_server", "--id", id_str.c_str(), "--sk",
+          sk_hex.c_str(), "--driver-pk", pk_hex.c_str(),
+          static_cast<char*>(nullptr));
+    std::fprintf(stderr, "exec %s failed\n", binary.c_str());
+    _exit(127);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  // The child prints ATOM_SERVER_PORT=<port> once it listens.
+  FILE* child_out = fdopen(out_pipe[0], "r");
+  char line[128];
+  unsigned port = 0;
+  if (child_out == nullptr || std::fgets(line, sizeof(line), child_out) ==
+                                  nullptr ||
+      std::sscanf(line, "ATOM_SERVER_PORT=%u", &port) != 1) {
+    if (child_out != nullptr) {
+      std::fclose(child_out);
+    }
+    kill(pid, SIGKILL);
+    return false;
+  }
+  std::fclose(child_out);  // closes out_pipe[0]; child writes nothing else
+  out->pid = pid;
+  out->stdin_w = in_pipe[1];
+  out->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+void ReapAll(std::vector<ServerHandle>& servers) {
+  for (ServerHandle& server : servers) {
+    if (server.stdin_w >= 0) {
+      close(server.stdin_w);  // EOF -> child exits
+      server.stdin_w = -1;
     }
   }
+  for (ServerHandle& server : servers) {
+    if (server.pid < 0) {
+      continue;
+    }
+    for (int i = 0; i < 100; i++) {  // ~1s of patience, then the hammer
+      if (waitpid(server.pid, nullptr, WNOHANG) != 0) {
+        server.pid = -1;
+        break;
+      }
+      usleep(10'000);
+    }
+    if (server.pid >= 0) {
+      kill(server.pid, SIGKILL);
+      waitpid(server.pid, nullptr, 0);
+      server.pid = -1;
+    }
+  }
+}
+
+int RunTcp(const char* argv0, uint64_t seed) {
+  signal(SIGPIPE, SIG_IGN);  // dead-child pipe writes must not kill us
+  Rng rng(seed);
+  std::string binary = ServerBinaryPath(argv0);
+
+  // ---- Key material and groups, generated once and shared by both
+  // transports so a seeded round is directly comparable.
+  KemKeypair driver_key = KemKeyGen(rng);
+  DkgResult g0 = RunDkg(DkgParams{3, 3}, rng);
+  DkgResult g1 = RunDkg(DkgParams{3, 3}, rng);
+  struct ServerSpec {
+    uint32_t id;
+    uint32_t gid;
+    KemKeypair key;
+    NodeGroupKeys group_keys;
+  };
+  std::vector<ServerSpec> specs;
+  std::vector<uint32_t> chain0 = {100, 101, 102}, chain1 = {200, 201, 202};
+  for (uint32_t pos = 0; pos < 3; pos++) {
+    specs.push_back(ServerSpec{chain0[pos], 0, KemKeyGen(rng),
+                               MakeNodeGroupKeys(g0, chain0, pos)});
+  }
+  for (uint32_t pos = 0; pos < 3; pos++) {
+    specs.push_back(ServerSpec{chain1[pos], 1, KemKeyGen(rng),
+                               MakeNodeGroupKeys(g1, chain1, pos)});
+  }
+
+  // ---- One real OS process per server.
+  std::vector<ServerHandle> servers(specs.size());
+  std::vector<MeshPeer> roster;
+  for (size_t i = 0; i < specs.size(); i++) {
+    if (!SpawnServer(binary, specs[i].id, specs[i].key.sk, driver_key.pk,
+                     &servers[i])) {
+      std::fprintf(stderr, "failed to spawn atom_server for %u\n",
+                   specs[i].id);
+      ReapAll(servers);
+      return 1;
+    }
+    roster.push_back(MeshPeer{specs[i].id, "127.0.0.1", servers[i].port,
+                              specs[i].key.pk});
+  }
+  std::printf("6 atom_server processes up (pids");
+  for (const ServerHandle& server : servers) {
+    std::printf(" %d", static_cast<int>(server.pid));
+  }
+  std::printf("), loopback ports");
+  for (const ServerHandle& server : servers) {
+    std::printf(" %u", server.port);
+  }
+  std::printf("\n");
+
+  // ---- Driver mesh: dial, authenticate, push roster + group keys.
+  TcpPeerMesh driver(TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key);
+  driver.SetRoster(roster);
+  driver.set_dial_attempts(3);
+  if (!driver.ConnectAndPushRoster()) {
+    std::fprintf(stderr, "roster push failed\n");
+    ReapAll(servers);
+    return 1;
+  }
+  for (const ServerSpec& spec : specs) {
+    if (!driver.SendJoinGroup(spec.id, spec.gid, spec.group_keys)) {
+      std::fprintf(stderr, "join-group push to %u failed\n", spec.id);
+      ReapAll(servers);
+      return 1;
+    }
+  }
+  std::printf("encrypted links up; roster and group keys distributed\n");
+
+  // ---- The in-process twin: same keys, same seed, LocalBus transport.
+  LocalBus local_bus;
+  std::vector<std::unique_ptr<AtomNode>> local_nodes;
+  for (const ServerSpec& spec : specs) {
+    local_nodes.push_back(
+        std::make_unique<AtomNode>(spec.id, Variant::kTrap));
+    local_nodes.back()->JoinGroup(spec.gid, spec.group_keys);
+    local_bus.RegisterNode(local_nodes.back().get());
+  }
+
+  CiphertextBatch batch = MakeBatch(g0.pub.group_pk, rng);
+  Rng run_rng_local(seed + 1);
+  Rng run_rng_mesh(seed + 1);
+
+  auto run_hop = [&](uint32_t entry_server, const NodeMsg& entry,
+                     const char* label) -> bool {
+    local_bus.Send(Envelope{entry_server, entry});
+    if (!local_bus.Run(run_rng_local)) {
+      std::fprintf(stderr, "%s aborted on LocalBus\n", label);
+      return false;
+    }
+    driver.Send(Envelope{entry_server, entry});
+    if (!driver.Run(run_rng_mesh)) {
+      std::fprintf(stderr, "%s aborted on mesh: %s\n", label,
+                   driver.aborts().back().abort_reason.c_str());
+      return false;
+    }
+    if (local_bus.outputs().size() != 1 || driver.outputs().size() != 1 ||
+        EncodeNodeMsg(local_bus.outputs()[0]) !=
+            EncodeNodeMsg(driver.outputs()[0])) {
+      std::fprintf(stderr, "%s: transports DIVERGED\n", label);
+      return false;
+    }
+    std::printf("%s: LocalBus and TCP mesh group outputs are "
+                "byte-identical (%zu bytes)\n",
+                label, EncodeNodeMsg(driver.outputs()[0]).size());
+    return true;
+  };
+
+  if (!run_hop(100, EntryMsg(0, batch, {g1.pub.group_pk}), "hop 1")) {
+    ReapAll(servers);
+    return 1;
+  }
+  CiphertextBatch forwarded = driver.outputs()[0].subs[0];
+  local_bus.ClearOutputs();
+  driver.ClearOutputs();
+  if (!run_hop(200, EntryMsg(1, forwarded, {}), "hop 2 (exit)")) {
+    ReapAll(servers);
+    return 1;
+  }
+  std::printf("anonymized output via 6 processes over TCP:\n");
+  PrintPlaintexts(driver.outputs()[0].subs[0]);
+
+  // ---- Fault demo: SIGKILL a mid-chain server; the next round must
+  // surface an abort quickly, never hang.
+  std::printf("killing server 101 (pid %d) mid-deployment...\n",
+              static_cast<int>(servers[1].pid));
+  kill(servers[1].pid, SIGKILL);
+  waitpid(servers[1].pid, nullptr, 0);
+  servers[1].pid = -1;
+  driver.ClearOutputs();
+  driver.set_dial_attempts(1);
+  driver.Send(
+      Envelope{100, EntryMsg(0, MakeBatch(g0.pub.group_pk, rng), {})});
+  Rng run_rng_fault(seed + 2);
+  if (driver.Run(run_rng_fault)) {
+    std::fprintf(stderr, "round with a killed peer unexpectedly passed\n");
+    ReapAll(servers);
+    return 1;
+  }
+  std::printf("killed peer surfaced as abort: %s\n",
+              driver.aborts().back().abort_reason.c_str());
+
+  driver.Stop();
+  ReapAll(servers);
+  std::printf("multi-process transport smoke: OK\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tcp = false;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--tcp") == 0) {
+      tcp = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      seed = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--seed must be a number\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: distributed_nodes [--tcp] [--seed N]\n");
+      return 2;
+    }
+  }
+  return tcp ? RunTcp(argv[0], seed) : RunLocal();
 }

@@ -41,6 +41,20 @@ void AtomNode::JoinGroup(uint32_t gid, NodeGroupKeys keys) {
   groups_[gid] = std::move(keys);
 }
 
+bool AtomNode::Accepts(const NodeMsg& msg) const {
+  if (msg.type != NodeMsg::Type::kShuffleStep &&
+      msg.type != NodeMsg::Type::kReEncStep) {
+    return false;
+  }
+  auto it = groups_.find(msg.gid);
+  if (it == groups_.end()) {
+    return false;
+  }
+  const NodeGroupKeys& keys = it->second;
+  return msg.chain_pos < keys.chain_servers.size() &&
+         keys.chain_servers[msg.chain_pos] == server_id_;
+}
+
 std::vector<Envelope> AtomNode::Handle(const NodeMsg& msg, Rng& rng) {
   auto it = groups_.find(msg.gid);
   ATOM_CHECK_MSG(it != groups_.end(), "message for a group I am not in");
@@ -310,6 +324,14 @@ bool LocalBus::Run(Rng& rng) {
 void LocalBus::ClearOutputs() {
   std::lock_guard<std::mutex> lock(mu_);
   outputs_.clear();
+}
+
+void LocalBus::AssertNotRunning() const {
+#ifndef NDEBUG
+  std::lock_guard<std::mutex> lock(mu_);
+  ATOM_CHECK_MSG(!running_,
+                 "LocalBus outputs()/aborts() read while Run is executing");
+#endif
 }
 
 NodeGroupKeys MakeNodeGroupKeys(const DkgResult& dkg,

@@ -4,8 +4,10 @@
 // one call and is convenient for tests and benches; AtomNode is the shape
 // of a real deployment process: it holds exactly ONE server's per-group key
 // shares and acts only on protocol messages, emitting messages to other
-// servers. The LocalBus delivers envelopes in process; a network transport
-// would deliver the same envelopes over TLS.
+// servers. Message delivery is pluggable behind the Bus interface below:
+// LocalBus delivers envelopes in process, and the TcpPeerMesh/NodeProcess
+// pair in src/net/ delivers the same envelopes over encrypted TCP links
+// with one OS process per server (see src/net/mesh.h).
 //
 // Message flow for one group hop (Algorithm 1/2):
 //   kShuffleStep(pos=0) -> server at chain position 0 shuffles, sends
@@ -86,6 +88,13 @@ class AtomNode {
   // chain_servers).
   void JoinGroup(uint32_t gid, NodeGroupKeys keys);
 
+  // True when this node serves msg.gid at msg.chain_pos and the type is a
+  // server-actionable step. Handle() treats violations as fatal invariant
+  // failures (an in-process driver routing wrong is a bug); a network
+  // transport checks Accepts() first so a misrouted or hostile message
+  // from a peer becomes an abort instead of crashing the server.
+  bool Accepts(const NodeMsg& msg) const;
+
   // Processes one protocol message, returning the envelopes to deliver.
   std::vector<Envelope> Handle(const NodeMsg& msg, Rng& rng);
 
@@ -100,6 +109,35 @@ class AtomNode {
   std::map<uint32_t, NodeGroupKeys> groups_;
 };
 
+// Message-delivery abstraction between Atom servers, as seen by a driver.
+//
+// A Bus accepts envelopes (Send), delivers them to the servers it fronts
+// until the traffic quiesces (Run), and collects the driver-bound messages
+// — kGroupOutput and kAbort — for inspection between runs. Run returns
+// false when any chain aborted during that call. The accessors must only
+// be read while Run is NOT executing; implementations assert this in
+// debug builds.
+//
+// Implementations: LocalBus (below) delivers in process on the shared
+// ThreadPool; TcpPeerMesh (src/net/mesh.h) delivers the same envelopes to
+// one-process-per-server peers over authenticated encrypted TCP links.
+class Bus {
+ public:
+  virtual ~Bus() = default;
+
+  // Queues a message for a server (thread-safe).
+  virtual void Send(Envelope envelope) = 0;
+
+  // Delivers until quiescent; false if any chain aborted during this call.
+  virtual bool Run(Rng& rng) = 0;
+
+  // Collected kGroupOutput / kAbort messages. Only read while Run is not
+  // executing.
+  virtual const std::vector<NodeMsg>& outputs() const = 0;
+  virtual const std::vector<NodeMsg>& aborts() const = 0;
+  virtual void ClearOutputs() = 0;
+};
+
 // In-process message bus between registered nodes. Group outputs and
 // aborts are collected for the driver.
 //
@@ -111,24 +149,31 @@ class AtomNode {
 // messages concurrently instead of walking one global deque. Each
 // delivered message gets a private Rng key-separated from a per-run root
 // key, so no generator is shared across pool threads.
-class LocalBus {
+class LocalBus : public Bus {
  public:
   void RegisterNode(AtomNode* node);
 
   // Queues a message for a server (thread-safe; pool tasks re-enter it).
-  void Send(Envelope envelope);
+  void Send(Envelope envelope) override;
 
   // Delivers until quiescent. Returns false if any node aborted during
   // this call; once an abort is observed, messages still queued in this
   // call are discarded. A later Run starts fresh (aborts() keeps the
   // history).
-  bool Run(Rng& rng);
+  bool Run(Rng& rng) override;
 
   // Collected kGroupOutput messages (one per finished group hop). Only
-  // read these while Run is not executing.
-  const std::vector<NodeMsg>& outputs() const { return outputs_; }
-  const std::vector<NodeMsg>& aborts() const { return aborts_; }
-  void ClearOutputs();
+  // read these while Run is not executing (debug builds assert it: a pool
+  // drain task may still be appending).
+  const std::vector<NodeMsg>& outputs() const override {
+    AssertNotRunning();
+    return outputs_;
+  }
+  const std::vector<NodeMsg>& aborts() const override {
+    AssertNotRunning();
+    return aborts_;
+  }
+  void ClearOutputs() override;
 
  private:
   struct ServerQueue {
@@ -139,13 +184,17 @@ class LocalBus {
 
   void Enqueue(Envelope envelope);  // requires mu_
   void DrainServer(uint32_t server_id);
+  // Debug-build guard for the read-while-running hazard: outputs_/aborts_
+  // are appended to by pool drain tasks while Run executes, so reading
+  // them concurrently is a race. Compiled out under NDEBUG.
+  void AssertNotRunning() const;
 
   std::map<uint32_t, AtomNode*> nodes_;
   std::map<uint32_t, ServerQueue> queues_;
   std::vector<NodeMsg> outputs_;
   std::vector<NodeMsg> aborts_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   size_t unfinished_ = 0;  // enqueued but not fully handled messages
   size_t drains_ = 0;      // outstanding drain tasks on the pool

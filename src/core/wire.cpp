@@ -325,6 +325,26 @@ std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes) {
   return msg;
 }
 
+Bytes EncodeEnvelope(const Envelope& envelope) {
+  ByteWriter w;
+  w.U32(envelope.to_server);
+  w.Raw(BytesView(EncodeNodeMsg(envelope.msg)));
+  return w.Take();
+}
+
+std::optional<Envelope> DecodeEnvelope(BytesView bytes) {
+  ByteReader r(bytes);
+  auto to_server = r.U32();
+  if (!to_server) {
+    return std::nullopt;
+  }
+  auto msg = DecodeNodeMsg(bytes.subspan(4));
+  if (!msg) {
+    return std::nullopt;
+  }
+  return Envelope{*to_server, std::move(*msg)};
+}
+
 Bytes EncodeTrapSubmission(const TrapSubmission& submission) {
   ByteWriter w;
   w.U32(submission.entry_gid);

@@ -20,9 +20,16 @@ Bytes EncodeTrapSubmission(const TrapSubmission& submission);
 std::optional<TrapSubmission> DecodeTrapSubmission(BytesView bytes);
 
 // Inter-server protocol envelopes (the node runtime's messages): what a
-// network transport would put on the wire between Atom servers.
+// network transport puts on the wire between Atom servers (src/net/).
 Bytes EncodeNodeMsg(const NodeMsg& msg);
 std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes);
+
+// A routed envelope: destination server id + message. This is the payload
+// of the TCP transport's encrypted kEnvelope frames; decoding applies the
+// same length caps as DecodeNodeMsg, so an oversize or truncated frame is
+// rejected before any crypto work.
+Bytes EncodeEnvelope(const Envelope& envelope);
+std::optional<Envelope> DecodeEnvelope(BytesView bytes);
 
 // DKG round-1/round-2 messages (group setup gossip).
 Bytes EncodeDkgDealing(const DkgDealing& dealing);

@@ -1,0 +1,218 @@
+#include "src/net/control.h"
+
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+// A roster or group never approaches these sizes in any deployment this
+// repo models; the caps bound allocation from a hostile peer.
+constexpr uint32_t kMaxPeers = 4096;
+constexpr uint32_t kMaxGroupMembers = 4096;
+constexpr uint32_t kMaxHostLen = 256;
+
+void PutPoint(ByteWriter& w, const Point& p) { w.Raw(BytesView(p.Encode())); }
+
+std::optional<Point> GetPoint(ByteReader& r) {
+  auto raw = r.Raw(Point::kEncodedSize);
+  if (!raw) {
+    return std::nullopt;
+  }
+  return Point::Decode(BytesView(*raw));
+}
+
+void PutU32Vec(ByteWriter& w, const std::vector<uint32_t>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (uint32_t x : v) {
+    w.U32(x);
+  }
+}
+
+bool GetU32Vec(ByteReader& r, std::vector<uint32_t>* out) {
+  auto n = r.U32();
+  if (!n || *n > kMaxGroupMembers) {
+    return false;
+  }
+  out->reserve(*n);
+  for (uint32_t i = 0; i < *n; i++) {
+    auto x = r.U32();
+    if (!x) {
+      return false;
+    }
+    out->push_back(*x);
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes PackLinkFrame(LinkMsg type, BytesView body) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(type));
+  w.Raw(body);
+  return w.Take();
+}
+
+std::optional<LinkFrame> UnpackLinkFrame(BytesView payload) {
+  if (payload.empty()) {
+    return std::nullopt;
+  }
+  uint8_t type = payload[0];
+  if (type < static_cast<uint8_t>(LinkMsg::kEnvelope) ||
+      type > static_cast<uint8_t>(LinkMsg::kAck)) {
+    return std::nullopt;
+  }
+  LinkFrame frame;
+  frame.type = static_cast<LinkMsg>(type);
+  frame.body.assign(payload.begin() + 1, payload.end());
+  return frame;
+}
+
+Bytes EncodeRoster(uint64_t seq, std::span<const MeshPeer> peers) {
+  ByteWriter w;
+  w.U64(seq);
+  w.U32(static_cast<uint32_t>(peers.size()));
+  for (const MeshPeer& peer : peers) {
+    w.U32(peer.server_id);
+    w.Var(BytesView(ToBytes(peer.host)));
+    w.U16(peer.port);
+    PutPoint(w, peer.pk);
+  }
+  return w.Take();
+}
+
+std::optional<RosterMsg> DecodeRoster(BytesView bytes) {
+  ByteReader r(bytes);
+  RosterMsg msg;
+  auto seq = r.U64();
+  auto n = r.U32();
+  if (!seq || !n || *n > kMaxPeers) {
+    return std::nullopt;
+  }
+  msg.seq = *seq;
+  for (uint32_t i = 0; i < *n; i++) {
+    MeshPeer peer;
+    auto id = r.U32();
+    auto host = r.Var();
+    auto port = r.U16();
+    auto pk = GetPoint(r);
+    if (!id || !host || host->size() > kMaxHostLen || !port || !pk) {
+      return std::nullopt;
+    }
+    peer.server_id = *id;
+    peer.host.assign(host->begin(), host->end());
+    peer.port = *port;
+    peer.pk = *pk;
+    msg.peers.push_back(std::move(peer));
+  }
+  if (!r.Done()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+Bytes EncodeJoinGroup(uint64_t seq, uint32_t gid, const NodeGroupKeys& keys) {
+  ByteWriter w;
+  w.U64(seq);
+  w.U32(gid);
+  w.U32(static_cast<uint32_t>(keys.pub.params.k));
+  w.U32(static_cast<uint32_t>(keys.pub.params.threshold));
+  PutPoint(w, keys.pub.group_pk);
+  w.U32(static_cast<uint32_t>(keys.pub.share_pks.size()));
+  for (const Point& p : keys.pub.share_pks) {
+    PutPoint(w, p);
+  }
+  PutU32Vec(w, keys.pub.disqualified);
+  w.U32(keys.key.index);
+  auto share = keys.key.share.ToBytes();
+  w.Raw(BytesView(share.data(), share.size()));
+  PutU32Vec(w, keys.subset);
+  PutU32Vec(w, keys.chain_servers);
+  return w.Take();
+}
+
+std::optional<JoinGroupMsg> DecodeJoinGroup(BytesView bytes) {
+  ByteReader r(bytes);
+  JoinGroupMsg msg;
+  auto seq = r.U64();
+  auto gid = r.U32();
+  auto k = r.U32();
+  auto threshold = r.U32();
+  auto group_pk = GetPoint(r);
+  auto num_share_pks = r.U32();
+  if (!seq || !gid || !k || !threshold || !group_pk || !num_share_pks ||
+      *num_share_pks > kMaxGroupMembers) {
+    return std::nullopt;
+  }
+  msg.seq = *seq;
+  msg.gid = *gid;
+  msg.keys.pub.params.k = *k;
+  msg.keys.pub.params.threshold = *threshold;
+  msg.keys.pub.group_pk = *group_pk;
+  for (uint32_t i = 0; i < *num_share_pks; i++) {
+    auto p = GetPoint(r);
+    if (!p) {
+      return std::nullopt;
+    }
+    msg.keys.pub.share_pks.push_back(*p);
+  }
+  if (!GetU32Vec(r, &msg.keys.pub.disqualified)) {
+    return std::nullopt;
+  }
+  auto index = r.U32();
+  auto share_raw = r.Raw(32);
+  if (!index || !share_raw) {
+    return std::nullopt;
+  }
+  auto share = Scalar::FromBytes(BytesView(*share_raw));
+  if (!share) {
+    return std::nullopt;
+  }
+  msg.keys.key.index = *index;
+  msg.keys.key.share = *share;
+  if (!GetU32Vec(r, &msg.keys.subset) ||
+      !GetU32Vec(r, &msg.keys.chain_servers) || !r.Done()) {
+    return std::nullopt;
+  }
+  if (msg.keys.subset.size() != msg.keys.chain_servers.size()) {
+    return std::nullopt;  // AtomNode::JoinGroup would abort on this
+  }
+  return msg;
+}
+
+Bytes EncodeBeginRun(uint64_t seq, const std::array<uint8_t, 32>& run_key) {
+  ByteWriter w;
+  w.U64(seq);
+  w.Raw(BytesView(run_key.data(), run_key.size()));
+  return w.Take();
+}
+
+std::optional<BeginRunMsg> DecodeBeginRun(BytesView bytes) {
+  ByteReader r(bytes);
+  auto seq = r.U64();
+  auto key = r.Raw(32);
+  if (!seq || !key || !r.Done()) {
+    return std::nullopt;
+  }
+  BeginRunMsg msg;
+  msg.seq = *seq;
+  std::copy(key->begin(), key->end(), msg.run_key.begin());
+  return msg;
+}
+
+Bytes EncodeAck(uint64_t seq) {
+  ByteWriter w;
+  w.U64(seq);
+  return w.Take();
+}
+
+std::optional<uint64_t> DecodeAck(BytesView bytes) {
+  ByteReader r(bytes);
+  auto seq = r.U64();
+  if (!seq || !r.Done()) {
+    return std::nullopt;
+  }
+  return seq;
+}
+
+}  // namespace atom

@@ -1,0 +1,78 @@
+// Control-plane frames for the TCP peer mesh. Every decrypted link record
+// is one LinkMsg: either a routed protocol Envelope (the data plane,
+// serialized by EncodeEnvelope in src/core/wire.h) or one of the driver's
+// setup/synchronization messages. Control messages carry a sequence
+// number the receiver echoes back in a kAck, which is how the driver
+// guarantees cross-link ordering: a server has applied the roster, group
+// keys, and run key before any protocol traffic that depends on them can
+// reach it (chain traffic arrives on *different* links, so per-link FIFO
+// alone is not enough).
+#ifndef SRC_NET_CONTROL_H_
+#define SRC_NET_CONTROL_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/node.h"
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// The driver's reserved id on the mesh: kGroupOutput/kAbort envelopes are
+// routed to it. Server ids must be nonzero.
+inline constexpr uint32_t kMeshDriverId = 0;
+
+enum class LinkMsg : uint8_t {
+  kEnvelope = 1,  // EncodeEnvelope payload (protocol data plane)
+  kRoster = 2,    // peer directory: who serves which id, where, which key
+  kJoinGroup = 3, // per-group key material for the receiving server
+  kBeginRun = 4,  // 256-bit run root key; resets per-run delivery counters
+  kAck = 5,       // acknowledges one control message by sequence number
+};
+
+// One mesh participant as named by the roster.
+struct MeshPeer {
+  uint32_t server_id = 0;
+  std::string host;
+  uint16_t port = 0;
+  Point pk;  // long-term identity key (handshake authentication)
+};
+
+// Frame envelope: u8 type || body.
+Bytes PackLinkFrame(LinkMsg type, BytesView body);
+struct LinkFrame {
+  LinkMsg type;
+  Bytes body;
+};
+std::optional<LinkFrame> UnpackLinkFrame(BytesView payload);
+
+Bytes EncodeRoster(uint64_t seq, std::span<const MeshPeer> peers);
+struct RosterMsg {
+  uint64_t seq = 0;
+  std::vector<MeshPeer> peers;
+};
+std::optional<RosterMsg> DecodeRoster(BytesView bytes);
+
+Bytes EncodeJoinGroup(uint64_t seq, uint32_t gid, const NodeGroupKeys& keys);
+struct JoinGroupMsg {
+  uint64_t seq = 0;
+  uint32_t gid = 0;
+  NodeGroupKeys keys;
+};
+std::optional<JoinGroupMsg> DecodeJoinGroup(BytesView bytes);
+
+Bytes EncodeBeginRun(uint64_t seq, const std::array<uint8_t, 32>& run_key);
+struct BeginRunMsg {
+  uint64_t seq = 0;
+  std::array<uint8_t, 32> run_key{};
+};
+std::optional<BeginRunMsg> DecodeBeginRun(BytesView bytes);
+
+Bytes EncodeAck(uint64_t seq);
+std::optional<uint64_t> DecodeAck(BytesView bytes);
+
+}  // namespace atom
+
+#endif  // SRC_NET_CONTROL_H_

@@ -1,0 +1,118 @@
+// Authenticated encrypted point-to-point links between Atom servers, with
+// no external TLS dependency: everything is built from the in-repo KEM
+// (ElGamal encapsulation + ChaCha20-Poly1305, src/crypto/kem.h) and AEAD
+// (src/crypto/aead.h).
+//
+// Wire layout. Every message is a length-prefixed frame:
+//
+//    u32 LE payload length || payload          (length <= frame cap)
+//
+// The two handshake frames are plaintext; every frame after the handshake
+// is an AEAD record sealed under a per-direction session key with a
+// counter nonce, with the transcript hash as associated data.
+//
+// Handshake (station-to-station style, keyed by each server's long-term
+// key; SKEME/Noise-KK family — mutual authentication comes from each side
+// having to use its long-term secret to recover the other's key
+// contribution, plus explicit key confirmation both ways):
+//
+//   dialer   -> listener : magic || dialer id || listener id ||
+//                          c_d = KemEncrypt(pk_listener, s_d)
+//   listener -> dialer   : listener id || c_l = KemEncrypt(pk_dialer, s_l)
+//                          || confirm_l
+//   dialer   -> listener : confirm_d
+//
+// with s_d, s_l fresh 32-byte secrets, th = H(transcript), session secret
+// = H(th || s_d || s_l), directional keys key-separated from it, and
+// confirm_x = AEAD(key_x, nonce 0, aad=th, "atom-link-ok"). An attacker
+// without a long-term secret key cannot compute either direction's key, so
+// a completed handshake authenticates both endpoints against the roster's
+// registered public keys. (No forward secrecy: compromise of a long-term
+// key retroactively opens recorded sessions — see the threat notes in
+// docs/architecture.md.)
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "src/crypto/kem.h"
+#include "src/net/socket.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+// Cap on one frame's payload (64 MiB) — a NodeMsg carrying a large group
+// batch fits comfortably; anything bigger is a malformed or hostile peer.
+inline constexpr size_t kMaxFramePayload = size_t{1} << 26;
+// Handshake frames are small; a stricter cap rejects junk early.
+inline constexpr size_t kMaxHandshakeFrame = 4096;
+
+// Plaintext framing helpers (used by the handshake and, via SecureLink,
+// by every record). ReadFrame rejects declared lengths above `max_payload`
+// without allocating; a short read (peer died mid-frame) is nullopt.
+bool WriteFrame(TcpSocket& socket, BytesView payload);
+std::optional<Bytes> ReadFrame(TcpSocket& socket, size_t max_payload);
+
+// One authenticated encrypted connection. Send is thread-safe; Recv must
+// be called from a single reader thread. Not movable (owned via
+// unique_ptr by the mesh's link table).
+class SecureLink {
+ public:
+  // Client side of the handshake: we know exactly who we are dialing and
+  // which long-term key they must hold. nullptr on any failure.
+  static std::unique_ptr<SecureLink> Dial(TcpSocket socket, uint32_t self_id,
+                                          const KemKeypair& self_key,
+                                          uint32_t peer_id,
+                                          const Point& peer_pk, Rng& rng);
+
+  // Server side: the hello names the dialer; `peer_pk_lookup` maps its id
+  // to the registered long-term key (nullopt = unknown peer, reject).
+  static std::unique_ptr<SecureLink> Accept(
+      TcpSocket socket, uint32_t self_id, const KemKeypair& self_key,
+      const std::function<std::optional<Point>(uint32_t)>& peer_pk_lookup,
+      Rng& rng);
+
+  uint32_t peer_id() const { return peer_id_; }
+
+  // Seals and sends one record. False once the link is dead.
+  bool Send(BytesView payload);
+
+  // Blocks for the next record; nullopt on EOF, a malformed/oversize
+  // frame, or authentication failure — all of which kill the link.
+  std::optional<Bytes> Recv();
+
+  bool alive() const;
+
+  // Unblocks a concurrent Recv/Send; the link is dead afterwards.
+  void Shutdown();
+
+  // Test hook: emits a raw frame that bypasses sealing, so the peer's
+  // record authentication must reject it.
+  bool SendRawFrameForTest(BytesView frame);
+
+ private:
+  SecureLink(TcpSocket socket, uint32_t peer_id,
+             const std::array<uint8_t, 32>& send_key,
+             const std::array<uint8_t, 32>& recv_key,
+             const std::array<uint8_t, 32>& transcript_hash);
+
+  void MarkDead();
+
+  TcpSocket socket_;
+  uint32_t peer_id_;
+  std::array<uint8_t, 32> send_key_;
+  std::array<uint8_t, 32> recv_key_;
+  std::array<uint8_t, 32> transcript_hash_;
+  uint64_t send_counter_ = 1;  // counter 0 was the handshake confirm
+  uint64_t recv_counter_ = 1;
+  std::mutex send_mu_;
+  mutable std::mutex state_mu_;
+  bool dead_ = false;
+};
+
+}  // namespace atom
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,539 @@
+#include "src/net/mesh.h"
+
+#include <string>
+
+#include "src/core/wire.h"
+#include "src/util/check.h"
+
+namespace atom {
+namespace {
+
+NodeMsg TransportAbort(uint32_t gid, std::string reason) {
+  NodeMsg msg;
+  msg.type = NodeMsg::Type::kAbort;
+  msg.gid = gid;
+  msg.abort_reason = std::move(reason);
+  return msg;
+}
+
+}  // namespace
+
+TcpPeerMesh::TcpPeerMesh(Role role, uint32_t self_id, KemKeypair identity)
+    : role_(role), self_id_(self_id), identity_(std::move(identity)) {}
+
+TcpPeerMesh::~TcpPeerMesh() { Stop(); }
+
+void TcpPeerMesh::SetRoster(std::vector<MeshPeer> peers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_.roster.clear();
+  for (MeshPeer& peer : peers) {
+    uint32_t id = peer.server_id;
+    peers_.roster[id] = std::move(peer);
+  }
+}
+
+void TcpPeerMesh::AddPeerKey(uint32_t peer_id, const Point& pk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_.extra_keys[peer_id] = pk;
+}
+
+std::optional<Point> TcpPeerMesh::LookupPeerKey(uint32_t peer_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.roster.find(peer_id);
+  if (it != peers_.roster.end()) {
+    return it->second.pk;
+  }
+  auto extra = peers_.extra_keys.find(peer_id);
+  if (extra != peers_.extra_keys.end()) {
+    return extra->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<MeshPeer> TcpPeerMesh::LookupPeerAddress(
+    uint32_t peer_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.roster.find(peer_id);
+  if (it == peers_.roster.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool TcpPeerMesh::Listen(uint16_t port) {
+  auto listener = TcpListener::Bind(port);
+  if (!listener) {
+    return false;
+  }
+  listener_ = std::move(*listener);
+  return true;
+}
+
+uint16_t TcpPeerMesh::listen_port() const { return listener_.port(); }
+
+void TcpPeerMesh::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!listener_.valid() || accepting_ || stopping_) {
+    return;
+  }
+  accepting_ = true;
+  threads_.emplace_back([this] { AcceptLoop(); });
+}
+
+void TcpPeerMesh::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  listener_.Shutdown();
+  std::vector<std::shared_ptr<SecureLink>> links;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    links = adopted_;
+  }
+  for (auto& link : links) {
+    link->Shutdown();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    links_.clear();
+    adopted_.clear();
+  }
+  listener_.Close();
+}
+
+void TcpPeerMesh::OnEnvelope(std::function<void(Envelope)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_envelope_ = std::move(fn);
+}
+
+void TcpPeerMesh::OnControl(
+    std::function<void(uint32_t, LinkFrame)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_control_ = std::move(fn);
+}
+
+std::shared_ptr<SecureLink> TcpPeerMesh::AdoptLink(
+    std::shared_ptr<SecureLink> link) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    link->Shutdown();
+    return nullptr;
+  }
+  uint32_t peer = link->peer_id();
+  auto it = links_.find(peer);
+  std::shared_ptr<SecureLink> chosen = link;
+  if (it != links_.end() && it->second->alive()) {
+    // Keep the established link for outbound traffic; the newcomer is
+    // still read (its dialer may send on it).
+    chosen = it->second;
+  } else {
+    links_[peer] = link;
+  }
+  adopted_.push_back(link);
+  threads_.emplace_back([this, link] { ReaderLoop(link); });
+  return chosen;
+}
+
+std::shared_ptr<SecureLink> TcpPeerMesh::EnsureLink(uint32_t peer_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = links_.find(peer_id);
+    if (it != links_.end() && it->second->alive()) {
+      return it->second;
+    }
+    if (stopping_) {
+      return nullptr;
+    }
+  }
+  // One dialer at a time: concurrent senders to a dead peer would race
+  // duplicate connections and duplicate failure aborts.
+  std::lock_guard<std::mutex> dial_lock(dial_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = links_.find(peer_id);
+    if (it != links_.end() && it->second->alive()) {
+      return it->second;
+    }
+  }
+  auto peer = LookupPeerAddress(peer_id);
+  if (!peer) {
+    return nullptr;
+  }
+  int attempts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempts = dial_attempts_;
+  }
+  for (int attempt = 0; attempt < attempts; attempt++) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40 * attempt));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return nullptr;
+      }
+    }
+    auto socket = TcpSocket::Dial(peer->host, peer->port);
+    if (!socket) {
+      continue;
+    }
+    Rng rng = Rng::FromOsEntropy();
+    auto link = SecureLink::Dial(std::move(*socket), self_id_, identity_,
+                                 peer_id, peer->pk, rng);
+    if (link == nullptr) {
+      continue;
+    }
+    return AdoptLink(std::shared_ptr<SecureLink>(std::move(link)));
+  }
+  return nullptr;
+}
+
+bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
+  auto link = EnsureLink(peer_id);
+  if (link == nullptr) {
+    return false;
+  }
+  if (link->Send(BytesView(PackLinkFrame(type, body)))) {
+    return true;
+  }
+  // The persistent link died under us (peer restarted / unplugged):
+  // reconnect-on-failure means one redial before giving up.
+  link = EnsureLink(peer_id);
+  return link != nullptr && link->Send(BytesView(PackLinkFrame(type, body)));
+}
+
+void TcpPeerMesh::AcceptLoop() {
+  for (;;) {
+    auto socket = listener_.Accept();
+    if (!socket) {
+      return;  // listener shut down
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return;
+      }
+    }
+    Rng rng = Rng::FromOsEntropy();
+    auto link = SecureLink::Accept(
+        std::move(*socket), self_id_, identity_,
+        [this](uint32_t id) { return LookupPeerKey(id); }, rng);
+    if (link != nullptr) {
+      AdoptLink(std::shared_ptr<SecureLink>(std::move(link)));
+    }
+  }
+}
+
+void TcpPeerMesh::ReaderLoop(std::shared_ptr<SecureLink> link) {
+  for (;;) {
+    auto payload = link->Recv();
+    if (!payload) {
+      break;
+    }
+    auto frame = UnpackLinkFrame(BytesView(*payload));
+    if (!frame) {
+      link->Shutdown();
+      break;
+    }
+    HandleFrame(link->peer_id(), std::move(*frame));
+  }
+  OnPeerGone(link->peer_id());
+  // Drop the registered entry if it is this dead link, so the next send
+  // redials instead of hitting a corpse.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(link->peer_id());
+  if (it != links_.end() && it->second.get() == link.get()) {
+    links_.erase(it);
+  }
+}
+
+void TcpPeerMesh::HandleFrame(uint32_t peer_id, LinkFrame frame) {
+  if (frame.type == LinkMsg::kAck) {
+    if (role_ != Role::kDriver) {
+      return;
+    }
+    auto seq = DecodeAck(BytesView(frame.body));
+    if (seq) {
+      std::lock_guard<std::mutex> lock(mu_);
+      acked_.insert(*seq);
+      cv_.notify_all();
+    }
+    return;
+  }
+  if (frame.type == LinkMsg::kEnvelope) {
+    auto envelope = DecodeEnvelope(BytesView(frame.body));
+    if (!envelope) {
+      if (role_ == Role::kDriver) {
+        SynthesizeAbort(0, "transport: malformed envelope from server " +
+                               std::to_string(peer_id));
+      } else {
+        SendAbortToDriver(0, "transport: malformed envelope received by "
+                             "server " +
+                                 std::to_string(self_id_));
+      }
+      return;
+    }
+    if (role_ == Role::kDriver) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (envelope->msg.type == NodeMsg::Type::kGroupOutput) {
+        outputs_.push_back(std::move(envelope->msg));
+      } else if (envelope->msg.type == NodeMsg::Type::kAbort) {
+        aborts_.push_back(std::move(envelope->msg));
+      }
+      cv_.notify_all();
+      return;
+    }
+    std::function<void(Envelope)> sink;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sink = on_envelope_;
+    }
+    if (sink) {
+      sink(std::move(*envelope));
+    }
+    return;
+  }
+  // Control plane (roster / join-group / begin-run): driver-originated;
+  // servers apply via their NodeProcess.
+  if (role_ == Role::kServer) {
+    std::function<void(uint32_t, LinkFrame)> sink;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sink = on_control_;
+    }
+    if (sink) {
+      sink(peer_id, std::move(frame));
+    }
+  }
+}
+
+void TcpPeerMesh::OnPeerGone(uint32_t peer_id) {
+  bool abort_run = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    abort_run = role_ == Role::kDriver && running_;
+  }
+  if (abort_run) {
+    SynthesizeAbort(0, "transport: server " + std::to_string(peer_id) +
+                           " disconnected mid-run");
+  }
+}
+
+void TcpPeerMesh::SynthesizeAbort(uint32_t gid, std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborts_.push_back(TransportAbort(gid, std::move(reason)));
+  cv_.notify_all();
+}
+
+void TcpPeerMesh::SendAbortToDriver(uint32_t gid, std::string reason) {
+  Envelope envelope{self_id_, TransportAbort(gid, std::move(reason))};
+  SendFrame(kMeshDriverId, LinkMsg::kEnvelope,
+            BytesView(EncodeEnvelope(envelope)));
+}
+
+uint64_t TcpPeerMesh::NextSeq() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_++;
+}
+
+bool TcpPeerMesh::SendControlAwaitAck(uint32_t peer_id, LinkMsg type,
+                                      uint64_t seq, BytesView body) {
+  if (!SendFrame(peer_id, type, body)) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, control_timeout_,
+                      [&] { return acked_.contains(seq); });
+}
+
+bool TcpPeerMesh::ConnectAndPushRoster() {
+  ATOM_CHECK_MSG(role_ == Role::kDriver,
+                 "only the driver distributes the roster");
+  std::vector<MeshPeer> roster;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, peer] : peers_.roster) {
+      roster.push_back(peer);
+    }
+  }
+  for (const MeshPeer& peer : roster) {
+    uint64_t seq = NextSeq();
+    Bytes body = EncodeRoster(seq, roster);
+    if (!SendControlAwaitAck(peer.server_id, LinkMsg::kRoster, seq,
+                             BytesView(body))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TcpPeerMesh::SendJoinGroup(uint32_t peer_id, uint32_t gid,
+                                const NodeGroupKeys& keys) {
+  uint64_t seq = NextSeq();
+  Bytes body = EncodeJoinGroup(seq, gid, keys);
+  return SendControlAwaitAck(peer_id, LinkMsg::kJoinGroup, seq,
+                             BytesView(body));
+}
+
+void TcpPeerMesh::Send(Envelope envelope) {
+  if (role_ == Role::kDriver) {
+    // Buffered until Run: the run root key must precede the traffic it
+    // keys, exactly as LocalBus defers delivery until Run.
+    std::lock_guard<std::mutex> lock(mu_);
+    buffered_.push_back(std::move(envelope));
+    return;
+  }
+  uint32_t dest = (envelope.msg.type == NodeMsg::Type::kGroupOutput ||
+                   envelope.msg.type == NodeMsg::Type::kAbort)
+                      ? kMeshDriverId
+                      : envelope.to_server;
+  Bytes body = EncodeEnvelope(envelope);
+  if (SendFrame(dest, LinkMsg::kEnvelope, BytesView(body))) {
+    return;
+  }
+  if (dest != kMeshDriverId) {
+    // The chain cannot make progress; tell the driver instead of letting
+    // the run hang until its timeout.
+    SendAbortToDriver(envelope.msg.gid,
+                      "transport: server " + std::to_string(self_id_) +
+                          " could not reach server " +
+                          std::to_string(dest));
+  }
+}
+
+bool TcpPeerMesh::Run(Rng& rng) {
+  ATOM_CHECK_MSG(role_ == Role::kDriver, "Run is driver-only");
+  // Drawn before anything else so a seeded driver consumes exactly the
+  // same generator stream as LocalBus::Run.
+  std::array<uint8_t, 32> run_key;
+  rng.Fill(run_key.data(), run_key.size());
+
+  std::vector<Envelope> to_send;
+  std::vector<uint32_t> server_ids;
+  size_t aborts_before = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ATOM_CHECK_MSG(!running_, "Run re-entered");
+    running_ = true;
+    run_outputs_baseline_ = outputs_.size();
+    run_aborts_baseline_ = aborts_.size();
+    aborts_before = aborts_.size();
+    to_send.swap(buffered_);
+    for (const auto& [id, peer] : peers_.roster) {
+      server_ids.push_back(id);
+    }
+  }
+
+  // Phase 1: every server installs the run key and resets its per-run
+  // delivery counter before any envelope can reach it (ack-synchronized
+  // because chain traffic arrives on different links than ours).
+  bool ready = true;
+  for (uint32_t id : server_ids) {
+    uint64_t seq = NextSeq();
+    Bytes body = EncodeBeginRun(seq, run_key);
+    if (!SendControlAwaitAck(id, LinkMsg::kBeginRun, seq, BytesView(body))) {
+      SynthesizeAbort(0, "transport: server " + std::to_string(id) +
+                             " unreachable at run start");
+      ready = false;
+      break;
+    }
+  }
+
+  // Phase 2: inject the buffered entry envelopes. Each one seeds exactly
+  // one chain, which ends in one kGroupOutput or one kAbort.
+  size_t seeds = 0;
+  if (ready) {
+    for (Envelope& envelope : to_send) {
+      seeds++;
+      Bytes body = EncodeEnvelope(envelope);
+      if (!SendFrame(envelope.to_server, LinkMsg::kEnvelope,
+                     BytesView(body))) {
+        SynthesizeAbort(envelope.msg.gid,
+                        "transport: send to server " +
+                            std::to_string(envelope.to_server) + " failed");
+      }
+    }
+  }
+
+  // Phase 3: wait for every chain to resolve. A synthesized abort (send
+  // failure, peer EOF) counts as that chain's resolution; a stuck run
+  // surfaces as a timeout abort, never a hang.
+  std::unique_lock<std::mutex> lock(mu_);
+  bool done = cv_.wait_for(lock, run_timeout_, [&] {
+    return (outputs_.size() - run_outputs_baseline_) +
+               (aborts_.size() - run_aborts_baseline_) >=
+           seeds;
+  });
+  if (!done) {
+    aborts_.push_back(TransportAbort(
+        0, "transport: timed out waiting for group outputs"));
+  }
+  running_ = false;
+  return aborts_.size() == aborts_before;
+}
+
+const std::vector<NodeMsg>& TcpPeerMesh::outputs() const {
+  AssertNotRunning();
+  return outputs_;
+}
+
+const std::vector<NodeMsg>& TcpPeerMesh::aborts() const {
+  AssertNotRunning();
+  return aborts_;
+}
+
+size_t TcpPeerMesh::output_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outputs_.size();
+}
+
+size_t TcpPeerMesh::abort_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborts_.size();
+}
+
+void TcpPeerMesh::ClearOutputs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  outputs_.clear();
+}
+
+void TcpPeerMesh::AssertNotRunning() const {
+#ifndef NDEBUG
+  std::lock_guard<std::mutex> lock(mu_);
+  ATOM_CHECK_MSG(!running_,
+                 "mesh outputs()/aborts() read while Run is executing");
+#endif
+}
+
+void TcpPeerMesh::set_run_timeout(std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_timeout_ = timeout;
+}
+
+void TcpPeerMesh::set_control_timeout(std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  control_timeout_ = timeout;
+}
+
+void TcpPeerMesh::set_dial_attempts(int attempts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dial_attempts_ = attempts < 1 ? 1 : attempts;
+}
+
+}  // namespace atom

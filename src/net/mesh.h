@@ -1,0 +1,183 @@
+// TcpPeerMesh: the Bus implementation that replaces LocalBus with real
+// sockets — one persistent authenticated encrypted connection per peer
+// (src/net/link.h), redialed on failure, with every frame either a routed
+// protocol Envelope or a driver control message (src/net/control.h).
+//
+// The same class serves both sides of a deployment:
+//
+//  * Role::kDriver — the round driver. Send() buffers entry envelopes;
+//    Run() draws a 256-bit run root key from the caller's generator
+//    (exactly like LocalBus::Run, so a seeded driver replays identically
+//    on either bus), broadcasts it to every server with ack
+//    synchronization, flushes the buffered envelopes, and waits until
+//    each injected chain has produced a kGroupOutput or kAbort. A peer
+//    that dies mid-run, refuses reconnection, or goes silent past the
+//    run timeout surfaces as a synthesized kAbort — never a hang.
+//
+//  * Role::kServer — owned by a NodeProcess (src/net/node_process.h),
+//    which registers inbound callbacks. Send() routes immediately:
+//    kGroupOutput/kAbort to the driver, everything else to the peer that
+//    serves the destination id; a failed send is converted into an abort
+//    notice to the driver.
+//
+// Reader threads (one per link, plus the accept loop) only move bytes and
+// fire callbacks; all protocol work happens on the shared ThreadPool via
+// the receiver's SerialExecutor, mirroring LocalBus's per-server serial
+// queue discipline.
+#ifndef SRC_NET_MESH_H_
+#define SRC_NET_MESH_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/net/control.h"
+#include "src/net/link.h"
+
+namespace atom {
+
+class TcpPeerMesh : public Bus {
+ public:
+  enum class Role { kDriver, kServer };
+
+  // `identity` is this participant's long-term key; its public half must
+  // match what the roster distributes. self_id is kMeshDriverId for the
+  // driver and the hosted server's id otherwise.
+  TcpPeerMesh(Role role, uint32_t self_id, KemKeypair identity);
+  ~TcpPeerMesh() override;
+
+  // ---- Plumbing shared by both roles.
+
+  // Replaces the peer directory (addresses + long-term keys). Thread-safe;
+  // servers receive it from the driver as a kRoster control message.
+  void SetRoster(std::vector<MeshPeer> peers);
+  // Registers a key for a peer with no roster entry yet (servers learn
+  // the driver's key at construction, before the roster arrives).
+  void AddPeerKey(uint32_t peer_id, const Point& pk);
+
+  // Binds a listener (port 0 picks an ephemeral port) — servers must
+  // listen; the driver dials everyone and needs none.
+  bool Listen(uint16_t port);
+  uint16_t listen_port() const;
+
+  // Starts the accept loop (no-op without a listener).
+  void Start();
+  // Shuts every link and thread down. Idempotent; called by the dtor.
+  void Stop();
+
+  // Inbound callbacks, fired on reader threads (receiver must hand work
+  // to its SerialExecutor, not block). Server role only.
+  void OnEnvelope(std::function<void(Envelope)> fn);
+  void OnControl(std::function<void(uint32_t peer_id, LinkFrame frame)> fn);
+
+  // Sends one frame to a peer, reusing the persistent link or (re)dialing
+  // from the roster on failure. False when the peer is unreachable.
+  bool SendFrame(uint32_t peer_id, LinkMsg type, BytesView body);
+
+  // ---- Driver-side setup.
+
+  // Dials every rostered peer and pushes the roster, waiting for acks.
+  bool ConnectAndPushRoster();
+  // Ships one group's key material to a server (ack-synchronized).
+  bool SendJoinGroup(uint32_t peer_id, uint32_t gid,
+                     const NodeGroupKeys& keys);
+
+  // ---- Bus interface (Run/outputs/aborts are driver-role only).
+
+  void Send(Envelope envelope) override;
+  bool Run(Rng& rng) override;
+  const std::vector<NodeMsg>& outputs() const override;
+  const std::vector<NodeMsg>& aborts() const override;
+  void ClearOutputs() override;
+
+  // Unlike LocalBus, collectors can grow outside Run (a server may push
+  // an abort spontaneously, e.g. on a malformed frame); these counts are
+  // safe to poll at any time, where the vector accessors above are not.
+  size_t output_count() const;
+  size_t abort_count() const;
+
+  void set_run_timeout(std::chrono::milliseconds timeout);
+  void set_control_timeout(std::chrono::milliseconds timeout);
+  void set_dial_attempts(int attempts);
+
+ private:
+  struct PeerDirectory {
+    std::map<uint32_t, MeshPeer> roster;
+    std::map<uint32_t, Point> extra_keys;
+  };
+
+  std::optional<Point> LookupPeerKey(uint32_t peer_id) const;
+  std::optional<MeshPeer> LookupPeerAddress(uint32_t peer_id) const;
+
+  // Returns a live link to the peer, dialing if needed (serialized by
+  // dial_mu_ so concurrent senders don't race duplicate connections).
+  std::shared_ptr<SecureLink> EnsureLink(uint32_t peer_id);
+  // Registers a link and spawns its reader thread. Keeps an existing live
+  // link (the newcomer still gets served by its own reader).
+  std::shared_ptr<SecureLink> AdoptLink(std::shared_ptr<SecureLink> link);
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<SecureLink> link);
+  void HandleFrame(uint32_t peer_id, LinkFrame frame);
+  void OnPeerGone(uint32_t peer_id);
+
+  // Appends a synthesized abort (driver role) and wakes Run. gid 0 when
+  // the failing chain is unknown.
+  void SynthesizeAbort(uint32_t gid, std::string reason);
+
+  // Sends a control frame and blocks until its ack arrives.
+  bool SendControlAwaitAck(uint32_t peer_id, LinkMsg type, uint64_t seq,
+                           BytesView body);
+  uint64_t NextSeq();
+
+  // Server role: reports a local delivery failure upstream so the driver
+  // sees an abort instead of a silently dropped chain.
+  void SendAbortToDriver(uint32_t gid, std::string reason);
+
+  void AssertNotRunning() const;
+
+  const Role role_;
+  const uint32_t self_id_;
+  const KemKeypair identity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  PeerDirectory peers_;
+  std::map<uint32_t, std::shared_ptr<SecureLink>> links_;
+  // Every link a reader thread was ever spawned for — including ones
+  // demoted by AdoptLink or replaced after a redial, which are no longer
+  // in links_. Stop() must Shutdown() all of them or joining their
+  // readers (blocked in Recv on a half-open socket) would hang forever.
+  std::vector<std::shared_ptr<SecureLink>> adopted_;
+  std::vector<std::thread> threads_;  // accept loop + link readers
+  std::vector<Envelope> buffered_;    // driver: entry envelopes until Run
+  std::vector<NodeMsg> outputs_;
+  std::vector<NodeMsg> aborts_;
+  std::set<uint64_t> acked_;
+  uint64_t next_seq_ = 1;
+  bool running_ = false;   // a driver Run is executing
+  bool stopping_ = false;
+  size_t run_outputs_baseline_ = 0;
+  size_t run_aborts_baseline_ = 0;
+
+  std::function<void(Envelope)> on_envelope_;
+  std::function<void(uint32_t, LinkFrame)> on_control_;
+
+  std::mutex dial_mu_;
+  TcpListener listener_;
+  bool accepting_ = false;
+
+  std::chrono::milliseconds run_timeout_{std::chrono::seconds(120)};
+  std::chrono::milliseconds control_timeout_{std::chrono::seconds(20)};
+  int dial_attempts_ = 5;
+};
+
+}  // namespace atom
+
+#endif  // SRC_NET_MESH_H_

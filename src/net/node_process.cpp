@@ -1,0 +1,143 @@
+#include "src/net/node_process.h"
+
+#include <exception>
+#include <string>
+
+namespace atom {
+
+NodeProcess::NodeProcess(uint32_t server_id, Variant variant,
+                         KemKeypair identity, const Point& driver_pk)
+    : server_id_(server_id),
+      node_(server_id, variant),
+      mesh_(TcpPeerMesh::Role::kServer, server_id, std::move(identity)) {
+  mesh_.AddPeerKey(kMeshDriverId, driver_pk);
+  mesh_.OnControl(
+      [this](uint32_t peer, LinkFrame frame) {
+        HandleControl(peer, std::move(frame));
+      });
+  mesh_.OnEnvelope(
+      [this](Envelope envelope) { HandleEnvelope(std::move(envelope)); });
+}
+
+NodeProcess::~NodeProcess() { Stop(); }
+
+bool NodeProcess::Listen(uint16_t port) { return mesh_.Listen(port); }
+
+void NodeProcess::Start() { mesh_.Start(); }
+
+void NodeProcess::Stop() {
+  // Mesh first (readers stop submitting), then let queued handlers drain;
+  // their outbound sends fail harmlessly against the closed links.
+  mesh_.Stop();
+  serial_.Drain();
+}
+
+void NodeProcess::SetOutboundTamper(std::function<void(Envelope&)> fn) {
+  tamper_ = std::move(fn);
+}
+
+void NodeProcess::Ack(uint32_t peer_id, uint64_t seq) {
+  mesh_.SendFrame(peer_id, LinkMsg::kAck, BytesView(EncodeAck(seq)));
+}
+
+void NodeProcess::HandleControl(uint32_t peer_id, LinkFrame frame) {
+  if (peer_id != kMeshDriverId) {
+    return;  // only the driver steers a server
+  }
+  // Applied through the serial queue so the ack also fences all earlier
+  // envelope deliveries (the driver's ordering guarantee).
+  switch (frame.type) {
+    case LinkMsg::kRoster: {
+      auto msg = DecodeRoster(BytesView(frame.body));
+      if (!msg) {
+        return;
+      }
+      serial_.Submit([this, msg = std::move(*msg), peer_id]() mutable {
+        mesh_.SetRoster(std::move(msg.peers));
+        Ack(peer_id, msg.seq);
+      });
+      break;
+    }
+    case LinkMsg::kJoinGroup: {
+      auto msg = DecodeJoinGroup(BytesView(frame.body));
+      if (!msg) {
+        return;
+      }
+      serial_.Submit([this, msg = std::move(*msg), peer_id]() mutable {
+        node_.JoinGroup(msg.gid, std::move(msg.keys));
+        Ack(peer_id, msg.seq);
+      });
+      break;
+    }
+    case LinkMsg::kBeginRun: {
+      auto msg = DecodeBeginRun(BytesView(frame.body));
+      if (!msg) {
+        return;
+      }
+      serial_.Submit([this, msg = *msg, peer_id] {
+        run_key_ = msg.run_key;
+        delivered_ = 0;
+        Ack(peer_id, msg.seq);
+      });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void NodeProcess::HandleEnvelope(Envelope envelope) {
+  serial_.Submit([this, msg = std::move(envelope.msg)]() mutable {
+    Process(std::move(msg));
+  });
+}
+
+void NodeProcess::Process(NodeMsg msg) {
+  if (!node_.Accepts(msg)) {
+    // Misrouted, premature (keys not yet joined), or hostile: a protocol
+    // fault the driver must see, not a crash.
+    NodeMsg abort_msg;
+    abort_msg.type = NodeMsg::Type::kAbort;
+    abort_msg.gid = msg.gid;
+    abort_msg.abort_reason =
+        "server " + std::to_string(server_id_) +
+        ": unroutable message for group " + std::to_string(msg.gid) +
+        " at pos " + std::to_string(msg.chain_pos);
+    Deliver(Envelope{server_id_, std::move(abort_msg)});
+    return;
+  }
+  // Private generator for this delivery, key-separated exactly as
+  // LocalBus::DrainServer does, so (seed, traffic) replays identically
+  // across the two transports.
+  std::array<uint8_t, 32> key =
+      DeriveSubKey(run_key_, server_id_, delivered_++);
+  Rng step_rng(BytesView(key.data(), key.size()));
+  std::vector<Envelope> emitted;
+  try {
+    emitted = node_.Handle(msg, step_rng);
+  } catch (const std::exception& e) {
+    NodeMsg abort_msg;
+    abort_msg.type = NodeMsg::Type::kAbort;
+    abort_msg.gid = msg.gid;
+    abort_msg.abort_reason = std::string("handler threw: ") + e.what();
+    emitted.push_back(Envelope{server_id_, std::move(abort_msg)});
+  } catch (...) {
+    NodeMsg abort_msg;
+    abort_msg.type = NodeMsg::Type::kAbort;
+    abort_msg.gid = msg.gid;
+    abort_msg.abort_reason = "handler threw a non-standard exception";
+    emitted.push_back(Envelope{server_id_, std::move(abort_msg)});
+  }
+  for (Envelope& next : emitted) {
+    Deliver(std::move(next));
+  }
+}
+
+void NodeProcess::Deliver(Envelope envelope) {
+  if (tamper_) {
+    tamper_(envelope);
+  }
+  mesh_.Send(std::move(envelope));
+}
+
+}  // namespace atom

@@ -1,0 +1,82 @@
+// NodeProcess: hosts one AtomNode inside one OS process and wires it to
+// the TCP peer mesh — the deployment shape the paper assumes (one server
+// per machine), where LocalBus's in-process delivery becomes real
+// encrypted links.
+//
+// Lifecycle, driven entirely by messages from the round driver:
+//   1. Listen() binds a port (0 = ephemeral; port() reports the choice).
+//   2. Start() begins accepting authenticated links. Initially only the
+//      driver's long-term key is trusted; the kRoster control message
+//      installs the full peer directory.
+//   3. kJoinGroup messages install per-group key shares; kBeginRun
+//      installs the round's 256-bit root key and resets the per-run
+//      delivery counter.
+//   4. kEnvelope frames are protocol steps. They are handed to a
+//      SerialExecutor on the shared ThreadPool — the same one-server,
+//      one-serial-queue discipline LocalBus enforces — and each delivery
+//      handles its message with a private DRBG key-separated from the run
+//      key by (server id, delivery count), so a seeded multi-process run
+//      replays the in-process LocalBus run byte for byte.
+//
+// Every control message is acked only after it has been applied through
+// the serial queue, which gives the driver a cross-link ordering fence.
+// Failures never hang the deployment: an unreachable next-hop peer, a
+// malformed frame, or a throwing handler all surface to the driver as a
+// kAbort envelope.
+#ifndef SRC_NET_NODE_PROCESS_H_
+#define SRC_NET_NODE_PROCESS_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/net/mesh.h"
+#include "src/util/parallel.h"
+
+namespace atom {
+
+class NodeProcess {
+ public:
+  // `identity` is this server's long-term key (its public half is what
+  // the roster advertises); `driver_pk` authenticates the driver before
+  // any roster exists.
+  NodeProcess(uint32_t server_id, Variant variant, KemKeypair identity,
+              const Point& driver_pk);
+  ~NodeProcess();
+
+  NodeProcess(const NodeProcess&) = delete;
+  NodeProcess& operator=(const NodeProcess&) = delete;
+
+  bool Listen(uint16_t port = 0);
+  uint16_t port() const { return mesh_.listen_port(); }
+  void Start();
+  void Stop();
+
+  uint32_t server_id() const { return server_id_; }
+
+  // Test hook (fault injection): mutates every outbound envelope before
+  // it is sent — an "evil server" mid-chain for abort-propagation tests.
+  // Set before Start().
+  void SetOutboundTamper(std::function<void(Envelope&)> fn);
+
+ private:
+  void HandleControl(uint32_t peer_id, LinkFrame frame);
+  void HandleEnvelope(Envelope envelope);  // reader thread -> serial queue
+  void Process(NodeMsg msg);               // serial, on the shared pool
+  void Deliver(Envelope envelope);
+  void Ack(uint32_t peer_id, uint64_t seq);
+
+  const uint32_t server_id_;
+  AtomNode node_;
+  TcpPeerMesh mesh_;
+  SerialExecutor serial_;
+
+  // Touched only from serial-queue tasks (single-threaded by contract).
+  std::array<uint8_t, 32> run_key_{};
+  uint64_t delivered_ = 0;
+
+  std::function<void(Envelope&)> tamper_;
+};
+
+}  // namespace atom
+
+#endif  // SRC_NET_NODE_PROCESS_H_

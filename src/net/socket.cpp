@@ -1,0 +1,190 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace atom {
+namespace {
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::optional<TcpSocket> TcpSocket::Dial(const std::string& host,
+                                         uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  std::string port_str = std::to_string(port);
+  if (getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0) {
+    return std::nullopt;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      continue;
+    }
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  SetNoDelay(fd);
+  return TcpSocket(fd);
+}
+
+bool TcpSocket::SendAll(BytesView data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = send(fd_, data.data() + off, data.size() - off,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool TcpSocket::RecvAll(uint8_t* out, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t got = recv(fd_, out + off, n - off, 0);
+    if (got < 0 && errno == EINTR) {
+      continue;
+    }
+    if (got <= 0) {
+      return false;  // EOF or error
+    }
+    off += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+void TcpSocket::SetRecvTimeout(int millis) {
+  if (fd_ < 0) {
+    return;
+  }
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void TcpSocket::ShutdownBoth() {
+  if (fd_ >= 0) {
+    shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+std::optional<TcpListener> TcpListener::Bind(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 64) != 0) {
+    close(fd);
+    return std::nullopt;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close(fd);
+    return std::nullopt;
+  }
+  TcpListener out;
+  out.fd_ = fd;
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+std::optional<TcpSocket> TcpListener::Accept() {
+  if (fd_ < 0) {
+    return std::nullopt;
+  }
+  for (;;) {
+    int fd = accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return TcpSocket(fd);
+    }
+    if (errno != EINTR) {
+      return std::nullopt;
+    }
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (fd_ >= 0) {
+    shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace atom

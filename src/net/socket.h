@@ -1,0 +1,92 @@
+// Thin RAII wrappers over POSIX TCP sockets: blocking connect/accept and
+// full-buffer send/recv, which is all the transport needs — framing,
+// encryption, and reconnect policy live above this layer (src/net/link.h,
+// src/net/mesh.h). Loopback and LAN deployments both go through here; the
+// wrappers never throw and report failure by return value so a dead peer
+// is a recoverable protocol event, not a crash.
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+
+// A connected TCP stream. Move-only; closes on destruction.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { Close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  // Connects to host:port (numeric IP or resolvable name). nullopt on
+  // failure. Sets TCP_NODELAY: protocol frames are latency-sensitive.
+  static std::optional<TcpSocket> Dial(const std::string& host,
+                                       uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  // Writes all of `data`; false on any error (peer gone). SIGPIPE is
+  // suppressed so a dead peer surfaces as a return value.
+  bool SendAll(BytesView data);
+
+  // Reads exactly n bytes; false on EOF or error.
+  bool RecvAll(uint8_t* out, size_t n);
+
+  // Bounds blocking reads (0 = no timeout). Used during handshakes so a
+  // peer that connects and goes silent cannot stall the accept loop.
+  void SetRecvTimeout(int millis);
+
+  // Unblocks any thread inside SendAll/RecvAll (they will fail) without
+  // releasing the descriptor; safe to call concurrently with them.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening TCP socket. Move-only; closes on destruction.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds (port 0 picks an ephemeral port) and listens on all interfaces.
+  static std::optional<TcpListener> Bind(uint16_t port);
+
+  // The actually-bound port (useful after Bind(0)).
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  // Blocks for one inbound connection; nullopt once Close()/ShutdownBoth
+  // has been called from another thread or on error.
+  std::optional<TcpSocket> Accept();
+
+  // Unblocks a concurrent Accept (it returns nullopt).
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace atom
+
+#endif  // SRC_NET_SOCKET_H_

@@ -143,6 +143,40 @@ void ParallelFor(size_t workers, size_t n,
   ThreadPool::Shared().For(workers, n, fn);
 }
 
+SerialExecutor::SerialExecutor(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::Shared()) {}
+
+SerialExecutor::~SerialExecutor() { Drain(); }
+
+void SerialExecutor::Submit(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(task));
+  if (!active_) {
+    active_ = true;
+    pool_->Submit([this] { Pump(); });
+  }
+}
+
+void SerialExecutor::Pump() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+  // active_ clears only once the queue is empty, so at most one pump task
+  // exists and tasks of one executor never run concurrently.
+  active_ = false;
+  cv_.notify_all();
+}
+
+void SerialExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return queue_.empty() && !active_; });
+}
+
 size_t HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

@@ -1,8 +1,12 @@
 // Persistent worker pool shared by the data-parallel crypto loops
 // (ParallelFor: shuffle rerandomization, reencryption, proof batches,
 // submission-proof verification in Round::SubmitNizkBatch/SubmitTrapBatch,
-// exit-phase KEM decryption) and the round engine's dependency-scheduled
-// hop, sort, check, and finalize tasks (src/core/engine.h).
+// exit-phase KEM decryption), the round engine's dependency-scheduled
+// hop, sort, check, and finalize tasks (src/core/engine.h), and — via
+// SerialExecutor — the message-delivery buses: LocalBus drain tasks and
+// the TCP transport's inbound handler queue (src/net/node_process.h),
+// whose socket reader threads hand protocol work to the pool instead of
+// processing it on the blocking read path.
 //
 // The paper's Figure 7 measures exactly what ParallelFor provides: how one
 // mixing iteration speeds up with core count. Before the engine refactor
@@ -70,6 +74,41 @@ class ThreadPool {
 // complete; rethrows the first exception fn throws.
 void ParallelFor(size_t workers, size_t n,
                  const std::function<void(size_t)>& fn);
+
+// FIFO serial queue on top of a ThreadPool: tasks run one at a time, in
+// submission order, as pool tasks — never more than one in flight. This is
+// the per-server message discipline shared by LocalBus (which implements
+// it inline for many servers) and the TCP transport's NodeProcess (one
+// server per process; socket reader threads Submit inbound deliveries
+// here so handlers run on the pool, in arrival order, off the blocking
+// read path). Tasks must not throw (same contract as ThreadPool::Submit)
+// and must not block on later submissions.
+class SerialExecutor {
+ public:
+  // Uses `pool`, or ThreadPool::Shared() when null.
+  explicit SerialExecutor(ThreadPool* pool = nullptr);
+  // Drains outstanding tasks before returning.
+  ~SerialExecutor();
+
+  SerialExecutor(const SerialExecutor&) = delete;
+  SerialExecutor& operator=(const SerialExecutor&) = delete;
+
+  // Enqueues a task; schedules a pump task on the pool if none is active.
+  // Thread-safe.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted before this call has finished.
+  void Drain();
+
+ private:
+  void Pump();
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool active_ = false;  // a pump task is scheduled or running
+};
 
 // Number of hardware threads (>= 1).
 size_t HardwareThreads();
