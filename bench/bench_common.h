@@ -4,7 +4,10 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/core/message.h"
 #include "src/sim/costmodel.h"
@@ -48,6 +51,120 @@ inline void PrintHeader(const char* title, const char* paper_claim) {
   std::printf("paper: %s\n", paper_claim);
   std::printf("==============================================================\n");
 }
+
+// Machine-readable sibling of the printed tables: collects flat key/value
+// pairs plus row records and writes BENCH_<name>.json next to the text
+// output, so the perf trajectory is tracked across PRs instead of living
+// only in scrollback. Values are numbers, strings, or bools; rows share
+// one flat schema per bench.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { Write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void Num(const std::string& key, double value) {
+    fields_.push_back({key, NumberRepr(value)});
+  }
+  void Str(const std::string& key, const std::string& value) {
+    fields_.push_back({key, Quote(value)});
+  }
+  void Bool(const std::string& key, bool value) {
+    fields_.push_back({key, value ? "true" : "false"});
+  }
+
+  // Appends one row record; pass alternating key, numeric value pairs
+  // through RowNum on the returned index.
+  size_t Row() {
+    rows_.emplace_back();
+    return rows_.size() - 1;
+  }
+  void RowNum(size_t row, const std::string& key, double value) {
+    rows_[row].push_back({key, NumberRepr(value)});
+  }
+  void RowStr(size_t row, const std::string& key, const std::string& value) {
+    rows_[row].push_back({key, Quote(value)});
+  }
+
+ private:
+  using Field = std::pair<std::string, std::string>;
+
+  static std::string NumberRepr(double value) {
+    // JSON has no inf/nan (a zero-duration timing section can produce
+    // either); null keeps the file parseable.
+    if (!std::isfinite(value)) {
+      return "null";
+    }
+    char buf[64];
+    // Exactly representable integers print without decimal noise (the
+    // cast is UB outside long long's range, hence the bound); everything
+    // else gets 6 significant digits — plenty for perf tracking.
+    if (std::abs(value) < 9.0e15 &&
+        value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+    }
+    return buf;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out.push_back(' ');
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  static void WriteFields(std::FILE* f, const std::vector<Field>& fields) {
+    for (size_t i = 0; i < fields.size(); i++) {
+      std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                   Quote(fields[i].first).c_str(),
+                   fields[i].second.c_str());
+    }
+  }
+
+  void Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return;  // an unwritable cwd must not fail the bench itself
+    }
+    std::fprintf(f, "{");
+    std::fprintf(f, "\"bench\": %s", Quote(name_).c_str());
+    if (!fields_.empty()) {
+      std::fprintf(f, ", ");
+      WriteFields(f, fields_);
+    }
+    if (!rows_.empty()) {
+      std::fprintf(f, ", \"rows\": [");
+      for (size_t r = 0; r < rows_.size(); r++) {
+        std::fprintf(f, "%s{", r == 0 ? "" : ", ");
+        WriteFields(f, rows_[r]);
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+  }
+
+  std::string name_;
+  std::vector<Field> fields_;
+  std::vector<std::vector<Field>> rows_;
+};
 
 }  // namespace atom
 

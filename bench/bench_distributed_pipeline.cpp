@@ -1,0 +1,284 @@
+// Figure 10-style throughput for the DISTRIBUTED deployment (§4.7): how
+// much does overlapping rounds across server processes buy over running
+// one round at a time on the same mesh, and what does the wire cost
+// against the in-process engine?
+//
+// Three executors drive identical seeded EngineRound specs:
+//
+//   engine             RoundEngine, in process (the PR 1-2 pipeline).
+//   mesh-sequential    DistributedRoundDriver over loopback TCP servers,
+//                      Submit -> Wait one round at a time (the pre-refactor
+//                      deployment shape: a global barrier on the wire).
+//   mesh-pipelined     Same driver, all rounds submitted before any Wait:
+//                      round r+1's intake mixes while round r drains — the
+//                      paper's "new batch every layer-time" mode.
+//
+// The servers are real NodeProcess instances behind encrypted loopback
+// links (full wire serialization, control plane, per-round lanes); they
+// share this process so the bench needs no child-process management — the
+// multi-process twin is examples/distributed_nodes --tcp --pipelined.
+// Each server gets its own small ThreadPool (mirroring the real
+// one-pool-per-process deployment) and the mesh's netem-style send-delay
+// knob emulates WAN hop latency: that is exactly the idle bubble Figure
+// 10's pipelining exists to fill, and what makes the gain visible even on
+// a single-core host where pure CPU overlap cannot help.
+//
+// Emits BENCH_distributed_pipeline.json next to the text table and exits
+// nonzero if pipelined-over-mesh throughput is not strictly above
+// sequential-over-mesh — the property this refactor exists to deliver.
+//
+//   ./build/bench/bench_distributed_pipeline [--smoke]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/round.h"
+#include "src/net/node_process.h"
+#include "src/net/round_driver.h"
+#include "src/util/parallel.h"
+
+namespace {
+
+using namespace atom;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Fixture {
+  std::unique_ptr<Round> round;
+  uint64_t next_client = 1;
+  size_t users_per_round = 0;
+  size_t layers = 0;  // == config.params.iterations
+  Rng rng{uint64_t{0xd15f10}};
+
+  explicit Fixture(bool smoke) {
+    RoundConfig config;
+    config.params.variant = Variant::kTrap;
+    config.params.num_servers = 6;
+    config.params.num_groups = smoke ? 2 : 4;
+    config.params.group_size = 3;
+    config.params.honest_needed = 1;
+    config.params.iterations = smoke ? 2 : 4;
+    config.params.message_len = 64;
+    config.beacon = ToBytes("bench-distributed-pipeline");
+    config.workers = 1;  // leave cores for cross-round overlap
+    users_per_round = smoke ? 4 : 12;
+    layers = config.params.iterations;
+    round = std::make_unique<Round>(config, rng);
+  }
+
+  // Submits one round's users and drains them into a spec.
+  EngineRound TakeSpec() {
+    for (size_t u = 0; u < users_per_round; u++) {
+      uint32_t gid = static_cast<uint32_t>(u % round->NumGroups());
+      std::string msg = "msg " + std::to_string(next_client);
+      auto sub = MakeTrapSubmission(round->EntryPk(gid), gid,
+                                    round->TrusteePk(),
+                                    BytesView(ToBytes(msg)),
+                                    round->layout(), rng);
+      sub.client_id = next_client++;
+      if (!round->SubmitTrap(sub)) {
+        std::fprintf(stderr, "submission rejected\n");
+        std::exit(1);
+      }
+    }
+    return round->TakeEngineRound({}, rng);
+  }
+
+  std::vector<EngineRound> TakeSpecs(size_t n) {
+    std::vector<EngineRound> specs;
+    for (size_t i = 0; i < n; i++) {
+      specs.push_back(TakeSpec());
+    }
+    return specs;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  PrintHeader("Distributed pipelined rounds (loopback TCP mesh, measured)",
+              "§4.7/Fig 10: a new batch enters the network every "
+              "layer-time once rounds overlap");
+
+  Fixture fx(smoke);
+  const size_t in_flight = smoke ? 3 : 4;
+  const size_t width = fx.round->NumGroups();
+  const size_t layers = fx.layers;
+  const double msgs_per_round =
+      static_cast<double>(fx.users_per_round);
+
+  // ---- In-process engine baseline.
+  std::vector<EngineRound> engine_specs = fx.TakeSpecs(in_flight);
+  double engine_seconds = 0;
+  {
+    RoundEngine engine(&ThreadPool::Shared());
+    auto t0 = Clock::now();
+    std::vector<uint64_t> tickets;
+    for (EngineRound& spec : engine_specs) {
+      tickets.push_back(engine.Submit(std::move(spec)));
+    }
+    for (uint64_t ticket : tickets) {
+      auto result = engine.Wait(ticket);
+      if (result.aborted) {
+        std::fprintf(stderr, "engine round aborted: %s\n",
+                     result.abort_reason.c_str());
+        return 1;
+      }
+    }
+    engine_seconds = SecondsSince(t0);
+  }
+
+  // ---- The loopback fleet: one NodeProcess per topology group behind
+  // real encrypted sockets (shared pool; see header comment).
+  // Emulated one-way WAN latency per frame. Loopback is ~free; this is
+  // the stall pipelining hides (§4.7's motivation is exactly that WAN
+  // links leave servers idle between layers).
+  const auto wan_delay = std::chrono::milliseconds(smoke ? 40 : 80);
+  Rng setup_rng = Rng::FromOsEntropy();
+  KemKeypair driver_key = KemKeyGen(setup_rng);
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  std::vector<std::unique_ptr<NodeProcess>> procs;
+  std::vector<MeshPeer> roster;
+  std::vector<uint32_t> hosts;
+  for (uint32_t g = 0; g < width; g++) {
+    KemKeypair key = KemKeyGen(setup_rng);
+    pools.push_back(std::make_unique<ThreadPool>(3));
+    auto proc = std::make_unique<NodeProcess>(g + 1, Variant::kTrap, key,
+                                              driver_key.pk, /*max_rounds=*/8,
+                                              pools.back().get());
+    proc->set_wire_delay(wan_delay);
+    if (!proc->Listen(0)) {
+      std::fprintf(stderr, "listen failed\n");
+      return 1;
+    }
+    proc->Start();
+    roster.push_back(MeshPeer{g + 1, "127.0.0.1", proc->port(), key.pk});
+    hosts.push_back(g + 1);
+    procs.push_back(std::move(proc));
+  }
+  TcpPeerMesh mesh(TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key);
+  mesh.SetRoster(roster);
+  if (!mesh.ConnectAndPushRoster()) {
+    std::fprintf(stderr, "roster push failed\n");
+    return 1;
+  }
+  for (uint32_t g = 0; g < width; g++) {
+    if (!mesh.SendHostGroup(hosts[g], g, fx.round->group(g).dkg())) {
+      std::fprintf(stderr, "host-group push failed\n");
+      return 1;
+    }
+  }
+
+  double seq_seconds = 0, pipe_seconds = 0;
+  {
+    DistributedRoundDriver driver(&mesh, hosts);
+    driver.set_round_timeout(std::chrono::seconds(120));
+
+    // ---- Sequential over the mesh: a global barrier between rounds.
+    std::vector<EngineRound> seq_specs = fx.TakeSpecs(in_flight);
+    auto t1 = Clock::now();
+    for (EngineRound& spec : seq_specs) {
+      auto result = driver.Wait(driver.Submit(std::move(spec)));
+      if (result.aborted) {
+        std::fprintf(stderr, "sequential mesh round aborted: %s\n",
+                     result.abort_reason.c_str());
+        return 1;
+      }
+    }
+    seq_seconds = SecondsSince(t1);
+
+    // ---- Pipelined over the mesh: every round in flight at once.
+    std::vector<EngineRound> pipe_specs = fx.TakeSpecs(in_flight);
+    auto t2 = Clock::now();
+    std::vector<uint64_t> tickets;
+    for (EngineRound& spec : pipe_specs) {
+      tickets.push_back(driver.Submit(std::move(spec)));
+    }
+    for (uint64_t ticket : tickets) {
+      auto result = driver.Wait(ticket);
+      if (result.aborted) {
+        std::fprintf(stderr, "pipelined mesh round aborted: %s\n",
+                     result.abort_reason.c_str());
+        return 1;
+      }
+    }
+    pipe_seconds = SecondsSince(t2);
+    mesh.Stop();
+  }
+  for (auto& proc : procs) {
+    proc->Stop();
+  }
+
+  const double total_msgs = msgs_per_round * static_cast<double>(in_flight);
+  const double seq_tput = total_msgs / seq_seconds;
+  const double pipe_tput = total_msgs / pipe_seconds;
+  const double engine_tput = total_msgs / engine_seconds;
+  // Sequential wall-clock divided by every (round, layer) pair: the
+  // effective per-hop latency including the wire.
+  const double per_hop_ms =
+      seq_seconds * 1000.0 /
+      static_cast<double>(in_flight * layers);
+
+  std::printf("\n%zu rounds x %zu msgs, %zu groups, %zu layers, trap "
+              "variant, %lld ms emulated WAN latency:\n",
+              in_flight, fx.users_per_round, width, layers,
+              static_cast<long long>(wan_delay.count()));
+  std::printf("  %-18s %10s %14s\n", "executor", "seconds", "msgs/s");
+  std::printf("  %-18s %10.3f %14.1f\n", "engine (in-proc)", engine_seconds,
+              engine_tput);
+  std::printf("  %-18s %10.3f %14.1f\n", "mesh sequential", seq_seconds,
+              seq_tput);
+  std::printf("  %-18s %10.3f %14.1f\n", "mesh pipelined", pipe_seconds,
+              pipe_tput);
+  std::printf("  pipelining gain over the mesh: %.2fx (%zu rounds in "
+              "flight)\n",
+              seq_seconds / pipe_seconds, in_flight);
+  std::printf("  per-hop latency over the mesh: %.2f ms (sequential, "
+              "incl. wire)\n",
+              per_hop_ms);
+
+  {
+    BenchJson json("distributed_pipeline");
+    json.Bool("smoke", smoke);
+    json.Num("rounds_in_flight", static_cast<double>(in_flight));
+    json.Num("msgs_per_round", msgs_per_round);
+    json.Num("groups", static_cast<double>(width));
+    json.Num("layers", static_cast<double>(layers));
+    json.Str("variant", "trap");
+    json.Num("wan_delay_ms", static_cast<double>(wan_delay.count()));
+    json.Num("per_hop_latency_ms", per_hop_ms);
+    json.Num("pipelining_gain", seq_seconds / pipe_seconds);
+    size_t r0 = json.Row();
+    json.RowStr(r0, "executor", "engine");
+    json.RowNum(r0, "seconds", engine_seconds);
+    json.RowNum(r0, "msgs_per_second", engine_tput);
+    size_t r1 = json.Row();
+    json.RowStr(r1, "executor", "mesh_sequential");
+    json.RowNum(r1, "seconds", seq_seconds);
+    json.RowNum(r1, "msgs_per_second", seq_tput);
+    size_t r2 = json.Row();
+    json.RowStr(r2, "executor", "mesh_pipelined");
+    json.RowNum(r2, "seconds", pipe_seconds);
+    json.RowNum(r2, "msgs_per_second", pipe_tput);
+  }
+
+  if (pipe_tput <= seq_tput) {
+    std::fprintf(stderr,
+                 "FAIL: pipelined mesh throughput (%.1f msgs/s) is not "
+                 "above sequential (%.1f msgs/s)\n",
+                 pipe_tput, seq_tput);
+    return 1;
+  }
+  std::printf("PASS: pipelined-over-mesh beats sequential-over-mesh with "
+              "%zu rounds in flight\n",
+              in_flight);
+  return 0;
+}

@@ -255,6 +255,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  BenchJson json("pipeline_execution");
+  json.Bool("smoke", smoke);
+  json.Num("width", static_cast<double>(kWidth));
+  json.Num("iterations", static_cast<double>(kIterations));
+  json.Num("msgs_per_group", static_cast<double>(kPerGroup));
+  json.Num("hardware_threads", static_cast<double>(HardwareThreads()));
+
   std::printf("\n  in-flight | sequential msg/s | pipelined msg/s | gain\n");
   std::printf("  ----------+------------------+-----------------+-----\n");
   double exec_gain_at_3 = 0;
@@ -299,6 +306,11 @@ int main(int argc, char** argv) {
     }
     std::printf("  %9zu | %16.0f | %15.0f | %3.2fx\n", in_flight,
                 msgs / seq_seconds, msgs / pipe_seconds, gain);
+    size_t row = json.Row();
+    json.RowNum(row, "in_flight", static_cast<double>(in_flight));
+    json.RowNum(row, "sequential_msgs_per_second", msgs / seq_seconds);
+    json.RowNum(row, "pipelined_msgs_per_second", msgs / pipe_seconds);
+    json.RowNum(row, "gain", gain);
   }
 
   // ---- End to end: the exit phase rides the engine's DAG.

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/core/node.h"
 #include "src/net/link.h"
 #include "src/net/mesh.h"
@@ -60,7 +61,7 @@ LinkPair ConnectPair(Rng& rng) {
   return pair;
 }
 
-void BenchRecords(bool smoke) {
+void BenchRecords(bool smoke, BenchJson& json) {
   Rng rng(uint64_t{0xbe7c});
   LinkPair pair = ConnectPair(rng);
   if (pair.a == nullptr || pair.b == nullptr) {
@@ -93,6 +94,10 @@ void BenchRecords(bool smoke) {
     double mib = static_cast<double>(size * frames) / (1u << 20);
     std::printf("%9zu KiB %10zu %9.0f MiB/s\n", size >> 10, frames,
                 mib / seconds);
+    size_t row = json.Row();
+    json.RowStr(row, "metric", "record_throughput");
+    json.RowNum(row, "record_kib", static_cast<double>(size >> 10));
+    json.RowNum(row, "mib_per_second", mib / seconds);
   }
 
   const int pings = smoke ? 20 : 2000;
@@ -111,8 +116,9 @@ void BenchRecords(bool smoke) {
     pair.a->Recv();
   }
   echo.join();
-  std::printf("ping-pong (256 B): %.1f us round trip\n",
-              MsSince(start) * 1000.0 / pings);
+  double rtt_us = MsSince(start) * 1000.0 / pings;
+  std::printf("ping-pong (256 B): %.1f us round trip\n", rtt_us);
+  json.Num("ping_pong_rtt_us", rtt_us);
 }
 
 struct HopSetup {
@@ -154,7 +160,7 @@ double BenchHop(Bus& bus, const HopSetup& setup, Rng& run_rng, int rounds) {
   return MsSince(start) / rounds;
 }
 
-void BenchGroupHop(bool smoke) {
+void BenchGroupHop(bool smoke, BenchJson& json) {
   const size_t messages = smoke ? 8 : 64;
   const int rounds = smoke ? 2 : 8;
   HopSetup setup(messages);
@@ -215,6 +221,10 @@ void BenchGroupHop(bool smoke) {
     std::printf("  transport tax:              %8.2f ms (%.1f%%)\n",
                 mesh_ms - local_ms, 100.0 * (mesh_ms - local_ms) / local_ms);
   }
+  json.Num("hop_messages", static_cast<double>(messages));
+  json.Num("local_bus_hop_ms", local_ms);
+  json.Num("mesh_hop_ms", mesh_ms);
+  json.Num("transport_tax_ms", mesh_ms - local_ms);
 }
 
 }  // namespace
@@ -224,7 +234,9 @@ int main(int argc, char** argv) {
   std::printf("==============================================================\n");
   std::printf("Encrypted TCP transport vs in-process delivery (loopback)\n");
   std::printf("==============================================================\n");
-  BenchRecords(smoke);
-  BenchGroupHop(smoke);
+  BenchJson json("transport_loopback");
+  json.Bool("smoke", smoke);
+  BenchRecords(smoke, json);
+  BenchGroupHop(smoke, json);
   return 0;
 }

@@ -6,16 +6,20 @@
 // links from the round driver (see examples/distributed_nodes.cpp, which
 // spawns a fleet of these and drives a round through it).
 //
-//   atom_server --id N --sk <hex32> --driver-pk <hex33>
+//   atom_server --id N (--keyfile PATH | --sk <hex32>) --driver-pk <hex33>
 //               [--port P] [--variant trap|nizk]
+//
+// The long-term identity key loads from --keyfile (a file holding the
+// 32-byte secret scalar hex-encoded, whitespace ignored — the first step
+// of keystore-based server identities); --sk on argv remains as a demo
+// fallback for loopback runs, where key exposure via /proc/cmdline does
+// not matter.
 //
 // Prints "ATOM_SERVER_PORT=<port>" on stdout once listening (port 0, the
 // default, picks an ephemeral port — the spawner reads this line), then
 // serves until stdin reaches EOF, so a child process exits as soon as its
 // spawner closes the pipe or dies.
-//
-// NOTE: the secret key on argv is a demo convenience for loopback runs; a
-// real deployment loads it from a file or keystore.
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +48,25 @@ std::optional<unsigned long> ParseNumber(const std::string& value,
   return parsed;
 }
 
+// Reads a hex-encoded secret key from `path`: whitespace (including the
+// trailing newline every editor adds) is ignored; anything else must be
+// exactly 64 hex digits.
+std::optional<std::string> ReadKeyfileHex(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::string hex;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (!std::isspace(c)) {
+      hex.push_back(static_cast<char>(c));
+    }
+  }
+  std::fclose(f);
+  return hex;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,7 +74,7 @@ int main(int argc, char** argv) {
   uint32_t id = 0;
   uint16_t port = 0;
   Variant variant = Variant::kTrap;
-  std::string sk_hex, driver_pk_hex;
+  std::string sk_hex, keyfile, driver_pk_hex;
   for (int i = 1; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     std::string value = argv[i + 1];
@@ -71,6 +94,8 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(*parsed);
     } else if (flag == "--sk") {
       sk_hex = value;
+    } else if (flag == "--keyfile") {
+      keyfile = value;
     } else if (flag == "--driver-pk") {
       driver_pk_hex = value;
     } else if (flag == "--variant") {
@@ -80,16 +105,30 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (id == kMeshDriverId || sk_hex.empty() || driver_pk_hex.empty()) {
+  if (id == kMeshDriverId || (sk_hex.empty() && keyfile.empty()) ||
+      driver_pk_hex.empty()) {
     std::fprintf(stderr,
-                 "usage: atom_server --id N --sk <hex32> --driver-pk "
-                 "<hex33> [--port P] [--variant trap|nizk]\n");
+                 "usage: atom_server --id N (--keyfile PATH | --sk <hex32>) "
+                 "--driver-pk <hex33> [--port P] [--variant trap|nizk]\n");
     return 2;
+  }
+  if (!keyfile.empty()) {
+    if (!sk_hex.empty()) {
+      std::fprintf(stderr, "--keyfile and --sk are mutually exclusive\n");
+      return 2;
+    }
+    auto loaded = ReadKeyfileHex(keyfile);
+    if (!loaded) {
+      std::fprintf(stderr, "could not read keyfile %s\n", keyfile.c_str());
+      return 2;
+    }
+    sk_hex = std::move(*loaded);
   }
 
   auto sk_bytes = HexDecode(sk_hex);
   if (!sk_bytes || sk_bytes->size() != 32) {
-    std::fprintf(stderr, "--sk must be 32 hex-encoded bytes\n");
+    std::fprintf(stderr,
+                 "the identity key must be 32 hex-encoded bytes\n");
     return 2;
   }
   auto sk = Scalar::FromBytes(BytesView(*sk_bytes));

@@ -18,6 +18,18 @@
 //       mid-chain server and verifies the next round surfaces an abort
 //       instead of hanging. Exits nonzero on any mismatch — CI runs this
 //       as the multi-process transport smoke test.
+//
+//   ./build/examples/distributed_nodes --tcp --pipelined [--seed N]
+//       Distributed pipelined rounds (§4.7 throughput mode over real
+//       sockets): spawns one ./atom_server process per topology group
+//       (identity keys loaded via --keyfile), ships each group's DKG
+//       material over the control plane, then drives THREE overlapping
+//       engine rounds through the DistributedRoundDriver — round r+1's
+//       intake enters the network while round r is still mixing — and
+//       checks every RoundResult byte-for-byte against the in-process
+//       RoundEngine running the same seeded specs. Exits nonzero on any
+//       divergence — CI runs this as the pipelined-mesh smoke test.
+#include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -30,9 +42,12 @@
 #include <vector>
 
 #include "src/core/node.h"
+#include "src/core/round.h"
 #include "src/core/wire.h"
 #include "src/net/mesh.h"
+#include "src/net/round_driver.h"
 #include "src/util/hex.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -134,6 +149,7 @@ struct ServerHandle {
   pid_t pid = -1;
   int stdin_w = -1;   // closing this tells the child to exit
   uint16_t port = 0;
+  std::string keyfile;  // temp keystore file, removed at reap
 };
 
 std::string ServerBinaryPath(const char* argv0) {
@@ -143,8 +159,12 @@ std::string ServerBinaryPath(const char* argv0) {
   return dir + "/atom_server";
 }
 
+// Spawns one atom_server. With `use_keyfile` the identity key travels via
+// a private temp file and --keyfile (the keystore path a real deployment
+// uses); otherwise it rides argv as --sk (the loopback demo fallback).
 bool SpawnServer(const std::string& binary, uint32_t id, const Scalar& sk,
-                 const Point& driver_pk, ServerHandle* out) {
+                 const Point& driver_pk, bool use_keyfile,
+                 ServerHandle* out) {
   int in_pipe[2], out_pipe[2];
   if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0) {
     return false;
@@ -153,6 +173,28 @@ bool SpawnServer(const std::string& binary, uint32_t id, const Scalar& sk,
   auto sk_bytes = sk.ToBytes();
   std::string sk_hex = HexEncode(BytesView(sk_bytes.data(), sk_bytes.size()));
   std::string pk_hex = HexEncode(BytesView(driver_pk.Encode()));
+  std::string keyfile;
+  if (use_keyfile) {
+    keyfile = "/tmp/atom_server_key_" +
+              std::to_string(static_cast<long>(getpid())) + "_" + id_str;
+    // Recorded before any failure path so ReapAll always unlinks it, and
+    // created 0600 + O_EXCL: the file holds a long-term secret, and a
+    // pre-existing entry (stale run, planted symlink) must fail, not be
+    // followed.
+    out->keyfile = keyfile;
+    unlink(keyfile.c_str());
+    int fd = open(keyfile.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0600);
+    if (fd < 0) {
+      return false;
+    }
+    std::string line = sk_hex + "\n";
+    if (write(fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      close(fd);
+      return false;
+    }
+    close(fd);
+  }
   pid_t pid = fork();
   if (pid < 0) {
     return false;
@@ -164,9 +206,15 @@ bool SpawnServer(const std::string& binary, uint32_t id, const Scalar& sk,
     close(in_pipe[1]);
     close(out_pipe[0]);
     close(out_pipe[1]);
-    execl(binary.c_str(), "atom_server", "--id", id_str.c_str(), "--sk",
-          sk_hex.c_str(), "--driver-pk", pk_hex.c_str(),
-          static_cast<char*>(nullptr));
+    if (use_keyfile) {
+      execl(binary.c_str(), "atom_server", "--id", id_str.c_str(),
+            "--keyfile", keyfile.c_str(), "--driver-pk", pk_hex.c_str(),
+            static_cast<char*>(nullptr));
+    } else {
+      execl(binary.c_str(), "atom_server", "--id", id_str.c_str(), "--sk",
+            sk_hex.c_str(), "--driver-pk", pk_hex.c_str(),
+            static_cast<char*>(nullptr));
+    }
     std::fprintf(stderr, "exec %s failed\n", binary.c_str());
     _exit(127);
   }
@@ -216,6 +264,12 @@ void ReapAll(std::vector<ServerHandle>& servers) {
       server.pid = -1;
     }
   }
+  for (ServerHandle& server : servers) {
+    if (!server.keyfile.empty()) {
+      unlink(server.keyfile.c_str());
+      server.keyfile.clear();
+    }
+  }
 }
 
 int RunTcp(const char* argv0, uint64_t seed) {
@@ -250,7 +304,7 @@ int RunTcp(const char* argv0, uint64_t seed) {
   std::vector<MeshPeer> roster;
   for (size_t i = 0; i < specs.size(); i++) {
     if (!SpawnServer(binary, specs[i].id, specs[i].key.sk, driver_key.pk,
-                     &servers[i])) {
+                     /*use_keyfile=*/false, &servers[i])) {
       std::fprintf(stderr, "failed to spawn atom_server for %u\n",
                    specs[i].id);
       ReapAll(servers);
@@ -366,14 +420,175 @@ int RunTcp(const char* argv0, uint64_t seed) {
   return 0;
 }
 
+// --------------------------------------------- pipelined multi-round mode
+
+int RunPipelined(const char* argv0, uint64_t seed) {
+  signal(SIGPIPE, SIG_IGN);
+  std::string binary = ServerBinaryPath(argv0);
+
+  // One key epoch, taken from the same seeded Round both executors use.
+  RoundConfig config;
+  config.params.variant = Variant::kTrap;
+  config.params.num_servers = 6;
+  config.params.num_groups = 4;
+  config.params.group_size = 3;
+  config.params.honest_needed = 1;
+  config.params.iterations = 3;
+  config.params.message_len = 64;
+  config.beacon = ToBytes("distributed-pipelined-epoch");
+  config.workers = 2;
+
+  Rng rng(seed);
+  std::printf("setting up %zu groups of %zu servers (one DKG epoch)...\n",
+              config.params.num_groups, config.params.group_size);
+  Round round(config, rng);
+  const size_t width = round.NumGroups();
+
+  // Three rounds of users enter the intake back to back; each drained
+  // spec carries its own entry batches, seed, and trap commitments.
+  constexpr size_t kRounds = 3;
+  constexpr uint32_t kUsersPerRound = 6;
+  uint64_t next_client = 1000;
+  std::vector<EngineRound> specs;
+  for (size_t r = 0; r < kRounds; r++) {
+    for (uint32_t u = 0; u < kUsersPerRound; u++) {
+      uint32_t gid = u % static_cast<uint32_t>(width);
+      std::string msg = "pipelined round " + std::to_string(r) +
+                        " message " + std::to_string(u);
+      auto sub = MakeTrapSubmission(round.EntryPk(gid), gid,
+                                    round.TrusteePk(), BytesView(ToBytes(msg)),
+                                    round.layout(), rng);
+      sub.client_id = next_client++;
+      if (!round.SubmitTrap(sub)) {
+        std::fprintf(stderr, "submission rejected\n");
+        return 1;
+      }
+    }
+    specs.push_back(round.TakeEngineRound({}, rng));
+  }
+
+  // Reference: the in-process engine runs copies of the same specs.
+  std::vector<RoundResult> reference;
+  {
+    RoundEngine engine(&ThreadPool::Shared());
+    std::vector<uint64_t> tickets;
+    for (const EngineRound& spec : specs) {
+      tickets.push_back(engine.Submit(EngineRound(spec)));
+    }
+    for (uint64_t ticket : tickets) {
+      reference.push_back(engine.Wait(ticket).round);
+    }
+  }
+
+  // The fleet: one atom_server process per topology group, identity keys
+  // delivered through --keyfile (the keystore path).
+  KemKeypair driver_key = KemKeyGen(rng);
+  std::vector<ServerHandle> servers(width);
+  std::vector<MeshPeer> roster;
+  std::vector<uint32_t> hosts;
+  std::vector<KemKeypair> server_keys;
+  for (uint32_t g = 0; g < width; g++) {
+    server_keys.push_back(KemKeyGen(rng));
+    hosts.push_back(g + 1);
+  }
+  for (uint32_t g = 0; g < width; g++) {
+    if (!SpawnServer(binary, hosts[g], server_keys[g].sk, driver_key.pk,
+                     /*use_keyfile=*/true, &servers[g])) {
+      std::fprintf(stderr, "failed to spawn atom_server %u\n", hosts[g]);
+      ReapAll(servers);
+      return 1;
+    }
+    roster.push_back(MeshPeer{hosts[g], "127.0.0.1", servers[g].port,
+                              server_keys[g].pk});
+  }
+  std::printf("%zu atom_server processes up (one per group, keys via "
+              "--keyfile), loopback ports",
+              width);
+  for (const ServerHandle& server : servers) {
+    std::printf(" %u", server.port);
+  }
+  std::printf("\n");
+
+  TcpPeerMesh mesh(TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key);
+  mesh.SetRoster(roster);
+  mesh.set_dial_attempts(3);
+  if (!mesh.ConnectAndPushRoster()) {
+    std::fprintf(stderr, "roster push failed\n");
+    ReapAll(servers);
+    return 1;
+  }
+  for (uint32_t g = 0; g < width; g++) {
+    if (!mesh.SendHostGroup(hosts[g], g, round.group(g).dkg())) {
+      std::fprintf(stderr, "host-group push to %u failed\n", hosts[g]);
+      ReapAll(servers);
+      return 1;
+    }
+  }
+  std::printf("encrypted links up; group DKG material distributed\n");
+
+  int rc = 0;
+  {
+    DistributedRoundDriver driver(&mesh, hosts);
+    driver.set_round_timeout(std::chrono::seconds(60));
+
+    // All three rounds enter the network before any is waited on: round
+    // r+1's intake flushes while round r is still mixing.
+    std::vector<uint64_t> tickets;
+    for (EngineRound& spec : specs) {
+      tickets.push_back(driver.Submit(std::move(spec)));
+    }
+    std::printf("%zu rounds in flight over the mesh\n", driver.InFlight());
+
+    for (size_t r = 0; r < kRounds && rc == 0; r++) {
+      RoundResult mesh_result = driver.Wait(tickets[r]).round;
+      const RoundResult& want = reference[r];
+      if (mesh_result.aborted || want.aborted) {
+        std::fprintf(stderr, "round %zu aborted (mesh: %s / engine: %s)\n",
+                     r, mesh_result.abort_reason.c_str(),
+                     want.abort_reason.c_str());
+        rc = 1;
+        break;
+      }
+      if (mesh_result.plaintexts != want.plaintexts ||
+          mesh_result.traps_seen != want.traps_seen ||
+          mesh_result.inner_seen != want.inner_seen) {
+        std::fprintf(stderr, "round %zu DIVERGED from the engine\n", r);
+        rc = 1;
+        break;
+      }
+      std::printf("round %zu: mesh RoundResult byte-identical to the "
+                  "engine (%zu plaintexts, %llu traps)\n",
+                  r, mesh_result.plaintexts.size(),
+                  static_cast<unsigned long long>(mesh_result.traps_seen));
+      for (const Bytes& plaintext : mesh_result.plaintexts) {
+        size_t end = plaintext.size();
+        while (end > 0 && plaintext[end - 1] == 0) {
+          end--;
+        }
+        std::printf("  > %.*s\n", static_cast<int>(end),
+                    reinterpret_cast<const char*>(plaintext.data()));
+      }
+    }
+    mesh.Stop();  // joins reader threads before the driver dies
+  }
+  ReapAll(servers);
+  if (rc == 0) {
+    std::printf("distributed pipelined rounds: OK\n");
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool tcp = false;
+  bool pipelined = false;
   uint64_t seed = 42;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--tcp") == 0) {
       tcp = true;
+    } else if (std::strcmp(argv[i], "--pipelined") == 0) {
+      pipelined = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       char* end = nullptr;
       seed = std::strtoull(argv[++i], &end, 10);
@@ -383,9 +598,13 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: distributed_nodes [--tcp] [--seed N]\n");
+                   "usage: distributed_nodes [--tcp] [--pipelined] "
+                   "[--seed N]\n");
       return 2;
     }
+  }
+  if (pipelined) {
+    return RunPipelined(argv[0], seed);
   }
   return tcp ? RunTcp(argv[0], seed) : RunLocal();
 }

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "src/core/params.h"
+#include "src/core/trustees.h"
 #include "src/crypto/dkg.h"
 #include "src/crypto/shuffle.h"
 #include "src/crypto/sigma.h"
@@ -44,11 +45,21 @@ struct NodeMsg {
     kReEncStep,     // β sub-batches + optional reenc proofs
     kGroupOutput,   // hop finished: β outgoing batches (to the driver)
     kAbort,         // proof verification failed
+    // Distributed pipelined rounds (src/net/round_driver.h): a server
+    // hosting a topology group executes whole engine hops, so overlapping
+    // rounds flow between processes as round-tagged envelopes.
+    kHopBatch,      // one sub-batch for hop (layer=chain_pos, gid); when
+                    // chain_pos == num_layers it is the exit batch routed
+                    // to the driver (no native exit plan)
+    kExitBuckets,   // exit sort output: src group prev_pos's trap/inner
+                    // buckets destined for group gid's §4.4 check
+    kExitReport,    // dest group gid's GroupReport + gathered inner cts
+    kExitPlain,     // NIZK exit: group gid's decoded plaintexts
   };
 
   Type type = Type::kShuffleStep;
   uint32_t gid = 0;
-  uint32_t chain_pos = 0;  // position of the server that should act next
+  uint32_t chain_pos = 0;  // chain position; kHopBatch: the hop's layer
   std::vector<Point> next_pks;  // β neighbour keys; empty = exit layer
 
   // Shuffle phase payload.
@@ -60,7 +71,16 @@ struct NodeMsg {
   std::vector<CiphertextBatch> subs;
   std::vector<CiphertextBatch> prev_subs;
   std::vector<ReEncProof> reenc_proofs;  // flattened, per component
-  uint32_t prev_pos = 0;                 // who produced the proofs
+  uint32_t prev_pos = 0;                 // who produced the proofs; for
+                                         // kHopBatch/kExitBuckets the
+                                         // source gid
+
+  // Exit-stage payloads for the distributed pipeline.
+  std::vector<Bytes> exit_traps;  // kExitBuckets: trap bucket for gid
+  std::vector<Bytes> exit_inner;  // kExitBuckets: inner bucket;
+                                  // kExitReport: gathered inner (ascending
+                                  // source gid); kExitPlain: plaintexts
+  GroupReport report;             // kExitReport only
 
   std::string abort_reason;
 };
@@ -68,6 +88,10 @@ struct NodeMsg {
 struct Envelope {
   uint32_t to_server = 0;  // server id; the driver routes kGroupOutput/kAbort
   NodeMsg msg;
+  // Which protocol round this frame belongs to. Overlapping rounds on the
+  // TCP mesh demultiplex by this tag into per-round server state instead
+  // of interleaving into one collector; in-process buses ignore it.
+  uint64_t round_id = 0;
 };
 
 // One server's view of one group it serves in.

@@ -245,6 +245,19 @@ Bytes EncodeNodeMsg(const NodeMsg& msg) {
   for (const auto& proof : msg.reenc_proofs) {
     w.Raw(BytesView(proof.Encode()));
   }
+  auto put_bytes_vec = [&w](const std::vector<Bytes>& v) {
+    w.U32(static_cast<uint32_t>(v.size()));
+    for (const Bytes& b : v) {
+      w.Var(BytesView(b));
+    }
+  };
+  put_bytes_vec(msg.exit_traps);
+  put_bytes_vec(msg.exit_inner);
+  w.U32(msg.report.gid);
+  w.U8(msg.report.traps_ok ? 1 : 0);
+  w.U8(msg.report.inner_ok ? 1 : 0);
+  w.U64(msg.report.num_traps);
+  w.U64(msg.report.num_inner);
   w.Var(BytesView(ToBytes(msg.abort_reason)));
   return w.Take();
 }
@@ -253,7 +266,7 @@ std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes) {
   ByteReader r(bytes);
   NodeMsg msg;
   auto type = r.U8();
-  if (!type || *type > static_cast<uint8_t>(NodeMsg::Type::kAbort)) {
+  if (!type || *type > static_cast<uint8_t>(NodeMsg::Type::kExitPlain)) {
     return std::nullopt;
   }
   msg.type = static_cast<NodeMsg::Type>(*type);
@@ -302,7 +315,10 @@ std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes) {
     return std::nullopt;
   }
   auto num_proofs = r.U32();
-  if (!num_proofs || *num_proofs > (1u << 22)) {
+  // Same reserve-bounding as the byte vectors below: a proof count the
+  // remaining bytes cannot possibly hold is rejected before allocation.
+  if (!num_proofs ||
+      *num_proofs > r.remaining() / ReEncProof::kEncodedSize) {
     return std::nullopt;
   }
   msg.reenc_proofs.reserve(*num_proofs);
@@ -317,6 +333,42 @@ std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes) {
     }
     msg.reenc_proofs.push_back(*proof);
   }
+  auto get_bytes_vec = [&r](std::vector<Bytes>* out) -> bool {
+    auto n = r.U32();
+    // Every entry costs at least its 4-byte length prefix, so a count
+    // exceeding remaining/4 cannot be honest — reject it before the
+    // reserve, which otherwise lets a kilobyte frame demand a ~100 MB
+    // allocation.
+    if (!n || *n > r.remaining() / 4) {
+      return false;
+    }
+    out->reserve(*n);
+    for (uint32_t i = 0; i < *n; i++) {
+      auto b = r.Var();
+      if (!b) {
+        return false;
+      }
+      out->push_back(std::move(*b));
+    }
+    return true;
+  };
+  if (!get_bytes_vec(&msg.exit_traps) || !get_bytes_vec(&msg.exit_inner)) {
+    return std::nullopt;
+  }
+  auto report_gid = r.U32();
+  auto traps_ok = r.U8();
+  auto inner_ok = r.U8();
+  auto num_traps = r.U64();
+  auto num_inner = r.U64();
+  if (!report_gid || !traps_ok || *traps_ok > 1 || !inner_ok ||
+      *inner_ok > 1 || !num_traps || !num_inner) {
+    return std::nullopt;
+  }
+  msg.report.gid = *report_gid;
+  msg.report.traps_ok = *traps_ok == 1;
+  msg.report.inner_ok = *inner_ok == 1;
+  msg.report.num_traps = *num_traps;
+  msg.report.num_inner = *num_inner;
   auto reason = r.Var();
   if (!reason || !r.Done()) {
     return std::nullopt;
@@ -328,6 +380,7 @@ std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes) {
 Bytes EncodeEnvelope(const Envelope& envelope) {
   ByteWriter w;
   w.U32(envelope.to_server);
+  w.U64(envelope.round_id);
   w.Raw(BytesView(EncodeNodeMsg(envelope.msg)));
   return w.Take();
 }
@@ -335,14 +388,15 @@ Bytes EncodeEnvelope(const Envelope& envelope) {
 std::optional<Envelope> DecodeEnvelope(BytesView bytes) {
   ByteReader r(bytes);
   auto to_server = r.U32();
-  if (!to_server) {
+  auto round_id = r.U64();
+  if (!to_server || !round_id) {
     return std::nullopt;
   }
-  auto msg = DecodeNodeMsg(bytes.subspan(4));
+  auto msg = DecodeNodeMsg(bytes.subspan(12));
   if (!msg) {
     return std::nullopt;
   }
-  return Envelope{*to_server, std::move(*msg)};
+  return Envelope{*to_server, std::move(*msg), *round_id};
 }
 
 Bytes EncodeTrapSubmission(const TrapSubmission& submission) {

@@ -10,6 +10,8 @@ namespace {
 constexpr uint32_t kMaxPeers = 4096;
 constexpr uint32_t kMaxGroupMembers = 4096;
 constexpr uint32_t kMaxHostLen = 256;
+constexpr uint32_t kMaxLayers = 4096;
+constexpr uint32_t kMaxGroups = 4096;
 
 void PutPoint(ByteWriter& w, const Point& p) { w.Raw(BytesView(p.Encode())); }
 
@@ -59,7 +61,7 @@ std::optional<LinkFrame> UnpackLinkFrame(BytesView payload) {
   }
   uint8_t type = payload[0];
   if (type < static_cast<uint8_t>(LinkMsg::kEnvelope) ||
-      type > static_cast<uint8_t>(LinkMsg::kAck)) {
+      type > static_cast<uint8_t>(LinkMsg::kRoundDone)) {
     return std::nullopt;
   }
   LinkFrame frame;
@@ -180,23 +182,231 @@ std::optional<JoinGroupMsg> DecodeJoinGroup(BytesView bytes) {
   return msg;
 }
 
-Bytes EncodeBeginRun(uint64_t seq, const std::array<uint8_t, 32>& run_key) {
+Bytes EncodeBeginRound(uint64_t seq, uint64_t round_id,
+                       const std::array<uint8_t, 32>& root_key,
+                       const WireRoundSpec* spec) {
   ByteWriter w;
   w.U64(seq);
-  w.Raw(BytesView(run_key.data(), run_key.size()));
+  w.U64(round_id);
+  w.Raw(BytesView(root_key.data(), root_key.size()));
+  if (spec == nullptr) {
+    w.U8(0);
+    return w.Take();
+  }
+  w.U8(1);
+  w.U8(spec->variant);
+  w.U32(spec->layers);
+  w.U32(spec->width);
+  w.U32(spec->hop_workers);
+  for (const auto& layer : spec->adjacency) {
+    for (const auto& neighbors : layer) {
+      PutU32Vec(w, neighbors);
+    }
+  }
+  PutU32Vec(w, spec->hosts);
+  for (const Point& pk : spec->group_pks) {
+    PutPoint(w, pk);
+  }
+  w.U8(spec->native_exit ? 1 : 0);
+  w.U32(spec->plaintext_len);
+  w.U32(spec->padded_len);
+  w.U32(spec->num_points);
+  w.U32(static_cast<uint32_t>(spec->commitments.size()));
+  for (const auto& group : spec->commitments) {
+    w.U32(static_cast<uint32_t>(group.size()));
+    for (const auto& c : group) {
+      w.Raw(BytesView(c.data(), c.size()));
+    }
+  }
   return w.Take();
 }
 
-std::optional<BeginRunMsg> DecodeBeginRun(BytesView bytes) {
+std::optional<BeginRoundMsg> DecodeBeginRound(BytesView bytes) {
   ByteReader r(bytes);
   auto seq = r.U64();
+  auto round_id = r.U64();
   auto key = r.Raw(32);
-  if (!seq || !key || !r.Done()) {
+  auto has_spec = r.U8();
+  if (!seq || !round_id || !key || !has_spec || *has_spec > 1) {
     return std::nullopt;
   }
-  BeginRunMsg msg;
+  BeginRoundMsg msg;
   msg.seq = *seq;
-  std::copy(key->begin(), key->end(), msg.run_key.begin());
+  msg.round_id = *round_id;
+  std::copy(key->begin(), key->end(), msg.root_key.begin());
+  if (*has_spec == 0) {
+    if (!r.Done()) {
+      return std::nullopt;
+    }
+    return msg;
+  }
+  WireRoundSpec spec;
+  auto variant = r.U8();
+  auto layers = r.U32();
+  auto width = r.U32();
+  auto hop_workers = r.U32();
+  if (!variant || *variant > 1 || !layers || !width || !hop_workers ||
+      *layers == 0 || *layers > kMaxLayers || *width == 0 ||
+      *width > kMaxGroups || *hop_workers == 0) {
+    return std::nullopt;
+  }
+  spec.variant = *variant;
+  spec.layers = *layers;
+  spec.width = *width;
+  spec.hop_workers = *hop_workers;
+  // Reject-before-allocation: every adjacency list costs at least its
+  // 4-byte count, so (layers-1)*width beyond remaining/4 cannot be an
+  // honest message — checked before the resize fans out millions of
+  // empty vectors from a tiny hostile frame.
+  if (static_cast<uint64_t>(spec.layers - 1) * spec.width >
+      r.remaining() / 4) {
+    return std::nullopt;
+  }
+  spec.adjacency.resize(spec.layers - 1);
+  for (auto& layer : spec.adjacency) {
+    layer.resize(spec.width);
+    for (auto& neighbors : layer) {
+      if (!GetU32Vec(r, &neighbors)) {
+        return std::nullopt;
+      }
+      for (uint32_t n : neighbors) {
+        if (n >= spec.width) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  if (!GetU32Vec(r, &spec.hosts) || spec.hosts.size() != spec.width) {
+    return std::nullopt;
+  }
+  for (uint32_t g = 0; g < spec.width; g++) {
+    auto pk = GetPoint(r);
+    if (!pk) {
+      return std::nullopt;
+    }
+    spec.group_pks.push_back(*pk);
+  }
+  auto native = r.U8();
+  auto plaintext_len = r.U32();
+  auto padded_len = r.U32();
+  auto num_points = r.U32();
+  auto num_commit_groups = r.U32();
+  if (!native || *native > 1 || !plaintext_len || !padded_len ||
+      !num_points || !num_commit_groups ||
+      *num_commit_groups > kMaxGroups) {
+    return std::nullopt;
+  }
+  spec.native_exit = *native == 1;
+  spec.plaintext_len = *plaintext_len;
+  spec.padded_len = *padded_len;
+  spec.num_points = *num_points;
+  spec.commitments.resize(*num_commit_groups);
+  for (auto& group : spec.commitments) {
+    auto n = r.U32();
+    // Each commitment is 32 bytes; a count the remaining bytes cannot
+    // hold is rejected before the resize can allocate it.
+    if (!n || *n > r.remaining() / 32) {
+      return std::nullopt;
+    }
+    group.resize(*n);
+    for (auto& c : group) {
+      auto raw = r.Raw(32);
+      if (!raw) {
+        return std::nullopt;
+      }
+      std::copy(raw->begin(), raw->end(), c.begin());
+    }
+  }
+  if (!r.Done()) {
+    return std::nullopt;
+  }
+  msg.spec = std::move(spec);
+  return msg;
+}
+
+Bytes EncodeRoundDone(uint64_t round_id) {
+  ByteWriter w;
+  w.U64(round_id);
+  return w.Take();
+}
+
+std::optional<uint64_t> DecodeRoundDone(BytesView bytes) {
+  ByteReader r(bytes);
+  auto round_id = r.U64();
+  if (!round_id || !r.Done()) {
+    return std::nullopt;
+  }
+  return round_id;
+}
+
+Bytes EncodeHostGroup(uint64_t seq, uint32_t gid, const DkgResult& dkg) {
+  ByteWriter w;
+  w.U64(seq);
+  w.U32(gid);
+  w.U32(static_cast<uint32_t>(dkg.pub.params.k));
+  w.U32(static_cast<uint32_t>(dkg.pub.params.threshold));
+  PutPoint(w, dkg.pub.group_pk);
+  w.U32(static_cast<uint32_t>(dkg.pub.share_pks.size()));
+  for (const Point& p : dkg.pub.share_pks) {
+    PutPoint(w, p);
+  }
+  PutU32Vec(w, dkg.pub.disqualified);
+  w.U32(static_cast<uint32_t>(dkg.keys.size()));
+  for (const DkgServerKey& key : dkg.keys) {
+    w.U32(key.index);
+    auto share = key.share.ToBytes();
+    w.Raw(BytesView(share.data(), share.size()));
+  }
+  return w.Take();
+}
+
+std::optional<HostGroupMsg> DecodeHostGroup(BytesView bytes) {
+  ByteReader r(bytes);
+  HostGroupMsg msg;
+  auto seq = r.U64();
+  auto gid = r.U32();
+  auto k = r.U32();
+  auto threshold = r.U32();
+  auto group_pk = GetPoint(r);
+  auto num_share_pks = r.U32();
+  if (!seq || !gid || !k || !threshold || !group_pk || !num_share_pks ||
+      *num_share_pks > kMaxGroupMembers) {
+    return std::nullopt;
+  }
+  msg.seq = *seq;
+  msg.gid = *gid;
+  msg.dkg.pub.params.k = *k;
+  msg.dkg.pub.params.threshold = *threshold;
+  msg.dkg.pub.group_pk = *group_pk;
+  for (uint32_t i = 0; i < *num_share_pks; i++) {
+    auto p = GetPoint(r);
+    if (!p) {
+      return std::nullopt;
+    }
+    msg.dkg.pub.share_pks.push_back(*p);
+  }
+  if (!GetU32Vec(r, &msg.dkg.pub.disqualified)) {
+    return std::nullopt;
+  }
+  auto num_keys = r.U32();
+  if (!num_keys || *num_keys > kMaxGroupMembers) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < *num_keys; i++) {
+    auto index = r.U32();
+    auto raw = r.Raw(32);
+    if (!index || !raw) {
+      return std::nullopt;
+    }
+    auto share = Scalar::FromBytes(BytesView(*raw));
+    if (!share) {
+      return std::nullopt;
+    }
+    msg.dkg.keys.push_back(DkgServerKey{*index, *share});
+  }
+  if (!r.Done()) {
+    return std::nullopt;
+  }
   return msg;
 }
 

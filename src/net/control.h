@@ -25,11 +25,16 @@ namespace atom {
 inline constexpr uint32_t kMeshDriverId = 0;
 
 enum class LinkMsg : uint8_t {
-  kEnvelope = 1,  // EncodeEnvelope payload (protocol data plane)
-  kRoster = 2,    // peer directory: who serves which id, where, which key
-  kJoinGroup = 3, // per-group key material for the receiving server
-  kBeginRun = 4,  // 256-bit run root key; resets per-run delivery counters
-  kAck = 5,       // acknowledges one control message by sequence number
+  kEnvelope = 1,   // EncodeEnvelope payload (protocol data plane)
+  kRoster = 2,     // peer directory: who serves which id, where, which key
+  kJoinGroup = 3,  // per-group key material for the receiving server
+  kBeginRound = 4, // opens round round_id: 256-bit root key, and for
+                   // pipelined engine rounds the full round spec (topology,
+                   // hosts, group keys, layout, trap commitments)
+  kAck = 5,        // acknowledges one control message by sequence number
+  kHostGroup = 6,  // full DKG material: the receiver hosts this group's
+                   // engine hops (distributed pipelined rounds)
+  kRoundDone = 7,  // round retired (completed or aborted): evict its state
 };
 
 // One mesh participant as named by the roster.
@@ -63,12 +68,56 @@ struct JoinGroupMsg {
 };
 std::optional<JoinGroupMsg> DecodeJoinGroup(BytesView bytes);
 
-Bytes EncodeBeginRun(uint64_t seq, const std::array<uint8_t, 32>& run_key);
-struct BeginRunMsg {
-  uint64_t seq = 0;
-  std::array<uint8_t, 32> run_key{};
+// The wire form of one pipelined engine round's execution plan: everything
+// a hosting server needs to run its groups' hops and exit checks without
+// any global barrier. Shipped inside kBeginRound; absent for legacy
+// chain-protocol rounds (AtomNode message traffic), which only need the
+// root key.
+struct WireRoundSpec {
+  uint8_t variant = 0;       // static_cast<uint8_t>(Variant)
+  uint32_t layers = 0;       // mixing iterations T
+  uint32_t width = 0;        // groups per layer
+  uint32_t hop_workers = 1;  // intra-hop ParallelFor width (determinism:
+                             // must match the reference engine's)
+  // adjacency[layer][gid] -> neighbour gids in layer+1 (layers-1 entries;
+  // the last layer is the exit).
+  std::vector<std::vector<std::vector<uint32_t>>> adjacency;
+  std::vector<uint32_t> hosts;   // width: server id executing each group
+  std::vector<Point> group_pks;  // width: each group's threshold key
+  // Exit plan (engine-native exit). When false the exit batches route
+  // back to the driver raw.
+  bool native_exit = false;
+  uint32_t plaintext_len = 0;  // MessageLayout, flattened
+  uint32_t padded_len = 0;
+  uint32_t num_points = 0;
+  // Trap variant: THIS round's per-entry-group trap commitments, so the
+  // §4.4 checks run on the destination groups' hosts (width entries; the
+  // driver fills only the sets for groups the receiver hosts — they are
+  // the bulk of the spec, and no host reads another host's sets).
+  std::vector<std::vector<std::array<uint8_t, 32>>> commitments;
 };
-std::optional<BeginRunMsg> DecodeBeginRun(BytesView bytes);
+
+Bytes EncodeBeginRound(uint64_t seq, uint64_t round_id,
+                       const std::array<uint8_t, 32>& root_key,
+                       const WireRoundSpec* spec);
+struct BeginRoundMsg {
+  uint64_t seq = 0;
+  uint64_t round_id = 0;
+  std::array<uint8_t, 32> root_key{};
+  std::optional<WireRoundSpec> spec;  // engine-mode rounds only
+};
+std::optional<BeginRoundMsg> DecodeBeginRound(BytesView bytes);
+
+Bytes EncodeRoundDone(uint64_t round_id);
+std::optional<uint64_t> DecodeRoundDone(BytesView bytes);
+
+Bytes EncodeHostGroup(uint64_t seq, uint32_t gid, const DkgResult& dkg);
+struct HostGroupMsg {
+  uint64_t seq = 0;
+  uint32_t gid = 0;
+  DkgResult dkg;
+};
+std::optional<HostGroupMsg> DecodeHostGroup(BytesView bytes);
 
 Bytes EncodeAck(uint64_t seq);
 std::optional<uint64_t> DecodeAck(BytesView bytes);

@@ -19,16 +19,51 @@ NodeMsg TransportAbort(uint32_t gid, std::string reason) {
 }  // namespace
 
 TcpPeerMesh::TcpPeerMesh(Role role, uint32_t self_id, KemKeypair identity)
-    : role_(role), self_id_(self_id), identity_(std::move(identity)) {}
+    : role_(role), self_id_(self_id), identity_(std::move(identity)) {
+  if (role_ == Role::kDriver) {
+    // Round ids must not collide with a previous driver incarnation's
+    // rounds still resident on long-lived servers (stale lanes and
+    // tombstones would silently swallow a restarted driver's kBeginRound
+    // as a duplicate). A random 64-bit base makes cross-incarnation
+    // collisions negligible; ids stay unique within one mesh by the
+    // counter. Zero is skipped: it marks untagged legacy envelopes.
+    Rng rng = Rng::FromOsEntropy();
+    next_round_id_ = rng.NextU64() | 1;
+  }
+}
 
 TcpPeerMesh::~TcpPeerMesh() { Stop(); }
 
 void TcpPeerMesh::SetRoster(std::vector<MeshPeer> peers) {
-  std::lock_guard<std::mutex> lock(mu_);
-  peers_.roster.clear();
-  for (MeshPeer& peer : peers) {
-    uint32_t id = peer.server_id;
-    peers_.roster[id] = std::move(peer);
+  // Links whose roster entry changed (or vanished) are shut down so the
+  // next send redials the NEW entry — keeping them would pin traffic to a
+  // stale address/key after a repair. Shutdown happens outside mu_ (the
+  // dying link's reader thread takes mu_ to deregister itself).
+  std::vector<std::shared_ptr<SecureLink>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<uint32_t, MeshPeer> old_roster = std::move(peers_.roster);
+    peers_.roster.clear();
+    for (MeshPeer& peer : peers) {
+      uint32_t id = peer.server_id;
+      peers_.roster[id] = std::move(peer);
+    }
+    for (const auto& [id, link] : links_) {
+      auto old_it = old_roster.find(id);
+      if (old_it == old_roster.end()) {
+        continue;  // never rostered (e.g. the driver): keep
+      }
+      auto new_it = peers_.roster.find(id);
+      if (new_it == peers_.roster.end() ||
+          new_it->second.host != old_it->second.host ||
+          new_it->second.port != old_it->second.port ||
+          new_it->second.pk.Encode() != old_it->second.pk.Encode()) {
+        dropped.push_back(link);
+      }
+    }
+  }
+  for (auto& link : dropped) {
+    link->Shutdown();
   }
 }
 
@@ -114,14 +149,24 @@ void TcpPeerMesh::Stop() {
 }
 
 void TcpPeerMesh::OnEnvelope(std::function<void(Envelope)> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(cb_mu_);
   on_envelope_ = std::move(fn);
 }
 
 void TcpPeerMesh::OnControl(
     std::function<void(uint32_t, LinkFrame)> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(cb_mu_);
   on_control_ = std::move(fn);
+}
+
+void TcpPeerMesh::OnDriverEnvelope(std::function<void(Envelope)> fn) {
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  on_driver_envelope_ = std::move(fn);
+}
+
+void TcpPeerMesh::OnPeerDown(std::function<void(uint32_t)> fn) {
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  on_peer_down_ = std::move(fn);
 }
 
 std::shared_ptr<SecureLink> TcpPeerMesh::AdoptLink(
@@ -202,6 +247,14 @@ std::shared_ptr<SecureLink> TcpPeerMesh::EnsureLink(uint32_t peer_id) {
 }
 
 bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
+  std::chrono::milliseconds delay;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay = send_delay_;
+  }
+  if (delay.count() > 0) {
+    std::this_thread::sleep_for(delay);  // WAN emulation (benches only)
+  }
   auto link = EnsureLink(peer_id);
   if (link == nullptr) {
     return false;
@@ -280,13 +333,25 @@ void TcpPeerMesh::HandleFrame(uint32_t peer_id, LinkFrame frame) {
         SynthesizeAbort(0, "transport: malformed envelope from server " +
                                std::to_string(peer_id));
       } else {
-        SendAbortToDriver(0, "transport: malformed envelope received by "
-                             "server " +
-                                 std::to_string(self_id_));
+        SendAbortToDriver(0, 0,
+                          "transport: malformed envelope received by "
+                          "server " +
+                              std::to_string(self_id_));
       }
       return;
     }
     if (role_ == Role::kDriver) {
+      {
+        // Invoked under cb_mu_ so unregistering (driver teardown) cannot
+        // race an in-flight call into a dying object.
+        std::lock_guard<std::mutex> lock(cb_mu_);
+        if (on_driver_envelope_) {
+          // A pipelined driver demultiplexes per round; the legacy Run
+          // collectors are bypassed entirely.
+          on_driver_envelope_(std::move(*envelope));
+          return;
+        }
+      }
       std::lock_guard<std::mutex> lock(mu_);
       if (envelope->msg.type == NodeMsg::Type::kGroupOutput) {
         outputs_.push_back(std::move(envelope->msg));
@@ -296,26 +361,18 @@ void TcpPeerMesh::HandleFrame(uint32_t peer_id, LinkFrame frame) {
       cv_.notify_all();
       return;
     }
-    std::function<void(Envelope)> sink;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      sink = on_envelope_;
-    }
-    if (sink) {
-      sink(std::move(*envelope));
+    std::lock_guard<std::mutex> lock(cb_mu_);
+    if (on_envelope_) {
+      on_envelope_(std::move(*envelope));
     }
     return;
   }
-  // Control plane (roster / join-group / begin-run): driver-originated;
-  // servers apply via their NodeProcess.
+  // Control plane (roster / join-group / host-group / begin-round):
+  // driver-originated; servers apply via their NodeProcess.
   if (role_ == Role::kServer) {
-    std::function<void(uint32_t, LinkFrame)> sink;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      sink = on_control_;
-    }
-    if (sink) {
-      sink(peer_id, std::move(frame));
+    std::lock_guard<std::mutex> lock(cb_mu_);
+    if (on_control_) {
+      on_control_(peer_id, std::move(frame));
     }
   }
 }
@@ -333,6 +390,10 @@ void TcpPeerMesh::OnPeerGone(uint32_t peer_id) {
     SynthesizeAbort(0, "transport: server " + std::to_string(peer_id) +
                            " disconnected mid-run");
   }
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  if (on_peer_down_) {
+    on_peer_down_(peer_id);
+  }
 }
 
 void TcpPeerMesh::SynthesizeAbort(uint32_t gid, std::string reason) {
@@ -341,8 +402,10 @@ void TcpPeerMesh::SynthesizeAbort(uint32_t gid, std::string reason) {
   cv_.notify_all();
 }
 
-void TcpPeerMesh::SendAbortToDriver(uint32_t gid, std::string reason) {
-  Envelope envelope{self_id_, TransportAbort(gid, std::move(reason))};
+void TcpPeerMesh::SendAbortToDriver(uint64_t round_id, uint32_t gid,
+                                    std::string reason) {
+  Envelope envelope{self_id_, TransportAbort(gid, std::move(reason)),
+                    round_id};
   SendFrame(kMeshDriverId, LinkMsg::kEnvelope,
             BytesView(EncodeEnvelope(envelope)));
 }
@@ -391,6 +454,44 @@ bool TcpPeerMesh::SendJoinGroup(uint32_t peer_id, uint32_t gid,
                              BytesView(body));
 }
 
+bool TcpPeerMesh::SendHostGroup(uint32_t peer_id, uint32_t gid,
+                                const DkgResult& dkg) {
+  uint64_t seq = NextSeq();
+  Bytes body = EncodeHostGroup(seq, gid, dkg);
+  return SendControlAwaitAck(peer_id, LinkMsg::kHostGroup, seq,
+                             BytesView(body));
+}
+
+uint64_t TcpPeerMesh::AllocateRoundId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_round_id_++;
+}
+
+bool TcpPeerMesh::SendBeginRound(uint32_t peer_id, uint64_t round_id,
+                                 const std::array<uint8_t, 32>& root_key,
+                                 const WireRoundSpec* spec) {
+  uint64_t seq = NextSeq();
+  Bytes body = EncodeBeginRound(seq, round_id, root_key, spec);
+  return SendControlAwaitAck(peer_id, LinkMsg::kBeginRound, seq,
+                             BytesView(body));
+}
+
+void TcpPeerMesh::BroadcastRoundDone(uint64_t round_id,
+                                     std::span<const uint32_t> peers) {
+  std::vector<uint32_t> targets(peers.begin(), peers.end());
+  if (targets.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, peer] : peers_.roster) {
+      targets.push_back(id);
+    }
+  }
+  Bytes body = EncodeRoundDone(round_id);
+  for (uint32_t id : targets) {
+    // Best-effort: an unreachable peer's round state dies with the peer.
+    SendFrame(id, LinkMsg::kRoundDone, BytesView(body));
+  }
+}
+
 void TcpPeerMesh::Send(Envelope envelope) {
   if (role_ == Role::kDriver) {
     // Buffered until Run: the run root key must precede the traffic it
@@ -409,8 +510,9 @@ void TcpPeerMesh::Send(Envelope envelope) {
   }
   if (dest != kMeshDriverId) {
     // The chain cannot make progress; tell the driver instead of letting
-    // the run hang until its timeout.
-    SendAbortToDriver(envelope.msg.gid,
+    // the run hang until its timeout. Round-tagged, so a pipelined driver
+    // aborts only the round whose traffic failed.
+    SendAbortToDriver(envelope.round_id, envelope.msg.gid,
                       "transport: server " + std::to_string(self_id_) +
                           " could not reach server " +
                           std::to_string(dest));
@@ -423,6 +525,7 @@ bool TcpPeerMesh::Run(Rng& rng) {
   // same generator stream as LocalBus::Run.
   std::array<uint8_t, 32> run_key;
   rng.Fill(run_key.data(), run_key.size());
+  const uint64_t round_id = AllocateRoundId();
 
   std::vector<Envelope> to_send;
   std::vector<uint32_t> server_ids;
@@ -440,14 +543,14 @@ bool TcpPeerMesh::Run(Rng& rng) {
     }
   }
 
-  // Phase 1: every server installs the run key and resets its per-run
-  // delivery counter before any envelope can reach it (ack-synchronized
-  // because chain traffic arrives on different links than ours).
+  // Phase 1: every server opens a round-scoped lane for this run's root
+  // key before any envelope can reach it (ack-synchronized because chain
+  // traffic arrives on different links than ours). Legacy runs carry no
+  // engine spec: the lane's per-round delivery counter starts at zero,
+  // exactly like LocalBus's per-Run counters.
   bool ready = true;
   for (uint32_t id : server_ids) {
-    uint64_t seq = NextSeq();
-    Bytes body = EncodeBeginRun(seq, run_key);
-    if (!SendControlAwaitAck(id, LinkMsg::kBeginRun, seq, BytesView(body))) {
+    if (!SendBeginRound(id, round_id, run_key, nullptr)) {
       SynthesizeAbort(0, "transport: server " + std::to_string(id) +
                              " unreachable at run start");
       ready = false;
@@ -455,12 +558,14 @@ bool TcpPeerMesh::Run(Rng& rng) {
     }
   }
 
-  // Phase 2: inject the buffered entry envelopes. Each one seeds exactly
-  // one chain, which ends in one kGroupOutput or one kAbort.
+  // Phase 2: inject the buffered entry envelopes, stamped with this run's
+  // round id. Each one seeds exactly one chain, which ends in one
+  // kGroupOutput or one kAbort.
   size_t seeds = 0;
   if (ready) {
     for (Envelope& envelope : to_send) {
       seeds++;
+      envelope.round_id = round_id;
       Bytes body = EncodeEnvelope(envelope);
       if (!SendFrame(envelope.to_server, LinkMsg::kEnvelope,
                      BytesView(body))) {
@@ -474,17 +579,22 @@ bool TcpPeerMesh::Run(Rng& rng) {
   // Phase 3: wait for every chain to resolve. A synthesized abort (send
   // failure, peer EOF) counts as that chain's resolution; a stuck run
   // surfaces as a timeout abort, never a hang.
-  std::unique_lock<std::mutex> lock(mu_);
-  bool done = cv_.wait_for(lock, run_timeout_, [&] {
-    return (outputs_.size() - run_outputs_baseline_) +
-               (aborts_.size() - run_aborts_baseline_) >=
-           seeds;
-  });
-  if (!done) {
-    aborts_.push_back(TransportAbort(
-        0, "transport: timed out waiting for group outputs"));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool done = cv_.wait_for(lock, run_timeout_, [&] {
+      return (outputs_.size() - run_outputs_baseline_) +
+                 (aborts_.size() - run_aborts_baseline_) >=
+             seeds;
+    });
+    if (!done) {
+      aborts_.push_back(TransportAbort(
+          0, "transport: timed out waiting for group outputs"));
+    }
+    running_ = false;
   }
-  running_ = false;
+  // Retire the round so the servers' bounded lane pool frees up.
+  BroadcastRoundDone(round_id);
+  std::lock_guard<std::mutex> lock(mu_);
   return aborts_.size() == aborts_before;
 }
 
@@ -534,6 +644,11 @@ void TcpPeerMesh::set_control_timeout(std::chrono::milliseconds timeout) {
 void TcpPeerMesh::set_dial_attempts(int attempts) {
   std::lock_guard<std::mutex> lock(mu_);
   dial_attempts_ = attempts < 1 ? 1 : attempts;
+}
+
+void TcpPeerMesh::set_send_delay(std::chrono::milliseconds delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_delay_ = delay;
 }
 
 }  // namespace atom

@@ -56,6 +56,10 @@ class TcpPeerMesh : public Bus {
 
   // Replaces the peer directory (addresses + long-term keys). Thread-safe;
   // servers receive it from the driver as a kRoster control message.
+  // Live links to peers whose roster entry changed (address or key) or
+  // disappeared are shut down so the next send redials against the new
+  // entry instead of talking to a stale endpoint; links to peers the
+  // roster never named (e.g. the driver, known via AddPeerKey) are kept.
   void SetRoster(std::vector<MeshPeer> peers);
   // Registers a key for a peer with no roster entry yet (servers learn
   // the driver's key at construction, before the roster arrives).
@@ -76,6 +80,16 @@ class TcpPeerMesh : public Bus {
   void OnEnvelope(std::function<void(Envelope)> fn);
   void OnControl(std::function<void(uint32_t peer_id, LinkFrame frame)> fn);
 
+  // Driver-role sink for inbound envelopes. When set, every kEnvelope
+  // frame is handed to it (round-tagged, so overlapping rounds
+  // demultiplex) instead of the legacy Run collectors — this is how
+  // DistributedRoundDriver (src/net/round_driver.h) takes over delivery.
+  // Fired on reader threads; must not block.
+  void OnDriverEnvelope(std::function<void(Envelope)> fn);
+  // Fired (any role) when a peer's link dies outside Stop(); the
+  // pipelined driver uses it to synthesize per-round aborts.
+  void OnPeerDown(std::function<void(uint32_t peer_id)> fn);
+
   // Sends one frame to a peer, reusing the persistent link or (re)dialing
   // from the roster on failure. False when the peer is unreachable.
   bool SendFrame(uint32_t peer_id, LinkMsg type, BytesView body);
@@ -87,6 +101,31 @@ class TcpPeerMesh : public Bus {
   // Ships one group's key material to a server (ack-synchronized).
   bool SendJoinGroup(uint32_t peer_id, uint32_t gid,
                      const NodeGroupKeys& keys);
+  // Ships a whole group's DKG output so the receiver hosts that group's
+  // engine hops for pipelined rounds (ack-synchronized).
+  bool SendHostGroup(uint32_t peer_id, uint32_t gid, const DkgResult& dkg);
+
+  // ---- Round-scoped control plane (driver side).
+
+  // Round ids are unique per driver mesh; both the legacy Run and the
+  // pipelined DistributedRoundDriver draw from this counter so their
+  // rounds never collide on the servers' per-round state.
+  uint64_t AllocateRoundId();
+  // Opens a round on one server: root key (+ optional engine spec),
+  // ack-synchronized so key material lands before dependent traffic.
+  bool SendBeginRound(uint32_t peer_id, uint64_t round_id,
+                      const std::array<uint8_t, 32>& root_key,
+                      const WireRoundSpec* spec);
+  // Retires a round on the named peers (or every rostered peer when the
+  // span is empty). Best-effort: a dead peer's state dies with it.
+  void BroadcastRoundDone(uint64_t round_id,
+                          std::span<const uint32_t> peers = {});
+
+  // Server role: reports a local delivery failure upstream so the driver
+  // sees an abort instead of a silently dropped chain; round-tagged so a
+  // pipelined driver aborts only the affected round.
+  void SendAbortToDriver(uint64_t round_id, uint32_t gid,
+                         std::string reason);
 
   // ---- Bus interface (Run/outputs/aborts are driver-role only).
 
@@ -105,6 +144,12 @@ class TcpPeerMesh : public Bus {
   void set_run_timeout(std::chrono::milliseconds timeout);
   void set_control_timeout(std::chrono::milliseconds timeout);
   void set_dial_attempts(int attempts);
+  // WAN emulation for benches (netem-style): every outbound frame sleeps
+  // this long before hitting the socket, modelling one-way link latency.
+  // The sender's thread blocks, exactly like a saturated WAN send buffer
+  // would; concurrent rounds overlap these stalls, sequential rounds pay
+  // them serially. Zero (the default) disables it.
+  void set_send_delay(std::chrono::milliseconds delay);
 
  private:
   struct PeerDirectory {
@@ -136,10 +181,6 @@ class TcpPeerMesh : public Bus {
                            BytesView body);
   uint64_t NextSeq();
 
-  // Server role: reports a local delivery failure upstream so the driver
-  // sees an abort instead of a silently dropped chain.
-  void SendAbortToDriver(uint32_t gid, std::string reason);
-
   void AssertNotRunning() const;
 
   const Role role_;
@@ -161,13 +202,21 @@ class TcpPeerMesh : public Bus {
   std::vector<NodeMsg> aborts_;
   std::set<uint64_t> acked_;
   uint64_t next_seq_ = 1;
+  uint64_t next_round_id_ = 1;
   bool running_ = false;   // a driver Run is executing
   bool stopping_ = false;
   size_t run_outputs_baseline_ = 0;
   size_t run_aborts_baseline_ = 0;
 
+  // Callbacks are set and INVOKED under cb_mu_ (never nested with mu_):
+  // clearing a callback therefore blocks until any in-flight invocation
+  // returns, so an owner may unregister in its destructor without racing
+  // a reader thread mid-call.
+  mutable std::mutex cb_mu_;
   std::function<void(Envelope)> on_envelope_;
   std::function<void(uint32_t, LinkFrame)> on_control_;
+  std::function<void(Envelope)> on_driver_envelope_;
+  std::function<void(uint32_t)> on_peer_down_;
 
   std::mutex dial_mu_;
   TcpListener listener_;
@@ -175,6 +224,7 @@ class TcpPeerMesh : public Bus {
 
   std::chrono::milliseconds run_timeout_{std::chrono::seconds(120)};
   std::chrono::milliseconds control_timeout_{std::chrono::seconds(20)};
+  std::chrono::milliseconds send_delay_{0};
   int dial_attempts_ = 5;
 };
 

@@ -1,34 +1,61 @@
-// NodeProcess: hosts one AtomNode inside one OS process and wires it to
+// NodeProcess: hosts one Atom server inside one OS process and wires it to
 // the TCP peer mesh — the deployment shape the paper assumes (one server
 // per machine), where LocalBus's in-process delivery becomes real
 // encrypted links.
 //
-// Lifecycle, driven entirely by messages from the round driver:
-//   1. Listen() binds a port (0 = ephemeral; port() reports the choice).
-//   2. Start() begins accepting authenticated links. Initially only the
-//      driver's long-term key is trusted; the kRoster control message
-//      installs the full peer directory.
-//   3. kJoinGroup messages install per-group key shares; kBeginRun
-//      installs the round's 256-bit root key and resets the per-run
-//      delivery counter.
-//   4. kEnvelope frames are protocol steps. They are handed to a
-//      SerialExecutor on the shared ThreadPool — the same one-server,
-//      one-serial-queue discipline LocalBus enforces — and each delivery
-//      handles its message with a private DRBG key-separated from the run
-//      key by (server id, delivery count), so a seeded multi-process run
-//      replays the in-process LocalBus run byte for byte.
+// The process is natively multi-round: every kBeginRound control message
+// opens a round-scoped lane — its own 256-bit root key, its own DRBG
+// counters, and its own SerialExecutor on the shared ThreadPool — and
+// every envelope demultiplexes into its round's lane by the round id
+// stamped on the wire. Lanes are bounded (max_rounds) and evicted on
+// kRoundDone, so one slow or wedged round never blocks its successors and
+// a dead round's state cannot accumulate.
 //
-// Every control message is acked only after it has been applied through
-// the serial queue, which gives the driver a cross-link ordering fence.
-// Failures never hang the deployment: an unreachable next-hop peer, a
-// malformed frame, or a throwing handler all surface to the driver as a
-// kAbort envelope.
+// Two kinds of traffic flow through a round:
+//
+//  * Chain-protocol steps (kShuffleStep/kReEncStep) drive the hosted
+//    AtomNode. They execute on node_serial_ — the one queue that ever
+//    touches the AtomNode (shared with JoinGroup), so the single-serial
+//    contract holds even when rounds overlap — while their DRBG counters
+//    stay per-round: each delivery's private generator is key-separated
+//    from its round's root key by (server id, per-round delivery count),
+//    exactly LocalBus's discipline, so a seeded legacy run replays
+//    byte-for-byte across transports.
+//
+//  * Engine rounds (kBeginRound carrying a WireRoundSpec) execute whole
+//    group hops for the groups this process hosts (kHostGroup installs the
+//    DKG material): inbound kHopBatch sub-batches assemble per
+//    (layer, gid) slot exactly like the RoundEngine's hop DAG, the hop
+//    runs GroupRuntime::RunHop with a DRBG key-separated from the round's
+//    root by layer*width+gid — the engine's derivation — and the exit
+//    phase runs distributed: this host sorts its exit batches
+//    (SortTrapExits), ships per-destination buckets (kExitBuckets) to the
+//    destination groups' hosts, checks arrivals against the round's trap
+//    commitments (CheckExitGroup), and reports to the driver
+//    (kExitReport). A seeded engine round therefore produces
+//    byte-identical results over the mesh and in process.
+//
+// Every control message is acked only after it has been applied, which
+// gives the driver a cross-link ordering fence. Failures never hang the
+// deployment: an unreachable next-hop peer, a malformed frame, a missing
+// group runtime, or a throwing handler all surface to the driver as a
+// round-tagged kAbort envelope.
 #ifndef SRC_NET_NODE_PROCESS_H_
 #define SRC_NET_NODE_PROCESS_H_
 
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
 
+#include "src/core/group_runtime.h"
 #include "src/net/mesh.h"
 #include "src/util/parallel.h"
 
@@ -38,9 +65,18 @@ class NodeProcess {
  public:
   // `identity` is this server's long-term key (its public half is what
   // the roster advertises); `driver_pk` authenticates the driver before
-  // any roster exists.
+  // any roster exists. `max_rounds` bounds concurrently open round lanes;
+  // a kBeginRound past the bound is refused with a round-tagged abort.
+  // `pool` backs this server's serial lanes (null = the process-wide
+  // shared pool); benches hosting many "servers" in one process give each
+  // its own pool, mirroring the real one-pool-per-process deployment.
   NodeProcess(uint32_t server_id, Variant variant, KemKeypair identity,
-              const Point& driver_pk);
+              const Point& driver_pk, size_t max_rounds = 8,
+              ThreadPool* pool = nullptr);
+
+  // Forwards to the mesh's WAN emulation knob (benches). Set before
+  // Start().
+  void set_wire_delay(std::chrono::milliseconds delay);
   ~NodeProcess();
 
   NodeProcess(const NodeProcess&) = delete;
@@ -53,26 +89,95 @@ class NodeProcess {
 
   uint32_t server_id() const { return server_id_; }
 
+  // Installs a whole group's DKG output so this process executes that
+  // group's engine hops. Normally arrives as a kHostGroup control
+  // message; public for in-process tests.
+  void HostGroup(uint32_t gid, DkgResult dkg);
+
   // Test hook (fault injection): mutates every outbound envelope before
   // it is sent — an "evil server" mid-chain for abort-propagation tests.
   // Set before Start().
   void SetOutboundTamper(std::function<void(Envelope&)> fn);
 
  private:
+  // Inbound sub-batches for one hop, assembled per predecessor slot in
+  // ascending gid order — the RoundEngine's HopNode, reconstructed from
+  // round-tagged wire traffic.
+  struct HopAssembly {
+    std::vector<uint32_t> preds;
+    std::vector<CiphertextBatch> inbound;
+    std::vector<bool> got;
+    size_t arrived = 0;
+  };
+  // One destination group's §4.4 inputs: every source group's buckets.
+  struct ExitAssembly {
+    std::vector<std::vector<Bytes>> traps;
+    std::vector<std::vector<Bytes>> inner;
+    std::vector<bool> got;
+    size_t arrived = 0;
+  };
+  // Everything one round owns on this server. Created by kBeginRound,
+  // dropped on kRoundDone; tasks capture it by shared_ptr so a stale task
+  // from an evicted round runs against its own (harmless) state.
+  struct RoundCtx {
+    uint64_t round_id = 0;
+    std::array<uint8_t, 32> root{};
+    uint64_t delivered = 0;  // chain-protocol DRBG counter
+    std::optional<WireRoundSpec> spec;  // engine rounds only
+    std::map<uint64_t, HopAssembly> hops;  // key: layer * width + gid
+    std::map<uint32_t, ExitAssembly> exits;  // key: dest gid hosted here
+    std::atomic<bool> aborted{false};
+  };
+  // A serial execution lane. The SerialExecutor outlives the rounds that
+  // pass through it (lanes are pooled, not created per round), so lane
+  // teardown never blocks a reader thread.
+  struct Lane {
+    explicit Lane(ThreadPool* pool) : serial(pool) {}
+    SerialExecutor serial;
+    std::shared_ptr<RoundCtx> ctx;  // guarded by rounds_mu_
+  };
+
   void HandleControl(uint32_t peer_id, LinkFrame frame);
-  void HandleEnvelope(Envelope envelope);  // reader thread -> serial queue
-  void Process(NodeMsg msg);               // serial, on the shared pool
-  void Deliver(Envelope envelope);
+  void HandleEnvelope(Envelope envelope);  // reader thread -> round lane
+  void BeginRound(uint32_t peer_id, BeginRoundMsg msg);
+  void FinishRound(uint64_t round_id);
+
+  // Lane tasks (serial per round, on the shared pool).
+  void Process(const std::shared_ptr<RoundCtx>& ctx, NodeMsg msg);
+  void ProcessChain(const std::shared_ptr<RoundCtx>& ctx, NodeMsg msg);
+  void ProcessHop(const std::shared_ptr<RoundCtx>& ctx, NodeMsg msg);
+  void ProcessExitLayer(const std::shared_ptr<RoundCtx>& ctx, uint32_t gid,
+                        CiphertextBatch exit_batch);
+  void ProcessExitBuckets(const std::shared_ptr<RoundCtx>& ctx, NodeMsg msg);
+
+  void Deliver(const std::shared_ptr<RoundCtx>& ctx, Envelope envelope);
+  // Routes an engine-round envelope to the server hosting `dest_server`,
+  // short-circuiting self-sends back into our own lane.
+  void SendToServer(const std::shared_ptr<RoundCtx>& ctx,
+                    uint32_t dest_server, NodeMsg msg);
+  void AbortRound(const std::shared_ptr<RoundCtx>& ctx, uint32_t gid,
+                  std::string reason);
+  GroupRuntime* FindHostedGroup(uint32_t gid);
   void Ack(uint32_t peer_id, uint64_t seq);
 
   const uint32_t server_id_;
+  const size_t max_rounds_;
+  ThreadPool* const pool_;  // backs the lanes; null = shared pool
   AtomNode node_;
   TcpPeerMesh mesh_;
-  SerialExecutor serial_;
+  // The only queue that touches node_ (JoinGroup + chain deliveries) and
+  // the setup control plane (roster / host-group).
+  SerialExecutor node_serial_;
 
-  // Touched only from serial-queue tasks (single-threaded by contract).
-  std::array<uint8_t, 32> run_key_{};
-  uint64_t delivered_ = 0;
+  std::mutex rounds_mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::map<uint64_t, Lane*> active_;   // round id -> lane
+  std::vector<Lane*> free_lanes_;
+  std::set<uint64_t> finished_;        // tombstones: late frames dropped
+  std::deque<uint64_t> finished_fifo_; // eviction order for the tombstones
+
+  std::mutex groups_mu_;
+  std::map<uint32_t, std::unique_ptr<GroupRuntime>> hosted_;
 
   std::function<void(Envelope&)> tamper_;
 };

@@ -1,25 +1,33 @@
 // Tests for the TCP transport layer (src/net/): envelope wire round-trips
 // across every message type, frame/handshake hardening, the SerialExecutor
-// delivery discipline, and — the core property — transport equivalence:
-// the same seeded round driven through LocalBus and through a TcpPeerMesh
-// of NodeProcess loopback servers produces byte-identical group outputs,
-// with faults (evil server mid-chain, killed peer) surfacing as aborts
-// rather than hangs.
+// delivery discipline, and — the core properties — transport equivalence
+// (the same seeded round driven through LocalBus and through a TcpPeerMesh
+// of NodeProcess loopback servers produces byte-identical group outputs)
+// and distributed-pipeline equivalence (overlapping engine rounds driven
+// through the DistributedRoundDriver produce byte-identical RoundResults
+// to the in-process RoundEngine), with faults (evil server mid-chain,
+// killed peer, SIGKILLed process mid-pipeline) surfacing as round-scoped
+// aborts rather than hangs.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <deque>
 #include <memory>
 #include <set>
 #include <thread>
 
 #include "src/core/node.h"
+#include "src/core/round.h"
 #include "src/core/wire.h"
 #include "src/net/control.h"
 #include "src/net/link.h"
 #include "src/net/mesh.h"
 #include "src/net/node_process.h"
+#include "src/net/round_driver.h"
 #include "src/util/hex.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
@@ -164,10 +172,17 @@ TEST(EnvelopeWire, RejectsTruncationJunkAndTrailingBytes) {
   Bytes padded = enc;
   padded.push_back(0x00);
   EXPECT_FALSE(DecodeEnvelope(BytesView(padded)).has_value());
-  // Corrupt message type byte (offset 4, after to_server) fails.
+  // Corrupt message type byte (offset 12, after to_server + round_id)
+  // fails.
   Bytes bad = enc;
-  bad[4] = 0x7f;
+  bad[12] = 0x7f;
   EXPECT_FALSE(DecodeEnvelope(BytesView(bad)).has_value());
+  // The round tag round-trips (overlapping rounds demux by it).
+  Envelope tagged = env;
+  tagged.round_id = 0x1122334455667788ULL;
+  auto dec = DecodeEnvelope(BytesView(EncodeEnvelope(tagged)));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->round_id, tagged.round_id);
 }
 
 // --------------------------------------------------------- serial executor
@@ -560,7 +575,7 @@ TEST(TransportFaults, KilledPeerSurfacesAsAbortNotHang) {
   dep.driver.set_dial_attempts(1);
 
   // Unplug the middle server after setup: the next run must fail fast
-  // with an abort (BeginRun cannot be acked / the chain cannot proceed).
+  // with an abort (kBeginRound cannot be acked / the chain cannot proceed).
   dep.Proc(101)->Stop();
 
   CiphertextBatch batch = MakeBatch(g0.pub.group_pk, 3, dep.setup_rng);
@@ -600,6 +615,34 @@ TEST(TransportFaults, PeerKilledMidRunAbortsViaNeighbour) {
       << dep.driver.aborts()[0].abort_reason;
 }
 
+TEST(TransportFaults, OneFaultingChainDoesNotSwallowTheOthers) {
+  // Two chains in one legacy run: chain 0 is misrouted (abort), chain 1
+  // is healthy. The healthy chain must still produce its group output —
+  // a faulting chain resolves itself, it must not poison the round's
+  // other chains into a run-timeout stall.
+  MeshDeployment dep;
+  auto g0 = dep.AddGroup(0, 100, 2, Variant::kTrap);
+  auto g1 = dep.AddGroup(1, 200, 2, Variant::kTrap);
+  ASSERT_TRUE(dep.Connect());
+  dep.driver.set_run_timeout(60s);
+
+  // Entry for group 0 sent to a server of group 1: unroutable -> abort.
+  dep.driver.Send(Envelope{
+      200, EntryMsg(0, MakeBatch(g0.pub.group_pk, 2, dep.setup_rng), {})});
+  dep.driver.Send(Envelope{
+      200, EntryMsg(1, MakeBatch(g1.pub.group_pk, 2, dep.setup_rng), {})});
+  Rng rng(uint64_t{919191});
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(dep.driver.Run(rng));
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 30s)
+      << "run resolved only via the run timeout";
+  ASSERT_EQ(dep.driver.outputs().size(), 1u);
+  EXPECT_EQ(dep.driver.outputs()[0].gid, 1u);
+  ASSERT_GE(dep.driver.aborts().size(), 1u);
+  EXPECT_NE(dep.driver.aborts()[0].abort_reason.find("unroutable"),
+            std::string::npos);
+}
+
 TEST(TransportFaults, MalformedEnvelopeFrameBecomesAbort) {
   MeshDeployment dep;
   dep.AddGroup(0, 100, 2, Variant::kTrap);
@@ -613,6 +656,383 @@ TEST(TransportFaults, MalformedEnvelopeFrameBecomesAbort) {
   EXPECT_NE(dep.driver.aborts()[0].abort_reason.find("malformed"),
             std::string::npos);
 }
+
+// ----------------------------------------- distributed pipelined rounds
+
+// One key epoch whose intake feeds overlapping engine rounds: the shared
+// fixture for every DistributedRoundDriver test.
+struct PipelinedFixture {
+  Rng rng{uint64_t{0x9febe11e}};
+  std::unique_ptr<Round> round;
+  uint64_t next_client = 1;
+
+  explicit PipelinedFixture(Variant variant, size_t iterations = 2)
+      : is_trap(variant == Variant::kTrap) {
+    RoundConfig config;
+    config.params.variant = variant;
+    config.params.num_servers = 4;
+    config.params.num_groups = 2;
+    config.params.group_size = 2;
+    config.params.honest_needed = 1;
+    config.params.iterations = iterations;
+    config.params.message_len = 32;
+    config.beacon = ToBytes("net-test-pipelined-epoch");
+    config.workers = 1;
+    round = std::make_unique<Round>(config, rng);
+  }
+
+  EngineRound TakeSpec(size_t users) {
+    for (size_t u = 0; u < users; u++) {
+      uint32_t gid = static_cast<uint32_t>(u % round->NumGroups());
+      std::string msg = "m" + std::to_string(next_client);
+      bool ok;
+      if (is_trap) {
+        auto sub = MakeTrapSubmission(round->EntryPk(gid), gid,
+                                      round->TrusteePk(),
+                                      BytesView(ToBytes(msg)),
+                                      round->layout(), rng);
+        sub.client_id = next_client;
+        ok = round->SubmitTrap(sub);
+      } else {
+        auto sub = MakeNizkSubmission(round->EntryPk(gid), gid,
+                                      BytesView(ToBytes(msg)),
+                                      round->layout(), rng);
+        sub.client_id = next_client;
+        ok = round->SubmitNizk(sub);
+      }
+      next_client++;
+      EXPECT_TRUE(ok);
+    }
+    return round->TakeEngineRound({}, rng);
+  }
+
+  bool is_trap;
+};
+
+// An in-process mesh fleet hosting one topology group per NodeProcess.
+struct PipelinedDeployment {
+  Rng setup_rng{uint64_t{0x5e70}};
+  KemKeypair driver_key = KemKeyGen(setup_rng);
+  TcpPeerMesh mesh{TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key};
+  std::vector<std::unique_ptr<NodeProcess>> procs;
+  std::vector<MeshPeer> roster;
+  std::vector<uint32_t> hosts;
+
+  ~PipelinedDeployment() { StopAll(); }
+
+  bool Build(Round& round, Variant variant, size_t max_rounds = 8) {
+    size_t width = round.NumGroups();
+    for (uint32_t g = 0; g < width; g++) {
+      KemKeypair key = KemKeyGen(setup_rng);
+      auto proc = std::make_unique<NodeProcess>(g + 1, variant, key,
+                                                driver_key.pk, max_rounds);
+      if (!proc->Listen(0)) {
+        return false;
+      }
+      proc->Start();
+      roster.push_back(MeshPeer{g + 1, "127.0.0.1", proc->port(), key.pk});
+      hosts.push_back(g + 1);
+      procs.push_back(std::move(proc));
+    }
+    mesh.SetRoster(roster);
+    if (!mesh.ConnectAndPushRoster()) {
+      return false;
+    }
+    for (uint32_t g = 0; g < width; g++) {
+      if (!mesh.SendHostGroup(hosts[g], g, round.group(g).dkg())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void StopAll() {
+    mesh.Stop();
+    for (auto& proc : procs) {
+      proc->Stop();
+    }
+  }
+};
+
+TEST(DistributedPipeline, OverlappingTrapRoundsMatchEngineByteForByte) {
+  PipelinedFixture fx(Variant::kTrap);
+  constexpr size_t kRounds = 3;
+  std::vector<EngineRound> specs;
+  for (size_t r = 0; r < kRounds; r++) {
+    specs.push_back(fx.TakeSpec(4));
+  }
+
+  // Reference: the in-process engine runs copies of the same specs.
+  std::vector<RoundResult> want;
+  {
+    RoundEngine engine(&ThreadPool::Shared());
+    std::vector<uint64_t> tickets;
+    for (const EngineRound& spec : specs) {
+      tickets.push_back(engine.Submit(EngineRound(spec)));
+    }
+    for (uint64_t ticket : tickets) {
+      want.push_back(engine.Wait(ticket).round);
+    }
+  }
+
+  PipelinedDeployment dep;
+  ASSERT_TRUE(dep.Build(*fx.round, Variant::kTrap));
+  {
+    DistributedRoundDriver driver(&dep.mesh, dep.hosts);
+    driver.set_round_timeout(60s);
+    // Every round enters the network before any is waited on.
+    std::vector<uint64_t> tickets;
+    for (EngineRound& spec : specs) {
+      tickets.push_back(driver.Submit(std::move(spec)));
+    }
+    EXPECT_EQ(driver.InFlight(), kRounds);
+    for (size_t r = 0; r < kRounds; r++) {
+      RoundResult got = driver.Wait(tickets[r]).round;
+      ASSERT_FALSE(got.aborted) << got.abort_reason;
+      ASSERT_FALSE(want[r].aborted) << want[r].abort_reason;
+      EXPECT_EQ(got.plaintexts, want[r].plaintexts)
+          << "round " << r << " plaintexts diverged";
+      EXPECT_EQ(got.traps_seen, want[r].traps_seen);
+      EXPECT_EQ(got.inner_seen, want[r].inner_seen);
+    }
+    dep.StopAll();  // join readers before the driver dies
+  }
+}
+
+TEST(DistributedPipeline, NizkRoundMatchesEngine) {
+  PipelinedFixture fx(Variant::kNizk);
+  EngineRound spec = fx.TakeSpec(2);
+
+  RoundResult want;
+  {
+    RoundEngine engine(&ThreadPool::Shared());
+    want = engine.RunToCompletion(EngineRound(spec)).round;
+  }
+  ASSERT_FALSE(want.aborted) << want.abort_reason;
+
+  PipelinedDeployment dep;
+  ASSERT_TRUE(dep.Build(*fx.round, Variant::kNizk));
+  {
+    DistributedRoundDriver driver(&dep.mesh, dep.hosts);
+    driver.set_round_timeout(60s);
+    RoundResult got = driver.Wait(driver.Submit(std::move(spec))).round;
+    ASSERT_FALSE(got.aborted) << got.abort_reason;
+    EXPECT_EQ(got.plaintexts, want.plaintexts);
+    dep.StopAll();
+  }
+}
+
+TEST(DistributedPipeline, LaneBoundRefusesExcessRoundsRoundScoped) {
+  // max_rounds = 1: the second overlapping round must be refused with a
+  // round-tagged abort while the first completes untouched.
+  PipelinedFixture fx(Variant::kTrap);
+  EngineRound first = fx.TakeSpec(2);
+  EngineRound second = fx.TakeSpec(2);
+
+  PipelinedDeployment dep;
+  ASSERT_TRUE(dep.Build(*fx.round, Variant::kTrap, /*max_rounds=*/1));
+  {
+    DistributedRoundDriver driver(&dep.mesh, dep.hosts);
+    driver.set_round_timeout(60s);
+    uint64_t t1 = driver.Submit(std::move(first));
+    uint64_t t2 = driver.Submit(std::move(second));
+    auto r2 = driver.Wait(t2);
+    EXPECT_TRUE(r2.aborted);
+    EXPECT_NE(r2.abort_reason.find("too many concurrent rounds"),
+              std::string::npos)
+        << r2.abort_reason;
+    EXPECT_NE(r2.abort_reason.find("round " + std::to_string(t2)),
+              std::string::npos)
+        << r2.abort_reason;
+    auto r1 = driver.Wait(t1);
+    EXPECT_FALSE(r1.aborted) << r1.abort_reason;
+    dep.StopAll();
+  }
+}
+
+TEST(MeshRoster, SetRosterDropsLinksWhoseEntryChanged) {
+  // A live link to a peer whose roster entry changed must be dropped so
+  // the next send redials the new entry (here: a dead port, so the send
+  // fails) instead of riding the stale connection.
+  Rng rng(uint64_t{0x405e7});
+  KemKeypair driver_key = KemKeyGen(rng);
+  KemKeypair server_key = KemKeyGen(rng);
+  NodeProcess server(7, Variant::kTrap, server_key, driver_key.pk);
+  ASSERT_TRUE(server.Listen(0));
+  server.Start();
+
+  TcpPeerMesh driver(TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key);
+  driver.set_dial_attempts(1);
+  MeshPeer good{7, "127.0.0.1", server.port(), server_key.pk};
+  driver.SetRoster({good});
+  Bytes probe = EncodeRoundDone(0xdead);
+  ASSERT_TRUE(driver.SendFrame(7, LinkMsg::kRoundDone, BytesView(probe)));
+
+  // Same peer id, different port: the live link must not survive.
+  MeshPeer moved = good;
+  moved.port = 1;  // nothing listens there
+  driver.SetRoster({moved});
+  EXPECT_FALSE(driver.SendFrame(7, LinkMsg::kRoundDone, BytesView(probe)));
+
+  // Restoring the entry redials successfully.
+  driver.SetRoster({good});
+  EXPECT_TRUE(driver.SendFrame(7, LinkMsg::kRoundDone, BytesView(probe)));
+
+  driver.Stop();
+  server.Stop();
+}
+
+// ------------------------------------- multi-round fault isolation (TCP)
+
+#ifdef ATOM_SERVER_BINARY
+
+// Deliberately a separate, minimal spawn harness from the one in
+// examples/distributed_nodes.cpp: the test pins the --sk argv fallback
+// path while the example exercises --keyfile, and the test wants the
+// smallest possible surface between fork and exec.
+struct ChildServer {
+  pid_t pid = -1;
+  int stdin_w = -1;
+  uint16_t port = 0;
+
+  bool Spawn(uint32_t id, const Scalar& sk, const Point& driver_pk) {
+    int in_pipe[2], out_pipe[2];
+    if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0) {
+      return false;
+    }
+    std::string id_str = std::to_string(id);
+    auto sk_bytes = sk.ToBytes();
+    std::string sk_hex =
+        HexEncode(BytesView(sk_bytes.data(), sk_bytes.size()));
+    std::string pk_hex = HexEncode(BytesView(driver_pk.Encode()));
+    pid_t child = fork();
+    if (child < 0) {
+      return false;
+    }
+    if (child == 0) {
+      dup2(in_pipe[0], STDIN_FILENO);
+      dup2(out_pipe[1], STDOUT_FILENO);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      execl(ATOM_SERVER_BINARY, "atom_server", "--id", id_str.c_str(),
+            "--sk", sk_hex.c_str(), "--driver-pk", pk_hex.c_str(),
+            static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    close(in_pipe[0]);
+    close(out_pipe[1]);
+    FILE* child_out = fdopen(out_pipe[0], "r");
+    char line[128];
+    unsigned got_port = 0;
+    if (child_out == nullptr ||
+        std::fgets(line, sizeof(line), child_out) == nullptr ||
+        std::sscanf(line, "ATOM_SERVER_PORT=%u", &got_port) != 1) {
+      if (child_out != nullptr) {
+        std::fclose(child_out);
+      }
+      kill(child, SIGKILL);
+      waitpid(child, nullptr, 0);
+      return false;
+    }
+    std::fclose(child_out);
+    pid = child;
+    stdin_w = in_pipe[1];
+    port = static_cast<uint16_t>(got_port);
+    return true;
+  }
+
+  void Kill() {
+    if (pid >= 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+    if (stdin_w >= 0) {
+      close(stdin_w);
+      stdin_w = -1;
+    }
+  }
+
+  ~ChildServer() { Kill(); }
+};
+
+TEST(DistributedPipelineFaults, SigkilledPeerAbortsInFlightRoundsOnly) {
+  // SIGKILL a real server process while rounds r and r+1 are both in
+  // flight: both must abort with round-scoped reasons; after the roster
+  // is repaired with a replacement process, a freshly submitted round
+  // completes and matches the in-process engine.
+  signal(SIGPIPE, SIG_IGN);
+  PipelinedFixture fx(Variant::kTrap, /*iterations=*/3);
+  EngineRound spec_r = fx.TakeSpec(8);
+  EngineRound spec_r1 = fx.TakeSpec(8);
+  EngineRound spec_fresh = fx.TakeSpec(4);
+
+  RoundResult want_fresh;
+  {
+    RoundEngine engine(&ThreadPool::Shared());
+    want_fresh = engine.RunToCompletion(EngineRound(spec_fresh)).round;
+  }
+  ASSERT_FALSE(want_fresh.aborted) << want_fresh.abort_reason;
+
+  Rng key_rng(uint64_t{0x51641});
+  KemKeypair driver_key = KemKeyGen(key_rng);
+  KemKeypair key1 = KemKeyGen(key_rng);
+  KemKeypair key2 = KemKeyGen(key_rng);
+  ChildServer server1, server2, replacement;
+  ASSERT_TRUE(server1.Spawn(1, key1.sk, driver_key.pk));
+  ASSERT_TRUE(server2.Spawn(2, key2.sk, driver_key.pk));
+
+  TcpPeerMesh mesh(TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key);
+  mesh.set_dial_attempts(2);
+  std::vector<MeshPeer> roster = {
+      MeshPeer{1, "127.0.0.1", server1.port, key1.pk},
+      MeshPeer{2, "127.0.0.1", server2.port, key2.pk}};
+  mesh.SetRoster(roster);
+  ASSERT_TRUE(mesh.ConnectAndPushRoster());
+  ASSERT_TRUE(mesh.SendHostGroup(1, 0, fx.round->group(0).dkg()));
+  ASSERT_TRUE(mesh.SendHostGroup(2, 1, fx.round->group(1).dkg()));
+
+  {
+    DistributedRoundDriver driver(&mesh, {1, 2});
+    driver.set_round_timeout(30s);
+    uint64_t t_r = driver.Submit(std::move(spec_r));
+    uint64_t t_r1 = driver.Submit(std::move(spec_r1));
+    ASSERT_EQ(driver.InFlight(), 2u);
+
+    // The hammer, while both rounds are mixing.
+    server2.Kill();
+
+    auto result_r = driver.Wait(t_r);
+    EXPECT_TRUE(result_r.aborted);
+    EXPECT_NE(result_r.abort_reason.find("round " + std::to_string(t_r)),
+              std::string::npos)
+        << "abort reason not round-scoped: " << result_r.abort_reason;
+    auto result_r1 = driver.Wait(t_r1);
+    EXPECT_TRUE(result_r1.aborted);
+    EXPECT_NE(result_r1.abort_reason.find("round " + std::to_string(t_r1)),
+              std::string::npos)
+        << "abort reason not round-scoped: " << result_r1.abort_reason;
+
+    // Repair: a replacement process takes over server id 2 (fresh key,
+    // fresh port); the re-pushed roster drops stale state everywhere.
+    KemKeypair key2b = KemKeyGen(key_rng);
+    ASSERT_TRUE(replacement.Spawn(2, key2b.sk, driver_key.pk));
+    roster[1] = MeshPeer{2, "127.0.0.1", replacement.port, key2b.pk};
+    mesh.SetRoster(roster);
+    ASSERT_TRUE(mesh.ConnectAndPushRoster());
+    ASSERT_TRUE(mesh.SendHostGroup(2, 1, fx.round->group(1).dkg()));
+
+    auto fresh = driver.Wait(driver.Submit(std::move(spec_fresh)));
+    ASSERT_FALSE(fresh.aborted) << fresh.abort_reason;
+    EXPECT_EQ(fresh.round.plaintexts, want_fresh.plaintexts);
+    EXPECT_EQ(fresh.round.traps_seen, want_fresh.traps_seen);
+    mesh.Stop();  // join readers before the driver dies
+  }
+}
+
+#endif  // ATOM_SERVER_BINARY
 
 // ------------------------------------------------------------ Bus interface
 
