@@ -1,0 +1,370 @@
+// bench_ingest: the client ingress tier under load.
+//
+// Two measurements, both emitted into BENCH_bench_ingest.json:
+//
+//  1. Gateway throughput: C registered clients connect over authenticated
+//     loopback TCP sessions and submit concurrently into one open round;
+//     sustained accepted-submissions/sec from round-open to last verdict.
+//
+//  2. Verify-overlap gain (the streaming-intake claim): the same wire
+//     bytes pushed through (a) accept-then-verify — decode EVERY frame
+//     first, then one pool-verified batch — and (b) the pipelined
+//     streaming intake, where producer threads decode+push into the
+//     bounded MPSC rings while pump tasks verify earlier spans
+//     concurrently. Pipelined must beat the serial split: verification
+//     overlapping acceptance is exactly what Round::StreamSubmit +
+//     PumpStream exist for.
+//
+// --smoke shrinks the sizes for CI and skips the hard perf gate (timing
+// noise on shared runners); the full run enforces overlap_gain > 1.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/directory.h"
+#include "src/core/round.h"
+#include "src/core/wire.h"
+#include "src/net/client_session.h"
+#include "src/net/gateway.h"
+#include "src/net/registry.h"
+#include "src/util/parallel.h"
+
+namespace {
+
+using namespace atom;
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+RoundConfig IngestConfig() {
+  RoundConfig config;
+  config.params.variant = Variant::kTrap;
+  config.params.num_servers = 4;
+  config.params.num_groups = 2;
+  config.params.group_size = 2;
+  config.params.honest_needed = 1;
+  config.params.iterations = 2;
+  config.params.message_len = 32;
+  config.beacon = ToBytes("bench-ingest-epoch");
+  config.workers = HardwareThreads();
+  return config;
+}
+
+// ---- Section 1: end-to-end gateway throughput over loopback TCP.
+
+double GatewayThroughput(size_t clients, BenchJson& json) {
+  RoundConfig config = IngestConfig();
+  Rng rng(uint64_t{0x16e57});
+  Round round(config, rng);
+
+  Directory directory(ToBytes("bench-ingest-genesis"));
+  Rng key_rng(uint64_t{0x16e58});
+  std::map<uint64_t, KemKeypair> keys;
+  for (size_t u = 0; u < clients; u++) {
+    uint64_t id = 100 + u;
+    SchnorrKeypair kp = SchnorrKeyGen(key_rng);
+    if (!directory.RegisterClient(MakeClientRegistration(id, kp, key_rng))) {
+      std::fprintf(stderr, "registration failed\n");
+      std::exit(1);
+    }
+    keys[id] = KemKeypair{kp.sk, kp.pk};
+  }
+  ClientRegistry registry;
+  registry.SeedFromDirectory(directory);
+
+  KemKeypair gateway_key = KemKeyGen(key_rng);
+  GatewayConfig gateway_config;
+  gateway_config.verify_workers = config.workers;
+  SubmissionGateway gateway(&round, &registry, gateway_key, gateway_config);
+  if (!gateway.Listen(0)) {
+    std::fprintf(stderr, "gateway listen failed\n");
+    std::exit(1);
+  }
+  gateway.Start();
+
+  // Sessions connect and submissions are prebuilt outside the timed
+  // window: the measurement is the intake pipeline, not key setup.
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  std::vector<TrapSubmission> subs;
+  for (size_t u = 0; u < clients; u++) {
+    uint64_t id = 100 + u;
+    auto session = ClientSession::Connect("127.0.0.1", gateway.port(), id,
+                                          keys[id], gateway_key.pk);
+    if (session == nullptr) {
+      std::fprintf(stderr, "client %zu failed to connect\n", u);
+      std::exit(1);
+    }
+    sessions.push_back(std::move(session));
+    uint32_t gid = static_cast<uint32_t>(u % round.NumGroups());
+    auto sub = MakeTrapSubmission(round.EntryPk(gid), gid, round.TrusteePk(),
+                                  BytesView(ToBytes("load " +
+                                                    std::to_string(u))),
+                                  round.layout(), rng);
+    sub.client_id = id;
+    subs.push_back(std::move(sub));
+  }
+
+  gateway.OpenRound(1);
+  std::atomic<size_t> accepted{0};
+  auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (size_t u = 0; u < clients; u++) {
+    threads.emplace_back([&, u] {
+      if (sessions[u]->SubmitAndWait(subs[u])) {
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  double wall_ms = MillisSince(start);
+  gateway.Cutoff();
+
+  double per_sec = accepted.load() / (wall_ms / 1000.0);
+  std::printf("%-28s %6zu clients  %8.1f ms  %10.1f accepted subs/sec\n",
+              "gateway loopback", clients, wall_ms, per_sec);
+  json.Num("clients", static_cast<double>(clients));
+  json.Num("gateway_accepted", static_cast<double>(accepted.load()));
+  json.Num("gateway_wall_ms", wall_ms);
+  json.Num("submissions_per_sec", per_sec);
+  if (accepted.load() != clients) {
+    std::fprintf(stderr, "only %zu/%zu submissions accepted\n",
+                 accepted.load(), clients);
+    std::exit(1);
+  }
+
+  for (auto& session : sessions) {
+    session->Close();
+  }
+  gateway.Stop();
+  return per_sec;
+}
+
+// ---- Section 2: verify-overlap gain.
+
+struct WireLoad {
+  std::vector<Bytes> frames;  // encoded trap submissions
+};
+
+WireLoad BuildLoad(Round& round, size_t count) {
+  Rng rng(uint64_t{0xfeed5});
+  WireLoad load;
+  for (size_t i = 0; i < count; i++) {
+    uint32_t gid = static_cast<uint32_t>(i % round.NumGroups());
+    auto sub = MakeTrapSubmission(round.EntryPk(gid), gid, round.TrusteePk(),
+                                  BytesView(ToBytes("overlap " +
+                                                    std::to_string(i))),
+                                  round.layout(), rng);
+    sub.client_id = 10000 + i;
+    load.frames.push_back(EncodeTrapSubmission(sub));
+  }
+  return load;
+}
+
+// Accept-then-verify: every frame decoded before any verification runs —
+// the pre-streaming intake shape.
+double SerialIntake(const WireLoad& load, size_t producers,
+                    size_t* accepted_out) {
+  RoundConfig config = IngestConfig();
+  Rng rng(uint64_t{0x16e57});
+  Round round(config, rng);
+  auto start = Clock::now();
+  std::vector<TrapSubmission> decoded(load.frames.size());
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < producers; p++) {
+    threads.emplace_back([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= load.frames.size()) {
+          return;
+        }
+        auto sub = DecodeTrapSubmission(BytesView(load.frames[i]));
+        if (sub) {
+          decoded[i] = std::move(*sub);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::vector<bool> accepted =
+      round.SubmitTrapBatch(decoded, config.workers);
+  double wall_ms = MillisSince(start);
+  *accepted_out = static_cast<size_t>(
+      std::count(accepted.begin(), accepted.end(), true));
+  return wall_ms;
+}
+
+// Streaming intake: producers decode+push, pumps verify concurrently.
+double PipelinedIntake(const WireLoad& load, size_t producers,
+                       size_t* accepted_out) {
+  RoundConfig config = IngestConfig();
+  Rng rng(uint64_t{0x16e57});
+  Round round(config, rng);
+  const size_t total = load.frames.size();
+  std::atomic<size_t> resolved{0};
+  std::atomic<size_t> accepted{0};
+
+  // One pump lane per shard, exactly the gateway's discipline.
+  struct Pump {
+    explicit Pump(ThreadPool* pool) : serial(pool) {}
+    SerialExecutor serial;
+    std::atomic<bool> scheduled{false};
+  };
+  std::vector<std::unique_ptr<Pump>> pumps;
+  for (size_t g = 0; g < round.NumGroups(); g++) {
+    pumps.push_back(std::make_unique<Pump>(nullptr));
+  }
+  auto pump_shard = [&](uint32_t gid) {
+    round.PumpStream(gid, config.workers,
+                     [&](uint64_t, bool ok) {
+                       if (ok) {
+                         accepted.fetch_add(1);
+                       }
+                       resolved.fetch_add(1);
+                     });
+  };
+  auto schedule = [&](uint32_t gid) {
+    Pump& pump = *pumps[gid];
+    if (pump.scheduled.exchange(true)) {
+      return;
+    }
+    pump.serial.Submit([&, gid] {
+      pumps[gid]->scheduled.store(false);
+      pump_shard(gid);
+    });
+  };
+
+  auto start = Clock::now();
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < producers; p++) {
+    threads.emplace_back([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= total) {
+          return;
+        }
+        auto sub = DecodeTrapSubmission(BytesView(load.frames[i]));
+        if (!sub) {
+          resolved.fetch_add(1);
+          continue;
+        }
+        StreamedSubmission item;
+        item.cookie = i + 1;
+        uint32_t gid = sub->entry_gid;
+        item.trap = std::move(*sub);
+        while (!round.StreamSubmit(std::move(item))) {
+          // Ring full: the bound is the backpressure. Let the pump catch
+          // up, then retry — item survives the failed push untouched
+          // only because StreamSubmit rejected before consuming it, so
+          // rebuild defensively.
+          schedule(gid);
+          std::this_thread::yield();
+          auto again = DecodeTrapSubmission(BytesView(load.frames[i]));
+          item = StreamedSubmission{};
+          item.cookie = i + 1;
+          item.trap = std::move(*again);
+        }
+        schedule(gid);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Producers done: final pumps drain the tails.
+  while (resolved.load() < total) {
+    for (uint32_t g = 0; g < pumps.size(); g++) {
+      pumps[g]->serial.Submit([&, g] { pump_shard(g); });
+      pumps[g]->serial.Drain();
+    }
+  }
+  double wall_ms = MillisSince(start);
+  *accepted_out = accepted.load();
+  return wall_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const size_t clients = smoke ? 6 : 24;
+  const size_t overlap_subs = smoke ? 32 : 256;
+  // Few producers, many verify workers: the gateway shape (a handful of
+  // connection readers feeding a pool-wide verification stage).
+  const size_t producers = 2;
+
+  PrintHeader("bench_ingest: client ingress tier",
+              "streaming intake overlaps proof verification with "
+              "acceptance (§4.2 entry phase at millions-of-users scale)");
+  BenchJson json("bench_ingest");
+  json.Bool("smoke", smoke);
+
+  GatewayThroughput(clients, json);
+
+  Rng rng(uint64_t{0x16e57});
+  RoundConfig config = IngestConfig();
+  Round layout_round(config, rng);
+  WireLoad load = BuildLoad(layout_round, overlap_subs);
+
+  size_t serial_accepted = 0, pipelined_accepted = 0;
+  double serial_ms = SerialIntake(load, producers, &serial_accepted);
+  double pipelined_ms = PipelinedIntake(load, producers,
+                                        &pipelined_accepted);
+  double gain = serial_ms / pipelined_ms;
+  std::printf("%-28s %6zu subs     %8.1f ms   (decode-all, then verify)\n",
+              "accept-then-verify", overlap_subs, serial_ms);
+  std::printf("%-28s %6zu subs     %8.1f ms   (verify overlaps reads)\n",
+              "pipelined streaming intake", overlap_subs, pipelined_ms);
+  std::printf("verify-overlap gain: %.2fx\n", gain);
+  json.Num("overlap_submissions", static_cast<double>(overlap_subs));
+  json.Num("serial_ms", serial_ms);
+  json.Num("pipelined_ms", pipelined_ms);
+  json.Num("overlap_gain", gain);
+  json.Num("hardware_threads", static_cast<double>(HardwareThreads()));
+
+  if (serial_accepted != overlap_subs ||
+      pipelined_accepted != overlap_subs) {
+    std::fprintf(stderr,
+                 "acceptance mismatch: serial %zu, pipelined %zu, want "
+                 "%zu\n",
+                 serial_accepted, pipelined_accepted, overlap_subs);
+    return 1;
+  }
+  // Overlap is a concurrency win: accept-then-verify wastes the idle
+  // cores during its decode phase, which the pipelined intake keeps fed.
+  // On a single hardware thread there is no idle core to reclaim, so the
+  // comparison degenerates to noise — report it, but only gate where the
+  // win is physically possible (and --smoke never gates: CI runners are
+  // too noisy for a hard perf assertion on every push).
+  if (!smoke && HardwareThreads() >= 2 && gain <= 1.0) {
+    std::fprintf(stderr,
+                 "pipelined intake (%.1f ms) did not beat "
+                 "accept-then-verify (%.1f ms)\n",
+                 pipelined_ms, serial_ms);
+    return 1;
+  }
+  if (HardwareThreads() < 2) {
+    std::printf("(single hardware thread: overlap gain not gated)\n");
+  }
+  std::printf("ingest pipeline: OK\n");
+  return 0;
+}

@@ -29,6 +29,17 @@
 //       checks every RoundResult byte-for-byte against the in-process
 //       RoundEngine running the same seeded specs. Exits nonzero on any
 //       divergence — CI runs this as the pipelined-mesh smoke test.
+//
+//   ./build/examples/distributed_nodes --tcp --pipelined --net-clients
+//       [--seed N]
+//       Full deployment shape including the client ingress tier: users
+//       register Schnorr identities with the Directory, a
+//       SubmissionGateway fronts the round's streaming intake, and every
+//       submission arrives over an authenticated TCP ClientSession —
+//       round r+1's intake fills through the gateway while round r mixes
+//       on the atom_server fleet. Every RoundResult is byte-compared
+//       against a twin round whose identical submissions were made
+//       in-process. CI runs this as the ingress smoke test.
 #include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -41,10 +52,14 @@
 #include <string>
 #include <vector>
 
+#include "src/core/directory.h"
 #include "src/core/node.h"
 #include "src/core/round.h"
 #include "src/core/wire.h"
+#include "src/net/client_session.h"
+#include "src/net/gateway.h"
 #include "src/net/mesh.h"
+#include "src/net/registry.h"
 #include "src/net/round_driver.h"
 #include "src/util/hex.h"
 #include "src/util/parallel.h"
@@ -578,17 +593,248 @@ int RunPipelined(const char* argv0, uint64_t seed) {
   return rc;
 }
 
+// ----------------------------------- pipelined rounds with TCP clients
+
+// The full deployment shape: registered clients -> SubmissionGateway ->
+// streaming intake -> DistributedRoundDriver -> atom_server fleet, with a
+// twin round fed the identical submissions in process as the oracle.
+int RunPipelinedNetClients(const char* argv0, uint64_t seed) {
+  signal(SIGPIPE, SIG_IGN);
+  std::string binary = ServerBinaryPath(argv0);
+
+  RoundConfig config;
+  config.params.variant = Variant::kTrap;
+  config.params.num_servers = 6;
+  config.params.num_groups = 4;
+  config.params.group_size = 3;
+  config.params.honest_needed = 1;
+  config.params.iterations = 3;
+  config.params.message_len = 64;
+  config.beacon = ToBytes("distributed-ingress-epoch");
+  config.workers = 2;
+
+  // Twin rounds from one seed: byte-identical groups, keys, trustees.
+  // `net` is fed over TCP ClientSessions; `ref` gets the same submission
+  // bytes via in-process SubmitTrap, in the same per-shard order.
+  Rng rng_ref(seed);
+  Rng rng_net(seed);
+  std::printf("setting up twin key epochs (%zu groups of %zu servers)...\n",
+              config.params.num_groups, config.params.group_size);
+  Round ref(config, rng_ref);
+  Round net(config, rng_net);
+  const size_t width = net.NumGroups();
+
+  constexpr size_t kRounds = 3;
+  constexpr uint32_t kUsersPerRound = 6;
+
+  // Users register Schnorr identities with the Directory; the gateway
+  // authenticates against the synced global registry.
+  Directory directory(ToBytes("ingress-example-genesis"));
+  Rng key_rng(seed + 11);
+  std::map<uint64_t, KemKeypair> client_keys;
+  for (uint32_t u = 0; u < kUsersPerRound; u++) {
+    uint64_t id = 1000 + u;
+    SchnorrKeypair kp = SchnorrKeyGen(key_rng);
+    if (!directory.RegisterClient(MakeClientRegistration(id, kp, key_rng))) {
+      std::fprintf(stderr, "client registration failed\n");
+      return 1;
+    }
+    client_keys[id] = KemKeypair{kp.sk, kp.pk};
+  }
+  // Duplicate ids are rejected globally at registration time.
+  SchnorrKeypair squatter = SchnorrKeyGen(key_rng);
+  if (directory.RegisterClient(
+          MakeClientRegistration(1000, squatter, key_rng))) {
+    std::fprintf(stderr, "duplicate registration unexpectedly accepted\n");
+    return 1;
+  }
+  ClientRegistry registry;
+  registry.SeedFromDirectory(directory);
+  std::printf("%zu clients registered (global registry; duplicate id "
+              "rejected at registration)\n",
+              registry.size());
+
+  // All submissions prebuilt from one generator so both paths consume
+  // byte-identical ciphertexts.
+  Rng sub_rng(seed + 23);
+  std::vector<std::vector<TrapSubmission>> subs(kRounds);
+  for (size_t r = 0; r < kRounds; r++) {
+    for (uint32_t u = 0; u < kUsersPerRound; u++) {
+      uint32_t gid = u % static_cast<uint32_t>(width);
+      std::string msg = "ingress round " + std::to_string(r) + " message " +
+                        std::to_string(u);
+      auto sub = MakeTrapSubmission(ref.EntryPk(gid), gid, ref.TrusteePk(),
+                                    BytesView(ToBytes(msg)), ref.layout(),
+                                    sub_rng);
+      sub.client_id = 1000 + u;
+      subs[r].push_back(std::move(sub));
+    }
+  }
+
+  // Reference: in-process submission, same per-round epochs.
+  std::vector<RoundResult> reference;
+  {
+    Rng take_ref(seed + 31);
+    RoundEngine engine(&ThreadPool::Shared());
+    std::vector<uint64_t> tickets;
+    for (size_t r = 0; r < kRounds; r++) {
+      for (const TrapSubmission& sub : subs[r]) {
+        if (!ref.SubmitTrap(sub)) {
+          std::fprintf(stderr, "reference submission rejected\n");
+          return 1;
+        }
+      }
+      tickets.push_back(engine.Submit(ref.TakeEngineRound({}, take_ref)));
+    }
+    for (uint64_t ticket : tickets) {
+      reference.push_back(engine.Wait(ticket).round);
+    }
+  }
+
+  // The atom_server fleet, one process per topology group.
+  KemKeypair driver_key = KemKeyGen(key_rng);
+  std::vector<ServerHandle> servers(width);
+  std::vector<MeshPeer> roster;
+  std::vector<uint32_t> hosts;
+  std::vector<KemKeypair> server_keys;
+  for (uint32_t g = 0; g < width; g++) {
+    server_keys.push_back(KemKeyGen(key_rng));
+    hosts.push_back(g + 1);
+  }
+  for (uint32_t g = 0; g < width; g++) {
+    if (!SpawnServer(binary, hosts[g], server_keys[g].sk, driver_key.pk,
+                     /*use_keyfile=*/true, &servers[g])) {
+      std::fprintf(stderr, "failed to spawn atom_server %u\n", hosts[g]);
+      ReapAll(servers);
+      return 1;
+    }
+    roster.push_back(MeshPeer{hosts[g], "127.0.0.1", servers[g].port,
+                              server_keys[g].pk});
+  }
+  TcpPeerMesh mesh(TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key);
+  mesh.SetRoster(roster);
+  mesh.set_dial_attempts(3);
+  if (!mesh.ConnectAndPushRoster()) {
+    std::fprintf(stderr, "roster push failed\n");
+    ReapAll(servers);
+    return 1;
+  }
+  for (uint32_t g = 0; g < width; g++) {
+    if (!mesh.SendHostGroup(hosts[g], g, net.group(g).dkg())) {
+      std::fprintf(stderr, "host-group push to %u failed\n", hosts[g]);
+      ReapAll(servers);
+      return 1;
+    }
+  }
+  std::printf("%zu atom_server processes up; DKG material distributed\n",
+              width);
+
+  int rc = 0;
+  {
+    // The ingress tier: gateway fronting the net round's streaming
+    // intake, one authenticated ClientSession per registered user.
+    KemKeypair gateway_key = KemKeyGen(key_rng);
+    GatewayConfig gateway_config;
+    gateway_config.verify_workers = config.workers;
+    SubmissionGateway gateway(&net, &registry, gateway_key, gateway_config);
+    if (!gateway.Listen(0)) {
+      std::fprintf(stderr, "gateway listen failed\n");
+      ReapAll(servers);
+      return 1;
+    }
+    gateway.Start();
+    std::vector<std::unique_ptr<ClientSession>> sessions;
+    for (uint32_t u = 0; u < kUsersPerRound; u++) {
+      uint64_t id = 1000 + u;
+      auto session = ClientSession::Connect("127.0.0.1", gateway.port(), id,
+                                            client_keys[id], gateway_key.pk);
+      if (session == nullptr) {
+        std::fprintf(stderr, "client %llu failed to authenticate\n",
+                     static_cast<unsigned long long>(id));
+        ReapAll(servers);
+        return 1;
+      }
+      sessions.push_back(std::move(session));
+    }
+    std::printf("gateway up on port %u; %zu authenticated client "
+                "sessions connected\n",
+                gateway.port(), sessions.size());
+
+    DistributedRoundDriver driver(&mesh, hosts);
+    driver.set_round_timeout(std::chrono::seconds(60));
+    Rng take_net(seed + 31);
+    std::vector<uint64_t> tickets;
+    for (size_t r = 0; r < kRounds; r++) {
+      // Open intake for round r, stream this round's submissions over
+      // TCP, cut off, and ship — the previous rounds are still mixing on
+      // the fleet while this intake fills.
+      gateway.OpenRound(r + 1);
+      for (uint32_t u = 0; u < kUsersPerRound; u++) {
+        if (!sessions[u]->SubmitAndWait(subs[r][u])) {
+          std::fprintf(stderr, "round %zu: client %u rejected\n", r, u);
+          rc = 1;
+          break;
+        }
+      }
+      if (rc != 0) {
+        break;
+      }
+      gateway.Cutoff();
+      tickets.push_back(driver.Submit(net.TakeEngineRound({}, take_net)));
+      std::printf("round %zu shipped to the fleet (%zu in flight); "
+                  "intake reopens immediately\n",
+                  r, driver.InFlight());
+    }
+
+    for (size_t r = 0; rc == 0 && r < tickets.size(); r++) {
+      RoundResult got = driver.Wait(tickets[r]).round;
+      const RoundResult& want = reference[r];
+      if (got.aborted || want.aborted) {
+        std::fprintf(stderr, "round %zu aborted (mesh: %s / ref: %s)\n", r,
+                     got.abort_reason.c_str(), want.abort_reason.c_str());
+        rc = 1;
+        break;
+      }
+      if (got.plaintexts != want.plaintexts ||
+          got.traps_seen != want.traps_seen ||
+          got.inner_seen != want.inner_seen) {
+        std::fprintf(stderr,
+                     "round %zu: TCP-client intake DIVERGED from "
+                     "in-process submission\n",
+                     r);
+        rc = 1;
+        break;
+      }
+      std::printf("round %zu: RoundResult byte-identical to in-process "
+                  "submission (%zu plaintexts, %llu traps)\n",
+                  r, got.plaintexts.size(),
+                  static_cast<unsigned long long>(got.traps_seen));
+    }
+    sessions.clear();
+    gateway.Stop();
+    mesh.Stop();
+  }
+  ReapAll(servers);
+  if (rc == 0) {
+    std::printf("distributed pipelined rounds with TCP clients: OK\n");
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool tcp = false;
   bool pipelined = false;
+  bool net_clients = false;
   uint64_t seed = 42;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--tcp") == 0) {
       tcp = true;
     } else if (std::strcmp(argv[i], "--pipelined") == 0) {
       pipelined = true;
+    } else if (std::strcmp(argv[i], "--net-clients") == 0) {
+      net_clients = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       char* end = nullptr;
       seed = std::strtoull(argv[++i], &end, 10);
@@ -599,9 +845,12 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: distributed_nodes [--tcp] [--pipelined] "
-                   "[--seed N]\n");
+                   "[--net-clients] [--seed N]\n");
       return 2;
     }
+  }
+  if (net_clients) {
+    return RunPipelinedNetClients(argv[0], seed);
   }
   if (pipelined) {
     return RunPipelined(argv[0], seed);

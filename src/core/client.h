@@ -23,11 +23,15 @@ namespace atom {
 // drivers that do their own accounting.
 //
 // Trust assumption: the id is bookkeeping, not cryptography — it is not
-// covered by the submission proofs. A real deployment accepts an id only
-// over that registered client's authenticated channel (otherwise an
-// attacker could squat a victim's id for the epoch and censor them);
-// this in-process reproduction has no transport layer, so the drivers
-// stand in for that authentication.
+// covered by the submission proofs. The authenticated channel that makes
+// it trustworthy is the client ingress tier (src/net/gateway.h): ids bind
+// to Schnorr keys via signed registrations in a GLOBAL registry
+// (Directory::RegisterClient, src/net/registry.h — duplicates rejected at
+// registration time, across all entry groups), a SubmissionGateway only
+// completes the SecureLink handshake against the registered key, and it
+// rejects any submission whose id differs from the channel that carried
+// it. In-process drivers that bypass the gateway still stand in for that
+// authentication themselves (or wire Round::SetClientAuth to a registry).
 inline constexpr uint64_t kAnonymousClient = 0;
 
 // NIZK-variant submission: one ciphertext vector + per-component proofs.

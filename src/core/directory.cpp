@@ -40,6 +40,62 @@ ServerRegistration MakeServerRegistration(uint32_t id, uint32_t cluster,
   return reg;
 }
 
+Bytes ClientRecord::Encode() const {
+  ByteWriter w;
+  w.U64(client_id);
+  w.Raw(BytesView(pk.Encode()));
+  return w.Take();
+}
+
+std::optional<ClientRecord> ClientRecord::Decode(BytesView bytes) {
+  ByteReader r(bytes);
+  auto id = r.U64();
+  auto pk_raw = r.Raw(Point::kEncodedSize);
+  if (!id || !pk_raw || !r.Done()) {
+    return std::nullopt;
+  }
+  auto pk = Point::Decode(BytesView(*pk_raw));
+  if (!pk.has_value() || pk->IsInfinity()) {
+    return std::nullopt;
+  }
+  return ClientRecord{*id, *pk};
+}
+
+namespace {
+
+// Domain-separates client registrations from server registrations (both
+// are Schnorr signatures over a record encoding).
+Bytes ClientRegistrationMessage(const ClientRecord& record) {
+  ByteWriter w;
+  w.Raw(ToBytes("atom/client-reg/v1"));
+  w.Raw(BytesView(record.Encode()));
+  return w.Take();
+}
+
+}  // namespace
+
+ClientRegistration MakeClientRegistration(uint64_t client_id,
+                                          const SchnorrKeypair& identity,
+                                          Rng& rng) {
+  ClientRegistration reg;
+  reg.record.client_id = client_id;
+  reg.record.pk = identity.pk;
+  reg.signature =
+      SchnorrSign(identity.sk, identity.pk,
+                  BytesView(ClientRegistrationMessage(reg.record)), rng);
+  return reg;
+}
+
+bool VerifyClientRegistration(const ClientRegistration& registration) {
+  if (registration.record.client_id == 0 ||
+      registration.record.pk.IsInfinity()) {
+    return false;  // the anonymous id and the identity point are reserved
+  }
+  return SchnorrVerify(registration.record.pk,
+                       BytesView(ClientRegistrationMessage(registration.record)),
+                       registration.signature);
+}
+
 Directory::Directory(Bytes genesis) : genesis_(std::move(genesis)) {}
 
 bool Directory::Register(const ServerRegistration& registration) {
@@ -62,6 +118,26 @@ const ServerRecord* Directory::FindServer(uint32_t id) const {
     }
   }
   return nullptr;
+}
+
+bool Directory::RegisterClient(const ClientRegistration& registration) {
+  if (FindClient(registration.record.client_id) != nullptr) {
+    return false;  // global uniqueness: first registration wins
+  }
+  if (!VerifyClientRegistration(registration)) {
+    return false;
+  }
+  client_index_[registration.record.client_id] = clients_.size();
+  clients_.push_back(registration.record);
+  return true;
+}
+
+const ClientRecord* Directory::FindClient(uint64_t client_id) const {
+  auto it = client_index_.find(client_id);
+  if (it == client_index_.end()) {
+    return nullptr;
+  }
+  return &clients_[it->second];
 }
 
 Bytes Directory::BeaconFor(uint64_t round_id) const {

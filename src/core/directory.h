@@ -7,6 +7,7 @@
 #ifndef SRC_CORE_DIRECTORY_H_
 #define SRC_CORE_DIRECTORY_H_
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -36,6 +37,36 @@ ServerRegistration MakeServerRegistration(uint32_t id, uint32_t cluster,
                                           const SchnorrKeypair& identity,
                                           Rng& rng);
 
+// A registered user: the non-anonymous client id bound to the key that
+// authenticates her submission channel (src/net/gateway.h). Registration
+// is GLOBAL — one namespace across every entry group — so an id cannot be
+// squatted at a second group after its owner registered it at the first
+// (the per-group duplicate check in Round's intake only deduplicates
+// within one group's epoch).
+struct ClientRecord {
+  uint64_t client_id = 0;  // kAnonymousClient (0) is never registrable
+  Point pk;                // long-term identity key (Schnorr + channel KEM)
+
+  Bytes Encode() const;
+  static std::optional<ClientRecord> Decode(BytesView bytes);
+};
+
+// A client's signed registration: binds the id to the key, so nobody can
+// register an id under a key they do not hold.
+struct ClientRegistration {
+  ClientRecord record;
+  SchnorrSignature signature;
+};
+
+ClientRegistration MakeClientRegistration(uint64_t client_id,
+                                          const SchnorrKeypair& identity,
+                                          Rng& rng);
+
+// Verifies the registration signature over the record (domain-separated
+// from server registrations). Shared by the Directory and any replica
+// applying a registry sync.
+bool VerifyClientRegistration(const ClientRegistration& registration);
+
 // Everything a participant needs to join round `round_id`.
 struct RoundDescriptor {
   uint64_t round_id = 0;
@@ -58,6 +89,15 @@ class Directory {
   const ServerRecord* FindServer(uint32_t id) const;
   const std::vector<ServerRecord>& servers() const { return servers_; }
 
+  // Client registration (§2.1 extended to users): verifies the signature
+  // and enforces GLOBAL id uniqueness — a duplicate id is rejected here,
+  // at registration time, not merely deduplicated per entry group at
+  // submission time. Returns false and ignores the registration otherwise.
+  bool RegisterClient(const ClientRegistration& registration);
+  size_t NumClients() const { return clients_.size(); }
+  const ClientRecord* FindClient(uint64_t client_id) const;
+  const std::vector<ClientRecord>& clients() const { return clients_; }
+
   // Beacon for a round: hash-chained from genesis, so all parties agree and
   // no single round's value can be ground out by the directory (each value
   // is fixed by the chain; an adversarial directory could only stall).
@@ -71,6 +111,10 @@ class Directory {
  private:
   Bytes genesis_;
   std::vector<ServerRecord> servers_;
+  std::vector<ClientRecord> clients_;
+  // id -> index into clients_: registration is O(log N) per client, which
+  // matters at the millions-of-users scale the ingress tier targets.
+  std::map<uint64_t, size_t> client_index_;
 };
 
 }  // namespace atom

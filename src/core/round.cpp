@@ -41,8 +41,13 @@ Round::Round(RoundConfig config, Rng& rng)
 
   intake_.reserve(p.num_groups);
   for (uint32_t g = 0; g < p.num_groups; g++) {
-    intake_.push_back(std::make_unique<IntakeShard>());
+    intake_.push_back(
+        std::make_unique<IntakeShard>(config_.stream_queue_capacity));
   }
+}
+
+void Round::SetClientAuth(std::function<bool(uint64_t)> fn) {
+  client_auth_ = std::move(fn);
 }
 
 const Point& Round::EntryPk(uint32_t gid) const {
@@ -80,11 +85,20 @@ bool Round::AcceptTrap(const TrapSubmission& submission) {
   return true;
 }
 
+bool Round::ClientAllowed(uint64_t client_id) const {
+  // An unwired registry accepts every id (the in-process drivers stand in
+  // for channel authentication, as before); a wired one gates every
+  // non-anonymous id at intake, mirroring the gateway's channel check.
+  return client_id == kAnonymousClient || client_auth_ == nullptr ||
+         client_auth_(client_id);
+}
+
 bool Round::SubmitNizk(const NizkSubmission& submission) {
   ATOM_CHECK(config_.params.variant == Variant::kNizk);
   // Verification is the expensive part and touches no shared state; only
   // the accept runs under the shard lock.
   if (submission.entry_gid >= groups_.size() ||
+      !ClientAllowed(submission.client_id) ||
       !VerifyNizkSubmission(EntryPk(submission.entry_gid), submission,
                             layout_)) {
     return false;
@@ -95,6 +109,7 @@ bool Round::SubmitNizk(const NizkSubmission& submission) {
 bool Round::SubmitTrap(const TrapSubmission& submission) {
   ATOM_CHECK(config_.params.variant == Variant::kTrap);
   if (submission.entry_gid >= groups_.size() ||
+      !ClientAllowed(submission.client_id) ||
       !VerifyTrapSubmission(EntryPk(submission.entry_gid), submission,
                             layout_)) {
     return false;
@@ -108,7 +123,7 @@ std::vector<bool> Round::SubmitNizkBatch(std::span<const NizkSubmission> subs,
   std::vector<uint8_t> valid(subs.size(), 0);
   ParallelFor(workers, subs.size(), [&](size_t i) {
     const NizkSubmission& s = subs[i];
-    valid[i] = s.entry_gid < groups_.size() &&
+    valid[i] = s.entry_gid < groups_.size() && ClientAllowed(s.client_id) &&
                VerifyNizkSubmission(EntryPk(s.entry_gid), s, layout_);
   });
   std::vector<bool> accepted(subs.size(), false);
@@ -124,7 +139,7 @@ std::vector<bool> Round::SubmitTrapBatch(std::span<const TrapSubmission> subs,
   std::vector<uint8_t> valid(subs.size(), 0);
   ParallelFor(workers, subs.size(), [&](size_t i) {
     const TrapSubmission& s = subs[i];
-    valid[i] = s.entry_gid < groups_.size() &&
+    valid[i] = s.entry_gid < groups_.size() && ClientAllowed(s.client_id) &&
                VerifyTrapSubmission(EntryPk(s.entry_gid), s, layout_);
   });
   std::vector<bool> accepted(subs.size(), false);
@@ -132,6 +147,54 @@ std::vector<bool> Round::SubmitTrapBatch(std::span<const TrapSubmission> subs,
     accepted[i] = valid[i] && AcceptTrap(subs[i]);
   }
   return accepted;
+}
+
+bool Round::StreamSubmit(StreamedSubmission item) {
+  const uint32_t gid = config_.params.variant == Variant::kTrap
+                           ? item.trap.entry_gid
+                           : item.nizk.entry_gid;
+  if (gid >= intake_.size()) {
+    return false;
+  }
+  return intake_[gid]->stream.TryPush(std::move(item));
+}
+
+size_t Round::PumpStream(
+    uint32_t gid, size_t workers,
+    const std::function<void(uint64_t cookie, bool accepted)>& done) {
+  ATOM_CHECK(gid < intake_.size());
+  IntakeShard& shard = *intake_[gid];
+  // Drain what is queued NOW into one span; submissions arriving while
+  // this span verifies are the next pump's work — that is the pipelining.
+  std::vector<uint64_t> cookies;
+  std::vector<NizkSubmission> nizk;
+  std::vector<TrapSubmission> trap;
+  const bool is_trap = config_.params.variant == Variant::kTrap;
+  while (auto item = shard.stream.TryPop()) {
+    cookies.push_back(item->cookie);
+    if (is_trap) {
+      trap.push_back(std::move(item->trap));
+    } else {
+      nizk.push_back(std::move(item->nizk));
+    }
+  }
+  if (cookies.empty()) {
+    return 0;
+  }
+  std::vector<bool> accepted =
+      is_trap ? SubmitTrapBatch(trap, workers)
+              : SubmitNizkBatch(nizk, workers);
+  if (done) {
+    for (size_t i = 0; i < cookies.size(); i++) {
+      done(cookies[i], accepted[i]);
+    }
+  }
+  return cookies.size();
+}
+
+size_t Round::StreamDepth(uint32_t gid) const {
+  ATOM_CHECK(gid < intake_.size());
+  return intake_[gid]->stream.SizeApprox();
 }
 
 Round::IntakeEpoch Round::DrainIntake() {

@@ -14,6 +14,7 @@
 #ifndef SRC_CORE_ROUND_H_
 #define SRC_CORE_ROUND_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,7 @@
 #include "src/core/trustees.h"
 #include "src/topology/groups.h"
 #include "src/topology/permnet.h"
+#include "src/util/mpsc.h"
 
 namespace atom {
 
@@ -34,6 +36,20 @@ struct RoundConfig {
   AtomParams params;
   Bytes beacon;        // public randomness for this round's group formation
   size_t workers = 1;  // intra-server parallelism
+  // Bound on each entry-group shard's streaming-intake ring (rounded up to
+  // a power of two). A full ring fails StreamSubmit — the backpressure
+  // signal a gateway turns into withheld client credit.
+  size_t stream_queue_capacity = 4096;
+};
+
+// One queued streaming submission. Exactly one of nizk/trap is populated,
+// matching the round's variant; `cookie` is an opaque caller correlation
+// tag handed back by the pump's completion callback (a gateway maps it to
+// the connection + sequence number awaiting the verdict).
+struct StreamedSubmission {
+  NizkSubmission nizk;
+  TrapSubmission trap;
+  uint64_t cookie = 0;
 };
 
 // RoundResult lives in src/core/exit.h (shared with the engine-native exit
@@ -46,10 +62,18 @@ class Round {
   Round(RoundConfig config, Rng& rng);
 
   size_t NumGroups() const { return groups_.size(); }
+  Variant variant() const { return config_.params.variant; }
   const Point& EntryPk(uint32_t gid) const;
   const Point& TrusteePk() const;
   const MessageLayout& layout() const { return layout_; }
   GroupRuntime& group(uint32_t gid) { return *groups_[gid]; }
+
+  // Optional registered-client check, wired by a deployment that holds a
+  // client registry (src/net/registry.h): when set, a submission carrying
+  // a non-anonymous client id the predicate rejects fails intake even if
+  // its proofs verify. Set during setup, before any submission arrives
+  // (the hook is read without synchronization on the hot path).
+  void SetClientAuth(std::function<bool(uint64_t client_id)> fn);
 
   // Submission intake, sharded per entry group: proof verification runs
   // outside any lock, acceptance appends under the target group's shard
@@ -74,6 +98,29 @@ class Round {
                                     size_t workers);
   std::vector<bool> SubmitTrapBatch(std::span<const TrapSubmission> subs,
                                     size_t workers);
+
+  // Streaming intake (millions-of-users ingest): each entry-group shard
+  // owns a bounded lock-free MPSC ring. Many reader threads StreamSubmit
+  // decoded submissions without taking any lock; false means the target
+  // shard's ring is full (backpressure) or the entry gid is out of range —
+  // nothing was queued either way. Queued submissions are NOT yet part of
+  // the intake epoch: a pump must drain them through verification.
+  bool StreamSubmit(StreamedSubmission item);
+
+  // Drains everything currently queued on shard `gid` through the usual
+  // pool-verified batch acceptance (SubmitNizkBatch/SubmitTrapBatch
+  // semantics, including duplicate-id rejection), invoking `done` once per
+  // drained submission in queue order. Returns the number drained. SINGLE
+  // CONSUMER per shard: concurrent PumpStream calls for the same gid are
+  // undefined; gateways serialize pumps on a per-shard executor, which is
+  // exactly what lets verification of span k overlap the socket reads
+  // producing span k+1.
+  size_t PumpStream(uint32_t gid, size_t workers,
+                    const std::function<void(uint64_t cookie, bool accepted)>&
+                        done);
+
+  // Racy depth estimate of one shard's streaming ring (monitoring).
+  size_t StreamDepth(uint32_t gid) const;
 
   // Optional fault injection for one (layer, group).
   struct Evil {
@@ -168,11 +215,15 @@ class Round {
   // in parallel — the paper's millions-of-users entry path is exactly this
   // per-group partition.
   struct IntakeShard {
+    explicit IntakeShard(size_t stream_capacity) : stream(stream_capacity) {}
     std::mutex mu;
     CiphertextBatch batch;
     std::vector<std::array<uint8_t, 32>> commitments;
     std::vector<TrapSubmission> submissions;
     std::set<uint64_t> clients;
+    // Streaming side-entrance: pushed lock-free by reader threads, drained
+    // by this shard's single pump into the verified state above.
+    MpscRing<StreamedSubmission> stream;
   };
 
   // What one TakeEngineRound/ExitPhase drains out of the shards.
@@ -183,12 +234,14 @@ class Round {
   };
 
   Scalar GroupSecret(uint32_t gid) const;  // threshold-reconstructed
+  bool ClientAllowed(uint64_t client_id) const;
   bool AcceptNizk(const NizkSubmission& submission);
   bool AcceptTrap(const TrapSubmission& submission);
   IntakeEpoch DrainIntake();
 
   RoundConfig config_;
   MessageLayout layout_;
+  std::function<bool(uint64_t)> client_auth_;  // null = no registry wired
   GroupLayout group_layout_;
   std::vector<std::unique_ptr<GroupRuntime>> groups_;
   std::unique_ptr<Trustees> trustees_;  // trap variant only

@@ -1,0 +1,208 @@
+#include "src/net/client_session.h"
+
+#include <utility>
+
+#include "src/core/wire.h"
+
+namespace atom {
+
+std::unique_ptr<ClientSession> ClientSession::Connect(
+    const std::string& host, uint16_t port, uint64_t client_id,
+    const KemKeypair& identity, const Point& gateway_pk) {
+  auto socket = TcpSocket::Dial(host, port);
+  if (!socket) {
+    return nullptr;
+  }
+  Rng rng = Rng::FromOsEntropy();
+  auto link = SecureLink::Dial(std::move(*socket), client_id, identity,
+                               kGatewayLinkId, gateway_pk, rng);
+  if (link == nullptr) {
+    return nullptr;
+  }
+  // The welcome is the gateway's first record; anything else is a
+  // protocol violation.
+  auto payload = link->Recv();
+  if (!payload) {
+    return nullptr;
+  }
+  auto frame = UnpackClientFrame(BytesView(*payload));
+  if (!frame || frame->type != ClientMsg::kWelcome) {
+    return nullptr;
+  }
+  auto welcome = DecodeWelcome(BytesView(frame->body));
+  if (!welcome || welcome->credit == 0) {
+    return nullptr;
+  }
+  return std::unique_ptr<ClientSession>(new ClientSession(
+      client_id, std::move(link), std::move(*welcome)));
+}
+
+ClientSession::ClientSession(uint64_t client_id,
+                             std::unique_ptr<SecureLink> link,
+                             GatewayWelcome welcome)
+    : client_id_(client_id),
+      link_(std::move(link)),
+      welcome_(std::move(welcome)) {
+  credit_ = welcome_.credit;
+  open_round_ = welcome_.open_round;
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+ClientSession::~ClientSession() { Close(); }
+
+void ClientSession::Close() {
+  link_->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead_ = true;
+    cv_.notify_all();
+  }
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+}
+
+bool ClientSession::alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !dead_;
+}
+
+void ClientSession::ReaderLoop() {
+  for (;;) {
+    auto payload = link_->Recv();
+    if (!payload) {
+      break;
+    }
+    auto frame = UnpackClientFrame(BytesView(*payload));
+    if (!frame) {
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (frame->type) {
+      case ClientMsg::kSubmitResult: {
+        auto result = DecodeSubmitResult(BytesView(frame->body));
+        if (result) {
+          results_[result->seq] = result->status;
+          credit_++;  // the verdict returns its submission's credit
+          cv_.notify_all();
+        }
+        break;
+      }
+      case ClientMsg::kRoundOpen: {
+        auto round_id = DecodeRoundNotice(BytesView(frame->body));
+        if (round_id) {
+          open_round_ = *round_id;
+          cv_.notify_all();
+        }
+        break;
+      }
+      case ClientMsg::kRoundCutoff:
+        open_round_ = 0;
+        break;
+      default:
+        break;  // a second welcome is harmless noise
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_ = true;
+  cv_.notify_all();
+}
+
+uint64_t ClientSession::WaitRoundOpen(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return dead_ || open_round_ != 0; });
+  return dead_ ? 0 : open_round_;
+}
+
+uint64_t ClientSession::SubmitEncoded(Bytes submission) {
+  uint64_t seq;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Window-advertised credit: block while the window is exhausted so a
+    // fast client cannot outrun the gateway's bounded queues.
+    cv_.wait(lock, [&] { return dead_ || credit_ > 0; });
+    if (dead_) {
+      return 0;
+    }
+    credit_--;
+    seq = next_seq_++;
+  }
+  if (!link_->Send(BytesView(PackClientFrame(
+          ClientMsg::kSubmit,
+          BytesView(EncodeSubmit(seq, BytesView(submission))))))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead_ = true;
+    cv_.notify_all();
+    return 0;
+  }
+  return seq;
+}
+
+uint64_t ClientSession::Submit(const TrapSubmission& submission) {
+  return SubmitEncoded(EncodeTrapSubmission(submission));
+}
+
+uint64_t ClientSession::Submit(const NizkSubmission& submission) {
+  return SubmitEncoded(EncodeNizkSubmission(submission));
+}
+
+std::optional<SubmitStatus> ClientSession::WaitResult(
+    uint64_t seq, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool got = cv_.wait_for(lock, timeout,
+                          [&] { return dead_ || results_.contains(seq); });
+  if (!got) {
+    return std::nullopt;
+  }
+  auto it = results_.find(seq);
+  if (it == results_.end()) {
+    return std::nullopt;  // session died first
+  }
+  SubmitStatus status = it->second;
+  results_.erase(it);
+  return status;
+}
+
+bool ClientSession::SubmitAndWait(const TrapSubmission& submission) {
+  uint64_t seq = Submit(submission);
+  if (seq == 0) {
+    return false;
+  }
+  auto status = WaitResult(seq);
+  return status.has_value() && *status == SubmitStatus::kAccepted;
+}
+
+bool ClientSession::SubmitAndWait(const NizkSubmission& submission) {
+  uint64_t seq = Submit(submission);
+  if (seq == 0) {
+    return false;
+  }
+  auto status = WaitResult(seq);
+  return status.has_value() && *status == SubmitStatus::kAccepted;
+}
+
+bool ClientSession::SendMessage(BytesView message, uint32_t gid, Rng& rng) {
+  if (gid >= welcome_.entry_pks.size()) {
+    return false;
+  }
+  MessageLayout layout;
+  layout.plaintext_len = welcome_.plaintext_len;
+  layout.padded_len = welcome_.padded_len;
+  layout.num_points = welcome_.num_points;
+  if (static_cast<Variant>(welcome_.variant) == Variant::kTrap) {
+    if (!welcome_.trustee_pk.has_value()) {
+      return false;
+    }
+    TrapSubmission sub =
+        MakeTrapSubmission(welcome_.entry_pks[gid], gid,
+                           *welcome_.trustee_pk, message, layout, rng);
+    sub.client_id = client_id_;
+    return SubmitAndWait(sub);
+  }
+  NizkSubmission sub = MakeNizkSubmission(welcome_.entry_pks[gid], gid,
+                                          message, layout, rng);
+  sub.client_id = client_id_;
+  return SubmitAndWait(sub);
+}
+
+}  // namespace atom

@@ -46,7 +46,204 @@ bool GetU32Vec(ByteReader& r, std::vector<uint32_t>* out) {
   return true;
 }
 
+// 64-bit LEB128: deltas zigzag through the full int64 range, so even a
+// buggy caller's out-of-range neighbour value round-trips EXACTLY and is
+// then rejected by the decoder's width check — never silently truncated
+// into a different (possibly in-range) value.
+void PutVarint(ByteWriter& w, uint64_t v) {
+  while (v >= 0x80) {
+    w.U8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w.U8(static_cast<uint8_t>(v));
+}
+
+std::optional<uint64_t> GetVarint(ByteReader& r) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    auto byte = r.U8();
+    if (!byte) {
+      return std::nullopt;
+    }
+    if (shift == 63 && (*byte & 0xfe) != 0) {
+      return std::nullopt;  // would overflow 64 bits
+    }
+    v |= static_cast<uint64_t>(*byte & 0x7f) << shift;
+    if ((*byte & 0x80) == 0) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t ZigZag(int64_t d) {
+  return (static_cast<uint64_t>(d) << 1) ^
+         static_cast<uint64_t>(d >> 63);
+}
+
+int64_t UnZigZag(uint64_t z) {
+  return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    n++;
+  }
+  return n;
+}
+
+// One neighbour list: u8 mode || payload. See EncodeAdjacency in control.h.
+void PutNeighborList(ByteWriter& w, const std::vector<uint32_t>& neighbors,
+                     uint32_t width) {
+  // The bitmap mode indexes by neighbor id, so an out-of-range id (a
+  // buggy caller whose width undercounts its adjacency values) must fall
+  // through to the delta mode, whose 64-bit zigzag round-trips any value
+  // exactly so the receiver's range check rejects it — never an
+  // out-of-bounds write here, never silent truncation into a different
+  // in-range value.
+  bool bitmap_ok = true;
+  size_t delta_size = VarintSize(static_cast<uint32_t>(neighbors.size()));
+  for (size_t i = 0; i < neighbors.size(); i++) {
+    bitmap_ok &= neighbors[i] < width;
+    if (i == 0) {
+      delta_size += VarintSize(neighbors[0]);
+    } else {
+      bitmap_ok &= neighbors[i] > neighbors[i - 1];
+      delta_size += VarintSize(ZigZag(static_cast<int64_t>(neighbors[i]) -
+                                      static_cast<int64_t>(neighbors[i - 1])));
+    }
+  }
+  const size_t bitmap_size = (width + 7) / 8;
+  if (bitmap_ok && bitmap_size < delta_size) {
+    w.U8(1);
+    std::vector<uint8_t> bits(bitmap_size, 0);
+    for (uint32_t n : neighbors) {
+      bits[n / 8] |= static_cast<uint8_t>(1u << (n % 8));
+    }
+    w.Raw(BytesView(bits.data(), bits.size()));
+    return;
+  }
+  w.U8(0);
+  PutVarint(w, static_cast<uint32_t>(neighbors.size()));
+  for (size_t i = 0; i < neighbors.size(); i++) {
+    if (i == 0) {
+      PutVarint(w, neighbors[0]);
+    } else {
+      PutVarint(w, ZigZag(static_cast<int64_t>(neighbors[i]) -
+                          static_cast<int64_t>(neighbors[i - 1])));
+    }
+  }
+}
+
+bool GetNeighborList(ByteReader& r, uint32_t width,
+                     std::vector<uint32_t>* out) {
+  auto mode = r.U8();
+  if (!mode || *mode > 1) {
+    return false;
+  }
+  if (*mode == 1) {
+    auto bits = r.Raw((width + 7) / 8);
+    if (!bits) {
+      return false;
+    }
+    // Padding bits past `width` in the final byte must be zero: otherwise
+    // two distinct frames alias one adjacency and decode->re-encode loses
+    // byte-identity for attacker-supplied input.
+    if (width % 8 != 0 &&
+        (bits->back() & static_cast<uint8_t>(0xff << (width % 8))) != 0) {
+      return false;
+    }
+    for (uint32_t n = 0; n < width; n++) {
+      if (((*bits)[n / 8] >> (n % 8)) & 1) {
+        out->push_back(n);
+      }
+    }
+    return true;
+  }
+  auto count = GetVarint(r);
+  if (!count || *count > width) {
+    return false;  // a vertex has at most `width` next-layer neighbours
+  }
+  out->reserve(static_cast<size_t>(*count));
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < *count; i++) {
+    auto v = GetVarint(r);
+    if (!v) {
+      return false;
+    }
+    int64_t value;
+    if (i == 0) {
+      if (*v >= width) {
+        return false;
+      }
+      value = static_cast<int64_t>(*v);
+    } else {
+      // Valid deltas between in-range neighbours are bounded by width;
+      // rejecting bigger ones first keeps the add overflow-free against
+      // adversarial varints.
+      int64_t delta = UnZigZag(*v);
+      if (delta > static_cast<int64_t>(width) ||
+          delta < -static_cast<int64_t>(width)) {
+        return false;
+      }
+      value = prev + delta;
+    }
+    if (value < 0 || value >= static_cast<int64_t>(width)) {
+      return false;
+    }
+    out->push_back(static_cast<uint32_t>(value));
+    prev = value;
+  }
+  return true;
+}
+
+// Shared by DecodeAdjacency and DecodeBeginRound (one decode loop to keep
+// in sync). Reject-before-allocation: every list costs at least its mode
+// byte.
+bool GetAdjacency(ByteReader& r, uint32_t boundaries, uint32_t width,
+                  AdjacencyTable* out) {
+  if (static_cast<uint64_t>(boundaries) * width > r.remaining()) {
+    return false;
+  }
+  out->resize(boundaries);
+  for (auto& layer : *out) {
+    layer.resize(width);
+    for (auto& neighbors : layer) {
+      if (!GetNeighborList(r, width, &neighbors)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+Bytes EncodeAdjacency(const AdjacencyTable& adjacency, uint32_t width) {
+  ByteWriter w;
+  for (const auto& layer : adjacency) {
+    for (const auto& neighbors : layer) {
+      PutNeighborList(w, neighbors, width);
+    }
+  }
+  return w.Take();
+}
+
+std::optional<AdjacencyTable> DecodeAdjacency(BytesView bytes,
+                                              uint32_t boundaries,
+                                              uint32_t width) {
+  if (boundaries > kMaxLayers || width == 0 || width > kMaxGroups) {
+    return std::nullopt;
+  }
+  ByteReader r(bytes);
+  AdjacencyTable adjacency;
+  if (!GetAdjacency(r, boundaries, width, &adjacency) || !r.Done()) {
+    return std::nullopt;
+  }
+  return adjacency;
+}
 
 Bytes PackLinkFrame(LinkMsg type, BytesView body) {
   ByteWriter w;
@@ -198,11 +395,9 @@ Bytes EncodeBeginRound(uint64_t seq, uint64_t round_id,
   w.U32(spec->layers);
   w.U32(spec->width);
   w.U32(spec->hop_workers);
-  for (const auto& layer : spec->adjacency) {
-    for (const auto& neighbors : layer) {
-      PutU32Vec(w, neighbors);
-    }
-  }
+  // Delta/bitmap-compressed: the square network's complete-bipartite rows
+  // would otherwise cost 4 bytes per edge, O(G²) per layer boundary.
+  w.Raw(BytesView(EncodeAdjacency(spec->adjacency, spec->width)));
   PutU32Vec(w, spec->hosts);
   for (const Point& pk : spec->group_pks) {
     PutPoint(w, pk);
@@ -254,27 +449,11 @@ std::optional<BeginRoundMsg> DecodeBeginRound(BytesView bytes) {
   spec.layers = *layers;
   spec.width = *width;
   spec.hop_workers = *hop_workers;
-  // Reject-before-allocation: every adjacency list costs at least its
-  // 4-byte count, so (layers-1)*width beyond remaining/4 cannot be an
-  // honest message — checked before the resize fans out millions of
-  // empty vectors from a tiny hostile frame.
-  if (static_cast<uint64_t>(spec.layers - 1) * spec.width >
-      r.remaining() / 4) {
+  // Compressed adjacency (shared decode loop with DecodeAdjacency):
+  // reject-before-allocation against tiny hostile frames, neighbour
+  // bounds validated per list.
+  if (!GetAdjacency(r, spec.layers - 1, spec.width, &spec.adjacency)) {
     return std::nullopt;
-  }
-  spec.adjacency.resize(spec.layers - 1);
-  for (auto& layer : spec.adjacency) {
-    layer.resize(spec.width);
-    for (auto& neighbors : layer) {
-      if (!GetU32Vec(r, &neighbors)) {
-        return std::nullopt;
-      }
-      for (uint32_t n : neighbors) {
-        if (n >= spec.width) {
-          return std::nullopt;
-        }
-      }
-    }
   }
   if (!GetU32Vec(r, &spec.hosts) || spec.hosts.size() != spec.width) {
     return std::nullopt;

@@ -68,6 +68,29 @@ struct JoinGroupMsg {
 };
 std::optional<JoinGroupMsg> DecodeJoinGroup(BytesView bytes);
 
+// adjacency[layer][gid] -> that group's neighbour list in layer+1.
+using AdjacencyTable = std::vector<std::vector<std::vector<uint32_t>>>;
+
+// Compressed adjacency codec for kBeginRound. The naive encoding is a
+// 4-byte word per edge — O(G²) per layer boundary for the square network
+// (complete bipartite layers), which dominates the spec for wide
+// deployments. Each neighbour list is encoded as the smaller of:
+//
+//   * mode 1, bitmap: one bit per possible neighbour (⌈width/8⌉ bytes) —
+//     the square network's full row costs G/8 bytes instead of 4G, a 32x
+//     cut. Only usable when the list is strictly ascending (the bitmap
+//     cannot represent order, and hop fan-out order is load-bearing).
+//   * mode 0, zigzag-delta varints: count, first value, then successive
+//     differences, all LEB128 — near-one-byte-per-edge for the local,
+//     possibly non-monotone lists of the butterfly network.
+//
+// Decoding validates every neighbour < width and caps counts before any
+// allocation, like the rest of the control plane.
+Bytes EncodeAdjacency(const AdjacencyTable& adjacency, uint32_t width);
+std::optional<AdjacencyTable> DecodeAdjacency(BytesView bytes,
+                                              uint32_t boundaries,
+                                              uint32_t width);
+
 // The wire form of one pipelined engine round's execution plan: everything
 // a hosting server needs to run its groups' hops and exit checks without
 // any global barrier. Shipped inside kBeginRound; absent for legacy
@@ -80,8 +103,9 @@ struct WireRoundSpec {
   uint32_t hop_workers = 1;  // intra-hop ParallelFor width (determinism:
                              // must match the reference engine's)
   // adjacency[layer][gid] -> neighbour gids in layer+1 (layers-1 entries;
-  // the last layer is the exit).
-  std::vector<std::vector<std::vector<uint32_t>>> adjacency;
+  // the last layer is the exit). Travels delta/bitmap-compressed (see
+  // EncodeAdjacency above).
+  AdjacencyTable adjacency;
   std::vector<uint32_t> hosts;   // width: server id executing each group
   std::vector<Point> group_pks;  // width: each group's threshold key
   // Exit plan (engine-native exit). When false the exit batches route

@@ -1,0 +1,597 @@
+#include "src/net/gateway.h"
+
+#include <utility>
+
+#include "src/core/wire.h"
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+// No round this repo models has more entry groups; bounds the welcome
+// decode like the rest of the control plane.
+constexpr uint32_t kMaxWelcomeGroups = 4096;
+// A submission is a handful of ciphertexts and proofs; anything near this
+// is malformed or hostile (well under the SecureLink frame cap, so the
+// gateway rejects before the decoder walks a giant buffer).
+constexpr uint32_t kMaxSubmissionBytes = 1u << 22;
+// Bound on every gateway->client socket write: a client that stops
+// reading fails its sends and loses the link after this long, instead of
+// wedging verdict/broadcast paths on a full kernel buffer forever.
+constexpr int kClientSendTimeoutMillis = 10'000;
+
+void PutPoint(ByteWriter& w, const Point& p) {
+  w.Raw(BytesView(p.Encode()));
+}
+
+std::optional<Point> GetPoint(ByteReader& r) {
+  auto raw = r.Raw(Point::kEncodedSize);
+  if (!raw) {
+    return std::nullopt;
+  }
+  return Point::Decode(BytesView(*raw));
+}
+
+}  // namespace
+
+Bytes PackClientFrame(ClientMsg type, BytesView body) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(type));
+  w.Raw(body);
+  return w.Take();
+}
+
+std::optional<ClientFrame> UnpackClientFrame(BytesView payload) {
+  if (payload.empty()) {
+    return std::nullopt;
+  }
+  uint8_t type = payload[0];
+  if (type < static_cast<uint8_t>(ClientMsg::kWelcome) ||
+      type > static_cast<uint8_t>(ClientMsg::kRoundCutoff)) {
+    return std::nullopt;
+  }
+  ClientFrame frame;
+  frame.type = static_cast<ClientMsg>(type);
+  frame.body.assign(payload.begin() + 1, payload.end());
+  return frame;
+}
+
+Bytes EncodeWelcome(const GatewayWelcome& welcome) {
+  ByteWriter w;
+  w.U32(welcome.credit);
+  w.U8(welcome.variant);
+  w.U32(welcome.plaintext_len);
+  w.U32(welcome.padded_len);
+  w.U32(welcome.num_points);
+  w.U32(static_cast<uint32_t>(welcome.entry_pks.size()));
+  for (const Point& pk : welcome.entry_pks) {
+    PutPoint(w, pk);
+  }
+  w.U8(welcome.trustee_pk.has_value() ? 1 : 0);
+  if (welcome.trustee_pk.has_value()) {
+    PutPoint(w, *welcome.trustee_pk);
+  }
+  w.U64(welcome.open_round);
+  return w.Take();
+}
+
+std::optional<GatewayWelcome> DecodeWelcome(BytesView bytes) {
+  ByteReader r(bytes);
+  GatewayWelcome welcome;
+  auto credit = r.U32();
+  auto variant = r.U8();
+  auto plaintext_len = r.U32();
+  auto padded_len = r.U32();
+  auto num_points = r.U32();
+  auto num_groups = r.U32();
+  if (!credit || !variant || *variant > 1 || !plaintext_len || !padded_len ||
+      !num_points || !num_groups || *num_groups == 0 ||
+      *num_groups > kMaxWelcomeGroups ||
+      *num_groups > r.remaining() / Point::kEncodedSize) {
+    return std::nullopt;
+  }
+  welcome.credit = *credit;
+  welcome.variant = *variant;
+  welcome.plaintext_len = *plaintext_len;
+  welcome.padded_len = *padded_len;
+  welcome.num_points = *num_points;
+  welcome.entry_pks.reserve(*num_groups);
+  for (uint32_t g = 0; g < *num_groups; g++) {
+    auto pk = GetPoint(r);
+    if (!pk) {
+      return std::nullopt;
+    }
+    welcome.entry_pks.push_back(*pk);
+  }
+  auto has_trustee = r.U8();
+  if (!has_trustee || *has_trustee > 1) {
+    return std::nullopt;
+  }
+  if (*has_trustee == 1) {
+    auto pk = GetPoint(r);
+    if (!pk) {
+      return std::nullopt;
+    }
+    welcome.trustee_pk = *pk;
+  }
+  auto open_round = r.U64();
+  if (!open_round || !r.Done()) {
+    return std::nullopt;
+  }
+  welcome.open_round = *open_round;
+  return welcome;
+}
+
+Bytes EncodeSubmit(uint64_t seq, BytesView submission) {
+  ByteWriter w;
+  w.U64(seq);
+  w.Var(submission);
+  return w.Take();
+}
+
+std::optional<SubmitMsg> DecodeSubmit(BytesView bytes) {
+  ByteReader r(bytes);
+  auto seq = r.U64();
+  if (!seq) {
+    return std::nullopt;
+  }
+  auto len = r.U32();
+  // Reject a declared length past the cap or the frame's actual size
+  // before allocating anything.
+  if (!len || *len > kMaxSubmissionBytes || *len > r.remaining()) {
+    return std::nullopt;
+  }
+  auto submission = r.Raw(*len);
+  if (!submission || !r.Done()) {
+    return std::nullopt;
+  }
+  SubmitMsg msg;
+  msg.seq = *seq;
+  msg.submission = std::move(*submission);
+  return msg;
+}
+
+Bytes EncodeSubmitResult(uint64_t seq, SubmitStatus status) {
+  ByteWriter w;
+  w.U64(seq);
+  w.U8(static_cast<uint8_t>(status));
+  return w.Take();
+}
+
+std::optional<SubmitResultMsg> DecodeSubmitResult(BytesView bytes) {
+  ByteReader r(bytes);
+  auto seq = r.U64();
+  auto status = r.U8();
+  if (!seq || !status ||
+      *status > static_cast<uint8_t>(SubmitStatus::kForeignId) ||
+      !r.Done()) {
+    return std::nullopt;
+  }
+  return SubmitResultMsg{*seq, static_cast<SubmitStatus>(*status)};
+}
+
+Bytes EncodeRoundNotice(uint64_t round_id) {
+  ByteWriter w;
+  w.U64(round_id);
+  return w.Take();
+}
+
+std::optional<uint64_t> DecodeRoundNotice(BytesView bytes) {
+  ByteReader r(bytes);
+  auto round_id = r.U64();
+  if (!round_id || !r.Done()) {
+    return std::nullopt;
+  }
+  return round_id;
+}
+
+SubmissionGateway::SubmissionGateway(Round* round, ClientRegistry* registry,
+                                     KemKeypair identity,
+                                     GatewayConfig config, ThreadPool* pool)
+    : round_(round),
+      registry_(registry),
+      identity_(std::move(identity)),
+      config_(config) {
+  ATOM_CHECK(round_ != nullptr && registry_ != nullptr);
+  pumps_.reserve(round_->NumGroups());
+  for (size_t g = 0; g < round_->NumGroups(); g++) {
+    pumps_.push_back(std::make_unique<ShardPump>(pool));
+  }
+  // Every id the gateway authenticates is also admissible at intake, and
+  // nothing else: the round's registry hook closes the in-process path a
+  // misbehaving driver could otherwise use to bypass the channel check.
+  round_->SetClientAuth([registry](uint64_t client_id) {
+    return registry->Lookup(client_id).has_value();
+  });
+}
+
+SubmissionGateway::~SubmissionGateway() {
+  Stop();
+  // The hook installed at construction captures the registry pointer;
+  // clear it so a Round outliving this gateway (and its registry) cannot
+  // call through freed memory. Safe here: Stop() has quiesced every
+  // reader and pump, so nothing reads the hook concurrently.
+  round_->SetClientAuth(nullptr);
+}
+
+bool SubmissionGateway::Listen(uint16_t port) {
+  auto listener = TcpListener::Bind(port);
+  if (!listener) {
+    return false;
+  }
+  listener_ = std::move(*listener);
+  return true;
+}
+
+void SubmissionGateway::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!listener_.valid() || accepting_ || stopping_) {
+    return;
+  }
+  accepting_ = true;
+  threads_.emplace_back([this] { AcceptLoop(); });
+}
+
+void SubmissionGateway::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  listener_.Shutdown();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns = conns_;
+  }
+  for (auto& conn : conns) {
+    conn->link->Shutdown();
+  }
+  std::vector<std::thread> threads;
+  std::map<uint64_t, std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+    readers.swap(readers_);
+    finished_readers_.clear();
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (auto& [id, t] : readers) {
+    t.join();
+  }
+  // Readers are gone; let in-flight pump tasks finish (their result sends
+  // fail harmlessly against the closed links).
+  for (auto& pump : pumps_) {
+    pump->serial.Drain();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.clear();
+    pending_.clear();
+  }
+  listener_.Close();
+}
+
+void SubmissionGateway::OpenRound(uint64_t round_id) {
+  ATOM_CHECK_MSG(round_id != 0, "round id 0 marks a closed intake");
+  open_round_.store(round_id, std::memory_order_release);
+  Broadcast(ClientMsg::kRoundOpen, BytesView(EncodeRoundNotice(round_id)));
+}
+
+void SubmissionGateway::Cutoff() {
+  uint64_t closed = open_round_.exchange(0, std::memory_order_acq_rel);
+  if (closed != 0) {
+    Broadcast(ClientMsg::kRoundCutoff, BytesView(EncodeRoundNotice(closed)));
+  }
+  // Drain every shard: one final pump behind anything already scheduled
+  // (the serial lane preserves the single-consumer contract). All final
+  // pumps are submitted BEFORE any drain so the shards verify their
+  // tails concurrently on the pool — the cutoff-to-ship latency is the
+  // slowest shard, not the sum. After the drains, every submission the
+  // readers queued before the cutoff flipped has a verdict.
+  for (uint32_t g = 0; g < pumps_.size(); g++) {
+    pumps_[g]->serial.Submit([this, g] { PumpShard(g); });
+  }
+  for (auto& pump : pumps_) {
+    pump->serial.Drain();
+  }
+}
+
+size_t SubmissionGateway::ApplyRegistrySync(const RegistrySyncMsg& sync) {
+  return registry_->ApplySync(sync);
+}
+
+size_t SubmissionGateway::accepted_count() const {
+  return accepted_.load(std::memory_order_relaxed);
+}
+
+size_t SubmissionGateway::resolved_count() const {
+  return resolved_.load(std::memory_order_relaxed);
+}
+
+size_t SubmissionGateway::connection_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conns_.size();
+}
+
+void SubmissionGateway::ReapFinishedReaders() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t id : finished_readers_) {
+      auto it = readers_.find(id);
+      if (it != readers_.end()) {
+        done.push_back(std::move(it->second));
+        readers_.erase(it);
+      }
+    }
+    finished_readers_.clear();
+  }
+  for (std::thread& t : done) {
+    t.join();  // the reader already ran its last statement; near-instant
+  }
+}
+
+void SubmissionGateway::AcceptLoop() {
+  for (;;) {
+    auto socket = listener_.Accept();
+    if (!socket) {
+      return;  // listener shut down
+    }
+    ReapFinishedReaders();  // client churn must not accumulate threads
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    // Handshake and everything after run OFF this thread: the gateway is
+    // the untrusted-internet surface, and a dialer that connects then
+    // stalls its handshake (bounded by the link's handshake timeout)
+    // must not deny acceptance to the honest clients behind it.
+    uint64_t reader_id = next_reader_id_++;
+    readers_.emplace(reader_id,
+                     std::thread([this, reader_id,
+                                  sock = std::move(*socket)]() mutable {
+                       ServeConnection(std::move(sock), reader_id);
+                     }));
+  }
+}
+
+void SubmissionGateway::ServeConnection(TcpSocket socket,
+                                        uint64_t reader_id) {
+  // Early exits hand the thread to the reaper themselves; the success
+  // path delegates to ReaderLoop, whose tail does the same.
+  auto finish = [this, reader_id] {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_readers_.push_back(reader_id);
+  };
+  Rng rng = Rng::FromOsEntropy();
+  // The registry IS the authentication: an id without a registered key
+  // cannot complete the handshake, and a registered id can only be
+  // claimed by the holder of its registered key.
+  auto accepted = SecureLink::Accept(
+      std::move(socket), kGatewayLinkId, identity_,
+      [this](uint64_t id) { return registry_->Lookup(id); }, rng);
+  if (accepted == nullptr) {
+    finish();
+    return;
+  }
+  auto conn = std::make_shared<Connection>();
+  conn->client_id = accepted->peer_id();
+  conn->link = std::shared_ptr<SecureLink>(std::move(accepted));
+  // A client that stops reading (zero TCP window) must fail its sends,
+  // not wedge verdict and broadcast paths on a full kernel buffer.
+  conn->link->SetSendTimeout(kClientSendTimeoutMillis);
+
+  GatewayWelcome welcome;
+  welcome.credit = config_.credit_window;
+  welcome.variant = static_cast<uint8_t>(round_->variant());
+  welcome.plaintext_len =
+      static_cast<uint32_t>(round_->layout().plaintext_len);
+  welcome.padded_len = static_cast<uint32_t>(round_->layout().padded_len);
+  welcome.num_points = static_cast<uint32_t>(round_->layout().num_points);
+  for (uint32_t g = 0; g < round_->NumGroups(); g++) {
+    welcome.entry_pks.push_back(round_->EntryPk(g));
+  }
+  if (round_->variant() == Variant::kTrap) {
+    welcome.trustee_pk = round_->TrusteePk();
+  }
+  welcome.open_round = open_round_.load(std::memory_order_acquire);
+  if (!conn->link->Send(BytesView(PackClientFrame(
+          ClientMsg::kWelcome, BytesView(EncodeWelcome(welcome)))))) {
+    finish();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      conn->link->Shutdown();
+    } else {
+      conns_.push_back(conn);
+    }
+  }
+  // An OpenRound/Cutoff between the welcome snapshot and the conns_
+  // insertion broadcast to a list this connection was not yet on; send
+  // the corrective notice directly (a duplicate notice is harmless —
+  // the client just overwrites its open-round state).
+  uint64_t now_open = open_round_.load(std::memory_order_acquire);
+  if (now_open != welcome.open_round) {
+    if (now_open != 0) {
+      conn->link->Send(BytesView(PackClientFrame(
+          ClientMsg::kRoundOpen, BytesView(EncodeRoundNotice(now_open)))));
+    } else {
+      conn->link->Send(BytesView(
+          PackClientFrame(ClientMsg::kRoundCutoff,
+                          BytesView(EncodeRoundNotice(welcome.open_round)))));
+    }
+  }
+  ReaderLoop(conn, reader_id);
+}
+
+void SubmissionGateway::ReaderLoop(std::shared_ptr<Connection> conn,
+                                   uint64_t reader_id) {
+  for (;;) {
+    auto payload = conn->link->Recv();
+    if (!payload) {
+      break;  // EOF, oversize, or authentication failure: drop the client
+    }
+    auto frame = UnpackClientFrame(BytesView(*payload));
+    if (!frame) {
+      conn->link->Shutdown();  // junk after an authenticated handshake
+      break;
+    }
+    if (frame->type != ClientMsg::kSubmit) {
+      continue;  // clients only ever send kSubmit; ignore the rest
+    }
+    auto msg = DecodeSubmit(BytesView(frame->body));
+    if (!msg) {
+      conn->link->Shutdown();  // malformed submit envelope: hostile
+      break;
+    }
+    HandleSubmit(conn, std::move(*msg));
+  }
+  // A disconnect mid-stream must never stall the round: submissions this
+  // client already queued verify normally; we only stop broadcasting to
+  // it. Pending verdicts resolve against the dead link harmlessly. The
+  // thread hands itself to the accept loop's reaper for joining.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->get() == conn.get()) {
+      conns_.erase(it);
+      break;
+    }
+  }
+  finished_readers_.push_back(reader_id);
+}
+
+void SubmissionGateway::HandleSubmit(
+    const std::shared_ptr<Connection>& conn, SubmitMsg msg) {
+  if (open_round_.load(std::memory_order_acquire) == 0) {
+    SendResult(conn, msg.seq, SubmitStatus::kClosed);
+    return;
+  }
+  // Decode on the reader thread (cheap next to proof verification, and it
+  // keeps the ring free of undecodable junk).
+  StreamedSubmission item;
+  uint32_t gid = 0;
+  uint64_t submission_client = 0;
+  if (round_->variant() == Variant::kTrap) {
+    auto sub = DecodeTrapSubmission(BytesView(msg.submission));
+    if (!sub) {
+      SendResult(conn, msg.seq, SubmitStatus::kRejected);
+      return;
+    }
+    gid = sub->entry_gid;
+    submission_client = sub->client_id;
+    item.trap = std::move(*sub);
+  } else {
+    auto sub = DecodeNizkSubmission(BytesView(msg.submission));
+    if (!sub) {
+      SendResult(conn, msg.seq, SubmitStatus::kRejected);
+      return;
+    }
+    gid = sub->entry_gid;
+    submission_client = sub->client_id;
+    item.nizk = std::move(*sub);
+  }
+  // The authenticated channel pins the id: a submission claiming any
+  // other id (including anonymous) is the squatting attack registration
+  // exists to stop.
+  if (submission_client != conn->client_id) {
+    SendResult(conn, msg.seq, SubmitStatus::kForeignId);
+    return;
+  }
+  if (gid >= round_->NumGroups()) {
+    SendResult(conn, msg.seq, SubmitStatus::kRejected);
+    return;
+  }
+
+  uint64_t cookie;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (conn->in_flight >= config_.credit_window) {
+      // A conforming client never reaches this (it spends credit); an
+      // overdrawn one gets backpressure instead of unbounded queueing.
+      cookie = 0;
+    } else {
+      cookie = next_cookie_++;
+      pending_[cookie] = PendingSubmit{conn, msg.seq};
+      conn->in_flight++;
+    }
+  }
+  if (cookie == 0) {
+    SendResult(conn, msg.seq, SubmitStatus::kBackpressure);
+    return;
+  }
+  item.cookie = cookie;
+  if (!round_->StreamSubmit(std::move(item))) {
+    // Shard ring full: the bound is the backpressure, not a stall.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(cookie);
+      conn->in_flight--;
+    }
+    SendResult(conn, msg.seq, SubmitStatus::kBackpressure);
+    return;
+  }
+  SchedulePump(gid);
+}
+
+void SubmissionGateway::SchedulePump(uint32_t gid) {
+  // One pump per push: the SerialExecutor's lock orders the preceding
+  // ring push before the pump task (no flag protocol, no lost-wakeup
+  // window on weakly-ordered CPUs); a pump whose span was already
+  // drained by its predecessor pops nothing and returns.
+  pumps_[gid]->serial.Submit([this, gid] { PumpShard(gid); });
+}
+
+void SubmissionGateway::PumpShard(uint32_t gid) {
+  round_->PumpStream(
+      gid, config_.verify_workers,
+      [this](uint64_t cookie, bool accepted) {
+        std::shared_ptr<Connection> conn;
+        uint64_t seq = 0;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = pending_.find(cookie);
+          if (it == pending_.end()) {
+            return;
+          }
+          conn = it->second.conn;
+          seq = it->second.seq;
+          conn->in_flight--;
+          pending_.erase(it);
+        }
+        resolved_.fetch_add(1, std::memory_order_relaxed);
+        if (accepted) {
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+        }
+        SendResult(conn, seq,
+                   accepted ? SubmitStatus::kAccepted
+                            : SubmitStatus::kRejected);
+      });
+}
+
+void SubmissionGateway::SendResult(const std::shared_ptr<Connection>& conn,
+                                   uint64_t seq, SubmitStatus status) {
+  conn->link->Send(BytesView(
+      PackClientFrame(ClientMsg::kSubmitResult,
+                      BytesView(EncodeSubmitResult(seq, status)))));
+}
+
+void SubmissionGateway::Broadcast(ClientMsg type, BytesView body) {
+  Bytes frame = PackClientFrame(type, body);
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns = conns_;
+  }
+  for (auto& conn : conns) {
+    conn->link->Send(BytesView(frame));
+  }
+}
+
+}  // namespace atom

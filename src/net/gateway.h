@@ -1,0 +1,234 @@
+// Client ingress tier: the authenticated submission gateway.
+//
+// A SubmissionGateway fronts one Round's sharded intake with real sockets,
+// turning "users exist only in process" into the deployment shape the
+// paper assumes: clients hold registered long-term keys, dial the gateway
+// over a SecureLink (the same KEM+AEAD station-to-station handshake the
+// server mesh uses — the dialer must use the REGISTERED key to complete
+// it, so a connection IS proof of identity), and stream submission frames
+// that are verified while later frames are still in flight.
+//
+// Data path, per inbound kSubmit frame:
+//
+//   reader thread: decode -> channel checks (round open? id matches the
+//     authenticated link? credit left?) -> lock-free push onto the entry
+//     group's bounded MPSC ring (Round::StreamSubmit) -> schedule pump
+//   pump task (serial per shard, on the shared pool): drain the ring ->
+//     pool-verified batch acceptance (Round::PumpStream) -> one
+//     kSubmitResult per submission, which also returns its credit
+//
+// so proof verification of span k overlaps the socket reads producing
+// span k+1 — the streaming intake the ROADMAP calls out for sustained
+// millions-of-users ingest. Backpressure is explicit at both levels: each
+// connection gets a credit window (advertised in kWelcome, one credit per
+// in-flight submission, returned by its result), and a full shard ring
+// fails the push with a kBackpressure verdict instead of blocking the
+// reader or growing without bound.
+//
+// Round lifecycle: OpenRound announces intake for round r (kRoundOpen to
+// every connection); Cutoff closes it, drains every shard through
+// verification, and returns — after which Round::TakeEngineRound holds
+// the complete batch and the driver ships it (DistributedRoundDriver::
+// Submit), immediately reopening the gateway for round r+1 while round r
+// mixes. A client that dies mid-stream simply stops producing frames; its
+// already-queued submissions verify normally and the round never stalls.
+#ifndef SRC_NET_GATEWAY_H_
+#define SRC_NET_GATEWAY_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/round.h"
+#include "src/net/link.h"
+#include "src/net/registry.h"
+#include "src/util/parallel.h"
+
+namespace atom {
+
+// The gateway's link id: above the 32-bit server-id range, so the client,
+// server, and driver namespaces can never collide on a SecureLink.
+inline constexpr uint64_t kGatewayLinkId = uint64_t{1} << 32;
+
+// Client-facing frames (payload of every post-handshake SecureLink
+// record): u8 type || body.
+enum class ClientMsg : uint8_t {
+  kWelcome = 1,       // gateway -> client, once per connection
+  kSubmit = 2,        // client -> gateway: seq + encoded submission
+  kSubmitResult = 3,  // gateway -> client: per-submission verdict
+  kRoundOpen = 4,     // gateway -> client: round round_id accepts intake
+  kRoundCutoff = 5,   // gateway -> client: round round_id closed
+};
+
+Bytes PackClientFrame(ClientMsg type, BytesView body);
+struct ClientFrame {
+  ClientMsg type;
+  Bytes body;
+};
+std::optional<ClientFrame> UnpackClientFrame(BytesView payload);
+
+// Everything a fresh connection needs to build submissions: the credit
+// window, the round variant and message layout, each entry group's key,
+// the trustee key (trap variant), and whichever round is currently open.
+struct GatewayWelcome {
+  uint32_t credit = 0;
+  uint8_t variant = 0;
+  uint32_t plaintext_len = 0;
+  uint32_t padded_len = 0;
+  uint32_t num_points = 0;
+  std::vector<Point> entry_pks;
+  std::optional<Point> trustee_pk;
+  uint64_t open_round = 0;  // 0 = intake currently closed
+};
+
+Bytes EncodeWelcome(const GatewayWelcome& welcome);
+std::optional<GatewayWelcome> DecodeWelcome(BytesView bytes);
+
+struct SubmitMsg {
+  uint64_t seq = 0;   // client-chosen, echoed by the result
+  Bytes submission;   // EncodeNizkSubmission / EncodeTrapSubmission
+};
+
+Bytes EncodeSubmit(uint64_t seq, BytesView submission);
+std::optional<SubmitMsg> DecodeSubmit(BytesView bytes);
+
+enum class SubmitStatus : uint8_t {
+  kAccepted = 0,
+  kRejected = 1,      // proof failure, duplicate id, or malformed payload
+  kClosed = 2,        // no round open (cutoff-to-open window)
+  kBackpressure = 3,  // shard ring full or credit window exceeded
+  kForeignId = 4,     // submission id != the authenticated channel's id
+};
+
+struct SubmitResultMsg {
+  uint64_t seq = 0;
+  SubmitStatus status = SubmitStatus::kRejected;
+};
+
+Bytes EncodeSubmitResult(uint64_t seq, SubmitStatus status);
+std::optional<SubmitResultMsg> DecodeSubmitResult(BytesView bytes);
+
+// kRoundOpen / kRoundCutoff body: just the round id.
+Bytes EncodeRoundNotice(uint64_t round_id);
+std::optional<uint64_t> DecodeRoundNotice(BytesView bytes);
+
+struct GatewayConfig {
+  uint32_t credit_window = 32;  // in-flight submissions per connection
+  size_t verify_workers = 1;    // ParallelFor width per pump span
+};
+
+class SubmissionGateway {
+ public:
+  // `round` and `registry` must outlive the gateway; `identity` is the
+  // gateway's long-term key (clients authenticate it like servers
+  // authenticate the driver). The registry is shared, not copied —
+  // ApplyRegistrySync and concurrent connection lookups go through its
+  // own lock. `pool` backs the per-shard pump lanes (null = the
+  // process-wide shared pool).
+  SubmissionGateway(Round* round, ClientRegistry* registry,
+                    KemKeypair identity, GatewayConfig config = {},
+                    ThreadPool* pool = nullptr);
+  ~SubmissionGateway();
+
+  SubmissionGateway(const SubmissionGateway&) = delete;
+  SubmissionGateway& operator=(const SubmissionGateway&) = delete;
+
+  bool Listen(uint16_t port = 0);
+  uint16_t port() const { return listener_.port(); }
+  void Start();
+  void Stop();
+
+  const Point& pk() const { return identity_.pk; }
+
+  // Opens intake for `round_id` (nonzero) and announces it to every
+  // connection. Called by the driver right after it ships the previous
+  // round — r+1's intake fills while r mixes.
+  void OpenRound(uint64_t round_id);
+
+  // Closes intake, announces the cutoff, and drains every shard's ring
+  // through verification. When it returns, everything accepted for the
+  // round is in the Round's intake epoch (TakeEngineRound-ready).
+  // Submissions racing the cutoff instant may land in the next round's
+  // intake instead — the pipelined-intake boundary, not a loss.
+  void Cutoff();
+
+  // Merges a registry snapshot (see src/net/registry.h) into the live
+  // lookup table; newly synced clients can connect immediately.
+  size_t ApplyRegistrySync(const RegistrySyncMsg& sync);
+
+  // Monitoring: verified-and-accepted / total-resolved counts since
+  // construction, and live connections.
+  size_t accepted_count() const;
+  size_t resolved_count() const;
+  size_t connection_count() const;
+
+ private:
+  struct Connection {
+    std::shared_ptr<SecureLink> link;
+    uint64_t client_id = 0;
+    uint32_t in_flight = 0;  // guarded by the gateway's mu_
+  };
+  // One entry-group shard's pump lane: pumps are serialized (the ring's
+  // single-consumer contract). Every push schedules a pump — the
+  // executor's lock makes the push visible to it, so no submission can
+  // be stranded; a pump that finds its span already drained by a
+  // predecessor returns immediately (trivial next to verification).
+  struct ShardPump {
+    explicit ShardPump(ThreadPool* pool) : serial(pool) {}
+    SerialExecutor serial;
+  };
+
+  void AcceptLoop();
+  // Handshake + welcome + read loop for one inbound socket, on its own
+  // thread: an untrusted dialer that stalls its handshake must not block
+  // acceptance of the clients behind it.
+  void ServeConnection(TcpSocket socket, uint64_t reader_id);
+  void ReaderLoop(std::shared_ptr<Connection> conn, uint64_t reader_id);
+  // Joins reader threads whose connections have ended (called from the
+  // accept loop), so client churn never accumulates zombie threads.
+  void ReapFinishedReaders();
+  void HandleSubmit(const std::shared_ptr<Connection>& conn,
+                    SubmitMsg msg);
+  void SchedulePump(uint32_t gid);
+  void PumpShard(uint32_t gid);
+  void SendResult(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                  SubmitStatus status);
+  void Broadcast(ClientMsg type, BytesView body);
+
+  Round* const round_;
+  ClientRegistry* const registry_;
+  const KemKeypair identity_;
+  const GatewayConfig config_;
+
+  std::vector<std::unique_ptr<ShardPump>> pumps_;  // one per entry group
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> threads_;  // the accept loop
+  // Connection readers, keyed so a finished reader can be joined and
+  // reclaimed while the gateway keeps serving.
+  std::map<uint64_t, std::thread> readers_;
+  std::vector<uint64_t> finished_readers_;
+  uint64_t next_reader_id_ = 1;
+  // Queued-but-unresolved submissions: cookie -> (connection, client seq).
+  struct PendingSubmit {
+    std::shared_ptr<Connection> conn;
+    uint64_t seq = 0;
+  };
+  std::map<uint64_t, PendingSubmit> pending_;
+  uint64_t next_cookie_ = 1;
+  std::atomic<uint64_t> open_round_{0};
+  std::atomic<size_t> accepted_{0};
+  std::atomic<size_t> resolved_{0};
+  bool stopping_ = false;
+  bool accepting_ = false;
+
+  TcpListener listener_;
+};
+
+}  // namespace atom
+
+#endif  // SRC_NET_GATEWAY_H_

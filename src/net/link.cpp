@@ -49,13 +49,13 @@ struct SessionKeys {
   std::array<uint8_t, 32> transcript_hash;
 };
 
-SessionKeys DeriveSession(BytesView hello, uint32_t listener_id,
+SessionKeys DeriveSession(BytesView hello, uint64_t listener_id,
                           BytesView c_l, BytesView s_d, BytesView s_l) {
   Sha256 th_hash;
-  th_hash.Update(ToBytes("atom/link/v1/th"));
+  th_hash.Update(ToBytes("atom/link/v2/th"));
   th_hash.Update(hello);
-  std::array<uint8_t, 4> lid{};
-  for (size_t i = 0; i < 4; i++) {
+  std::array<uint8_t, 8> lid{};
+  for (size_t i = 0; i < 8; i++) {
     lid[i] = static_cast<uint8_t>(listener_id >> (8 * i));
   }
   th_hash.Update(BytesView(lid.data(), lid.size()));
@@ -64,7 +64,7 @@ SessionKeys DeriveSession(BytesView hello, uint32_t listener_id,
   keys.transcript_hash = th_hash.Finish();
 
   Sha256 secret_hash;
-  secret_hash.Update(ToBytes("atom/link/v1/key"));
+  secret_hash.Update(ToBytes("atom/link/v2/key"));
   secret_hash.Update(BytesView(keys.transcript_hash.data(),
                                keys.transcript_hash.size()));
   secret_hash.Update(s_d);
@@ -106,7 +106,7 @@ std::optional<Bytes> ReadFrame(TcpSocket& socket, size_t max_payload) {
   return payload;
 }
 
-SecureLink::SecureLink(TcpSocket socket, uint32_t peer_id,
+SecureLink::SecureLink(TcpSocket socket, uint64_t peer_id,
                        const std::array<uint8_t, 32>& send_key,
                        const std::array<uint8_t, 32>& recv_key,
                        const std::array<uint8_t, 32>& transcript_hash)
@@ -117,9 +117,9 @@ SecureLink::SecureLink(TcpSocket socket, uint32_t peer_id,
       transcript_hash_(transcript_hash) {}
 
 std::unique_ptr<SecureLink> SecureLink::Dial(TcpSocket socket,
-                                             uint32_t self_id,
+                                             uint64_t self_id,
                                              const KemKeypair& self_key,
-                                             uint32_t peer_id,
+                                             uint64_t peer_id,
                                              const Point& peer_pk, Rng& rng) {
   if (!socket.valid()) {
     return nullptr;
@@ -129,8 +129,8 @@ std::unique_ptr<SecureLink> SecureLink::Dial(TcpSocket socket,
   ByteWriter hello;
   hello.Raw(BytesView(reinterpret_cast<const uint8_t*>(kMagic),
                       sizeof(kMagic)));
-  hello.U32(self_id);
-  hello.U32(peer_id);
+  hello.U64(self_id);
+  hello.U64(peer_id);
   hello.Raw(BytesView(KemEncrypt(peer_pk, BytesView(s_d), rng)));
   if (!WriteFrame(socket, BytesView(hello.bytes()))) {
     return nullptr;
@@ -141,7 +141,7 @@ std::unique_ptr<SecureLink> SecureLink::Dial(TcpSocket socket,
     return nullptr;
   }
   ByteReader r{BytesView(*resp)};
-  auto listener_id = r.U32();
+  auto listener_id = r.U64();
   auto c_l = r.Raw(kEncapSize);
   auto confirm_l = r.Raw(kConfirmPlaintext.size() + kAeadTagSize);
   if (!listener_id || *listener_id != peer_id || !c_l || !confirm_l ||
@@ -177,8 +177,8 @@ std::unique_ptr<SecureLink> SecureLink::Dial(TcpSocket socket,
 }
 
 std::unique_ptr<SecureLink> SecureLink::Accept(
-    TcpSocket socket, uint32_t self_id, const KemKeypair& self_key,
-    const std::function<std::optional<Point>(uint32_t)>& peer_pk_lookup,
+    TcpSocket socket, uint64_t self_id, const KemKeypair& self_key,
+    const std::function<std::optional<Point>(uint64_t)>& peer_pk_lookup,
     Rng& rng) {
   if (!socket.valid()) {
     return nullptr;
@@ -190,8 +190,8 @@ std::unique_ptr<SecureLink> SecureLink::Accept(
   }
   ByteReader r{BytesView(*hello)};
   auto magic = r.Raw(sizeof(kMagic));
-  auto dialer_id = r.U32();
-  auto target_id = r.U32();
+  auto dialer_id = r.U64();
+  auto target_id = r.U64();
   auto c_d = r.Raw(kEncapSize);
   if (!magic || std::memcmp(magic->data(), kMagic, sizeof(kMagic)) != 0 ||
       !dialer_id || !target_id || *target_id != self_id || !c_d ||
@@ -211,7 +211,7 @@ std::unique_ptr<SecureLink> SecureLink::Accept(
   SessionKeys keys = DeriveSession(BytesView(*hello), self_id, BytesView(c_l),
                                    BytesView(*s_d), BytesView(s_l));
   ByteWriter resp;
-  resp.U32(self_id);
+  resp.U64(self_id);
   resp.Raw(BytesView(c_l));
   resp.Raw(BytesView(SealRecord(keys.listener_to_dialer, 0,
                                 keys.transcript_hash,
@@ -289,6 +289,11 @@ void SecureLink::MarkDead() {
 void SecureLink::Shutdown() {
   MarkDead();
   socket_.ShutdownBoth();
+}
+
+void SecureLink::SetSendTimeout(int millis) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  socket_.SetSendTimeout(millis);
 }
 
 bool SecureLink::SendRawFrameForTest(BytesView frame) {

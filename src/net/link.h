@@ -59,23 +59,28 @@ std::optional<Bytes> ReadFrame(TcpSocket& socket, size_t max_payload);
 // One authenticated encrypted connection. Send is thread-safe; Recv must
 // be called from a single reader thread. Not movable (owned via
 // unique_ptr by the mesh's link table).
+//
+// Endpoint ids are 64-bit: server ids (and the driver's id 0) live in the
+// low 32 bits, while the client ingress tier (src/net/gateway.h) hands
+// out the full space — client ids are u64, and the gateway's own link id
+// sits above the server range so the namespaces cannot collide.
 class SecureLink {
  public:
   // Client side of the handshake: we know exactly who we are dialing and
   // which long-term key they must hold. nullptr on any failure.
-  static std::unique_ptr<SecureLink> Dial(TcpSocket socket, uint32_t self_id,
+  static std::unique_ptr<SecureLink> Dial(TcpSocket socket, uint64_t self_id,
                                           const KemKeypair& self_key,
-                                          uint32_t peer_id,
+                                          uint64_t peer_id,
                                           const Point& peer_pk, Rng& rng);
 
   // Server side: the hello names the dialer; `peer_pk_lookup` maps its id
   // to the registered long-term key (nullopt = unknown peer, reject).
   static std::unique_ptr<SecureLink> Accept(
-      TcpSocket socket, uint32_t self_id, const KemKeypair& self_key,
-      const std::function<std::optional<Point>(uint32_t)>& peer_pk_lookup,
+      TcpSocket socket, uint64_t self_id, const KemKeypair& self_key,
+      const std::function<std::optional<Point>(uint64_t)>& peer_pk_lookup,
       Rng& rng);
 
-  uint32_t peer_id() const { return peer_id_; }
+  uint64_t peer_id() const { return peer_id_; }
 
   // Seals and sends one record. False once the link is dead.
   bool Send(BytesView payload);
@@ -89,12 +94,18 @@ class SecureLink {
   // Unblocks a concurrent Recv/Send; the link is dead afterwards.
   void Shutdown();
 
+  // Bounds every subsequent Send (0 = no bound): a peer that stops
+  // reading fails the write after `millis` and kills the link, instead of
+  // blocking the sender on a full kernel buffer forever. Client-facing
+  // gateways set this; the server mesh trusts its rostered peers.
+  void SetSendTimeout(int millis);
+
   // Test hook: emits a raw frame that bypasses sealing, so the peer's
   // record authentication must reject it.
   bool SendRawFrameForTest(BytesView frame);
 
  private:
-  SecureLink(TcpSocket socket, uint32_t peer_id,
+  SecureLink(TcpSocket socket, uint64_t peer_id,
              const std::array<uint8_t, 32>& send_key,
              const std::array<uint8_t, 32>& recv_key,
              const std::array<uint8_t, 32>& transcript_hash);
@@ -102,7 +113,7 @@ class SecureLink {
   void MarkDead();
 
   TcpSocket socket_;
-  uint32_t peer_id_;
+  uint64_t peer_id_;
   std::array<uint8_t, 32> send_key_;
   std::array<uint8_t, 32> recv_key_;
   std::array<uint8_t, 32> transcript_hash_;

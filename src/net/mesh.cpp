@@ -176,7 +176,10 @@ std::shared_ptr<SecureLink> TcpPeerMesh::AdoptLink(
     link->Shutdown();
     return nullptr;
   }
-  uint32_t peer = link->peer_id();
+  // Links adopted by a mesh always carry server-range ids: dialed links
+  // get ours, accepted links passed the roster lookup (which rejects ids
+  // past the u32 server range).
+  uint32_t peer = static_cast<uint32_t>(link->peer_id());
   auto it = links_.find(peer);
   std::shared_ptr<SecureLink> chosen = link;
   if (it != links_.end() && it->second->alive()) {
@@ -247,25 +250,45 @@ std::shared_ptr<SecureLink> TcpPeerMesh::EnsureLink(uint32_t peer_id) {
 }
 
 bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
+  const size_t cost = body.size() + 1;  // + the LinkMsg tag byte
   std::chrono::milliseconds delay;
   {
     std::lock_guard<std::mutex> lock(mu_);
     delay = send_delay_;
+    size_t& pending = send_pending_[peer_id];
+    // Per-peer backpressure: senders serialize on the link's write lock,
+    // so `pending` is exactly the bytes queued behind the in-flight frame
+    // (plus that frame). One frame is always admitted when the queue is
+    // empty; past the bound the frame is DROPPED — the caller's failure
+    // conversion turns that into a round-scoped abort instead of an
+    // unbounded pile of blocked threads on a stalled WAN peer.
+    if (pending > 0 && pending + cost > send_queue_bound_) {
+      send_queue_drops_++;
+      return false;
+    }
+    pending += cost;
   }
+  bool sent = false;
   if (delay.count() > 0) {
     std::this_thread::sleep_for(delay);  // WAN emulation (benches only)
   }
   auto link = EnsureLink(peer_id);
-  if (link == nullptr) {
-    return false;
+  if (link != nullptr) {
+    if (link->Send(BytesView(PackLinkFrame(type, body)))) {
+      sent = true;
+    } else {
+      // The persistent link died under us (peer restarted / unplugged):
+      // reconnect-on-failure means one redial before giving up.
+      link = EnsureLink(peer_id);
+      sent = link != nullptr &&
+             link->Send(BytesView(PackLinkFrame(type, body)));
+    }
   }
-  if (link->Send(BytesView(PackLinkFrame(type, body)))) {
-    return true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    send_pending_[peer_id] -= cost;
   }
-  // The persistent link died under us (peer restarted / unplugged):
-  // reconnect-on-failure means one redial before giving up.
-  link = EnsureLink(peer_id);
-  return link != nullptr && link->Send(BytesView(PackLinkFrame(type, body)));
+  return sent;
 }
 
 void TcpPeerMesh::AcceptLoop() {
@@ -283,7 +306,13 @@ void TcpPeerMesh::AcceptLoop() {
     Rng rng = Rng::FromOsEntropy();
     auto link = SecureLink::Accept(
         std::move(*socket), self_id_, identity_,
-        [this](uint32_t id) { return LookupPeerKey(id); }, rng);
+        [this](uint64_t id) -> std::optional<Point> {
+          if (id > 0xffffffffULL) {
+            return std::nullopt;  // client-range ids never dial a mesh
+          }
+          return LookupPeerKey(static_cast<uint32_t>(id));
+        },
+        rng);
     if (link != nullptr) {
       AdoptLink(std::shared_ptr<SecureLink>(std::move(link)));
     }
@@ -301,13 +330,13 @@ void TcpPeerMesh::ReaderLoop(std::shared_ptr<SecureLink> link) {
       link->Shutdown();
       break;
     }
-    HandleFrame(link->peer_id(), std::move(*frame));
+    HandleFrame(static_cast<uint32_t>(link->peer_id()), std::move(*frame));
   }
-  OnPeerGone(link->peer_id());
+  OnPeerGone(static_cast<uint32_t>(link->peer_id()));
   // Drop the registered entry if it is this dead link, so the next send
   // redials instead of hitting a corpse.
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = links_.find(link->peer_id());
+  auto it = links_.find(static_cast<uint32_t>(link->peer_id()));
   if (it != links_.end() && it->second.get() == link.get()) {
     links_.erase(it);
   }
@@ -649,6 +678,16 @@ void TcpPeerMesh::set_dial_attempts(int attempts) {
 void TcpPeerMesh::set_send_delay(std::chrono::milliseconds delay) {
   std::lock_guard<std::mutex> lock(mu_);
   send_delay_ = delay;
+}
+
+void TcpPeerMesh::set_send_queue_bound(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_queue_bound_ = bytes;
+}
+
+size_t TcpPeerMesh::send_queue_drops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return send_queue_drops_;
 }
 
 }  // namespace atom

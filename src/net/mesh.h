@@ -91,7 +91,9 @@ class TcpPeerMesh : public Bus {
   void OnPeerDown(std::function<void(uint32_t peer_id)> fn);
 
   // Sends one frame to a peer, reusing the persistent link or (re)dialing
-  // from the roster on failure. False when the peer is unreachable.
+  // from the roster on failure. False when the peer is unreachable or the
+  // peer's send queue is over its bound (see set_send_queue_bound) — the
+  // caller's existing failure conversion turns either into an abort.
   bool SendFrame(uint32_t peer_id, LinkMsg type, BytesView body);
 
   // ---- Driver-side setup.
@@ -144,6 +146,16 @@ class TcpPeerMesh : public Bus {
   void set_run_timeout(std::chrono::milliseconds timeout);
   void set_control_timeout(std::chrono::milliseconds timeout);
   void set_dial_attempts(int attempts);
+  // Backpressure bound for WAN deployments: caps the bytes queued behind
+  // one peer's in-flight frame (senders serialize on the link's write
+  // lock, so a slow or stalled peer otherwise accumulates blocked sender
+  // threads without limit). One frame is always admitted when the queue
+  // is empty; past the bound SendFrame fails immediately — drop-to-abort,
+  // never block-to-OOM — and the failure surfaces through the existing
+  // abort paths, scoped to the affected round. Default 64 MiB per peer.
+  void set_send_queue_bound(size_t bytes);
+  // Frames dropped by the bound since construction (observability).
+  size_t send_queue_drops() const;
   // WAN emulation for benches (netem-style): every outbound frame sleeps
   // this long before hitting the socket, modelling one-way link latency.
   // The sender's thread blocks, exactly like a saturated WAN send buffer
@@ -226,6 +238,9 @@ class TcpPeerMesh : public Bus {
   std::chrono::milliseconds control_timeout_{std::chrono::seconds(20)};
   std::chrono::milliseconds send_delay_{0};
   int dial_attempts_ = 5;
+  size_t send_queue_bound_ = size_t{1} << 26;  // 64 MiB per peer
+  std::map<uint32_t, size_t> send_pending_;    // queued + in-flight bytes
+  size_t send_queue_drops_ = 0;
 };
 
 }  // namespace atom

@@ -1,0 +1,119 @@
+#include "src/net/registry.h"
+
+#include <algorithm>
+
+#include "src/util/serde.h"
+
+namespace atom {
+Bytes EncodeRegistrySync(uint64_t seq,
+                         std::span<const ClientRecord> records) {
+  ByteWriter w;
+  w.U64(seq);
+  w.U32(static_cast<uint32_t>(records.size()));
+  for (const ClientRecord& record : records) {
+    w.Raw(BytesView(record.Encode()));
+  }
+  return w.Take();
+}
+
+std::optional<RegistrySyncMsg> DecodeRegistrySync(BytesView bytes) {
+  ByteReader r(bytes);
+  auto seq = r.U64();
+  auto count = r.U32();
+  constexpr size_t kRecordSize = 8 + Point::kEncodedSize;
+  if (!seq || !count || *count > kMaxRegistrySyncRecords ||
+      *count > r.remaining() / kRecordSize) {
+    return std::nullopt;
+  }
+  RegistrySyncMsg msg;
+  msg.seq = *seq;
+  msg.records.reserve(*count);
+  for (uint32_t i = 0; i < *count; i++) {
+    auto raw = r.Raw(kRecordSize);
+    if (!raw) {
+      return std::nullopt;
+    }
+    auto record = ClientRecord::Decode(BytesView(*raw));
+    if (!record) {
+      return std::nullopt;
+    }
+    msg.records.push_back(*record);
+  }
+  if (!r.Done()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+bool ClientRegistry::Register(const ClientRegistration& registration) {
+  if (!VerifyClientRegistration(registration)) {
+    return false;
+  }
+  return Add(registration.record);
+}
+
+bool ClientRegistry::Add(const ClientRecord& record) {
+  if (record.client_id == 0 || record.pk.IsInfinity()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return clients_.emplace(record.client_id, record.pk).second;
+}
+
+size_t ClientRegistry::ApplySync(const RegistrySyncMsg& sync) {
+  size_t added = 0;
+  for (const ClientRecord& record : sync.records) {
+    if (Add(record)) {
+      added++;
+    }
+  }
+  return added;
+}
+
+std::optional<Point> ClientRegistry::Lookup(uint64_t client_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+size_t ClientRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clients_.size();
+}
+
+std::vector<Bytes> ClientRegistry::EncodeSync(uint64_t first_seq) const {
+  std::vector<ClientRecord> records;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    records.reserve(clients_.size());
+    for (const auto& [id, pk] : clients_) {
+      records.push_back(ClientRecord{id, pk});
+    }
+  }
+  std::vector<Bytes> frames;
+  size_t offset = 0;
+  uint64_t seq = first_seq;
+  do {
+    size_t n = std::min<size_t>(records.size() - offset,
+                                kMaxRegistrySyncRecords);
+    frames.push_back(EncodeRegistrySync(
+        seq++, std::span(records).subspan(offset, n)));
+    offset += n;
+  } while (offset < records.size());
+  return frames;
+}
+
+size_t ClientRegistry::SeedFromDirectory(const Directory& directory) {
+  size_t added = 0;
+  for (const ClientRecord& record : directory.clients()) {
+    if (Add(record)) {
+      added++;
+    }
+  }
+  return added;
+}
+
+}  // namespace atom

@@ -101,6 +101,16 @@ void TcpSocket::SetRecvTimeout(int millis) {
   setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+void TcpSocket::SetSendTimeout(int millis) {
+  if (fd_ < 0) {
+    return;
+  }
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 void TcpSocket::ShutdownBoth() {
   if (fd_ >= 0) {
     shutdown(fd_, SHUT_RDWR);

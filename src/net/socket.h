@@ -45,6 +45,11 @@ class TcpSocket {
   // peer that connects and goes silent cannot stall the accept loop.
   void SetRecvTimeout(int millis);
 
+  // Bounds blocking writes (0 = no timeout). The client gateway sets this
+  // so a peer that stops reading (zero TCP window) fails the send instead
+  // of wedging broadcast and verdict paths forever.
+  void SetSendTimeout(int millis);
+
   // Unblocks any thread inside SendAll/RecvAll (they will fail) without
   // releasing the descriptor; safe to call concurrently with them.
   void ShutdownBoth();

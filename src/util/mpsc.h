@@ -1,0 +1,109 @@
+// Bounded lock-free multi-producer single-consumer ring (Vyukov's bounded
+// queue, specialised to one consumer). The streaming submission intake
+// (src/core/round.h) keeps one of these per entry-group shard: gateway
+// connection threads TryPush decoded submissions without taking any lock,
+// and a single pump task drains them into pool-verified batch acceptance —
+// so verification of span k overlaps the socket reads producing span k+1.
+//
+// TryPush fails (returns false) when the ring is full instead of blocking
+// or growing: the bound IS the backpressure signal the caller advertises
+// upstream (credit windows on client connections).
+#ifndef SRC_UTIL_MPSC_H_
+#define SRC_UTIL_MPSC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace atom {
+
+template <typename T>
+class MpscRing {
+ public:
+  // Capacity is rounded up to a power of two (sequence arithmetic needs
+  // it); at least 2.
+  explicit MpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; i++) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Multi-producer enqueue; false when the ring is full.
+  bool TryPush(T&& item) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      size_t seq = cell.seq.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(item);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry with it.
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed older entry
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Single-consumer dequeue; nullopt when empty. Must only ever be called
+  // by one thread at a time (the per-shard pump discipline).
+  std::optional<T> TryPop() {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return std::nullopt;  // producer has not published this slot yet
+    }
+    T out = std::move(cell.value);
+    cell.value = T{};
+    cell.seq.store(pos + capacity_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return out;
+  }
+
+  // Racy size estimate (monitoring only).
+  size_t SizeApprox() const {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<size_t> tail_{0};  // producers
+  alignas(64) std::atomic<size_t> head_{0};  // the single consumer
+};
+
+}  // namespace atom
+
+#endif  // SRC_UTIL_MPSC_H_

@@ -20,15 +20,22 @@
 #include <set>
 #include <thread>
 
+#include "src/core/directory.h"
 #include "src/core/node.h"
 #include "src/core/round.h"
 #include "src/core/wire.h"
+#include "src/net/client_session.h"
 #include "src/net/control.h"
+#include "src/net/gateway.h"
 #include "src/net/link.h"
 #include "src/net/mesh.h"
 #include "src/net/node_process.h"
+#include "src/net/registry.h"
 #include "src/net/round_driver.h"
+#include "src/topology/permnet.h"
 #include "src/util/hex.h"
+#include "src/util/mpsc.h"
+#include "src/util/serde.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
 
@@ -1033,6 +1040,606 @@ TEST(DistributedPipelineFaults, SigkilledPeerAbortsInFlightRoundsOnly) {
 }
 
 #endif  // ATOM_SERVER_BINARY
+
+// --------------------------------------------------- adjacency compression
+
+AdjacencyTable TableFor(const Topology& topology) {
+  AdjacencyTable adjacency(topology.NumLayers() - 1);
+  for (size_t layer = 0; layer + 1 < topology.NumLayers(); layer++) {
+    adjacency[layer].resize(topology.Width());
+    for (uint32_t g = 0; g < topology.Width(); g++) {
+      adjacency[layer][g] = topology.Neighbors(layer, g);
+    }
+  }
+  return adjacency;
+}
+
+TEST(AdjacencyWire, DeltaBitmapRoundTripAtG64) {
+  // The square network at G=64: complete bipartite layers, the O(G²)
+  // worst case the compression exists for. Round-trip must be exact
+  // (hop fan-out order is load-bearing) and far below the naive 4
+  // bytes/edge encoding.
+  constexpr uint32_t kG = 64;
+  SquareTopology square(kG, 4);
+  AdjacencyTable adjacency = TableFor(square);
+  Bytes enc = EncodeAdjacency(adjacency, kG);
+  auto dec = DecodeAdjacency(BytesView(enc), 3, kG);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, adjacency);
+  const size_t naive = 3 * kG * (4 + 4 * kG);  // count + 4 bytes per edge
+  EXPECT_LT(enc.size() * 16, naive)
+      << "bitmap rows should cut the square network ~32x, got "
+      << enc.size() << " vs naive " << naive;
+
+  // The butterfly's neighbour lists are short and non-monotone
+  // ({v, v XOR bit}): the zigzag-delta mode must preserve order exactly.
+  ButterflyTopology butterfly(6, 2);
+  AdjacencyTable badj = TableFor(butterfly);
+  Bytes benc = EncodeAdjacency(badj, kG);
+  auto bdec = DecodeAdjacency(
+      BytesView(benc), static_cast<uint32_t>(butterfly.NumLayers() - 1), kG);
+  ASSERT_TRUE(bdec.has_value());
+  EXPECT_EQ(*bdec, badj);
+}
+
+TEST(AdjacencyWire, RejectsTruncationJunkAndOutOfRangeNeighbors) {
+  SquareTopology square(8, 3);
+  AdjacencyTable adjacency = TableFor(square);
+  Bytes enc = EncodeAdjacency(adjacency, 8);
+  ASSERT_TRUE(DecodeAdjacency(BytesView(enc), 2, 8).has_value());
+  for (size_t len = 0; len < enc.size(); len++) {
+    EXPECT_FALSE(
+        DecodeAdjacency(BytesView(enc.data(), len), 2, 8).has_value());
+  }
+  Bytes padded = enc;
+  padded.push_back(0x00);
+  EXPECT_FALSE(DecodeAdjacency(BytesView(padded), 2, 8).has_value());
+  // Unknown list mode.
+  Bytes bad_mode = {0x02};
+  EXPECT_FALSE(DecodeAdjacency(BytesView(bad_mode), 1, 1).has_value());
+  // Delta mode, count past the width: rejected before any allocation.
+  Bytes big_count = {0x00, 0x41};  // mode 0, varint count = 65
+  EXPECT_FALSE(DecodeAdjacency(BytesView(big_count), 1, 64).has_value());
+  // Delta mode, neighbour past the width.
+  Bytes oob = {0x00, 0x01, 0x40};  // mode 0, one neighbour, value 64
+  EXPECT_FALSE(DecodeAdjacency(BytesView(oob), 1, 64).has_value());
+  // Bitmap mode: set padding bits past the width alias the canonical
+  // frame and must be rejected (non-canonical input). One boundary at
+  // width 6 = six lists, each a full bitmap row {0..5}.
+  Bytes clean_bitmap;
+  for (int g = 0; g < 6; g++) {
+    clean_bitmap.push_back(0x01);
+    clean_bitmap.push_back(0x3f);
+  }
+  auto full = DecodeAdjacency(BytesView(clean_bitmap), 1, 6);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ((*full)[0][0], (std::vector<uint32_t>{0, 1, 2, 3, 4, 5}));
+  Bytes junk_padding = clean_bitmap;
+  junk_padding.back() = 0xff;  // same six neighbours + two padding bits
+  EXPECT_FALSE(DecodeAdjacency(BytesView(junk_padding), 1, 6).has_value());
+}
+
+TEST(AdjacencyWire, BeginRoundSpecRoundTripsCompressed) {
+  // The compressed adjacency rides inside kBeginRound: a full spec must
+  // survive encode -> decode -> re-encode byte-identically.
+  Rng rng(uint64_t{0xad70});
+  WireRoundSpec spec;
+  spec.variant = 0;
+  spec.layers = 3;
+  spec.width = 4;
+  spec.hop_workers = 2;
+  SquareTopology square(4, 3);
+  spec.adjacency = TableFor(square);
+  spec.hosts = {1, 2, 1, 2};
+  for (uint32_t g = 0; g < 4; g++) {
+    spec.group_pks.push_back(Point::BaseMul(Scalar::Random(rng)));
+  }
+  spec.native_exit = true;
+  spec.plaintext_len = 32;
+  spec.padded_len = 34;
+  spec.num_points = 2;
+  spec.commitments.resize(4);
+  spec.commitments[1].push_back({});
+  rng.Fill(spec.commitments[1][0].data(), 32);
+
+  std::array<uint8_t, 32> root{};
+  rng.Fill(root.data(), root.size());
+  Bytes enc = EncodeBeginRound(9, 77, root, &spec);
+  auto dec = DecodeBeginRound(BytesView(enc));
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_TRUE(dec->spec.has_value());
+  EXPECT_EQ(dec->round_id, 77u);
+  EXPECT_EQ(dec->spec->adjacency, spec.adjacency);
+  EXPECT_EQ(dec->spec->hosts, spec.hosts);
+  EXPECT_EQ(dec->spec->commitments, spec.commitments);
+  EXPECT_EQ(EncodeBeginRound(9, 77, dec->root_key, &*dec->spec), enc);
+}
+
+// ------------------------------------------------------- mesh backpressure
+
+TEST(MeshBackpressure, OverloadedPeerQueueDropsToAbortNotBlock) {
+  // Server A's link to server B is stalled (WAN emulation) and its send
+  // queue bound is tiny: a flood of envelopes must DROP past the bound —
+  // fast, never blocking senders without limit — and the failures must
+  // surface to the driver as aborts (drop-to-abort semantics).
+  Rng rng(uint64_t{0xbac9});
+  KemKeypair driver_key = KemKeyGen(rng);
+  KemKeypair a_key = KemKeyGen(rng);
+  KemKeypair b_key = KemKeyGen(rng);
+  TcpPeerMesh driver(TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key);
+  TcpPeerMesh a(TcpPeerMesh::Role::kServer, 8, a_key);
+  TcpPeerMesh b(TcpPeerMesh::Role::kServer, 9, b_key);
+  ASSERT_TRUE(a.Listen(0));
+  a.Start();
+  ASSERT_TRUE(b.Listen(0));
+  b.Start();
+  a.AddPeerKey(kMeshDriverId, driver_key.pk);
+  b.AddPeerKey(8, a_key.pk);
+  driver.SetRoster({MeshPeer{8, "127.0.0.1", a.listen_port(), a_key.pk}});
+  a.SetRoster({MeshPeer{9, "127.0.0.1", b.listen_port(), b_key.pk}});
+  // Dial driver->A once so A holds an upstream link for abort reports.
+  Bytes probe = EncodeRoundDone(1);
+  ASSERT_TRUE(driver.SendFrame(8, LinkMsg::kRoundDone, BytesView(probe)));
+
+  a.set_send_delay(40ms);        // every A-side send stalls like a full WAN pipe
+  a.set_send_queue_bound(64);    // one in-flight frame, nothing queued behind
+
+  NodeMsg msg;
+  msg.type = NodeMsg::Type::kShuffleStep;
+  msg.gid = 3;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; i++) {
+        a.Send(Envelope{9, msg, 1});
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  // Blocking behavior would serialize 32 sends x 40ms plus socket time;
+  // drop-to-abort resolves the flood in a handful of link occupancies.
+  EXPECT_LT(elapsed, 10s) << "senders blocked instead of dropping";
+  EXPECT_GE(a.send_queue_drops(), 1u);
+  EXPECT_TRUE(WaitUntil([&] { return driver.abort_count() >= 1; }))
+      << "dropped sends never surfaced as driver aborts";
+
+  driver.Stop();
+  a.Stop();
+  b.Stop();
+}
+
+// ----------------------------------------------------------- client ingress
+
+// Twin-buildable ingress deployment: a Round fronted by a gateway, with
+// clients registered through the Directory. Two fixtures constructed from
+// the same seed hold byte-identical key material, so a TCP-ingress round
+// is directly comparable to an in-process-submission round.
+struct IngressFixture {
+  RoundConfig config;
+  Rng round_rng;
+  std::unique_ptr<Round> round;
+  Directory directory{ToBytes("ingress-genesis")};
+  ClientRegistry registry;
+  Rng key_rng{uint64_t{0xc11e47}};
+  KemKeypair gateway_key;
+  std::map<uint64_t, KemKeypair> client_keys;
+  std::unique_ptr<SubmissionGateway> gateway;
+
+  explicit IngressFixture(Variant variant, uint64_t seed = 0x137e55)
+      : round_rng(seed) {
+    config.params.variant = variant;
+    config.params.num_servers = 4;
+    config.params.num_groups = 2;
+    config.params.group_size = 2;
+    config.params.honest_needed = 1;
+    config.params.iterations = 2;
+    config.params.message_len = 32;
+    config.beacon = ToBytes("ingress-epoch");
+    config.workers = 1;
+    round = std::make_unique<Round>(config, round_rng);
+    gateway_key = KemKeyGen(key_rng);
+  }
+
+  ~IngressFixture() {
+    if (gateway != nullptr) {
+      gateway->Stop();
+    }
+  }
+
+  // Generates a client key; with `registered`, signs it into the
+  // directory's global registry.
+  void AddClient(uint64_t id, bool registered = true) {
+    SchnorrKeypair kp = SchnorrKeyGen(key_rng);
+    client_keys[id] = KemKeypair{kp.sk, kp.pk};
+    if (registered) {
+      EXPECT_TRUE(
+          directory.RegisterClient(MakeClientRegistration(id, kp, key_rng)));
+    }
+  }
+
+  bool StartGateway(GatewayConfig cfg = {}) {
+    registry.SeedFromDirectory(directory);
+    gateway = std::make_unique<SubmissionGateway>(round.get(), &registry,
+                                                  gateway_key, cfg);
+    if (!gateway->Listen(0)) {
+      return false;
+    }
+    gateway->Start();
+    return true;
+  }
+
+  std::unique_ptr<ClientSession> Connect(uint64_t id) {
+    return ClientSession::Connect("127.0.0.1", gateway->port(), id,
+                                  client_keys[id], gateway_key.pk);
+  }
+
+  TrapSubmission MakeTrap(uint64_t client_id, uint32_t gid, Rng& rng,
+                          const std::string& text) {
+    auto sub = MakeTrapSubmission(round->EntryPk(gid), gid,
+                                  round->TrusteePk(), BytesView(ToBytes(text)),
+                                  round->layout(), rng);
+    sub.client_id = client_id;
+    return sub;
+  }
+
+  NizkSubmission MakeNizk(uint64_t client_id, uint32_t gid, Rng& rng,
+                          const std::string& text) {
+    auto sub = MakeNizkSubmission(round->EntryPk(gid), gid,
+                                  BytesView(ToBytes(text)), round->layout(),
+                                  rng);
+    sub.client_id = client_id;
+    return sub;
+  }
+};
+
+RoundResult RunRoundInEngine(Round& round, uint64_t take_seed) {
+  Rng take_rng(take_seed);
+  RoundEngine engine(&ThreadPool::Shared());
+  return engine.RunToCompletion(round.TakeEngineRound({}, take_rng)).round;
+}
+
+TEST(IngressEquivalence, TrapRoundViaTcpMatchesInProcess) {
+  // Two rounds built from one seed are key-identical; the same submission
+  // bytes entered via TCP ClientSessions and via in-process SubmitTrap,
+  // in the same per-shard order, must produce byte-identical results.
+  constexpr uint64_t kSeed = 0x7ab5eed;
+  constexpr uint64_t kTakeSeed = 0x7a4e;
+  IngressFixture net(Variant::kTrap, kSeed);
+  IngressFixture local(Variant::kTrap, kSeed);
+
+  Rng sub_rng(uint64_t{0x5ab1e});
+  std::vector<TrapSubmission> subs;
+  for (uint64_t u = 0; u < 4; u++) {
+    subs.push_back(net.MakeTrap(1000 + u, static_cast<uint32_t>(u % 2),
+                                sub_rng, "trap msg " + std::to_string(u)));
+  }
+
+  for (const auto& sub : subs) {
+    ASSERT_TRUE(local.round->SubmitTrap(sub));
+  }
+  RoundResult want = RunRoundInEngine(*local.round, kTakeSeed);
+  ASSERT_FALSE(want.aborted) << want.abort_reason;
+
+  for (uint64_t u = 0; u < 4; u++) {
+    net.AddClient(1000 + u);
+  }
+  ASSERT_TRUE(net.StartGateway());
+  net.gateway->OpenRound(1);
+  for (uint64_t u = 0; u < 4; u++) {
+    auto session = net.Connect(1000 + u);
+    ASSERT_NE(session, nullptr) << "client " << u << " failed to connect";
+    EXPECT_EQ(session->WaitRoundOpen(), 1u);
+    ASSERT_TRUE(session->SubmitAndWait(subs[u]));
+  }
+  net.gateway->Cutoff();
+  EXPECT_EQ(net.gateway->accepted_count(), 4u);
+  RoundResult got = RunRoundInEngine(*net.round, kTakeSeed);
+  ASSERT_FALSE(got.aborted) << got.abort_reason;
+  EXPECT_EQ(got.plaintexts, want.plaintexts)
+      << "TCP-ingress round diverged from in-process submission";
+  EXPECT_EQ(got.traps_seen, want.traps_seen);
+  EXPECT_EQ(got.inner_seen, want.inner_seen);
+}
+
+TEST(IngressEquivalence, NizkRoundViaTcpMatchesInProcess) {
+  constexpr uint64_t kSeed = 0x9ab5eed;
+  constexpr uint64_t kTakeSeed = 0x94e;
+  IngressFixture net(Variant::kNizk, kSeed);
+  IngressFixture local(Variant::kNizk, kSeed);
+
+  Rng sub_rng(uint64_t{0x6ab1e});
+  std::vector<NizkSubmission> subs;
+  for (uint64_t u = 0; u < 3; u++) {
+    subs.push_back(net.MakeNizk(2000 + u, static_cast<uint32_t>(u % 2),
+                                sub_rng, "nizk msg " + std::to_string(u)));
+  }
+
+  for (const auto& sub : subs) {
+    ASSERT_TRUE(local.round->SubmitNizk(sub));
+  }
+  RoundResult want = RunRoundInEngine(*local.round, kTakeSeed);
+  ASSERT_FALSE(want.aborted) << want.abort_reason;
+
+  for (uint64_t u = 0; u < 3; u++) {
+    net.AddClient(2000 + u);
+  }
+  ASSERT_TRUE(net.StartGateway());
+  net.gateway->OpenRound(5);
+  for (uint64_t u = 0; u < 3; u++) {
+    auto session = net.Connect(2000 + u);
+    ASSERT_NE(session, nullptr);
+    ASSERT_TRUE(session->SubmitAndWait(subs[u]));
+  }
+  net.gateway->Cutoff();
+  RoundResult got = RunRoundInEngine(*net.round, kTakeSeed);
+  ASSERT_FALSE(got.aborted) << got.abort_reason;
+  EXPECT_EQ(got.plaintexts, want.plaintexts);
+}
+
+TEST(IngressRegistry, DuplicateIdRejectedGloballyAtRegistration) {
+  Directory directory(ToBytes("reg-genesis"));
+  Rng rng(uint64_t{0xd0b1e});
+  SchnorrKeypair first = SchnorrKeyGen(rng);
+  SchnorrKeypair second = SchnorrKeyGen(rng);
+  EXPECT_TRUE(
+      directory.RegisterClient(MakeClientRegistration(42, first, rng)));
+  // Same id under a different key: rejected at REGISTRATION time, before
+  // any entry group ever sees a submission — the squatting window the
+  // per-group intake check could not close.
+  EXPECT_FALSE(
+      directory.RegisterClient(MakeClientRegistration(42, second, rng)));
+  // A registration whose signature does not bind the claimed id fails.
+  ClientRegistration forged = MakeClientRegistration(43, second, rng);
+  forged.record.client_id = 44;
+  EXPECT_FALSE(directory.RegisterClient(forged));
+  // The anonymous id is reserved.
+  EXPECT_FALSE(
+      directory.RegisterClient(MakeClientRegistration(0, second, rng)));
+  EXPECT_EQ(directory.NumClients(), 1u);
+
+  // Registry sync round-trips the global table and stays duplicate-free.
+  ClientRegistry registry;
+  EXPECT_EQ(registry.SeedFromDirectory(directory), 1u);
+  std::vector<Bytes> sync_frames = registry.EncodeSync(7);
+  ASSERT_EQ(sync_frames.size(), 1u);  // chunked only past the frame cap
+  Bytes sync_bytes = sync_frames[0];
+  auto sync = DecodeRegistrySync(BytesView(sync_bytes));
+  ASSERT_TRUE(sync.has_value());
+  EXPECT_EQ(sync->seq, 7u);
+  ASSERT_EQ(sync->records.size(), 1u);
+  EXPECT_EQ(sync->records[0].client_id, 42u);
+  ClientRegistry replica;
+  EXPECT_EQ(replica.ApplySync(*sync), 1u);
+  EXPECT_EQ(replica.ApplySync(*sync), 0u);  // idempotent: first wins
+  EXPECT_TRUE(replica.Lookup(42).has_value());
+  EXPECT_FALSE(replica.Lookup(43).has_value());
+  // Sync decode hardening: truncation and trailing bytes reject.
+  for (size_t len = 0; len < sync_bytes.size(); len++) {
+    EXPECT_FALSE(
+        DecodeRegistrySync(BytesView(sync_bytes.data(), len)).has_value());
+  }
+  // A declared record count the frame cannot hold is rejected before any
+  // allocation.
+  ByteWriter hostile;
+  hostile.U64(1);
+  hostile.U32(0x00ffffff);
+  EXPECT_FALSE(DecodeRegistrySync(BytesView(hostile.bytes())).has_value());
+}
+
+TEST(IngressAuth, UnregisteredClientCannotConnect) {
+  IngressFixture fx(Variant::kTrap);
+  fx.AddClient(7, /*registered=*/true);
+  fx.AddClient(8, /*registered=*/false);
+  ASSERT_TRUE(fx.StartGateway());
+  // The registered client's handshake completes; the unregistered id is
+  // rejected inside the handshake (no registry key to authenticate).
+  auto good = fx.Connect(7);
+  EXPECT_NE(good, nullptr);
+  EXPECT_EQ(fx.Connect(8), nullptr);
+  // A registered id under the WRONG key fails too: possession of the
+  // registered key is what the handshake proves.
+  Rng rng(uint64_t{0xbadc0de});
+  fx.client_keys[7] = KemKeyGen(rng);
+  EXPECT_EQ(fx.Connect(7), nullptr);
+}
+
+TEST(IngressAuth, ForeignAndDuplicateIdsRejected) {
+  IngressFixture fx(Variant::kTrap);
+  fx.AddClient(21);
+  fx.AddClient(22);
+  ASSERT_TRUE(fx.StartGateway());
+  fx.gateway->OpenRound(1);
+  auto session = fx.Connect(21);
+  ASSERT_NE(session, nullptr);
+
+  Rng rng(uint64_t{0x5ea1});
+  // A submission claiming someone else's id over 21's authenticated
+  // channel: kForeignId, verdict before any proof work.
+  TrapSubmission foreign = fx.MakeTrap(22, 0, rng, "squat attempt");
+  uint64_t seq = session->Submit(foreign);
+  ASSERT_NE(seq, 0u);
+  auto status = session->WaitResult(seq);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, SubmitStatus::kForeignId);
+
+  // First submission under the channel's own id is accepted; a second in
+  // the same round is the duplicate-id rejection.
+  EXPECT_TRUE(session->SubmitAndWait(fx.MakeTrap(21, 0, rng, "first")));
+  uint64_t dup = session->Submit(fx.MakeTrap(21, 0, rng, "second"));
+  ASSERT_NE(dup, 0u);
+  auto dup_status = session->WaitResult(dup);
+  ASSERT_TRUE(dup_status.has_value());
+  EXPECT_EQ(*dup_status, SubmitStatus::kRejected);
+
+  // With no round open, submissions bounce with kClosed.
+  fx.gateway->Cutoff();
+  uint64_t closed = session->Submit(fx.MakeTrap(21, 1, rng, "late"));
+  ASSERT_NE(closed, 0u);
+  auto closed_status = session->WaitResult(closed);
+  ASSERT_TRUE(closed_status.has_value());
+  EXPECT_EQ(*closed_status, SubmitStatus::kClosed);
+}
+
+TEST(IngressFaults, MidStreamDisconnectDoesNotStallRound) {
+  IngressFixture fx(Variant::kTrap);
+  fx.AddClient(31);
+  fx.AddClient(32);
+  ASSERT_TRUE(fx.StartGateway());
+  fx.gateway->OpenRound(1);
+
+  Rng rng(uint64_t{0xd15c});
+  {
+    auto doomed = fx.Connect(31);
+    ASSERT_NE(doomed, nullptr);
+    ASSERT_TRUE(doomed->SubmitAndWait(fx.MakeTrap(31, 0, rng, "landed")));
+    // Fire one more without waiting for the verdict, then vanish: the
+    // gateway must neither stall nor poison the round.
+    doomed->Submit(fx.MakeTrap(31, 1, rng, "maybe"));
+  }  // session destroyed: TCP reset mid-stream
+
+  auto survivor = fx.Connect(32);
+  ASSERT_NE(survivor, nullptr);
+  ASSERT_TRUE(survivor->SubmitAndWait(fx.MakeTrap(32, 0, rng, "after a")));
+  ASSERT_TRUE(survivor->SubmitAndWait(fx.MakeTrap(32, 1, rng, "after b")));
+
+  fx.gateway->Cutoff();
+  RoundResult result = RunRoundInEngine(*fx.round, 0x51de);
+  ASSERT_FALSE(result.aborted) << result.abort_reason;
+  // At least the three verdict-confirmed submissions mixed; the in-flight
+  // one may or may not have made the cutoff — either way the round
+  // completed without a stall.
+  EXPECT_GE(result.plaintexts.size(), 3u);
+  EXPECT_LE(result.plaintexts.size(), 4u);
+}
+
+TEST(ClientWire, FramesRejectTruncationJunkAndOversize) {
+  // kWelcome round-trip + hardening.
+  GatewayWelcome welcome;
+  welcome.credit = 16;
+  welcome.variant = 0;
+  welcome.plaintext_len = 32;
+  welcome.padded_len = 34;
+  welcome.num_points = 2;
+  Rng rng(uint64_t{0xc1e4});
+  welcome.entry_pks = {Point::BaseMul(Scalar::Random(rng)),
+                       Point::BaseMul(Scalar::Random(rng))};
+  welcome.trustee_pk = Point::BaseMul(Scalar::Random(rng));
+  welcome.open_round = 3;
+  Bytes enc = EncodeWelcome(welcome);
+  auto dec = DecodeWelcome(BytesView(enc));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(EncodeWelcome(*dec), enc);
+  for (size_t len = 0; len < enc.size(); len++) {
+    EXPECT_FALSE(DecodeWelcome(BytesView(enc.data(), len)).has_value());
+  }
+  Bytes padded = enc;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeWelcome(BytesView(padded)).has_value());
+  // A welcome declaring more entry groups than its bytes can hold is
+  // rejected before the reserve.
+  ByteWriter hostile;
+  hostile.U32(16);
+  hostile.U8(0);
+  hostile.U32(32);
+  hostile.U32(34);
+  hostile.U32(2);
+  hostile.U32(0x00ffffff);  // entry-pk count
+  EXPECT_FALSE(DecodeWelcome(BytesView(hostile.bytes())).has_value());
+
+  // kSubmit round-trip + hardening.
+  Bytes submission(100, 0x5a);
+  Bytes senc = EncodeSubmit(9, BytesView(submission));
+  auto sdec = DecodeSubmit(BytesView(senc));
+  ASSERT_TRUE(sdec.has_value());
+  EXPECT_EQ(sdec->seq, 9u);
+  EXPECT_EQ(sdec->submission, submission);
+  for (size_t len = 0; len < senc.size(); len++) {
+    EXPECT_FALSE(DecodeSubmit(BytesView(senc.data(), len)).has_value());
+  }
+  Bytes strailing = senc;
+  strailing.push_back(0);
+  EXPECT_FALSE(DecodeSubmit(BytesView(strailing)).has_value());
+  // Oversize declared submission length: rejected before allocating.
+  ByteWriter oversize;
+  oversize.U64(9);
+  oversize.U32(0x7fffffff);
+  EXPECT_FALSE(DecodeSubmit(BytesView(oversize.bytes())).has_value());
+
+  // kSubmitResult: unknown status byte rejected.
+  Bytes renc = EncodeSubmitResult(4, SubmitStatus::kBackpressure);
+  auto rdec = DecodeSubmitResult(BytesView(renc));
+  ASSERT_TRUE(rdec.has_value());
+  EXPECT_EQ(rdec->status, SubmitStatus::kBackpressure);
+  Bytes bad_status = renc;
+  bad_status.back() = 0x7f;
+  EXPECT_FALSE(DecodeSubmitResult(BytesView(bad_status)).has_value());
+
+  // Frame layer: empty payloads and unknown types reject.
+  EXPECT_FALSE(UnpackClientFrame(BytesView(Bytes{})).has_value());
+  Bytes unknown = {0x3f, 0x01};
+  EXPECT_FALSE(UnpackClientFrame(BytesView(unknown)).has_value());
+  Bytes notice = PackClientFrame(ClientMsg::kRoundOpen,
+                                 BytesView(EncodeRoundNotice(12)));
+  auto frame = UnpackClientFrame(BytesView(notice));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, ClientMsg::kRoundOpen);
+  EXPECT_EQ(DecodeRoundNotice(BytesView(frame->body)), 12u);
+}
+
+TEST(StreamingIntake, MpscRingBoundsAndOrdersConcurrentProducers) {
+  // The intake ring under contention: every push that succeeds is popped
+  // exactly once, per-producer FIFO order survives, and the bound holds.
+  MpscRing<uint64_t> ring(64);
+  EXPECT_EQ(ring.capacity(), 64u);
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 5000;
+  std::atomic<uint64_t> produced{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; i++) {
+        uint64_t value = (static_cast<uint64_t>(p) << 32) | i;
+        while (!ring.TryPush(uint64_t{value})) {
+          std::this_thread::yield();
+        }
+        produced.fetch_add(1);
+      }
+    });
+  }
+  std::vector<uint64_t> last_seen(kProducers, 0);
+  uint64_t consumed = 0;
+  while (consumed < kProducers * kPerProducer) {
+    auto value = ring.TryPop();
+    if (!value.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    int p = static_cast<int>(*value >> 32);
+    uint64_t i = *value & 0xffffffff;
+    if (i > 0) {
+      EXPECT_EQ(last_seen[p], i - 1) << "producer " << p << " reordered";
+    }
+    last_seen[p] = i;
+    consumed++;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+  // Full ring: pushes fail instead of blocking or growing.
+  MpscRing<int> tiny(2);
+  EXPECT_TRUE(tiny.TryPush(1));
+  EXPECT_TRUE(tiny.TryPush(2));
+  EXPECT_FALSE(tiny.TryPush(3));
+  EXPECT_EQ(tiny.TryPop(), 1);
+  EXPECT_TRUE(tiny.TryPush(3));
+}
 
 // ------------------------------------------------------------ Bus interface
 
