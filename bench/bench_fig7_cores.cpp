@@ -8,8 +8,11 @@
 // Two data sources: the Amdahl decomposition over the calibrated cost model
 // (full 4..36 sweep), and a real multi-worker execution of the parallel
 // shuffle path on this machine's cores as a spot check.
+// --smoke shrinks the real-shuffle spot check for CI; both modes write
+// BENCH_bench_fig7_cores.json (model sweep + real-shuffle rows).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "src/crypto/shuffle.h"
@@ -36,11 +39,19 @@ double RealShuffleSeconds(size_t workers, size_t messages) {
 }  // namespace
 }  // namespace atom
 
-int main() {
+int main(int argc, char** argv) {
   using namespace atom;
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
   PrintHeader("Figure 7: mixing speed-up vs. cores (baseline: 4 cores)",
               "trap near-linear (~8x at 36 cores), NIZK sub-linear "
               "(sequential proof chain)");
+  BenchJson json("bench_fig7_cores");
+  json.Bool("smoke", smoke);
   const CostModel& costs = CalibratedCosts();
 
   GroupSimConfig config;
@@ -59,21 +70,39 @@ int main() {
   double trap_base = compute(Variant::kTrap, 4);
   double nizk_base = compute(Variant::kNizk, 4);
   for (size_t cores : {4u, 8u, 16u, 36u}) {
-    std::printf("  %5zu | %13.2f | %12.2f\n", cores,
-                trap_base / compute(Variant::kTrap, cores),
-                nizk_base / compute(Variant::kNizk, cores));
+    double trap_gain = trap_base / compute(Variant::kTrap, cores);
+    double nizk_gain = nizk_base / compute(Variant::kNizk, cores);
+    std::printf("  %5zu | %13.2f | %12.2f\n", cores, trap_gain, nizk_gain);
+    size_t row = json.Row();
+    json.RowStr(row, "kind", "model");
+    json.RowNum(row, "cores", static_cast<double>(cores));
+    json.RowNum(row, "trap_speedup", trap_gain);
+    json.RowNum(row, "nizk_speedup", nizk_gain);
   }
 
   size_t hw = HardwareThreads();
+  const size_t messages = smoke ? 128 : 512;
+  json.Num("hardware_threads", static_cast<double>(hw));
+  json.Num("real_shuffle_messages", static_cast<double>(messages));
   std::printf("\nreal parallel shuffle on this machine (%zu hw threads):\n",
               hw);
   std::printf("  workers | seconds | speed-up\n");
   std::printf("  --------+---------+---------\n");
-  double base = RealShuffleSeconds(1, 512);
+  double base = RealShuffleSeconds(1, messages);
   std::printf("  %7u | %7.2f | %7.2fx\n", 1u, base, 1.0);
+  size_t row = json.Row();
+  json.RowStr(row, "kind", "real");
+  json.RowNum(row, "workers", 1);
+  json.RowNum(row, "seconds", base);
+  json.RowNum(row, "speedup", 1.0);
   for (size_t w = 2; w <= hw; w *= 2) {
-    double t = RealShuffleSeconds(w, 512);
+    double t = RealShuffleSeconds(w, messages);
     std::printf("  %7zu | %7.2f | %7.2fx\n", w, t, base / t);
+    row = json.Row();
+    json.RowStr(row, "kind", "real");
+    json.RowNum(row, "workers", static_cast<double>(w));
+    json.RowNum(row, "seconds", t);
+    json.RowNum(row, "speedup", base / t);
   }
   return 0;
 }

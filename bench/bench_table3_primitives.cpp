@@ -6,8 +6,15 @@
 // (single-point) messages. Absolute numbers differ from the paper's
 // Go-on-c4.xlarge measurements; the orderings (verify > prove for the
 // shuffle, ReEnc > Enc, proof costs >> plain ops) must match.
+// --smoke runs only the hand-timed hot-path section (small rep counts)
+// and writes BENCH_bench_table3_primitives.json for CI artifact upload;
+// the full google-benchmark table is skipped.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
+#include "bench/bench_common.h"
 #include "src/crypto/shuffle.h"
 #include "src/crypto/sigma.h"
 #include "src/util/rng.h"
@@ -152,15 +159,135 @@ BENCHMARK(BM_ShufProof1024_Verify)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Hand-timed hot-path measurements (the crypto fast paths this repo layers
+// on top of the paper's primitives), recorded to the bench JSON so the
+// speedups are tracked across PRs:
+//   - repeated same-base scalar mult through a FixedBaseTable (built
+//     inside the timed section: the reuse amortizes it) vs generic Mul,
+//   - batch point encoding (EncodePoints: one shared inversion) vs a
+//     per-point Encode loop at N = 1024,
+//   - the naive-vs-Pippenger MSM crossover backing the thresholds
+//     documented in p256.cpp's MultiScalarMul.
+void MeasureHotPath(BenchJson& json, bool smoke) {
+  Rng rng(uint64_t{0x7ab1e4});
+  using Clock = std::chrono::steady_clock;
+
+  // ---- repeated same-base scalar multiplication.
+  const size_t reps = smoke ? 512 : 4096;
+  Point base = Point::BaseMul(Scalar::Random(rng));
+  std::vector<Scalar> ks;
+  ks.reserve(reps);
+  for (size_t i = 0; i < reps; i++) {
+    ks.push_back(Scalar::Random(rng));
+  }
+  // Warm both paths once so neither pays first-touch noise.
+  benchmark::DoNotOptimize(base.Mul(ks[0]));
+  auto t0 = Clock::now();
+  for (const Scalar& k : ks) {
+    benchmark::DoNotOptimize(base.Mul(k));
+  }
+  double generic_s = SecondsSince(t0);
+  t0 = Clock::now();
+  FixedBaseTable table(base);
+  for (const Scalar& k : ks) {
+    benchmark::DoNotOptimize(table.Mul(k));
+  }
+  double table_s = SecondsSince(t0);
+  double mul_speedup = generic_s / table_s;
+  std::printf("same-base mult x%zu: generic %.1f us/op, table %.1f us/op "
+              "(build amortized) -> %.2fx\n",
+              reps, 1e6 * generic_s / static_cast<double>(reps),
+              1e6 * table_s / static_cast<double>(reps), mul_speedup);
+  json.Num("table_mul_reps", static_cast<double>(reps));
+  json.Num("table_mul_generic_us",
+           1e6 * generic_s / static_cast<double>(reps));
+  json.Num("table_mul_us", 1e6 * table_s / static_cast<double>(reps));
+  json.Num("table_mul_speedup", mul_speedup);
+
+  // ---- batch point encoding at N = 1024.
+  const size_t kEncodeN = 1024;
+  std::vector<Point> points;
+  points.reserve(kEncodeN);
+  for (size_t i = 0; i < kEncodeN; i++) {
+    points.push_back(table.Mul(ks[i % ks.size()]));
+  }
+  t0 = Clock::now();
+  Bytes looped;
+  looped.reserve(kEncodeN * Point::kEncodedSize);
+  for (const Point& p : points) {
+    Bytes one = p.Encode();
+    looped.insert(looped.end(), one.begin(), one.end());
+  }
+  double loop_s = SecondsSince(t0);
+  t0 = Clock::now();
+  Bytes batched = EncodePoints(points);
+  double batch_s = SecondsSince(t0);
+  ATOM_CHECK(batched == looped);  // byte-identical fast path
+  double encode_speedup = loop_s / batch_s;
+  std::printf("encode x%zu: loop %.2f ms, batch %.2f ms -> %.2fx\n",
+              kEncodeN, 1e3 * loop_s, 1e3 * batch_s, encode_speedup);
+  json.Num("encode_batch_n", static_cast<double>(kEncodeN));
+  json.Num("encode_loop_ms", 1e3 * loop_s);
+  json.Num("encode_batch_ms", 1e3 * batch_s);
+  json.Num("encode_batch_speedup", encode_speedup);
+
+  // ---- MSM crossover spot checks (naive sum-of-muls vs MultiScalarMul).
+  for (size_t n : {4u, 8u, 32u}) {
+    std::vector<Point> ps(points.begin(),
+                          points.begin() + static_cast<ptrdiff_t>(n));
+    std::vector<Scalar> ss(ks.begin(),
+                           ks.begin() + static_cast<ptrdiff_t>(n));
+    t0 = Clock::now();
+    Point naive = Point::Infinity();
+    for (size_t i = 0; i < n; i++) {
+      naive = naive + ps[i].Mul(ss[i]);
+    }
+    double naive_s = SecondsSince(t0);
+    t0 = Clock::now();
+    Point msm = MultiScalarMul(ps, ss);
+    double msm_s = SecondsSince(t0);
+    ATOM_CHECK(msm == naive);
+    size_t row = json.Row();
+    json.RowNum(row, "msm_n", static_cast<double>(n));
+    json.RowNum(row, "naive_us", 1e6 * naive_s);
+    json.RowNum(row, "msm_us", 1e6 * msm_s);
+    std::printf("msm n=%-3zu: naive %.0f us, pippenger %.0f us\n", n,
+                1e6 * naive_s, 1e6 * msm_s);
+  }
+}
+
 }  // namespace
 }  // namespace atom
 
 int main(int argc, char** argv) {
+  using namespace atom;
+  bool smoke = false;
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; i++) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      bench_argv.push_back(argv[i]);  // keep benchmark's own flags intact
+    }
+  }
   std::printf("Table 3 reproduction: cryptographic primitive latencies.\n");
   std::printf("Paper (Go, c4.xlarge): Enc 140us, ReEnc 335us, "
               "Shuffle(1024) 107ms,\n  EncProof 162/139us, "
               "ReEncProof 655/446us, ShufProof(1024) 757/1410ms.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  {
+    BenchJson json("bench_table3_primitives");
+    json.Bool("smoke", smoke);
+    MeasureHotPath(json, smoke);
+  }  // write the JSON before the (skippable) google-benchmark table
+  if (!smoke) {
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

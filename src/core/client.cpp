@@ -5,15 +5,33 @@
 namespace atom {
 namespace {
 
-// Encrypts a padded plaintext as a ciphertext vector with proofs.
-void EncryptWithProofs(const Point& entry_pk, uint32_t entry_gid,
+// Encrypts a padded plaintext as a ciphertext vector with proofs. When a
+// precomputed table for entry_pk is supplied the encryptions route through
+// it (the EncProof commitments use only the generator, which already has a
+// shared table), producing bit-identical output.
+void EncryptWithProofs(const Point& entry_pk,
+                       const FixedBaseTable* entry_table, uint32_t entry_gid,
                        BytesView padded, const MessageLayout& layout,
                        Rng& rng, ElGamalCiphertextVec* ct_out,
                        std::vector<EncProof>* proofs_out) {
   std::vector<Point> points = FragmentToPoints(padded, layout);
   std::vector<Scalar> randomness;
-  *ct_out = ElGamalEncryptVec(entry_pk, points, rng, &randomness);
+  *ct_out = entry_table != nullptr
+                ? ElGamalEncryptVec(*entry_table, points, rng, &randomness)
+                : ElGamalEncryptVec(entry_pk, points, rng, &randomness);
   *proofs_out = MakeEncProofVec(entry_pk, entry_gid, *ct_out, randomness, rng);
+}
+
+NizkSubmission MakeNizkSubmissionImpl(const Point& entry_pk,
+                                      const FixedBaseTable* entry_table,
+                                      uint32_t entry_gid, BytesView message,
+                                      const MessageLayout& layout, Rng& rng) {
+  NizkSubmission sub;
+  sub.entry_gid = entry_gid;
+  Bytes padded = PadTo(message, layout.padded_len);
+  EncryptWithProofs(entry_pk, entry_table, entry_gid, BytesView(padded),
+                    layout, rng, &sub.ciphertext, &sub.proofs);
+  return sub;
 }
 
 }  // namespace
@@ -21,12 +39,15 @@ void EncryptWithProofs(const Point& entry_pk, uint32_t entry_gid,
 NizkSubmission MakeNizkSubmission(const Point& entry_pk, uint32_t entry_gid,
                                   BytesView message,
                                   const MessageLayout& layout, Rng& rng) {
-  NizkSubmission sub;
-  sub.entry_gid = entry_gid;
-  Bytes padded = PadTo(message, layout.padded_len);
-  EncryptWithProofs(entry_pk, entry_gid, BytesView(padded), layout, rng,
-                    &sub.ciphertext, &sub.proofs);
-  return sub;
+  return MakeNizkSubmissionImpl(entry_pk, nullptr, entry_gid, message, layout,
+                                rng);
+}
+
+NizkSubmission MakeNizkSubmission(const FixedBaseTable& entry_pk,
+                                  uint32_t entry_gid, BytesView message,
+                                  const MessageLayout& layout, Rng& rng) {
+  return MakeNizkSubmissionImpl(entry_pk.base(), &entry_pk, entry_gid,
+                                message, layout, rng);
 }
 
 bool VerifyNizkSubmission(const Point& entry_pk,
@@ -39,17 +60,23 @@ bool VerifyNizkSubmission(const Point& entry_pk,
                            submission.ciphertext, submission.proofs);
 }
 
-TrapSubmission MakeTrapSubmission(const Point& entry_pk, uint32_t entry_gid,
-                                  const Point& trustee_pk, BytesView message,
-                                  const MessageLayout& layout, Rng& rng,
-                                  TrapSubmissionSecrets* secrets_out) {
+namespace {
+
+TrapSubmission MakeTrapSubmissionImpl(
+    const Point& entry_pk, const FixedBaseTable* entry_table,
+    uint32_t entry_gid, const Point& trustee_pk,
+    const FixedBaseTable* trustee_table, BytesView message,
+    const MessageLayout& layout, Rng& rng,
+    TrapSubmissionSecrets* secrets_out) {
   TrapSubmission sub;
   sub.entry_gid = entry_gid;
 
   // Inner ciphertext: IND-CCA2 encryption of the padded message under the
   // trustees' round key, so no mix server can maul it (§4.4).
   Bytes padded_msg = PadTo(message, layout.plaintext_len);
-  Bytes inner = KemEncrypt(trustee_pk, BytesView(padded_msg), rng);
+  Bytes inner = trustee_table != nullptr
+                    ? KemEncrypt(*trustee_table, BytesView(padded_msg), rng)
+                    : KemEncrypt(trustee_pk, BytesView(padded_msg), rng);
   Bytes msg_plaintext = MakeMessagePlaintext(BytesView(inner), layout);
 
   // Trap: entry gid + fresh nonce, padded to the same length.
@@ -60,10 +87,12 @@ TrapSubmission MakeTrapSubmission(const Point& entry_pk, uint32_t entry_gid,
 
   ElGamalCiphertextVec msg_ct, trap_ct;
   std::vector<EncProof> msg_proofs, trap_proofs;
-  EncryptWithProofs(entry_pk, entry_gid, BytesView(msg_plaintext), layout,
-                    rng, &msg_ct, &msg_proofs);
-  EncryptWithProofs(entry_pk, entry_gid, BytesView(trap_plaintext), layout,
-                    rng, &trap_ct, &trap_proofs);
+  EncryptWithProofs(entry_pk, entry_table, entry_gid,
+                    BytesView(msg_plaintext), layout, rng, &msg_ct,
+                    &msg_proofs);
+  EncryptWithProofs(entry_pk, entry_table, entry_gid,
+                    BytesView(trap_plaintext), layout, rng, &trap_ct,
+                    &trap_proofs);
 
   // Random submission order: a server that drops one of the two cannot tell
   // whether it dropped the trap (50% detection per §4.4).
@@ -84,6 +113,27 @@ TrapSubmission MakeTrapSubmission(const Point& entry_pk, uint32_t entry_gid,
     secrets_out->first_is_trap = first_is_trap;
   }
   return sub;
+}
+
+}  // namespace
+
+TrapSubmission MakeTrapSubmission(const Point& entry_pk, uint32_t entry_gid,
+                                  const Point& trustee_pk, BytesView message,
+                                  const MessageLayout& layout, Rng& rng,
+                                  TrapSubmissionSecrets* secrets_out) {
+  return MakeTrapSubmissionImpl(entry_pk, nullptr, entry_gid, trustee_pk,
+                                nullptr, message, layout, rng, secrets_out);
+}
+
+TrapSubmission MakeTrapSubmission(const FixedBaseTable& entry_pk,
+                                  uint32_t entry_gid,
+                                  const FixedBaseTable& trustee_pk,
+                                  BytesView message,
+                                  const MessageLayout& layout, Rng& rng,
+                                  TrapSubmissionSecrets* secrets_out) {
+  return MakeTrapSubmissionImpl(entry_pk.base(), &entry_pk, entry_gid,
+                                trustee_pk.base(), &trustee_pk, message,
+                                layout, rng, secrets_out);
 }
 
 bool VerifyTrapSubmission(const Point& entry_pk,

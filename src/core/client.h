@@ -46,6 +46,14 @@ NizkSubmission MakeNizkSubmission(const Point& entry_pk, uint32_t entry_gid,
                                   BytesView message,
                                   const MessageLayout& layout, Rng& rng);
 
+// Same, through a precomputed table for the entry group's key. A client
+// that submits more than a handful of fragments (or keeps a session open
+// across rounds, src/net/client_session.h) amortizes the table build; the
+// outputs are bit-identical to the Point overload for the same Rng state.
+NizkSubmission MakeNizkSubmission(const FixedBaseTable& entry_pk,
+                                  uint32_t entry_gid, BytesView message,
+                                  const MessageLayout& layout, Rng& rng);
+
 // Verifies the proofs of a NIZK submission (every entry-group server does
 // this on receipt).
 bool VerifyNizkSubmission(const Point& entry_pk,
@@ -72,6 +80,15 @@ struct TrapSubmissionSecrets {
 
 TrapSubmission MakeTrapSubmission(const Point& entry_pk, uint32_t entry_gid,
                                   const Point& trustee_pk, BytesView message,
+                                  const MessageLayout& layout, Rng& rng,
+                                  TrapSubmissionSecrets* secrets_out = nullptr);
+
+// Table-accelerated variant (entry key for the two ciphertext vectors,
+// trustee key for the inner KEM); bit-identical outputs.
+TrapSubmission MakeTrapSubmission(const FixedBaseTable& entry_pk,
+                                  uint32_t entry_gid,
+                                  const FixedBaseTable& trustee_pk,
+                                  BytesView message,
                                   const MessageLayout& layout, Rng& rng,
                                   TrapSubmissionSecrets* secrets_out = nullptr);
 

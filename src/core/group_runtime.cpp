@@ -23,7 +23,9 @@ void Maul(ElGamalCiphertext* ct) {
 }  // namespace
 
 GroupRuntime::GroupRuntime(uint32_t gid, DkgResult dkg)
-    : gid_(gid), dkg_(std::move(dkg)) {
+    : gid_(gid),
+      dkg_(std::move(dkg)),
+      pk_table_(std::make_shared<const FixedBaseTable>(dkg_.pub.group_pk)) {
   alive_.assign(dkg_.pub.params.k, true);
 }
 
@@ -79,7 +81,7 @@ HopResult GroupRuntime::RunHop(const CiphertextBatch& input,
   for (uint32_t s : subset) {
     if (variant == Variant::kNizk) {
       auto t0 = Clock::now();
-      ShuffleResult shuffled = ShuffleAndProve(pk(), batch, rng, workers);
+      ShuffleResult shuffled = ShuffleAndProve(pk_table(), batch, rng, workers);
       result.stats.shuffle_seconds += SecondsSince(t0);
 
       if (evil_here(MaliciousAction::Kind::kTamperDuringShuffle, s)) {
@@ -103,7 +105,7 @@ HopResult GroupRuntime::RunHop(const CiphertextBatch& input,
       batch = std::move(shuffled.output);
     } else {
       auto t0 = Clock::now();
-      batch = ShuffleBatch(pk(), batch, rng, nullptr, nullptr, workers);
+      batch = ShuffleBatch(pk_table(), batch, rng, nullptr, nullptr, workers);
       result.stats.shuffle_seconds += SecondsSince(t0);
       if (evil_here(MaliciousAction::Kind::kTamperDuringShuffle, s)) {
         Maul(&batch[evil->target_message % batch.size()][0]);
@@ -130,6 +132,16 @@ HopResult GroupRuntime::RunHop(const CiphertextBatch& input,
   }
 
   // ---- Phase 3: decrypt-and-reencrypt chain (step 3).
+  // Each neighbour key is the rewrap base for its whole sub-batch on every
+  // participating server, so precompute one table per neighbour when the
+  // reuse count amortizes the build (~16 multiplications; see shuffle.cpp).
+  const size_t components = input.empty() ? 0 : input[0].size();
+  std::vector<std::unique_ptr<FixedBaseTable>> next_tables(next_pks.size());
+  for (size_t b = 0; b < next_pks.size(); b++) {
+    if (batches[b].size() * components * subset.size() >= 16) {
+      next_tables[b] = std::make_unique<FixedBaseTable>(next_pks[b]);
+    }
+  }
   for (size_t si = 0; si < subset.size(); si++) {
     uint32_t s = subset[si];
     Scalar weighted = WeightedShare(dkg_.keys[s - 1], subset);
@@ -138,6 +150,8 @@ HopResult GroupRuntime::RunHop(const CiphertextBatch& input,
 
     for (size_t b = 0; b < beta; b++) {
       const Point* next = next_pks.empty() ? nullptr : &next_pks[b];
+      const FixedBaseTable* next_table =
+          next_pks.empty() ? nullptr : next_tables[b].get();
       CiphertextBatch& sub = batches[b];
 
       // Pre-draw randomness serially, then reencrypt in parallel.
@@ -165,7 +179,9 @@ HopResult GroupRuntime::RunHop(const CiphertextBatch& input,
           cur.c = cur.c - cur.y.Mul(weighted);
           if (next != nullptr) {
             cur.r = cur.r + Point::BaseMul(draws[m][c]);
-            cur.c = cur.c + next->Mul(draws[m][c]);
+            cur.c = cur.c + (next_table != nullptr
+                                 ? next_table->Mul(draws[m][c])
+                                 : next->Mul(draws[m][c]));
             rewrap[m][c] = draws[m][c];
           } else {
             rewrap[m][c] = Scalar::Zero();

@@ -22,6 +22,7 @@
 #ifndef SRC_CORE_GROUP_RUNTIME_H_
 #define SRC_CORE_GROUP_RUNTIME_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -72,6 +73,10 @@ class GroupRuntime {
 
   uint32_t gid() const { return gid_; }
   const Point& pk() const { return dkg_.pub.group_pk; }
+  // Precomputed table for pk(), built once at construction and reused by
+  // every shuffle/rerandomization this group performs (and by the engine
+  // when it encrypts dummy padding under this group's key).
+  const FixedBaseTable& pk_table() const { return *pk_table_; }
   const DkgResult& dkg() const { return dkg_; }
 
   // Marks a server (1-based) as failed; it will not participate. Fails the
@@ -93,6 +98,8 @@ class GroupRuntime {
  private:
   uint32_t gid_;
   DkgResult dkg_;
+  // shared_ptr keeps GroupRuntime copyable; the table is immutable.
+  std::shared_ptr<const FixedBaseTable> pk_table_;
   std::vector<bool> alive_;
 };
 

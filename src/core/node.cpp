@@ -38,6 +38,8 @@ AtomNode::AtomNode(uint32_t server_id, Variant variant)
 
 void AtomNode::JoinGroup(uint32_t gid, NodeGroupKeys keys) {
   ATOM_CHECK(keys.subset.size() == keys.chain_servers.size());
+  group_pk_tables_[gid] =
+      std::make_shared<const FixedBaseTable>(keys.pub.group_pk);
   groups_[gid] = std::move(keys);
 }
 
@@ -92,13 +94,14 @@ std::vector<Envelope> AtomNode::HandleShuffle(const NodeMsg& msg,
   NodeMsg out;
   out.gid = msg.gid;
   out.next_pks = msg.next_pks;
+  const FixedBaseTable& pk_table = *group_pk_tables_.at(msg.gid);
   if (variant_ == Variant::kNizk) {
-    ShuffleResult result = ShuffleAndProve(group_pk, msg.batch, rng);
+    ShuffleResult result = ShuffleAndProve(pk_table, msg.batch, rng);
     out.batch = std::move(result.output);
     out.shuffle_proof = std::move(result.proof);
     out.prev_batch = msg.batch;
   } else {
-    out.batch = ShuffleBatch(group_pk, msg.batch, rng);
+    out.batch = ShuffleBatch(pk_table, msg.batch, rng);
   }
 
   const bool last = (msg.chain_pos + 1 == keys.chain_servers.size());
@@ -170,13 +173,26 @@ std::vector<Envelope> AtomNode::HandleReEnc(const NodeMsg& msg,
   out.subs.resize(msg.subs.size());
   for (size_t b = 0; b < msg.subs.size(); b++) {
     const Point* next = msg.next_pks.empty() ? nullptr : &msg.next_pks[b];
+    // The rewrap base is fixed for the whole sub-batch; precompute its
+    // table when the reuse amortizes the build (same threshold as
+    // ShuffleBatch's internal table).
+    const size_t components =
+        msg.subs[b].empty() ? 0 : msg.subs[b][0].size();
+    std::unique_ptr<FixedBaseTable> next_table;
+    if (next != nullptr && msg.subs[b].size() * components >= 16) {
+      next_table = std::make_unique<FixedBaseTable>(*next);
+    }
     out.subs[b].resize(msg.subs[b].size());
     for (size_t m = 0; m < msg.subs[b].size(); m++) {
       out.subs[b][m].resize(msg.subs[b][m].size());
       for (size_t c = 0; c < msg.subs[b][m].size(); c++) {
         Scalar rewrap;
         ElGamalCiphertext next_ct =
-            ElGamalReEnc(weighted, next, msg.subs[b][m][c], rng, &rewrap);
+            next_table != nullptr
+                ? ElGamalReEnc(weighted, *next_table, msg.subs[b][m][c], rng,
+                               &rewrap)
+                : ElGamalReEnc(weighted, next, msg.subs[b][m][c], rng,
+                               &rewrap);
         if (variant_ == Variant::kNizk) {
           out.reenc_proofs.push_back(
               MakeReEncProof(weighted, weighted_pub, next,

@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -131,6 +132,10 @@ class AtomNode {
   uint32_t server_id_;
   Variant variant_;
   std::map<uint32_t, NodeGroupKeys> groups_;
+  // Per-group precomputed table for the group public key, built once at
+  // JoinGroup: every shuffle step this lane executes rerandomizes the whole
+  // batch under the same pk, so the table is reused across all rounds.
+  std::map<uint32_t, std::shared_ptr<const FixedBaseTable>> group_pk_tables_;
 };
 
 // Message-delivery abstraction between Atom servers, as seen by a driver.

@@ -166,30 +166,68 @@ size_t Round::PumpStream(
   IntakeShard& shard = *intake_[gid];
   // Drain what is queued NOW into one span; submissions arriving while
   // this span verifies are the next pump's work — that is the pipelining.
-  std::vector<uint64_t> cookies;
-  std::vector<NizkSubmission> nizk;
-  std::vector<TrapSubmission> trap;
-  const bool is_trap = config_.params.variant == Variant::kTrap;
+  std::vector<StreamedSubmission> items;
   while (auto item = shard.stream.TryPop()) {
-    cookies.push_back(item->cookie);
-    if (is_trap) {
-      trap.push_back(std::move(item->trap));
-    } else {
-      nizk.push_back(std::move(item->nizk));
+    items.push_back(std::move(*item));
+  }
+  if (items.empty()) {
+    return 0;
+  }
+
+  // Signature gate first: fold every signed item in the span into one
+  // SchnorrVerifyBatch (a single MSM). Only on batch failure do we pay for
+  // per-signature verification to identify the culprits — the honest-path
+  // cost stays one MSM regardless of span size.
+  std::vector<uint8_t> sig_ok(items.size(), 1);
+  std::vector<size_t> signed_idx;
+  std::vector<Point> sig_pks;
+  std::vector<BytesView> sig_msgs;
+  std::vector<SchnorrSignature> sigs;
+  for (size_t i = 0; i < items.size(); i++) {
+    if (items[i].has_sig) {
+      signed_idx.push_back(i);
+      sig_pks.push_back(items[i].sig_pk);
+      sig_msgs.push_back(BytesView(items[i].sig_msg));
+      sigs.push_back(items[i].sig);
     }
   }
-  if (cookies.empty()) {
-    return 0;
+  if (!signed_idx.empty() && !SchnorrVerifyBatch(sig_pks, sig_msgs, sigs)) {
+    for (size_t j = 0; j < signed_idx.size(); j++) {
+      if (!SchnorrVerify(sig_pks[j], sig_msgs[j], sigs[j])) {
+        sig_ok[signed_idx[j]] = 0;
+      }
+    }
+  }
+
+  // Proof verification + acceptance for the signature survivors.
+  const bool is_trap = config_.params.variant == Variant::kTrap;
+  std::vector<size_t> batch_idx;  // items index per batch element
+  std::vector<NizkSubmission> nizk;
+  std::vector<TrapSubmission> trap;
+  for (size_t i = 0; i < items.size(); i++) {
+    if (!sig_ok[i]) {
+      continue;
+    }
+    batch_idx.push_back(i);
+    if (is_trap) {
+      trap.push_back(std::move(items[i].trap));
+    } else {
+      nizk.push_back(std::move(items[i].nizk));
+    }
   }
   std::vector<bool> accepted =
       is_trap ? SubmitTrapBatch(trap, workers)
               : SubmitNizkBatch(nizk, workers);
+  std::vector<uint8_t> ok(items.size(), 0);
+  for (size_t j = 0; j < batch_idx.size(); j++) {
+    ok[batch_idx[j]] = accepted[j] ? 1 : 0;
+  }
   if (done) {
-    for (size_t i = 0; i < cookies.size(); i++) {
-      done(cookies[i], accepted[i]);
+    for (size_t i = 0; i < items.size(); i++) {
+      done(items[i].cookie, ok[i] != 0);
     }
   }
-  return cookies.size();
+  return items.size();
 }
 
 size_t Round::StreamDepth(uint32_t gid) const {
@@ -247,8 +285,8 @@ EngineRound Round::MakeEngineRound(std::vector<CiphertextBatch> entry,
       for (size_t d = 0; d < dummies; d++) {
         Bytes plain = MakeDummyPlaintext(layout_, rng);
         entry[g].push_back(ElGamalEncryptVec(
-            groups_[g]->pk(), FragmentToPoints(BytesView(plain), layout_),
-            rng));
+            groups_[g]->pk_table(),
+            FragmentToPoints(BytesView(plain), layout_), rng));
       }
     }
   }

@@ -26,6 +26,7 @@
 #include "src/core/engine.h"
 #include "src/core/group_runtime.h"
 #include "src/core/trustees.h"
+#include "src/crypto/schnorr.h"
 #include "src/topology/groups.h"
 #include "src/topology/permnet.h"
 #include "src/util/mpsc.h"
@@ -50,6 +51,15 @@ struct StreamedSubmission {
   NizkSubmission nizk;
   TrapSubmission trap;
   uint64_t cookie = 0;
+  // Optional client signature over the submission bytes (the gateway fills
+  // these from the wire frame and the registry key for the connection).
+  // The pump batch-verifies every signed item in a drained span with one
+  // Pippenger MSM (SchnorrVerifyBatch) before any proof work runs; a bad
+  // signature rejects the item without touching its proofs.
+  bool has_sig = false;
+  Point sig_pk;
+  SchnorrSignature sig;
+  Bytes sig_msg;
 };
 
 // RoundResult lives in src/core/exit.h (shared with the engine-native exit

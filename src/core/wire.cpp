@@ -6,10 +6,9 @@ namespace atom {
 namespace {
 
 void PutCiphertextVec(ByteWriter& w, const ElGamalCiphertextVec& cts) {
-  w.U32(static_cast<uint32_t>(cts.size()));
-  for (const auto& ct : cts) {
-    w.Raw(BytesView(ct.Encode()));
-  }
+  // Same byte layout as EncodeCiphertextVec: one batched inversion for the
+  // whole [r, c, y] point run instead of one per point.
+  w.Raw(BytesView(EncodeCiphertextVec(cts)));
 }
 
 bool GetCiphertextVec(ByteReader& r, ElGamalCiphertextVec* out) {
@@ -114,9 +113,7 @@ bool GetBatch(ByteReader& r, CiphertextBatch* out) {
 
 void PutPoints(ByteWriter& w, const std::vector<Point>& points) {
   w.U32(static_cast<uint32_t>(points.size()));
-  for (const Point& p : points) {
-    w.Raw(BytesView(p.Encode()));
-  }
+  w.Raw(BytesView(EncodePoints(points)));
 }
 
 bool GetPoints(ByteReader& r, std::vector<Point>* out) {

@@ -52,6 +52,19 @@ ElGamalCiphertext ElGamalEncrypt(const Point& pk, const Point& m, Rng& rng,
   return ct;
 }
 
+ElGamalCiphertext ElGamalEncrypt(const FixedBaseTable& pk, const Point& m,
+                                 Rng& rng, Scalar* randomness_out) {
+  Scalar r = Scalar::Random(rng);
+  if (randomness_out != nullptr) {
+    *randomness_out = r;
+  }
+  ElGamalCiphertext ct;
+  ct.r = Point::BaseMul(r);
+  ct.c = m + pk.Mul(r);
+  ct.y = Point::Infinity();
+  return ct;
+}
+
 std::optional<Point> ElGamalDecrypt(const Scalar& sk,
                                     const ElGamalCiphertext& ct) {
   if (!ct.YIsNull()) {
@@ -62,6 +75,23 @@ std::optional<Point> ElGamalDecrypt(const Scalar& sk,
 
 std::optional<ElGamalCiphertext> ElGamalRerandomize(
     const Point& pk, const ElGamalCiphertext& ct, Rng& rng,
+    Scalar* randomness_out) {
+  if (!ct.YIsNull()) {
+    return std::nullopt;
+  }
+  Scalar r = Scalar::Random(rng);
+  if (randomness_out != nullptr) {
+    *randomness_out = r;
+  }
+  ElGamalCiphertext out;
+  out.r = ct.r + Point::BaseMul(r);
+  out.c = ct.c + pk.Mul(r);
+  out.y = Point::Infinity();
+  return out;
+}
+
+std::optional<ElGamalCiphertext> ElGamalRerandomize(
+    const FixedBaseTable& pk, const ElGamalCiphertext& ct, Rng& rng,
     Scalar* randomness_out) {
   if (!ct.YIsNull()) {
     return std::nullopt;
@@ -101,6 +131,25 @@ ElGamalCiphertext ElGamalReEnc(const Scalar& sk, const Point* next_pk,
   return out;
 }
 
+ElGamalCiphertext ElGamalReEnc(const Scalar& sk,
+                               const FixedBaseTable& next_pk,
+                               const ElGamalCiphertext& ct, Rng& rng,
+                               Scalar* randomness_out) {
+  ElGamalCiphertext out = ct;
+  if (out.YIsNull()) {
+    out.y = out.r;
+    out.r = Point::Infinity();
+  }
+  out.c = out.c - out.y.Mul(sk);
+  Scalar r = Scalar::Random(rng);
+  if (randomness_out != nullptr) {
+    *randomness_out = r;
+  }
+  out.r = out.r + Point::BaseMul(r);
+  out.c = out.c + next_pk.Mul(r);
+  return out;
+}
+
 ElGamalCiphertext ElGamalFinalizeHop(const ElGamalCiphertext& ct) {
   ElGamalCiphertext out = ct;
   out.y = Point::Infinity();
@@ -108,6 +157,25 @@ ElGamalCiphertext ElGamalFinalizeHop(const ElGamalCiphertext& ct) {
 }
 
 ElGamalCiphertextVec ElGamalEncryptVec(const Point& pk,
+                                       std::span<const Point> ms, Rng& rng,
+                                       std::vector<Scalar>* randomness_out) {
+  ElGamalCiphertextVec out;
+  out.reserve(ms.size());
+  if (randomness_out != nullptr) {
+    randomness_out->clear();
+    randomness_out->reserve(ms.size());
+  }
+  for (const Point& m : ms) {
+    Scalar r;
+    out.push_back(ElGamalEncrypt(pk, m, rng, &r));
+    if (randomness_out != nullptr) {
+      randomness_out->push_back(r);
+    }
+  }
+  return out;
+}
+
+ElGamalCiphertextVec ElGamalEncryptVec(const FixedBaseTable& pk,
                                        std::span<const Point> ms, Rng& rng,
                                        std::vector<Scalar>* randomness_out) {
   ElGamalCiphertextVec out;
@@ -141,11 +209,18 @@ std::optional<std::vector<Point>> ElGamalDecryptVec(
 }
 
 Bytes EncodeCiphertextVec(const ElGamalCiphertextVec& cts) {
+  // Flatten to one point span so the whole batch shares a single field
+  // inversion (EncodePoints); the byte layout is unchanged.
+  std::vector<Point> flat;
+  flat.reserve(cts.size() * 3);
+  for (const auto& ct : cts) {
+    flat.push_back(ct.r);
+    flat.push_back(ct.c);
+    flat.push_back(ct.y);
+  }
   ByteWriter w;
   w.U32(static_cast<uint32_t>(cts.size()));
-  for (const auto& ct : cts) {
-    w.Raw(BytesView(ct.Encode()));
-  }
+  w.Raw(BytesView(EncodePoints(flat)));
   return w.Take();
 }
 

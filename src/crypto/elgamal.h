@@ -52,6 +52,10 @@ struct ElGamalCiphertext {
 // is non-null the encryption randomness r is returned for proof generation.
 ElGamalCiphertext ElGamalEncrypt(const Point& pk, const Point& m, Rng& rng,
                                  Scalar* randomness_out = nullptr);
+// Table variant for hot paths that reuse one pk across a batch (identical
+// output for identical rng state; the table must be built from pk).
+ElGamalCiphertext ElGamalEncrypt(const FixedBaseTable& pk, const Point& m,
+                                 Rng& rng, Scalar* randomness_out = nullptr);
 
 // Decrypts (requires Y = ⊥): m = c - sk·R. Returns nullopt when Y ≠ ⊥.
 std::optional<Point> ElGamalDecrypt(const Scalar& sk,
@@ -62,6 +66,9 @@ std::optional<Point> ElGamalDecrypt(const Scalar& sk,
 std::optional<ElGamalCiphertext> ElGamalRerandomize(
     const Point& pk, const ElGamalCiphertext& ct, Rng& rng,
     Scalar* randomness_out = nullptr);
+std::optional<ElGamalCiphertext> ElGamalRerandomize(
+    const FixedBaseTable& pk, const ElGamalCiphertext& ct, Rng& rng,
+    Scalar* randomness_out = nullptr);
 
 // The out-of-order decrypt-and-reencrypt step (Appendix A ReEnc):
 //   if Y = ⊥: Y ← R, R ← identity       (first server of a hop)
@@ -70,6 +77,14 @@ std::optional<ElGamalCiphertext> ElGamalRerandomize(
 // Pass next_pk = nullptr for the final hop (pure staged decryption, r' = 0).
 // `randomness_out` receives r' for proof generation.
 ElGamalCiphertext ElGamalReEnc(const Scalar& sk, const Point* next_pk,
+                               const ElGamalCiphertext& ct, Rng& rng,
+                               Scalar* randomness_out = nullptr);
+// Table variant: the strip against Y stays generic (Y varies per
+// ciphertext) but the rewrap base is fixed per sub-batch, so next_pk's
+// table pays for itself across any real batch. Takes a reference — the
+// final-hop case (no next key) keeps using the pointer overload above.
+ElGamalCiphertext ElGamalReEnc(const Scalar& sk,
+                               const FixedBaseTable& next_pk,
                                const ElGamalCiphertext& ct, Rng& rng,
                                Scalar* randomness_out = nullptr);
 
@@ -82,6 +97,10 @@ ElGamalCiphertext ElGamalFinalizeHop(const ElGamalCiphertext& ct);
 using ElGamalCiphertextVec = std::vector<ElGamalCiphertext>;
 
 ElGamalCiphertextVec ElGamalEncryptVec(const Point& pk,
+                                       std::span<const Point> ms, Rng& rng,
+                                       std::vector<Scalar>* randomness_out =
+                                           nullptr);
+ElGamalCiphertextVec ElGamalEncryptVec(const FixedBaseTable& pk,
                                        std::span<const Point> ms, Rng& rng,
                                        std::vector<Scalar>* randomness_out =
                                            nullptr);

@@ -34,10 +34,9 @@ KemKeypair KemKeyGen(Rng& rng) {
   return kp;
 }
 
-Bytes KemEncrypt(const Point& pk, BytesView msg, Rng& rng) {
-  Scalar r = Scalar::Random(rng);
-  Point encap = Point::BaseMul(r);
-  Point shared = pk.Mul(r);
+namespace {
+
+Bytes SealWithShared(const Point& encap, const Point& shared, BytesView msg) {
   auto key = DeriveKey(encap, shared);
   uint8_t nonce[kAeadNonceSize] = {0};
   Bytes aad = encap.Encode();
@@ -45,6 +44,18 @@ Bytes KemEncrypt(const Point& pk, BytesView msg, Rng& rng) {
   Bytes out = encap.Encode();
   out.insert(out.end(), sealed.begin(), sealed.end());
   return out;
+}
+
+}  // namespace
+
+Bytes KemEncrypt(const Point& pk, BytesView msg, Rng& rng) {
+  Scalar r = Scalar::Random(rng);
+  return SealWithShared(Point::BaseMul(r), pk.Mul(r), msg);
+}
+
+Bytes KemEncrypt(const FixedBaseTable& pk, BytesView msg, Rng& rng) {
+  Scalar r = Scalar::Random(rng);
+  return SealWithShared(Point::BaseMul(r), pk.Mul(r), msg);
 }
 
 std::optional<Bytes> KemDecrypt(const Scalar& sk, BytesView ciphertext) {

@@ -27,6 +27,9 @@ KemKeypair KemKeyGen(Rng& rng);
 // (msg.size() + 16 bytes). Overhead is kKemOverhead bytes total.
 inline constexpr size_t kKemOverhead = Point::kEncodedSize + 16;
 Bytes KemEncrypt(const Point& pk, BytesView msg, Rng& rng);
+// Table variant for senders that encapsulate to the same key repeatedly
+// (e.g. every trap submission targets the trustee key).
+Bytes KemEncrypt(const FixedBaseTable& pk, BytesView msg, Rng& rng);
 
 // Decrypts; nullopt on malformed input or authentication failure.
 std::optional<Bytes> KemDecrypt(const Scalar& sk, BytesView ciphertext);

@@ -1,5 +1,7 @@
 #include "src/crypto/mont.h"
 
+#include <vector>
+
 namespace atom {
 namespace {
 
@@ -114,6 +116,29 @@ U256 Mont::Inv(const U256& a) const {
   U256 exp;
   U256Sub(&exp, m_, U256::FromU64(2));
   return Pow(a, exp);
+}
+
+void Mont::BatchInv(std::span<U256> values) const {
+  if (values.empty()) {
+    return;
+  }
+  // Forward pass: prefix[i] = values[0] * ... * values[i].
+  std::vector<U256> prefix(values.size());
+  prefix[0] = values[0];
+  ATOM_CHECK(!values[0].IsZero());
+  for (size_t i = 1; i < values.size(); i++) {
+    ATOM_CHECK(!values[i].IsZero());
+    prefix[i] = Mul(prefix[i - 1], values[i]);
+  }
+  // One inversion of the total product, then peel elements off the back:
+  // inv(prefix[i]) * prefix[i-1] = inv(values[i]).
+  U256 inv = Inv(prefix.back());
+  for (size_t i = values.size() - 1; i > 0; i--) {
+    U256 original = values[i];
+    values[i] = Mul(inv, prefix[i - 1]);
+    inv = Mul(inv, original);
+  }
+  values[0] = inv;
 }
 
 U256 Mont::Reduce(const U256& a) const {

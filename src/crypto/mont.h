@@ -8,6 +8,8 @@
 #ifndef SRC_CRYPTO_MONT_H_
 #define SRC_CRYPTO_MONT_H_
 
+#include <span>
+
 #include "src/crypto/u256.h"
 
 namespace atom {
@@ -39,6 +41,12 @@ class Mont {
   // Multiplicative inverse via Fermat's little theorem (modulus must be
   // prime, which holds for both P-256 moduli). a must be nonzero.
   U256 Inv(const U256& a) const;
+
+  // Montgomery's batch-inversion trick: inverts every element in place
+  // using one field inversion plus 3(n-1) multiplications, versus one
+  // ~256-square-and-multiply inversion per element. Every element must be
+  // nonzero (checked). Works in either representation, like Inv.
+  void BatchInv(std::span<U256> values) const;
 
   // Reduces a plain 256-bit value mod m (at most one subtraction is needed
   // because both moduli exceed 2^255).

@@ -305,49 +305,98 @@ Point Point::Mul(const Scalar& k) const {
   return acc;
 }
 
-namespace {
-
-// Precomputed 4-bit window tables for the generator: kGenTable[w][d-1] holds
-// (d << (4w)) * G, so BaseMul needs only ~64 additions and no doublings.
-struct GeneratorTables {
-  Point table[64][15];
-
-  GeneratorTables() {
-    Point base = Point::Generator();
-    for (int w = 0; w < 64; w++) {
-      table[w][0] = base;
-      for (int d = 1; d < 15; d++) {
-        table[w][d] = table[w][d - 1] + base;
-      }
-      // base <<= 4
-      Point next = table[w][14] + base;  // 16 * base
-      base = next;
-    }
+Point Point::AddMixed(const Point& jacobian, const Point& affine) {
+  if (jacobian.IsInfinity()) {
+    return affine;
   }
-};
+  if (affine.IsInfinity()) {
+    return jacobian;
+  }
+  // madd-2008-g: with Z2 == 1, u1/s1 need no scaling and Z3 drops one mul.
+  const Mont& fp = FieldP();
+  U256 z1z1 = fp.Mul(jacobian.z_, jacobian.z_);
+  U256 u2 = fp.Mul(affine.x_, z1z1);
+  U256 s2 = fp.Mul(fp.Mul(affine.y_, jacobian.z_), z1z1);
 
-const GeneratorTables& GenTables() {
-  static const GeneratorTables tables;
-  return tables;
-}
-
-}  // namespace
-
-Point Point::BaseMul(const Scalar& k) {
-  if (k.IsZero()) {
+  if (u2 == jacobian.x_) {
+    if (s2 == jacobian.y_) {
+      return jacobian.Double();
+    }
     return Infinity();
   }
-  const GeneratorTables& tables = GenTables();
+
+  U256 h = fp.Sub(u2, jacobian.x_);
+  U256 r = fp.Sub(s2, jacobian.y_);
+  U256 hh = fp.Mul(h, h);
+  U256 hhh = fp.Mul(hh, h);
+  U256 v = fp.Mul(jacobian.x_, hh);
+
+  Point out;
+  U256 v2 = fp.Add(v, v);
+  out.x_ = fp.Sub(fp.Sub(fp.Mul(r, r), hhh), v2);
+  out.y_ = fp.Sub(fp.Mul(r, fp.Sub(v, out.x_)), fp.Mul(jacobian.y_, hhh));
+  out.z_ = fp.Mul(jacobian.z_, h);
+  return out;
+}
+
+FixedBaseTable::FixedBaseTable(const Point& base) : base_(base) {
+  if (base.IsInfinity()) {
+    return;  // Mul short-circuits; the table is never consulted.
+  }
+  Point cur = base;
+  for (int w = 0; w < 64; w++) {
+    table_[w][0] = cur;
+    for (int d = 1; d < 15; d++) {
+      table_[w][d] = table_[w][d - 1] + cur;
+    }
+    cur = table_[w][14] + cur;  // cur <<= 4
+  }
+  // Normalize all 960 entries to affine (z == 1) with ONE shared inversion
+  // so Mul can use the mixed add. Every entry is (d << 4w) * base with a
+  // multiplier in [1, 15 * 2^252] < n, so none is the identity and every z
+  // is invertible (the curve has prime order, cofactor 1).
+  const Mont& fp = FieldP();
+  std::vector<U256> zs;
+  zs.reserve(64 * 15);
+  for (int w = 0; w < 64; w++) {
+    for (int d = 0; d < 15; d++) {
+      zs.push_back(table_[w][d].z_);
+    }
+  }
+  fp.BatchInv(zs);
+  for (int w = 0; w < 64; w++) {
+    for (int d = 0; d < 15; d++) {
+      Point& p = table_[w][d];
+      const U256& zinv = zs[static_cast<size_t>(w) * 15 + d];
+      U256 zinv2 = fp.Mul(zinv, zinv);
+      p.x_ = fp.Mul(p.x_, zinv2);
+      p.y_ = fp.Mul(p.y_, fp.Mul(zinv2, zinv));
+      p.z_ = fp.one();
+    }
+  }
+}
+
+Point FixedBaseTable::Mul(const Scalar& k) const {
+  if (base_.IsInfinity() || k.IsZero()) {
+    return Point::Infinity();
+  }
   U256 e = k.PlainValue();
-  Point acc = Infinity();
+  Point acc = Point::Infinity();
   for (int window = 0; window < 64; window++) {
     uint64_t digit = (e.v[window / 16] >> (4 * (window % 16))) & 0xf;
     if (digit != 0) {
-      acc = acc + tables.table[window][digit - 1];
+      acc = Point::AddMixed(acc, table_[window][digit - 1]);
     }
   }
   return acc;
 }
+
+const FixedBaseTable& Point::GeneratorTable() {
+  static const FixedBaseTable table(Generator());
+  return table;
+}
+
+Point Point::BaseMul(const Scalar& k) { return GeneratorTable().Mul(k); }
 
 void Point::ToAffine(U256* out_x, U256* out_y) const {
   ATOM_CHECK(!IsInfinity());
@@ -357,6 +406,32 @@ void Point::ToAffine(U256* out_x, U256* out_y) const {
   U256 zinv3 = fp.Mul(zinv2, zinv);
   *out_x = fp.FromMont(fp.Mul(x_, zinv2));
   *out_y = fp.FromMont(fp.Mul(y_, zinv3));
+}
+
+std::vector<Point::AffineCoords> Point::BatchToAffine(
+    std::span<const Point> points) {
+  const Mont& fp = FieldP();
+  std::vector<AffineCoords> out(points.size());
+  std::vector<U256> zs;
+  zs.reserve(points.size());
+  for (const Point& p : points) {
+    if (!p.IsInfinity()) {
+      zs.push_back(p.z_);
+    }
+  }
+  fp.BatchInv(zs);
+  size_t j = 0;
+  for (size_t i = 0; i < points.size(); i++) {
+    if (points[i].IsInfinity()) {
+      out[i].infinity = true;
+      continue;
+    }
+    const U256& zinv = zs[j++];
+    U256 zinv2 = fp.Mul(zinv, zinv);
+    out[i].x = fp.FromMont(fp.Mul(points[i].x_, zinv2));
+    out[i].y = fp.FromMont(fp.Mul(points[i].y_, fp.Mul(zinv2, zinv)));
+  }
+  return out;
 }
 
 Bytes Point::Encode() const {
@@ -411,6 +486,21 @@ std::optional<Point> Point::Decode(BytesView bytes33) {
 
 // ------------------------------------------------------------------- MSM --
 
+Bytes EncodePoints(std::span<const Point> points) {
+  auto affine = Point::BatchToAffine(points);
+  Bytes out(points.size() * Point::kEncodedSize, 0);
+  for (size_t i = 0; i < points.size(); i++) {
+    if (affine[i].infinity) {
+      continue;  // the identity encodes as 33 zero bytes, already in place
+    }
+    uint8_t* dst = out.data() + i * Point::kEncodedSize;
+    dst[0] = static_cast<uint8_t>(0x02 | affine[i].y.Bit(0));
+    auto xb = affine[i].x.ToBytesBe();
+    std::copy(xb.begin(), xb.end(), dst + 1);
+  }
+  return out;
+}
+
 Point MultiScalarMul(std::span<const Point> points,
                      std::span<const Scalar> scalars) {
   ATOM_CHECK(points.size() == scalars.size());
@@ -418,6 +508,10 @@ Point MultiScalarMul(std::span<const Point> points,
   if (n == 0) {
     return Point::Infinity();
   }
+  // Below n = 8 the naive sum wins: Pippenger's smallest window (c = 4)
+  // still pays 256 doublings plus a 15-bucket running-sum sweep across all
+  // 64 windows, which measured (bench_table3_primitives, BM_Msm at n = 4/8)
+  // only breaks even against n independent windowed Muls around n ≈ 8.
   if (n < 8) {
     Point acc = Point::Infinity();
     for (size_t i = 0; i < n; i++) {
@@ -426,7 +520,13 @@ Point MultiScalarMul(std::span<const Point> points,
     return acc;
   }
 
-  // Pippenger bucket method.
+  // Pippenger bucket method. Window width c trades bucket-count (2^c - 1
+  // adds per window in the running-sum sweep) against window-count
+  // (256/c iterations over all n points): the optimum grows with
+  // log2(n). The schedule below follows the measured crossovers on this
+  // implementation (c = 7 overtakes c = 4 near n ≈ 32, c = 9 near
+  // n ≈ 256, c = 11 near n ≈ 2048 — each within ~10% of its neighbor at
+  // the boundary, so exact cut points are not critical).
   int c = 4;
   if (n >= 32) {
     c = 7;

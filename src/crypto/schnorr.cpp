@@ -57,4 +57,51 @@ bool SchnorrVerify(const Point& pk, BytesView message,
   return Point::BaseMul(sig.response) == sig.commit + pk.Mul(e);
 }
 
+bool SchnorrVerifyBatch(std::span<const Point> pks,
+                        std::span<const BytesView> messages,
+                        std::span<const SchnorrSignature> sigs) {
+  if (pks.size() != messages.size() || pks.size() != sigs.size()) {
+    return false;
+  }
+  const size_t n = pks.size();
+  if (n == 0) {
+    return true;
+  }
+  if (n == 1) {
+    return SchnorrVerify(pks[0], messages[0], sigs[0]);
+  }
+
+  // Derandomized batch coefficients γ_i from a hash of the whole statement
+  // (every key, message, and signature), mirroring VerifyEncProofBatch.
+  Transcript t("atom/schnorr-batch/v1");
+  t.AppendU64("n", n);
+  for (size_t i = 0; i < n; i++) {
+    t.AppendPoint("pk", pks[i]);
+    t.AppendBytes("msg", messages[i]);
+    t.AppendPoint("commit", sigs[i].commit);
+    t.AppendScalar("s", sigs[i].response);
+  }
+  auto seed = t.ChallengeBytes("gamma-seed");
+  Rng stream{BytesView(seed.data(), seed.size())};
+
+  // Per-signature equation: s_i·G == R_i + e_i·pk_i. Random-combined:
+  //   (Σ γ_i·s_i)·G == Σ γ_i·R_i + Σ (γ_i·e_i)·pk_i.
+  Scalar lhs_scalar = Scalar::Zero();
+  std::vector<Point> points;
+  std::vector<Scalar> scalars;
+  points.reserve(2 * n);
+  scalars.reserve(2 * n);
+  for (size_t i = 0; i < n; i++) {
+    Scalar gamma = Scalar::Random(stream);
+    Scalar e = Challenge(sigs[i].commit, pks[i], messages[i]);
+    lhs_scalar = lhs_scalar + gamma * sigs[i].response;
+    points.push_back(sigs[i].commit);
+    scalars.push_back(gamma);
+    points.push_back(pks[i]);
+    scalars.push_back(gamma * e);
+  }
+  Point rhs = MultiScalarMul(points, scalars);
+  return Point::BaseMul(lhs_scalar) == rhs;
+}
+
 }  // namespace atom

@@ -46,8 +46,18 @@ std::vector<uint32_t> RandomPermutation(size_t n, Rng& rng);
 // correctness is enforced by traps instead of NIZKs. If `perm_out` /
 // `rands_out` are non-null they receive the witnesses (for ShuffleProve or
 // the blame protocol). `workers` parallelizes the rerandomizations.
+// The Point overload transparently builds a FixedBaseTable for pk when the
+// batch is large enough to amortize the build (n·l >= 16 rerandomizations);
+// callers that already hold a cached table use the table overload and skip
+// even that. Outputs are identical for identical rng state either way.
 CiphertextBatch ShuffleBatch(const Point& pk, const CiphertextBatch& input,
                              Rng& rng,
+                             std::vector<uint32_t>* perm_out = nullptr,
+                             std::vector<std::vector<Scalar>>* rands_out =
+                                 nullptr,
+                             size_t workers = 1);
+CiphertextBatch ShuffleBatch(const FixedBaseTable& pk,
+                             const CiphertextBatch& input, Rng& rng,
                              std::vector<uint32_t>* perm_out = nullptr,
                              std::vector<std::vector<Scalar>>* rands_out =
                                  nullptr,
@@ -79,6 +89,9 @@ struct ShuffleResult {
 // variant's multi-core speed-up is sub-linear (paper Fig. 7).
 ShuffleResult ShuffleAndProve(const Point& pk, const CiphertextBatch& input,
                               Rng& rng, size_t workers = 1);
+ShuffleResult ShuffleAndProve(const FixedBaseTable& pk,
+                              const CiphertextBatch& input, Rng& rng,
+                              size_t workers = 1);
 
 // Verifies that `output` is a permuted rerandomization of `input` under pk.
 bool VerifyShuffle(const Point& pk, const CiphertextBatch& input,

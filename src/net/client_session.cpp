@@ -34,15 +34,17 @@ std::unique_ptr<ClientSession> ClientSession::Connect(
     return nullptr;
   }
   return std::unique_ptr<ClientSession>(new ClientSession(
-      client_id, std::move(link), std::move(*welcome)));
+      client_id, identity, std::move(link), std::move(*welcome)));
 }
 
-ClientSession::ClientSession(uint64_t client_id,
+ClientSession::ClientSession(uint64_t client_id, KemKeypair identity,
                              std::unique_ptr<SecureLink> link,
                              GatewayWelcome welcome)
     : client_id_(client_id),
+      identity_(std::move(identity)),
       link_(std::move(link)),
-      welcome_(std::move(welcome)) {
+      welcome_(std::move(welcome)),
+      sign_rng_(Rng::FromOsEntropy()) {
   credit_ = welcome_.credit;
   open_round_ = welcome_.open_round;
   reader_ = std::thread([this] { ReaderLoop(); });
@@ -116,6 +118,7 @@ uint64_t ClientSession::WaitRoundOpen(std::chrono::milliseconds timeout) {
 
 uint64_t ClientSession::SubmitEncoded(Bytes submission) {
   uint64_t seq;
+  SchnorrSignature sig;
   {
     std::unique_lock<std::mutex> lock(mu_);
     // Window-advertised credit: block while the window is exhausted so a
@@ -126,10 +129,16 @@ uint64_t ClientSession::SubmitEncoded(Bytes submission) {
     }
     credit_--;
     seq = next_seq_++;
+    // Sign the submission bytes under the registered identity (the
+    // nonce draw shares mu_ with the credit state; the signature itself
+    // is one fixed-base mult through the generator table).
+    sig = SchnorrSign(identity_.sk, identity_.pk,
+                      BytesView(SubmissionSigMessage(BytesView(submission))),
+                      sign_rng_);
   }
   if (!link_->Send(BytesView(PackClientFrame(
           ClientMsg::kSubmit,
-          BytesView(EncodeSubmit(seq, BytesView(submission))))))) {
+          BytesView(EncodeSubmitSigned(seq, BytesView(submission), sig)))))) {
     std::lock_guard<std::mutex> lock(mu_);
     dead_ = true;
     cv_.notify_all();
@@ -181,6 +190,26 @@ bool ClientSession::SubmitAndWait(const NizkSubmission& submission) {
   return status.has_value() && *status == SubmitStatus::kAccepted;
 }
 
+const FixedBaseTable& ClientSession::EntryTable(uint32_t gid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entry_tables_.find(gid);
+  if (it == entry_tables_.end()) {
+    it = entry_tables_
+             .emplace(gid, std::make_unique<FixedBaseTable>(
+                               welcome_.entry_pks[gid]))
+             .first;
+  }
+  return *it->second;
+}
+
+const FixedBaseTable& ClientSession::TrusteeTable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trustee_table_ == nullptr) {
+    trustee_table_ = std::make_unique<FixedBaseTable>(*welcome_.trustee_pk);
+  }
+  return *trustee_table_;
+}
+
 bool ClientSession::SendMessage(BytesView message, uint32_t gid, Rng& rng) {
   if (gid >= welcome_.entry_pks.size()) {
     return false;
@@ -193,14 +222,14 @@ bool ClientSession::SendMessage(BytesView message, uint32_t gid, Rng& rng) {
     if (!welcome_.trustee_pk.has_value()) {
       return false;
     }
-    TrapSubmission sub =
-        MakeTrapSubmission(welcome_.entry_pks[gid], gid,
-                           *welcome_.trustee_pk, message, layout, rng);
+    TrapSubmission sub = MakeTrapSubmission(EntryTable(gid), gid,
+                                            TrusteeTable(), message, layout,
+                                            rng);
     sub.client_id = client_id_;
     return SubmitAndWait(sub);
   }
-  NizkSubmission sub = MakeNizkSubmission(welcome_.entry_pks[gid], gid,
-                                          message, layout, rng);
+  NizkSubmission sub =
+      MakeNizkSubmission(EntryTable(gid), gid, message, layout, rng);
   sub.client_id = client_id_;
   return SubmitAndWait(sub);
 }

@@ -14,6 +14,14 @@
 // returns a sequence number; WaitResult blocks for that submission's
 // verdict. A reader thread demultiplexes verdicts (returning their
 // credits) and round open/cutoff announcements.
+//
+// Every kSubmit frame is Schnorr-signed under the registered identity
+// (EncodeSubmitSigned), binding the submission bytes — not just the
+// transport — to the registered key; the gateway's shard pumps verify
+// whole spans of these with one batched MSM. SendMessage also caches a
+// precomputed table per entry-group key (and the trustee key) from the
+// welcome, so a session submitting across rounds pays the table build
+// once and every later encryption uses the fast fixed-base path.
 #ifndef SRC_NET_CLIENT_SESSION_H_
 #define SRC_NET_CLIENT_SESSION_H_
 
@@ -78,17 +86,26 @@ class ClientSession {
   void Close();
 
  private:
-  ClientSession(uint64_t client_id, std::unique_ptr<SecureLink> link,
-                GatewayWelcome welcome);
+  ClientSession(uint64_t client_id, KemKeypair identity,
+                std::unique_ptr<SecureLink> link, GatewayWelcome welcome);
 
   uint64_t SubmitEncoded(Bytes submission);
   void ReaderLoop();
+  // Lazily built fixed-base tables for the welcome's keys (guarded by
+  // mu_; the returned reference is stable — tables are never dropped
+  // while the session lives).
+  const FixedBaseTable& EntryTable(uint32_t gid);
+  const FixedBaseTable& TrusteeTable();
 
   const uint64_t client_id_;
+  const KemKeypair identity_;  // signs every kSubmit frame
   std::shared_ptr<SecureLink> link_;
   GatewayWelcome welcome_;
 
   mutable std::mutex mu_;
+  Rng sign_rng_;  // guarded by mu_
+  std::map<uint32_t, std::unique_ptr<FixedBaseTable>> entry_tables_;
+  std::unique_ptr<FixedBaseTable> trustee_table_;
   std::condition_variable cv_;
   uint32_t credit_ = 0;
   uint64_t next_seq_ = 1;

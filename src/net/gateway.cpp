@@ -122,10 +122,28 @@ std::optional<GatewayWelcome> DecodeWelcome(BytesView bytes) {
   return welcome;
 }
 
+Bytes SubmissionSigMessage(BytesView submission) {
+  static constexpr char kDomain[] = "atom/submit/v1";
+  Bytes msg(kDomain, kDomain + sizeof(kDomain) - 1);
+  msg.insert(msg.end(), submission.begin(), submission.end());
+  return msg;
+}
+
 Bytes EncodeSubmit(uint64_t seq, BytesView submission) {
   ByteWriter w;
   w.U64(seq);
   w.Var(submission);
+  w.U8(0);  // unsigned
+  return w.Take();
+}
+
+Bytes EncodeSubmitSigned(uint64_t seq, BytesView submission,
+                         const SchnorrSignature& sig) {
+  ByteWriter w;
+  w.U64(seq);
+  w.Var(submission);
+  w.U8(1);
+  w.Raw(BytesView(sig.Encode()));
   return w.Take();
 }
 
@@ -142,12 +160,31 @@ std::optional<SubmitMsg> DecodeSubmit(BytesView bytes) {
     return std::nullopt;
   }
   auto submission = r.Raw(*len);
-  if (!submission || !r.Done()) {
+  if (!submission) {
+    return std::nullopt;
+  }
+  auto has_sig = r.U8();
+  if (!has_sig || *has_sig > 1) {
     return std::nullopt;
   }
   SubmitMsg msg;
   msg.seq = *seq;
   msg.submission = std::move(*submission);
+  if (*has_sig == 1) {
+    auto raw = r.Raw(SchnorrSignature::kEncodedSize);
+    if (!raw) {
+      return std::nullopt;
+    }
+    auto sig = SchnorrSignature::Decode(BytesView(*raw));
+    if (!sig) {
+      return std::nullopt;
+    }
+    msg.has_sig = true;
+    msg.sig = *sig;
+  }
+  if (!r.Done()) {
+    return std::nullopt;
+  }
   return msg;
 }
 
@@ -381,6 +418,12 @@ void SubmissionGateway::ServeConnection(TcpSocket socket,
   }
   auto conn = std::make_shared<Connection>();
   conn->client_id = accepted->peer_id();
+  // Cache the registered key: the handshake only completes against it, so
+  // the lookup cannot fail here. It becomes sig_pk for every signed frame
+  // this connection streams — the pump never touches the registry.
+  auto registered = registry_->Lookup(conn->client_id);
+  ATOM_CHECK(registered.has_value());
+  conn->pk = *registered;
   conn->link = std::shared_ptr<SecureLink>(std::move(accepted));
   // A client that stops reading (zero TCP window) must fail its sends,
   // not wedge verdict and broadcast paths on a full kernel buffer.
@@ -473,9 +516,22 @@ void SubmissionGateway::HandleSubmit(
     SendResult(conn, msg.seq, SubmitStatus::kClosed);
     return;
   }
+  if (config_.require_sigs && !msg.has_sig) {
+    SendResult(conn, msg.seq, SubmitStatus::kRejected);
+    return;
+  }
   // Decode on the reader thread (cheap next to proof verification, and it
   // keeps the ring free of undecodable junk).
   StreamedSubmission item;
+  if (msg.has_sig) {
+    // Verification is deferred to the pump, which folds all signed items
+    // of a drained span into one batch check; sign over the wire bytes so
+    // the pump needs no re-encoding.
+    item.has_sig = true;
+    item.sig_pk = conn->pk;
+    item.sig = msg.sig;
+    item.sig_msg = SubmissionSigMessage(BytesView(msg.submission));
+  }
   uint32_t gid = 0;
   uint64_t submission_client = 0;
   if (round_->variant() == Variant::kTrap) {

@@ -90,9 +90,22 @@ std::optional<GatewayWelcome> DecodeWelcome(BytesView bytes);
 struct SubmitMsg {
   uint64_t seq = 0;   // client-chosen, echoed by the result
   Bytes submission;   // EncodeNizkSubmission / EncodeTrapSubmission
+  // Optional Schnorr signature under the client's REGISTERED key over
+  // SubmissionSigMessage(submission). The channel already authenticates
+  // the sender; the signature additionally binds the submission BYTES to
+  // the registered identity, so a gateway operator cannot substitute a
+  // different payload on an honest client's behalf, and shards
+  // batch-verify whole drained spans with one MSM (SchnorrVerifyBatch).
+  bool has_sig = false;
+  SchnorrSignature sig;
 };
 
+// Domain-separated bytes a client signs: "atom/submit/v1" || submission.
+Bytes SubmissionSigMessage(BytesView submission);
+
 Bytes EncodeSubmit(uint64_t seq, BytesView submission);
+Bytes EncodeSubmitSigned(uint64_t seq, BytesView submission,
+                         const SchnorrSignature& sig);
 std::optional<SubmitMsg> DecodeSubmit(BytesView bytes);
 
 enum class SubmitStatus : uint8_t {
@@ -118,6 +131,11 @@ std::optional<uint64_t> DecodeRoundNotice(BytesView bytes);
 struct GatewayConfig {
   uint32_t credit_window = 32;  // in-flight submissions per connection
   size_t verify_workers = 1;    // ParallelFor width per pump span
+  // Reject kSubmit frames that carry no signature. Off by default so the
+  // channel-authenticated deployments keep working; a deployment that
+  // wants submissions bound to registered keys (not just the transport)
+  // turns it on and clients sign via EncodeSubmitSigned.
+  bool require_sigs = false;
 };
 
 class SubmissionGateway {
@@ -169,6 +187,7 @@ class SubmissionGateway {
   struct Connection {
     std::shared_ptr<SecureLink> link;
     uint64_t client_id = 0;
+    Point pk;                // the registered key (cached at handshake)
     uint32_t in_flight = 0;  // guarded by the gateway's mu_
   };
   // One entry-group shard's pump lane: pumps are serialized (the ring's

@@ -1382,6 +1382,57 @@ TEST(IngressEquivalence, NizkRoundViaTcpMatchesInProcess) {
   EXPECT_EQ(got.plaintexts, want.plaintexts);
 }
 
+TEST(IngressAuth, RequireSigsAcceptsSigningClients) {
+  // With require_sigs on, a ClientSession (which signs every kSubmit
+  // frame under its registered key) is accepted end to end — the pump's
+  // batch signature check and the proof check both pass.
+  IngressFixture fx(Variant::kNizk);
+  fx.AddClient(500);
+  GatewayConfig cfg;
+  cfg.require_sigs = true;
+  ASSERT_TRUE(fx.StartGateway(cfg));
+  fx.gateway->OpenRound(1);
+  auto session = fx.Connect(500);
+  ASSERT_NE(session, nullptr);
+  Rng rng(uint64_t{0xabc1});
+  EXPECT_TRUE(session->SendMessage(BytesView(ToBytes("signed hello")), 0,
+                                   rng));
+  fx.gateway->Cutoff();
+  EXPECT_EQ(fx.gateway->accepted_count(), 1u);
+}
+
+TEST(StreamingIntake, PumpBatchRejectsOnlyBadSignatures) {
+  // One drained span with a corrupted signature in the middle: the batch
+  // check fails, the per-signature fallback pins the culprit, and only
+  // that item is rejected — its neighbours' verdicts are unaffected.
+  IngressFixture fx(Variant::kNizk);
+  Rng rng(uint64_t{0x51f7});
+  auto kp = SchnorrKeyGen(rng);
+  for (uint64_t i = 0; i < 5; i++) {
+    StreamedSubmission item;
+    item.nizk = fx.MakeNizk(kAnonymousClient, 0, rng,
+                            "span item " + std::to_string(i));
+    item.cookie = i + 1;
+    item.has_sig = true;
+    item.sig_pk = kp.pk;
+    item.sig_msg = SubmissionSigMessage(
+        BytesView(ToBytes("payload " + std::to_string(i))));
+    item.sig = SchnorrSign(kp.sk, kp.pk, BytesView(item.sig_msg), rng);
+    if (i == 2) {
+      item.sig.response = item.sig.response + Scalar::One();
+    }
+    ASSERT_TRUE(fx.round->StreamSubmit(std::move(item)));
+  }
+  std::map<uint64_t, bool> verdicts;
+  size_t drained = fx.round->PumpStream(
+      0, 1, [&](uint64_t cookie, bool ok) { verdicts[cookie] = ok; });
+  EXPECT_EQ(drained, 5u);
+  ASSERT_EQ(verdicts.size(), 5u);
+  for (uint64_t i = 0; i < 5; i++) {
+    EXPECT_EQ(verdicts[i + 1], i != 2) << "item " << i;
+  }
+}
+
 TEST(IngressRegistry, DuplicateIdRejectedGloballyAtRegistration) {
   Directory directory(ToBytes("reg-genesis"));
   Rng rng(uint64_t{0xd0b1e});
@@ -1590,6 +1641,43 @@ TEST(ClientWire, FramesRejectTruncationJunkAndOversize) {
   ASSERT_TRUE(frame.has_value());
   EXPECT_EQ(frame->type, ClientMsg::kRoundOpen);
   EXPECT_EQ(DecodeRoundNotice(BytesView(frame->body)), 12u);
+}
+
+TEST(ClientWire, SignedSubmitRoundTripAndHardening) {
+  Rng rng(uint64_t{0x51ca});
+  auto kp = SchnorrKeyGen(rng);
+  Bytes submission(64, 0x3c);
+  Bytes to_sign = SubmissionSigMessage(BytesView(submission));
+  auto sig = SchnorrSign(kp.sk, kp.pk, BytesView(to_sign), rng);
+
+  Bytes enc = EncodeSubmitSigned(7, BytesView(submission), sig);
+  auto dec = DecodeSubmit(BytesView(enc));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->seq, 7u);
+  EXPECT_EQ(dec->submission, submission);
+  ASSERT_TRUE(dec->has_sig);
+  EXPECT_TRUE(SchnorrVerify(kp.pk, BytesView(to_sign), dec->sig));
+  // The domain prefix separates submit signatures from every other
+  // Schnorr use of the same key: the raw bytes do not verify.
+  EXPECT_FALSE(SchnorrVerify(kp.pk, BytesView(submission), dec->sig));
+
+  // Unsigned frames decode with has_sig = false.
+  auto unsigned_dec = DecodeSubmit(BytesView(EncodeSubmit(7,
+                                   BytesView(submission))));
+  ASSERT_TRUE(unsigned_dec.has_value());
+  EXPECT_FALSE(unsigned_dec->has_sig);
+
+  // Every strict prefix of a signed frame fails to decode; so do trailing
+  // junk and a flag byte outside {0,1}.
+  for (size_t len = 0; len < enc.size(); len++) {
+    EXPECT_FALSE(DecodeSubmit(BytesView(enc.data(), len)).has_value());
+  }
+  Bytes trailing = enc;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeSubmit(BytesView(trailing)).has_value());
+  Bytes bad_flag = EncodeSubmit(7, BytesView(submission));
+  bad_flag.back() = 2;
+  EXPECT_FALSE(DecodeSubmit(BytesView(bad_flag)).has_value());
 }
 
 TEST(StreamingIntake, MpscRingBoundsAndOrdersConcurrentProducers) {

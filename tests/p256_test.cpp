@@ -382,5 +382,127 @@ TEST(ScalarOps, RandomIsNonDegenerate) {
   EXPECT_FALSE(a.IsZero());
 }
 
+// --------------------------------------------------------- fixed-base table
+
+TEST(FixedBase, TableMatchesGenericMul) {
+  Rng rng(41u);
+  Point base = Point::BaseMul(Scalar::Random(rng));
+  FixedBaseTable table(base);
+  EXPECT_EQ(table.base(), base);
+  for (int i = 0; i < 32; i++) {
+    Scalar k = Scalar::Random(rng);
+    EXPECT_EQ(table.Mul(k), base.Mul(k));
+  }
+}
+
+TEST(FixedBase, TableEdgeScalars) {
+  Rng rng(42u);
+  Point base = Point::BaseMul(Scalar::Random(rng));
+  FixedBaseTable table(base);
+  EXPECT_TRUE(table.Mul(Scalar::Zero()).IsInfinity());
+  EXPECT_EQ(table.Mul(Scalar::One()), base);
+  // n - 1 (all windows saturated on the high limbs): -P.
+  Scalar n_minus_1 = Scalar::Zero() - Scalar::One();
+  EXPECT_EQ(table.Mul(n_minus_1), base.Mul(n_minus_1));
+  EXPECT_TRUE((table.Mul(n_minus_1) + base).IsInfinity());
+}
+
+TEST(FixedBase, GeneratorTableIsBaseMul) {
+  Rng rng(43u);
+  for (int i = 0; i < 8; i++) {
+    Scalar k = Scalar::Random(rng);
+    EXPECT_EQ(Point::GeneratorTable().Mul(k), Point::Generator().Mul(k));
+    EXPECT_EQ(Point::BaseMul(k), Point::Generator().Mul(k));
+  }
+}
+
+TEST(FixedBase, IdentityBaseTableYieldsInfinity) {
+  FixedBaseTable table(Point::Infinity());
+  Rng rng(44u);
+  EXPECT_TRUE(table.Mul(Scalar::Random(rng)).IsInfinity());
+  EXPECT_TRUE(table.Mul(Scalar::Zero()).IsInfinity());
+}
+
+TEST(BatchAffine, MatchesPerPointToAffine) {
+  Rng rng(45u);
+  std::vector<Point> points;
+  for (int i = 0; i < 17; i++) {
+    // Mix of fresh multiples and sums so z coordinates are nontrivial.
+    points.push_back(Point::BaseMul(Scalar::Random(rng)) +
+                     Point::BaseMul(Scalar::Random(rng)));
+  }
+  auto affine = Point::BatchToAffine(points);
+  ASSERT_EQ(affine.size(), points.size());
+  for (size_t i = 0; i < points.size(); i++) {
+    EXPECT_FALSE(affine[i].infinity);
+    U256 x, y;
+    points[i].ToAffine(&x, &y);
+    EXPECT_EQ(affine[i].x, x);
+    EXPECT_EQ(affine[i].y, y);
+  }
+}
+
+TEST(BatchAffine, HandlesIdentityInBatch) {
+  Rng rng(46u);
+  std::vector<Point> points = {Point::BaseMul(Scalar::Random(rng)),
+                               Point::Infinity(),
+                               Point::BaseMul(Scalar::Random(rng)),
+                               Point::Infinity()};
+  auto affine = Point::BatchToAffine(points);
+  ASSERT_EQ(affine.size(), 4u);
+  EXPECT_FALSE(affine[0].infinity);
+  EXPECT_TRUE(affine[1].infinity);
+  EXPECT_FALSE(affine[2].infinity);
+  EXPECT_TRUE(affine[3].infinity);
+  U256 x, y;
+  points[2].ToAffine(&x, &y);
+  EXPECT_EQ(affine[2].x, x);
+  EXPECT_EQ(affine[2].y, y);
+  // All-identity and empty batches are fine too.
+  EXPECT_TRUE(Point::BatchToAffine(std::vector<Point>{}).empty());
+  auto all_inf = Point::BatchToAffine(
+      std::vector<Point>{Point::Infinity(), Point::Infinity()});
+  EXPECT_TRUE(all_inf[0].infinity && all_inf[1].infinity);
+}
+
+TEST(BatchAffine, EncodePointsMatchesLoopedEncode) {
+  Rng rng(47u);
+  std::vector<Point> points;
+  for (int i = 0; i < 9; i++) {
+    points.push_back(Point::BaseMul(Scalar::Random(rng)));
+  }
+  points.insert(points.begin() + 3, Point::Infinity());
+  Bytes batch = EncodePoints(points);
+  ASSERT_EQ(batch.size(), points.size() * Point::kEncodedSize);
+  for (size_t i = 0; i < points.size(); i++) {
+    Bytes one = points[i].Encode();
+    EXPECT_TRUE(std::equal(one.begin(), one.end(),
+                           batch.begin() +
+                               static_cast<ptrdiff_t>(i *
+                                                      Point::kEncodedSize)));
+  }
+  EXPECT_TRUE(EncodePoints(std::vector<Point>{}).empty());
+}
+
+TEST(Mont, BatchInvMatchesInv) {
+  Rng rng(48u);
+  const Mont& fp = FieldP();
+  std::vector<U256> values;
+  for (int i = 0; i < 13; i++) {
+    values.push_back(fp.ToMont(Scalar::Random(rng).PlainValue()));
+  }
+  std::vector<U256> batch = values;
+  fp.BatchInv(batch);
+  for (size_t i = 0; i < values.size(); i++) {
+    EXPECT_EQ(batch[i], fp.Inv(values[i]));
+  }
+  // Single-element and empty batches.
+  std::vector<U256> one = {values[0]};
+  fp.BatchInv(one);
+  EXPECT_EQ(one[0], fp.Inv(values[0]));
+  std::vector<U256> none;
+  fp.BatchInv(none);
+}
+
 }  // namespace
 }  // namespace atom

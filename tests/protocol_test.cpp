@@ -61,6 +61,66 @@ TEST(Schnorr, EncodeDecodeRoundTrip) {
   EXPECT_FALSE(SchnorrSignature::Decode(BytesView(enc)).has_value());
 }
 
+TEST(SchnorrBatch, AcceptsAllValidAndEmptyAndSingle) {
+  Rng rng(1105u);
+  std::vector<SchnorrKeypair> kps;
+  std::vector<Point> pks;
+  std::vector<Bytes> msgs;
+  std::vector<BytesView> views;
+  std::vector<SchnorrSignature> sigs;
+  for (int i = 0; i < 12; i++) {
+    kps.push_back(SchnorrKeyGen(rng));
+    pks.push_back(kps.back().pk);
+    msgs.push_back(ToBytes("batch message " + std::to_string(i)));
+  }
+  for (int i = 0; i < 12; i++) {
+    views.push_back(BytesView(msgs[i]));
+    sigs.push_back(SchnorrSign(kps[i].sk, kps[i].pk, views.back(), rng));
+  }
+  EXPECT_TRUE(SchnorrVerifyBatch(pks, views, sigs));
+  // Empty batch: vacuously true.
+  EXPECT_TRUE(SchnorrVerifyBatch({}, {}, {}));
+  // n == 1 falls through to the single verifier.
+  EXPECT_TRUE(SchnorrVerifyBatch(std::span(pks.data(), 1),
+                                 std::span(views.data(), 1),
+                                 std::span(sigs.data(), 1)));
+  // Mismatched span sizes reject outright.
+  EXPECT_FALSE(SchnorrVerifyBatch(pks, views, std::span(sigs.data(), 11)));
+}
+
+TEST(SchnorrBatch, RejectsAnySingleBadSignature) {
+  Rng rng(1106u);
+  constexpr int kN = 8;
+  std::vector<SchnorrKeypair> kps;
+  std::vector<Point> pks;
+  std::vector<Bytes> msgs;
+  std::vector<BytesView> views;
+  std::vector<SchnorrSignature> sigs;
+  for (int i = 0; i < kN; i++) {
+    kps.push_back(SchnorrKeyGen(rng));
+    pks.push_back(kps.back().pk);
+    msgs.push_back(ToBytes("victim " + std::to_string(i)));
+  }
+  for (int i = 0; i < kN; i++) {
+    views.push_back(BytesView(msgs[i]));
+    sigs.push_back(SchnorrSign(kps[i].sk, kps[i].pk, views.back(), rng));
+  }
+  ASSERT_TRUE(SchnorrVerifyBatch(pks, views, sigs));
+  // Corrupting any one signature (response or commitment) sinks the batch.
+  for (int i = 0; i < kN; i++) {
+    auto bad = sigs;
+    bad[i].response = bad[i].response + Scalar::One();
+    EXPECT_FALSE(SchnorrVerifyBatch(pks, views, bad)) << "response " << i;
+    bad = sigs;
+    bad[i].commit = bad[i].commit + Point::Generator();
+    EXPECT_FALSE(SchnorrVerifyBatch(pks, views, bad)) << "commit " << i;
+  }
+  // A signature transplanted onto another message also sinks it.
+  auto swapped = sigs;
+  std::swap(swapped[2], swapped[5]);
+  EXPECT_FALSE(SchnorrVerifyBatch(pks, views, swapped));
+}
+
 // -------------------------------------------------------------- directory --
 
 TEST(DirectoryTest, RegistrationLifecycle) {
