@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   uint32_t id = 0;
   uint16_t port = 0;
   Variant variant = Variant::kTrap;
-  std::string sk_hex, keyfile, driver_pk_hex;
+  std::string sk_hex, keyfile, driver_pk_hex, fault_spec;
   for (int i = 1; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     std::string value = argv[i + 1];
@@ -100,6 +100,8 @@ int main(int argc, char** argv) {
       driver_pk_hex = value;
     } else if (flag == "--variant") {
       variant = (value == "nizk") ? Variant::kNizk : Variant::kTrap;
+    } else if (flag == "--fault-spec") {
+      fault_spec = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;
@@ -109,7 +111,8 @@ int main(int argc, char** argv) {
       driver_pk_hex.empty()) {
     std::fprintf(stderr,
                  "usage: atom_server --id N (--keyfile PATH | --sk <hex32>) "
-                 "--driver-pk <hex33> [--port P] [--variant trap|nizk]\n");
+                 "--driver-pk <hex33> [--port P] [--variant trap|nizk] "
+                 "[--fault-spec SPEC]\n");
     return 2;
   }
   if (!keyfile.empty()) {
@@ -146,6 +149,18 @@ int main(int argc, char** argv) {
 
   KemKeypair identity{*sk, Point::BaseMul(*sk)};
   NodeProcess process(id, variant, identity, *driver_pk);
+  if (!fault_spec.empty()) {
+    // Scenario harness (src/net/faults.h): this server misbehaves per the
+    // seeded plan — dropped/corrupted frames, stalls, severed links,
+    // byzantine tamper rounds — all replayable from the spec's seed.
+    auto plan = FaultPlan::Parse(fault_spec);
+    if (plan == nullptr) {
+      std::fprintf(stderr, "malformed --fault-spec: %s\n",
+                   fault_spec.c_str());
+      return 2;
+    }
+    process.SetFaultPlan(std::move(plan));
+  }
   if (!process.Listen(port)) {
     std::fprintf(stderr, "server %u: could not bind port %u\n", id, port);
     return 1;

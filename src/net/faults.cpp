@@ -1,0 +1,355 @@
+#include "src/net/faults.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/rng.h"
+
+namespace atom {
+namespace {
+
+// Maps a probability to a 64-bit threshold: a uniform draw fires when it
+// is below the threshold. p >= 1 must fire on every draw, so it saturates.
+uint64_t Threshold(double p) {
+  if (p <= 0) {
+    return 0;
+  }
+  if (p >= 1) {
+    return UINT64_MAX;
+  }
+  return static_cast<uint64_t>(p * 18446744073709551616.0 /* 2^64 */);
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseProb(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size() || !(v >= 0) || !(v <= 1)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+std::string FormatProb(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", p);
+  return buf;
+}
+
+}  // namespace
+
+void FaultPlan::set_seed(uint64_t seed) {
+  seed_ = seed;
+  root_.fill(0);
+  for (int i = 0; i < 8; i++) {
+    root_[i] = static_cast<uint8_t>(seed >> (8 * i));
+  }
+  // Key-separate the fault-plan PRF from every protocol use of the seed
+  // (engine roots are drawn from an Rng over the raw seed bytes).
+  root_ = DeriveSubKey(root_, 0x6661756c74ULL /* "fault" */, 0);
+}
+
+void FaultPlan::SeverLink(uint32_t a, uint32_t b, uint64_t first_round,
+                          uint64_t last_round) {
+  severs_.push_back({a, b, first_round, last_round});
+}
+
+bool FaultPlan::LinkSevered(uint64_t round_id, uint64_t a, uint64_t b) const {
+  for (const SeverRule& rule : severs_) {
+    const bool pair_match = (rule.a == a && rule.b == b) ||
+                            (rule.a == b && rule.b == a);
+    if (pair_match && round_id >= rule.first_round &&
+        round_id <= rule.last_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultPlan::TamperRounds(uint64_t first_round, uint64_t last_round) {
+  tampers_.push_back({first_round, last_round});
+}
+
+bool FaultPlan::TamperRound(uint64_t round_id) const {
+  for (const TamperRule& rule : tampers_) {
+    if (round_id >= rule.first_round && round_id <= rule.last_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultPlan::Draw(uint64_t stream_key, uint64_t index,
+                         uint64_t* salt) const {
+  const std::array<uint8_t, 32> sub = DeriveSubKey(root_, stream_key, index);
+  uint64_t r = 0;
+  uint64_t s = 0;
+  for (int i = 0; i < 8; i++) {
+    r |= static_cast<uint64_t>(sub[i]) << (8 * i);
+    s |= static_cast<uint64_t>(sub[8 + i]) << (8 * i);
+  }
+  if (salt != nullptr) {
+    *salt = s;
+  }
+  return r;
+}
+
+FaultDecision FaultPlan::NextDecision(uint64_t stream_key) {
+  uint64_t index;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    index = stream_counters_[stream_key]++;
+  }
+  FaultDecision decision;
+  const uint64_t r = Draw(stream_key, index, &decision.mutate_salt);
+  uint64_t cut = Threshold(drop_rate_);
+  if (r < cut) {
+    decision.action = FaultAction::kDrop;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  cut += Threshold(duplicate_rate_);
+  if (r < cut) {
+    decision.action = FaultAction::kDuplicate;
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  cut += Threshold(truncate_rate_);
+  if (r < cut) {
+    decision.action = FaultAction::kTruncate;
+    truncated_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  cut += Threshold(corrupt_rate_);
+  if (r < cut) {
+    decision.action = FaultAction::kCorrupt;
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  cut += Threshold(delay_rate_);
+  if (r < cut) {
+    decision.action = FaultAction::kDelay;
+    decision.delay = delay_;
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  return decision;
+}
+
+bool FaultPlan::DisconnectClient(uint64_t client_id) {
+  if (client_disconnect_rate_ <= 0) {
+    return false;
+  }
+  // Clients get their own stream namespace so a scenario that adds client
+  // churn does not perturb the server-frame decision streams.
+  const uint64_t key = 0x636c69656e740000ULL ^ client_id;  // "client"
+  uint64_t index;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    index = stream_counters_[key]++;
+  }
+  const bool hit = Draw(key, index, nullptr) < Threshold(
+      client_disconnect_rate_);
+  if (hit) {
+    disconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return hit;
+}
+
+void FaultPlan::Mutate(const FaultDecision& decision, Bytes& frame) {
+  if (frame.empty()) {
+    return;
+  }
+  if (decision.action == FaultAction::kTruncate) {
+    frame.resize(decision.mutate_salt % frame.size());
+  } else if (decision.action == FaultAction::kCorrupt) {
+    const uint64_t bit = decision.mutate_salt % (frame.size() * 8);
+    frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+void FaultPlan::FlipByte(uint64_t salt, Bytes& bytes) {
+  if (bytes.empty()) {
+    return;
+  }
+  bytes[salt % bytes.size()] ^= 0xff;
+}
+
+FaultPlan::Counts FaultPlan::counts() const {
+  Counts counts;
+  counts.dropped = dropped_.load(std::memory_order_relaxed);
+  counts.delayed = delayed_.load(std::memory_order_relaxed);
+  counts.duplicated = duplicated_.load(std::memory_order_relaxed);
+  counts.truncated = truncated_.load(std::memory_order_relaxed);
+  counts.corrupted = corrupted_.load(std::memory_order_relaxed);
+  counts.severed = severed_.load(std::memory_order_relaxed);
+  counts.stalled = stalled_.load(std::memory_order_relaxed);
+  counts.disconnects = disconnects_.load(std::memory_order_relaxed);
+  return counts;
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  auto plan = std::make_shared<FaultPlan>();
+  std::stringstream stream(spec);
+  std::string field;
+  while (std::getline(stream, field, ';')) {
+    if (field.empty()) {
+      continue;
+    }
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return nullptr;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    uint64_t n = 0;
+    double p = 0;
+    if (key == "seed") {
+      if (!ParseU64(value, &n)) {
+        return nullptr;
+      }
+      plan->set_seed(n);
+    } else if (key == "drop") {
+      if (!ParseProb(value, &p)) {
+        return nullptr;
+      }
+      plan->set_drop_rate(p);
+    } else if (key == "dup") {
+      if (!ParseProb(value, &p)) {
+        return nullptr;
+      }
+      plan->set_duplicate_rate(p);
+    } else if (key == "trunc") {
+      if (!ParseProb(value, &p)) {
+        return nullptr;
+      }
+      plan->set_truncate_rate(p);
+    } else if (key == "corrupt") {
+      if (!ParseProb(value, &p)) {
+        return nullptr;
+      }
+      plan->set_corrupt_rate(p);
+    } else if (key == "disconnect") {
+      if (!ParseProb(value, &p)) {
+        return nullptr;
+      }
+      plan->set_client_disconnect_rate(p);
+    } else if (key == "delay") {
+      // MS@P, or bare MS (probability 1).
+      const size_t at = value.find('@');
+      const std::string ms = value.substr(0, at);
+      p = 1.0;
+      if (at != std::string::npos &&
+          !ParseProb(value.substr(at + 1), &p)) {
+        return nullptr;
+      }
+      if (!ParseU64(ms, &n)) {
+        return nullptr;
+      }
+      plan->set_delay(p, std::chrono::milliseconds(n));
+    } else if (key == "stall") {
+      if (!ParseU64(value, &n)) {
+        return nullptr;
+      }
+      plan->set_stall(std::chrono::milliseconds(n));
+    } else if (key == "sever") {
+      // A-B[@R1-R2]
+      const size_t at = value.find('@');
+      const std::string pair = value.substr(0, at);
+      const size_t dash = pair.find('-');
+      uint64_t a = 0;
+      uint64_t b = 0;
+      if (dash == std::string::npos ||
+          !ParseU64(pair.substr(0, dash), &a) ||
+          !ParseU64(pair.substr(dash + 1), &b)) {
+        return nullptr;
+      }
+      uint64_t first = 0;
+      uint64_t last = UINT64_MAX;
+      if (at != std::string::npos) {
+        const std::string range = value.substr(at + 1);
+        const size_t rdash = range.find('-');
+        if (rdash == std::string::npos ||
+            !ParseU64(range.substr(0, rdash), &first) ||
+            !ParseU64(range.substr(rdash + 1), &last)) {
+          return nullptr;
+        }
+      }
+      plan->SeverLink(static_cast<uint32_t>(a), static_cast<uint32_t>(b),
+                      first, last);
+    } else if (key == "tamper") {
+      const size_t dash = value.find('-');
+      uint64_t first = 0;
+      uint64_t last = 0;
+      if (dash == std::string::npos ||
+          !ParseU64(value.substr(0, dash), &first) ||
+          !ParseU64(value.substr(dash + 1), &last)) {
+        return nullptr;
+      }
+      plan->TamperRounds(first, last);
+    } else {
+      return nullptr;
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToSpec() const {
+  std::string spec = "seed=" + std::to_string(seed_);
+  if (drop_rate_ > 0) {
+    spec += ";drop=" + FormatProb(drop_rate_);
+  }
+  if (duplicate_rate_ > 0) {
+    spec += ";dup=" + FormatProb(duplicate_rate_);
+  }
+  if (truncate_rate_ > 0) {
+    spec += ";trunc=" + FormatProb(truncate_rate_);
+  }
+  if (corrupt_rate_ > 0) {
+    spec += ";corrupt=" + FormatProb(corrupt_rate_);
+  }
+  if (delay_rate_ > 0) {
+    spec += ";delay=" + std::to_string(delay_.count()) + "@" +
+            FormatProb(delay_rate_);
+  }
+  if (stall_.count() > 0) {
+    spec += ";stall=" + std::to_string(stall_.count());
+  }
+  if (client_disconnect_rate_ > 0) {
+    spec += ";disconnect=" + FormatProb(client_disconnect_rate_);
+  }
+  for (const SeverRule& rule : severs_) {
+    spec += ";sever=" + std::to_string(rule.a) + "-" + std::to_string(rule.b);
+    if (rule.first_round != 0 || rule.last_round != UINT64_MAX) {
+      spec += "@" + std::to_string(rule.first_round) + "-" +
+              std::to_string(rule.last_round);
+    }
+  }
+  for (const TamperRule& rule : tampers_) {
+    spec += ";tamper=" + std::to_string(rule.first_round) + "-" +
+            std::to_string(rule.last_round);
+  }
+  return spec;
+}
+
+}  // namespace atom

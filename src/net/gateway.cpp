@@ -494,6 +494,17 @@ void SubmissionGateway::ReaderLoop(std::shared_ptr<Connection> conn,
       conn->link->Shutdown();  // malformed submit envelope: hostile
       break;
     }
+    if (fault_plan_ != nullptr &&
+        fault_plan_->DisconnectClient(conn->client_id)) {
+      // Scenario-harness churn: kill the connection mid-stream, with the
+      // just-read submission discarded before it reaches the intake — so
+      // the client's missing verdict means "not accepted", never
+      // "accepted but unacknowledged", and a scenario's accepted set
+      // stays exactly knowable. Earlier submissions verify normally; the
+      // disconnect tail below keeps the round from stalling.
+      conn->link->Shutdown();
+      break;
+    }
     HandleSubmit(conn, std::move(*msg));
   }
   // A disconnect mid-stream must never stall the round: submissions this

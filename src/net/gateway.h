@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "src/core/round.h"
+#include "src/net/faults.h"
 #include "src/net/link.h"
 #include "src/net/registry.h"
 #include "src/util/parallel.h"
@@ -177,6 +178,14 @@ class SubmissionGateway {
   // lookup table; newly synced clients can connect immediately.
   size_t ApplyRegistrySync(const RegistrySyncMsg& sync);
 
+  // Scenario-harness fault injection (src/net/faults.h): the plan's
+  // client-disconnect rate kills connections mid-stream right after a
+  // kSubmit frame is read — deterministic gateway-side churn. Set before
+  // Start().
+  void SetFaultPlan(std::shared_ptr<FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+
   // Monitoring: verified-and-accepted / total-resolved counts since
   // construction, and live connections.
   size_t accepted_count() const;
@@ -221,6 +230,7 @@ class SubmissionGateway {
   ClientRegistry* const registry_;
   const KemKeypair identity_;
   const GatewayConfig config_;
+  std::shared_ptr<FaultPlan> fault_plan_;  // set before Start()
 
   std::vector<std::unique_ptr<ShardPump>> pumps_;  // one per entry group
 

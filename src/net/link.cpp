@@ -301,4 +301,27 @@ bool SecureLink::SendRawFrameForTest(BytesView frame) {
   return WriteFrame(socket_, frame);
 }
 
+bool SecureLink::SendMutated(BytesView payload,
+                             const std::function<void(Bytes&)>& mutate) {
+  if (payload.size() > kMaxFramePayload) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (!alive()) {
+    return false;
+  }
+  Bytes record =
+      SealRecord(send_key_, send_counter_, transcript_hash_, payload);
+  send_counter_++;
+  if (mutate) {
+    mutate(record);
+  }
+  if (!WriteFrame(socket_, BytesView(record))) {
+    MarkDead();
+    socket_.ShutdownBoth();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace atom

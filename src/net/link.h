@@ -104,6 +104,14 @@ class SecureLink {
   // record authentication must reject it.
   bool SendRawFrameForTest(BytesView frame);
 
+  // Fault injection (src/net/faults.h): seals the payload normally, then
+  // lets `mutate` damage the sealed record before it hits the wire — the
+  // peer's AEAD must reject it and kill the link, which is exactly the
+  // on-the-wire corruption failure mode the scenario harness exercises.
+  // The send counter advances as usual (the record WAS produced).
+  bool SendMutated(BytesView payload,
+                   const std::function<void(Bytes&)>& mutate);
+
  private:
   SecureLink(TcpSocket socket, uint64_t peer_id,
              const std::array<uint8_t, 32>& send_key,

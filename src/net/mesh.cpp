@@ -252,9 +252,11 @@ std::shared_ptr<SecureLink> TcpPeerMesh::EnsureLink(uint32_t peer_id) {
 bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
   const size_t cost = body.size() + 1;  // + the LinkMsg tag byte
   std::chrono::milliseconds delay;
+  std::shared_ptr<FaultPlan> plan;
   {
     std::lock_guard<std::mutex> lock(mu_);
     delay = send_delay_;
+    plan = fault_plan_;
     size_t& pending = send_pending_[peer_id];
     // Per-peer backpressure: senders serialize on the link's write lock,
     // so `pending` is exactly the bytes queued behind the in-flight frame
@@ -269,19 +271,50 @@ bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
     pending += cost;
   }
   bool sent = false;
+  FaultDecision fault;
+  if (plan != nullptr) {
+    if (plan->stall().count() > 0) {
+      plan->CountStalled();
+      std::this_thread::sleep_for(plan->stall());  // straggler emulation
+    }
+    fault = plan->NextDecision(FaultPlan::StreamKey(self_id_, peer_id));
+    if (fault.action == FaultAction::kDelay) {
+      std::this_thread::sleep_for(fault.delay);
+    }
+  }
   if (delay.count() > 0) {
     std::this_thread::sleep_for(delay);  // WAN emulation (benches only)
   }
+  if (fault.action == FaultAction::kDrop) {
+    // Silent loss: the caller believes the frame left, exactly like a
+    // frame lost past the NIC. The failure surfaces downstream (missed
+    // ack -> control timeout, missing sub-batch -> round timeout), which
+    // is the abort-or-complete path the scenarios assert.
+    std::lock_guard<std::mutex> lock(mu_);
+    send_pending_[peer_id] -= cost;
+    return true;
+  }
   auto link = EnsureLink(peer_id);
   if (link != nullptr) {
-    if (link->Send(BytesView(PackLinkFrame(type, body)))) {
+    const Bytes packed = PackLinkFrame(type, body);
+    if (fault.action == FaultAction::kTruncate ||
+        fault.action == FaultAction::kCorrupt) {
+      // Seal, then damage the record: the receiver's AEAD rejects it and
+      // kills the link — on-the-wire corruption, not a protocol message.
+      sent = link->SendMutated(
+          BytesView(packed), [&fault](Bytes& record) {
+            FaultPlan::Mutate(fault, record);
+          });
+    } else if (link->Send(BytesView(packed))) {
       sent = true;
+      if (fault.action == FaultAction::kDuplicate) {
+        link->Send(BytesView(packed));  // both genuinely sealed
+      }
     } else {
       // The persistent link died under us (peer restarted / unplugged):
       // reconnect-on-failure means one redial before giving up.
       link = EnsureLink(peer_id);
-      sent = link != nullptr &&
-             link->Send(BytesView(PackLinkFrame(type, body)));
+      sent = link != nullptr && link->Send(BytesView(packed));
     }
   }
   {
@@ -496,6 +529,11 @@ uint64_t TcpPeerMesh::AllocateRoundId() {
   return next_round_id_++;
 }
 
+void TcpPeerMesh::set_next_round_id(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_round_id_ = id;
+}
+
 bool TcpPeerMesh::SendBeginRound(uint32_t peer_id, uint64_t round_id,
                                  const std::array<uint8_t, 32>& root_key,
                                  const WireRoundSpec* spec) {
@@ -533,9 +571,22 @@ void TcpPeerMesh::Send(Envelope envelope) {
                    envelope.msg.type == NodeMsg::Type::kAbort)
                       ? kMeshDriverId
                       : envelope.to_server;
-  Bytes body = EncodeEnvelope(envelope);
-  if (SendFrame(dest, LinkMsg::kEnvelope, BytesView(body))) {
-    return;
+  std::shared_ptr<FaultPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan = fault_plan_;
+  }
+  if (plan != nullptr &&
+      plan->LinkSevered(envelope.round_id, self_id_, dest)) {
+    // Partition emulation: the link is down for this round, so the send
+    // fails exactly like an unreachable peer and the failure conversion
+    // below produces the round-scoped abort naming both endpoints.
+    plan->CountSevered();
+  } else {
+    Bytes body = EncodeEnvelope(envelope);
+    if (SendFrame(dest, LinkMsg::kEnvelope, BytesView(body))) {
+      return;
+    }
   }
   if (dest != kMeshDriverId) {
     // The chain cannot make progress; tell the driver instead of letting
@@ -678,6 +729,11 @@ void TcpPeerMesh::set_dial_attempts(int attempts) {
 void TcpPeerMesh::set_send_delay(std::chrono::milliseconds delay) {
   std::lock_guard<std::mutex> lock(mu_);
   send_delay_ = delay;
+}
+
+void TcpPeerMesh::SetFaultPlan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_plan_ = std::move(plan);
 }
 
 void TcpPeerMesh::set_send_queue_bound(size_t bytes) {

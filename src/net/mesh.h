@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/net/control.h"
+#include "src/net/faults.h"
 #include "src/net/link.h"
 
 namespace atom {
@@ -113,6 +114,12 @@ class TcpPeerMesh : public Bus {
   // pipelined DistributedRoundDriver draw from this counter so their
   // rounds never collide on the servers' per-round state.
   uint64_t AllocateRoundId();
+  // Pins the next allocated id (and the counter continues from it).
+  // Scenario harness use: seeded FaultPlans name rounds by id
+  // (sever=A-B@2-2), so a deterministic run needs ids 1,2,3… — safe
+  // there because every scenario spawns a fresh fleet, which is exactly
+  // the stale-lane hazard the random base exists to avoid.
+  void set_next_round_id(uint64_t id);
   // Opens a round on one server: root key (+ optional engine spec),
   // ack-synchronized so key material lands before dependent traffic.
   bool SendBeginRound(uint32_t peer_id, uint64_t round_id,
@@ -162,6 +169,13 @@ class TcpPeerMesh : public Bus {
   // would; concurrent rounds overlap these stalls, sequential rounds pay
   // them serially. Zero (the default) disables it.
   void set_send_delay(std::chrono::milliseconds delay);
+  // Deterministic fault injection (scenario harness): every outbound
+  // frame consults the plan — drop/delay/duplicate pass through the
+  // normal send path, truncate/corrupt mutate the sealed record so the
+  // receiver's AEAD kills the link, a stall sleeps before every frame,
+  // and severed links fail round-scoped envelope sends exactly like an
+  // unreachable peer. nullptr (the default) disables injection.
+  void SetFaultPlan(std::shared_ptr<FaultPlan> plan);
 
  private:
   struct PeerDirectory {
@@ -237,6 +251,7 @@ class TcpPeerMesh : public Bus {
   std::chrono::milliseconds run_timeout_{std::chrono::seconds(120)};
   std::chrono::milliseconds control_timeout_{std::chrono::seconds(20)};
   std::chrono::milliseconds send_delay_{0};
+  std::shared_ptr<FaultPlan> fault_plan_;  // guarded by mu_
   int dial_attempts_ = 5;
   size_t send_queue_bound_ = size_t{1} << 26;  // 64 MiB per peer
   std::map<uint32_t, size_t> send_pending_;    // queued + in-flight bytes

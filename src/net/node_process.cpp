@@ -82,6 +82,11 @@ void NodeProcess::SetOutboundTamper(std::function<void(Envelope&)> fn) {
   tamper_ = std::move(fn);
 }
 
+void NodeProcess::SetFaultPlan(std::shared_ptr<FaultPlan> plan) {
+  fault_plan_ = plan;
+  mesh_.SetFaultPlan(std::move(plan));
+}
+
 void NodeProcess::set_wire_delay(std::chrono::milliseconds delay) {
   mesh_.set_send_delay(delay);
 }
@@ -553,10 +558,33 @@ void NodeProcess::SendToServer(const std::shared_ptr<RoundCtx>& ctx,
     if (tamper_) {
       tamper_(envelope);
     }
+    ApplyPlanTamper(ctx, envelope);
     HandleEnvelope(std::move(envelope));
     return;
   }
   Deliver(ctx, std::move(envelope));
+}
+
+void NodeProcess::ApplyPlanTamper(const std::shared_ptr<RoundCtx>& ctx,
+                                  Envelope& envelope) {
+  if (fault_plan_ == nullptr || !fault_plan_->TamperRound(ctx->round_id)) {
+    return;
+  }
+  // Byzantine mixer: re-point every ciphertext of the outbound hop batch.
+  // The encodings stay valid (real curve points), so the fault is
+  // protocol-level cheating — caught by the §4.4 trap check at the exit,
+  // not by transport authentication. Tampering the whole batch (rather
+  // than one ciphertext) guarantees at least one trap is destroyed, so a
+  // tampered round deterministically aborts instead of depending on the
+  // trap/inner coin of a single slot.
+  NodeMsg& msg = envelope.msg;
+  if (msg.type == NodeMsg::Type::kHopBatch) {
+    for (ElGamalCiphertextVec& vec : msg.batch) {
+      for (ElGamalCiphertext& ct : vec) {
+        ct.c = ct.c + Point::Generator();
+      }
+    }
+  }
 }
 
 void NodeProcess::AbortRound(const std::shared_ptr<RoundCtx>& ctx,
@@ -571,6 +599,7 @@ void NodeProcess::Deliver(const std::shared_ptr<RoundCtx>& ctx,
   if (tamper_) {
     tamper_(envelope);
   }
+  ApplyPlanTamper(ctx, envelope);
   mesh_.Send(std::move(envelope));
 }
 

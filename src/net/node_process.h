@@ -99,6 +99,13 @@ class NodeProcess {
   // Set before Start().
   void SetOutboundTamper(std::function<void(Envelope&)> fn);
 
+  // Scenario-harness fault injection (src/net/faults.h). Frame-level
+  // faults and stalls thread through the mesh; round-ranged tamper rules
+  // turn this server into a byzantine mixer (outbound hop batches get a
+  // deterministically chosen ciphertext re-pointed, which the §4.4 trap
+  // check catches at the exit). Set before Start().
+  void SetFaultPlan(std::shared_ptr<FaultPlan> plan);
+
  private:
   // Inbound sub-batches for one hop, assembled per predecessor slot in
   // ascending gid order — the RoundEngine's HopNode, reconstructed from
@@ -151,6 +158,10 @@ class NodeProcess {
   void ProcessExitBuckets(const std::shared_ptr<RoundCtx>& ctx, NodeMsg msg);
 
   void Deliver(const std::shared_ptr<RoundCtx>& ctx, Envelope envelope);
+  // Applies the fault plan's byzantine tamper to an outbound envelope
+  // when its round is inside a tamper range.
+  void ApplyPlanTamper(const std::shared_ptr<RoundCtx>& ctx,
+                       Envelope& envelope);
   // Routes an engine-round envelope to the server hosting `dest_server`,
   // short-circuiting self-sends back into our own lane.
   void SendToServer(const std::shared_ptr<RoundCtx>& ctx,
@@ -180,6 +191,7 @@ class NodeProcess {
   std::map<uint32_t, std::unique_ptr<GroupRuntime>> hosted_;
 
   std::function<void(Envelope&)> tamper_;
+  std::shared_ptr<FaultPlan> fault_plan_;  // set before Start()
 };
 
 }  // namespace atom

@@ -79,6 +79,11 @@ std::optional<Point> ClientRegistry::Lookup(uint64_t client_id) const {
   return it->second;
 }
 
+bool ClientRegistry::Revoke(uint64_t client_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clients_.erase(client_id) > 0;
+}
+
 size_t ClientRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return clients_.size();

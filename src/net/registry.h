@@ -64,6 +64,15 @@ class ClientRegistry {
   // The authenticated key for a client id; nullopt = not registered.
   std::optional<Point> Lookup(uint64_t client_id) const;
 
+  // Drops a client's registration (key compromise / operator takedown).
+  // Live SecureLinks are untouched — the handshake already completed —
+  // but every later Lookup fails: new connections are refused at the
+  // handshake and, because the Round's intake hook (SetClientAuth) goes
+  // through this table, the revoked id's NEW submissions are rejected at
+  // verification even on a surviving connection. Returns false when the
+  // id was not registered.
+  bool Revoke(uint64_t client_id);
+
   size_t size() const;
 
   // Snapshots the table into one or more sync frames, each at most

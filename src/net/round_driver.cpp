@@ -290,8 +290,11 @@ EngineRoundResult DistributedRoundDriver::Finalize(PendingRound& round) {
   auto round_secret = round.trustees->MaybeReleaseKey(reports);
   if (!round_secret.has_value()) {
     out.aborted = true;
+    // Round-scoped like every other driver abort: finalize runs on the
+    // Wait caller's thread, but the failure is still one round's.
     out.abort_reason =
-        "trustees refused to release the round key (trap check failed)";
+        "round " + std::to_string(round.round_id) +
+        ": trustees refused to release the round key (trap check failed)";
     result.aborted = true;
     result.abort_reason = out.abort_reason;
     return result;

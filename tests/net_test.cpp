@@ -38,6 +38,7 @@
 #include "src/util/serde.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
+#include "tests/seed_echo.h"
 
 namespace atom {
 namespace {
@@ -971,6 +972,8 @@ TEST(DistributedPipelineFaults, SigkilledPeerAbortsInFlightRoundsOnly) {
   // is repaired with a replacement process, a freshly submitted round
   // completes and matches the in-process engine.
   signal(SIGPIPE, SIG_IGN);
+  const uint64_t seed = atom_test::TestSeed(0x51641);
+  atom_test::SeedEcho echo(seed);
   PipelinedFixture fx(Variant::kTrap, /*iterations=*/3);
   EngineRound spec_r = fx.TakeSpec(8);
   EngineRound spec_r1 = fx.TakeSpec(8);
@@ -983,7 +986,7 @@ TEST(DistributedPipelineFaults, SigkilledPeerAbortsInFlightRoundsOnly) {
   }
   ASSERT_FALSE(want_fresh.aborted) << want_fresh.abort_reason;
 
-  Rng key_rng(uint64_t{0x51641});
+  Rng key_rng(seed);
   KemKeypair driver_key = KemKeyGen(key_rng);
   KemKeypair key1 = KemKeyGen(key_rng);
   KemKeypair key2 = KemKeyGen(key_rng);
@@ -1231,7 +1234,8 @@ struct IngressFixture {
   std::map<uint64_t, KemKeypair> client_keys;
   std::unique_ptr<SubmissionGateway> gateway;
 
-  explicit IngressFixture(Variant variant, uint64_t seed = 0x137e55)
+  explicit IngressFixture(Variant variant, uint64_t seed = 0x137e55,
+                          size_t ring_capacity = 4096)
       : round_rng(seed) {
     config.params.variant = variant;
     config.params.num_servers = 4;
@@ -1242,6 +1246,7 @@ struct IngressFixture {
     config.params.message_len = 32;
     config.beacon = ToBytes("ingress-epoch");
     config.workers = 1;
+    config.stream_queue_capacity = ring_capacity;
     round = std::make_unique<Round>(config, round_rng);
     gateway_key = KemKeyGen(key_rng);
   }
@@ -1567,6 +1572,206 @@ TEST(IngressFaults, MidStreamDisconnectDoesNotStallRound) {
   // completed without a stall.
   EXPECT_GE(result.plaintexts.size(), 3u);
   EXPECT_LE(result.plaintexts.size(), 4u);
+}
+
+// ----------------------------------------------- gateway lifecycle edges
+
+TEST(GatewayLifecycle, ReconnectAfterCutoffSeesClosedThenNextRound) {
+  // A client that reconnects in the cutoff-to-open window must learn
+  // "intake closed" from the welcome, get kClosed verdicts (not a hang,
+  // not a stale-round accept), and then ride the next kRoundOpen into an
+  // accepted submission.
+  IngressFixture fx(Variant::kTrap);
+  fx.AddClient(51);
+  ASSERT_TRUE(fx.StartGateway());
+  fx.gateway->OpenRound(1);
+
+  Rng rng(uint64_t{0xc1055});
+  {
+    auto session = fx.Connect(51);
+    ASSERT_NE(session, nullptr);
+    ASSERT_TRUE(session->SubmitAndWait(fx.MakeTrap(51, 0, rng, "round 1")));
+  }
+  fx.gateway->Cutoff();
+  EXPECT_EQ(fx.gateway->accepted_count(), 1u);
+  // Ship round 1 so the intake state resets for round 2 (what the driver
+  // does between Cutoff and the next OpenRound).
+  Rng take_rng(uint64_t{0x7a4e51});
+  fx.round->TakeEngineRound({}, take_rng);
+
+  auto session = fx.Connect(51);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->welcome().open_round, 0u) << "cutoff window not closed";
+  uint64_t seq = session->Submit(fx.MakeTrap(51, 0, rng, "too early"));
+  ASSERT_NE(seq, 0u);
+  auto status = session->WaitResult(seq);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, SubmitStatus::kClosed);
+
+  fx.gateway->OpenRound(2);
+  EXPECT_EQ(session->WaitRoundOpen(), 2u);
+  EXPECT_TRUE(session->SubmitAndWait(fx.MakeTrap(51, 1, rng, "round 2")));
+  fx.gateway->Cutoff();
+  // accepted_count is cumulative: one submission per round landed.
+  EXPECT_EQ(fx.gateway->accepted_count(), 2u);
+}
+
+TEST(GatewayLifecycle, CreditWindowExactlyExhaustedNeverBackpressures) {
+  // Exactly window-many in-flight submissions is legal: the server-side
+  // overdraw check fires at in_flight >= window BEFORE queueing, so a
+  // client that respects its advertised credits can never see
+  // kBackpressure from it — and every verdict returns its credit, so a
+  // subsequent submission proceeds instead of deadlocking.
+  IngressFixture fx(Variant::kTrap);
+  fx.AddClient(61);
+  GatewayConfig cfg;
+  cfg.credit_window = 4;
+  ASSERT_TRUE(fx.StartGateway(cfg));
+  fx.gateway->OpenRound(1);
+
+  auto session = fx.Connect(61);
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(session->welcome().credit, 4u);
+
+  Rng rng(uint64_t{0xc4ed17});
+  std::vector<uint64_t> seqs;
+  for (int i = 0; i < 4; i++) {
+    uint64_t seq =
+        session->Submit(fx.MakeTrap(61, 0, rng, "burst " + std::to_string(i)));
+    ASSERT_NE(seq, 0u) << "submit " << i << " blocked with credits left";
+    seqs.push_back(seq);
+  }
+  size_t accepted = 0;
+  for (uint64_t seq : seqs) {
+    auto status = session->WaitResult(seq);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_NE(*status, SubmitStatus::kBackpressure)
+        << "overdraw check fired at exactly window in-flight";
+    accepted += *status == SubmitStatus::kAccepted;
+  }
+  // One copy entered the round; the rest were duplicate-id rejections.
+  EXPECT_EQ(accepted, 1u);
+
+  // All four credits came back: a fifth submission (same entry group, so
+  // another duplicate) gets a verdict instead of blocking forever on an
+  // empty window.
+  uint64_t fifth = session->Submit(fx.MakeTrap(61, 0, rng, "after drain"));
+  ASSERT_NE(fifth, 0u);
+  auto fifth_status = session->WaitResult(fifth);
+  ASSERT_TRUE(fifth_status.has_value());
+  EXPECT_EQ(*fifth_status, SubmitStatus::kRejected);
+  fx.gateway->Cutoff();
+  EXPECT_EQ(fx.gateway->accepted_count(), 1u);
+}
+
+TEST(GatewayLifecycle, BackpressuredSubmitRetriesWithoutDuplicates) {
+  // kBackpressure's pinned meaning: the submission was NOT queued. Six
+  // clients hammer a one-slot intake ring concurrently; whenever one is
+  // bounced it retries the same submission. If a bounced copy had secretly
+  // been queued, the retry would come back kRejected (duplicate id) —
+  // so "every client ends kAccepted, never kRejected" is the proof that
+  // backpressure is retry-safe, and the final round must hold exactly one
+  // copy per client.
+  const uint64_t seed = atom_test::TestSeed(0xbacc);
+  atom_test::SeedEcho echo(seed);
+  IngressFixture fx(Variant::kTrap, /*seed=*/0x137e55, /*ring_capacity=*/1);
+  constexpr int kClients = 6;
+  for (int u = 0; u < kClients; u++) {
+    fx.AddClient(70 + u);
+  }
+  ASSERT_TRUE(fx.StartGateway());
+  fx.gateway->OpenRound(1);
+
+  // Build submissions serially (shared fixture rng), then race them.
+  Rng rng(seed);
+  std::vector<TrapSubmission> subs;
+  for (int u = 0; u < kClients; u++) {
+    subs.push_back(fx.MakeTrap(70 + u, 0, rng, "rush " + std::to_string(u)));
+  }
+  std::atomic<int> landed{0};
+  std::atomic<int> bounced{0};
+  std::atomic<int> wrong_verdicts{0};
+  std::vector<std::thread> threads;
+  for (int u = 0; u < kClients; u++) {
+    threads.emplace_back([&, u] {
+      auto session = fx.Connect(70 + u);
+      if (session == nullptr) {
+        wrong_verdicts++;
+        return;
+      }
+      for (int attempt = 0; attempt < 200; attempt++) {
+        uint64_t seq = session->Submit(subs[u]);
+        auto status = seq == 0 ? std::optional<SubmitStatus>{}
+                               : session->WaitResult(seq);
+        if (!status.has_value()) {
+          wrong_verdicts++;
+          return;
+        }
+        if (*status == SubmitStatus::kAccepted) {
+          landed++;
+          return;
+        }
+        if (*status != SubmitStatus::kBackpressure) {
+          wrong_verdicts++;  // kRejected here = a bounced copy was queued
+          return;
+        }
+        bounced++;
+        std::this_thread::sleep_for(std::chrono::microseconds(200 * (u + 1)));
+      }
+      wrong_verdicts++;  // starved
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(wrong_verdicts.load(), 0);
+  EXPECT_EQ(landed.load(), kClients);
+  fx.gateway->Cutoff();
+  EXPECT_EQ(fx.gateway->accepted_count(), static_cast<size_t>(kClients));
+  RoundResult result = RunRoundInEngine(*fx.round, 0x4e7e);
+  ASSERT_FALSE(result.aborted) << result.abort_reason;
+  EXPECT_EQ(result.plaintexts.size(), static_cast<size_t>(kClients));
+}
+
+TEST(GatewayLifecycle, RevokedMidSessionRejectedWithoutKillingTheLink) {
+  // Revocation semantics pinned three ways: the live SecureLink survives
+  // (the handshake already happened), the revoked id's NEW submissions
+  // are rejected at verification through the registry-backed auth hook,
+  // and a fresh connection under the revoked id is refused outright.
+  IngressFixture fx(Variant::kTrap);
+  fx.AddClient(41);
+  fx.AddClient(42);
+  ASSERT_TRUE(fx.StartGateway());
+  fx.gateway->OpenRound(1);
+
+  auto revoked = fx.Connect(41);
+  auto honest = fx.Connect(42);
+  ASSERT_NE(revoked, nullptr);
+  ASSERT_NE(honest, nullptr);
+
+  Rng rng(uint64_t{0x4e40ce});
+  ASSERT_TRUE(honest->SubmitAndWait(fx.MakeTrap(42, 0, rng, "pre-revoke")));
+
+  ASSERT_TRUE(fx.registry.Revoke(41));
+  EXPECT_FALSE(fx.registry.Revoke(41)) << "double revoke claimed success";
+
+  // The live link still carries frames and verdicts — but the submission
+  // itself is rejected by the intake auth hook.
+  uint64_t seq = revoked->Submit(fx.MakeTrap(41, 1, rng, "post-revoke"));
+  ASSERT_NE(seq, 0u) << "revocation killed the live link";
+  auto status = revoked->WaitResult(seq);
+  ASSERT_TRUE(status.has_value()) << "no verdict for a revoked submission";
+  EXPECT_EQ(*status, SubmitStatus::kRejected);
+  EXPECT_TRUE(revoked->alive());
+
+  // A new connection under the revoked id dies in the handshake.
+  EXPECT_EQ(fx.Connect(41), nullptr);
+
+  fx.gateway->Cutoff();
+  EXPECT_EQ(fx.gateway->accepted_count(), 1u);
+  RoundResult result = RunRoundInEngine(*fx.round, 0x4e41);
+  ASSERT_FALSE(result.aborted) << result.abort_reason;
+  EXPECT_EQ(result.plaintexts.size(), 1u);
 }
 
 TEST(ClientWire, FramesRejectTruncationJunkAndOversize) {

@@ -1,0 +1,60 @@
+// Seed-echoing helpers for randomized/fault-injection tests.
+//
+// A test that derives its randomness through TestSeed() can be replayed
+// exactly: on failure, the SeedEcho guard prints one line with the seed
+// and the --gtest_filter that reruns just that test, and setting
+// ATOM_TEST_SEED in the environment overrides the seed for the replay.
+//
+//   TEST(Suite, Case) {
+//     const uint64_t seed = atom_test::TestSeed(0x1234);
+//     atom_test::SeedEcho echo(seed);
+//     Rng rng(seed);
+//     ...
+//   }
+#ifndef TESTS_SEED_ECHO_H_
+#define TESTS_SEED_ECHO_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace atom_test {
+
+// The test's seed: ATOM_TEST_SEED when set (replay), else `fallback`.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("ATOM_TEST_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+// Prints the replay line when the enclosing test fails.
+class SeedEcho {
+ public:
+  explicit SeedEcho(uint64_t seed) : seed_(seed) {}
+  SeedEcho(const SeedEcho&) = delete;
+  SeedEcho& operator=(const SeedEcho&) = delete;
+  ~SeedEcho() {
+    if (!::testing::Test::HasFailure()) {
+      return;
+    }
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::fprintf(stderr,
+                 "[seed-echo] replay: ATOM_TEST_SEED=%llu <binary> "
+                 "--gtest_filter=%s.%s\n",
+                 static_cast<unsigned long long>(seed_),
+                 info != nullptr ? info->test_suite_name() : "?",
+                 info != nullptr ? info->name() : "?");
+  }
+
+ private:
+  const uint64_t seed_;
+};
+
+}  // namespace atom_test
+
+#endif  // TESTS_SEED_ECHO_H_
