@@ -2,11 +2,13 @@
 // line (src/testing/scenario.h).
 //
 //   chaos_fleet [--scenario NAME|all] [--seed N] [--rounds N] [--users N]
-//               [--workload raw|dialing|microblog] [--smoke]
-//               [--report PATH]
+//               [--workload raw|dialing|microblog]
+//               [--gateway threads|reactor] [--smoke] [--report PATH]
 //
 // Each scenario spawns a real atom_server fleet (found next to this
-// binary), a SubmissionGateway, and authenticated ClientSessions, injects
+// binary), a client gateway (--gateway picks the thread-per-connection
+// or epoll reactor ingress engine), and authenticated ClientSessions,
+// injects
 // its named fault deployment from the seed, and asserts the invariant
 // matrix. Exits nonzero on the first violation, printing the replay
 // command. --smoke shrinks to the fastest honest configuration (2 rounds)
@@ -64,11 +66,21 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--report") {
       report_path = value;
+    } else if (flag == "--gateway") {
+      if (std::strcmp(value, "threads") == 0) {
+        config.gateway_backend = GatewayBackend::kThreadPerConnection;
+      } else if (std::strcmp(value, "reactor") == 0) {
+        config.gateway_backend = GatewayBackend::kReactor;
+      } else {
+        std::fprintf(stderr, "unknown gateway backend: %s\n", value);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: chaos_fleet [--scenario NAME|all] [--seed N] "
                    "[--rounds N] [--users N] "
-                   "[--workload raw|dialing|microblog] [--smoke] "
+                   "[--workload raw|dialing|microblog] "
+                   "[--gateway threads|reactor] [--smoke] "
                    "[--report PATH]\n");
       return 2;
     }

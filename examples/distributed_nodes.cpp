@@ -59,6 +59,7 @@
 #include "src/net/client_session.h"
 #include "src/net/gateway.h"
 #include "src/net/mesh.h"
+#include "src/net/reactor.h"
 #include "src/net/registry.h"
 #include "src/net/round_driver.h"
 #include "src/util/hex.h"
@@ -598,7 +599,8 @@ int RunPipelined(const char* argv0, uint64_t seed) {
 // The full deployment shape: registered clients -> SubmissionGateway ->
 // streaming intake -> DistributedRoundDriver -> atom_server fleet, with a
 // twin round fed the identical submissions in process as the oracle.
-int RunPipelinedNetClients(const char* argv0, uint64_t seed) {
+int RunPipelinedNetClients(const char* argv0, uint64_t seed,
+                           GatewayBackend backend) {
   signal(SIGPIPE, SIG_IGN);
   std::string binary = ServerBinaryPath(argv0);
 
@@ -736,7 +738,12 @@ int RunPipelinedNetClients(const char* argv0, uint64_t seed) {
     KemKeypair gateway_key = KemKeyGen(key_rng);
     GatewayConfig gateway_config;
     gateway_config.verify_workers = config.workers;
-    SubmissionGateway gateway(&net, &registry, gateway_key, gateway_config);
+    // Backend-selectable so CI pins the reactor's RoundResults
+    // byte-identical to both the in-process twin and the
+    // thread-per-connection run of the same seed.
+    std::unique_ptr<ClientGateway> gateway_ptr = MakeClientGateway(
+        backend, &net, &registry, gateway_key, gateway_config);
+    ClientGateway& gateway = *gateway_ptr;
     if (!gateway.Listen(0)) {
       std::fprintf(stderr, "gateway listen failed\n");
       ReapAll(servers);
@@ -827,6 +834,7 @@ int main(int argc, char** argv) {
   bool tcp = false;
   bool pipelined = false;
   bool net_clients = false;
+  GatewayBackend backend = GatewayBackend::kThreadPerConnection;
   uint64_t seed = 42;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--tcp") == 0) {
@@ -835,6 +843,8 @@ int main(int argc, char** argv) {
       pipelined = true;
     } else if (std::strcmp(argv[i], "--net-clients") == 0) {
       net_clients = true;
+    } else if (std::strcmp(argv[i], "--reactor-gateway") == 0) {
+      backend = GatewayBackend::kReactor;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       char* end = nullptr;
       seed = std::strtoull(argv[++i], &end, 10);
@@ -845,12 +855,12 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: distributed_nodes [--tcp] [--pipelined] "
-                   "[--net-clients] [--seed N]\n");
+                   "[--net-clients] [--reactor-gateway] [--seed N]\n");
       return 2;
     }
   }
   if (net_clients) {
-    return RunPipelinedNetClients(argv[0], seed);
+    return RunPipelinedNetClients(argv[0], seed, backend);
   }
   if (pipelined) {
     return RunPipelined(argv[0], seed);

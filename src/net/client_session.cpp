@@ -234,4 +234,58 @@ bool ClientSession::SendMessage(BytesView message, uint32_t gid, Rng& rng) {
   return SubmitAndWait(sub);
 }
 
+FleetClient::FleetClient(std::string host,
+                         std::vector<GatewayEndpoint> roster,
+                         uint64_t client_id, const KemKeypair& identity)
+    : host_(std::move(host)),
+      roster_(std::move(roster)),
+      client_id_(client_id),
+      identity_(identity) {}
+
+FleetClient::~FleetClient() { Close(); }
+
+ClientSession* FleetClient::Session(uint32_t gid) {
+  const GatewayEndpoint* endpoint = nullptr;
+  for (const auto& e : roster_) {
+    if (e.gid == gid) {
+      endpoint = &e;
+      break;
+    }
+  }
+  if (endpoint == nullptr) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(gid);
+  if (it != sessions_.end() && it->second->alive()) {
+    return it->second.get();
+  }
+  auto session = ClientSession::Connect(host_, endpoint->port, client_id_,
+                                        identity_, endpoint->pk);
+  if (session == nullptr) {
+    sessions_.erase(gid);
+    return nullptr;
+  }
+  return (sessions_[gid] = std::move(session)).get();
+}
+
+bool FleetClient::SendMessage(BytesView message, uint32_t gid, Rng& rng) {
+  ClientSession* session = Session(gid);
+  return session != nullptr && session->SendMessage(message, gid, rng);
+}
+
+uint64_t FleetClient::WaitRoundOpen(uint32_t gid,
+                                    std::chrono::milliseconds timeout) {
+  ClientSession* session = Session(gid);
+  return session != nullptr ? session->WaitRoundOpen(timeout) : 0;
+}
+
+void FleetClient::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [gid, session] : sessions_) {
+    session->Close();
+  }
+  sessions_.clear();
+}
+
 }  // namespace atom

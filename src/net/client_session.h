@@ -34,6 +34,7 @@
 #include <thread>
 
 #include "src/net/gateway.h"
+#include "src/net/reactor.h"
 
 namespace atom {
 
@@ -113,6 +114,50 @@ class ClientSession {
   bool dead_ = false;
   std::map<uint64_t, SubmitStatus> results_;
   std::thread reader_;
+};
+
+// A registered user's view of a sharded ingress fleet (GatewayFleet,
+// src/net/reactor.h): one ClientSession per entry-group gateway, dialed
+// lazily on first use and reused for later messages to the same group.
+// Routing is by the message's entry group — the shard that admits it is
+// the shard that serves it — so a client talking to k groups holds k
+// sessions, each authenticated under the same registered identity.
+class FleetClient {
+ public:
+  // `roster` is GatewayFleet::Roster() (each shard's port and gateway
+  // key); every shard is dialed at `host`.
+  FleetClient(std::string host, std::vector<GatewayEndpoint> roster,
+              uint64_t client_id, const KemKeypair& identity);
+  ~FleetClient();
+
+  FleetClient(const FleetClient&) = delete;
+  FleetClient& operator=(const FleetClient&) = delete;
+
+  uint64_t client_id() const { return client_id_; }
+
+  // The session for `gid`'s shard, dialing it if this is the first use;
+  // nullptr when no shard serves the group or the dial/handshake fails.
+  // A session that has died is redialed on the next call.
+  ClientSession* Session(uint32_t gid);
+
+  // Routes to `gid`'s shard and delegates to ClientSession::SendMessage.
+  bool SendMessage(BytesView message, uint32_t gid, Rng& rng);
+
+  // Blocks until `gid`'s shard announces an open round.
+  uint64_t WaitRoundOpen(
+      uint32_t gid,
+      std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
+  void Close();
+
+ private:
+  const std::string host_;
+  const std::vector<GatewayEndpoint> roster_;
+  const uint64_t client_id_;
+  const KemKeypair identity_;
+
+  std::mutex mu_;
+  std::map<uint32_t, std::unique_ptr<ClientSession>> sessions_;
 };
 
 }  // namespace atom

@@ -330,7 +330,14 @@ void SubmissionGateway::Cutoff() {
   // tails concurrently on the pool — the cutoff-to-ship latency is the
   // slowest shard, not the sum. After the drains, every submission the
   // readers queued before the cutoff flipped has a verdict.
+  // A sharded gateway (entry_group >= 0) only ever pumps its own group:
+  // PumpStream is single-consumer per shard, and in a fleet each shard's
+  // consumer is its own gateway.
   for (uint32_t g = 0; g < pumps_.size(); g++) {
+    if (config_.entry_group >= 0 &&
+        g != static_cast<uint32_t>(config_.entry_group)) {
+      continue;
+    }
     pumps_[g]->serial.Submit([this, g] { PumpShard(g); });
   }
   for (auto& pump : pumps_) {
@@ -572,6 +579,14 @@ void SubmissionGateway::HandleSubmit(
     return;
   }
   if (gid >= round_->NumGroups()) {
+    SendResult(conn, msg.seq, SubmitStatus::kRejected);
+    return;
+  }
+  // Sharded admission (fleet deployments): this gateway serves exactly
+  // one entry group; a submission addressed elsewhere is a routing bug
+  // the client must see, not silently forward.
+  if (config_.entry_group >= 0 &&
+      gid != static_cast<uint32_t>(config_.entry_group)) {
     SendResult(conn, msg.seq, SubmitStatus::kRejected);
     return;
   }

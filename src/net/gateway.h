@@ -137,9 +137,72 @@ struct GatewayConfig {
   // wants submissions bound to registered keys (not just the transport)
   // turns it on and clients sign via EncodeSubmitSigned.
   bool require_sigs = false;
+  // Sharded admission (GatewayFleet, src/net/reactor.h): when >= 0, only
+  // submissions addressed to this entry group are admitted — a client
+  // that dials the wrong shard's gateway gets kRejected, so fleet routing
+  // mistakes surface instead of silently crossing shards. Both backends
+  // honor it; -1 admits every group (the single-gateway deployment).
+  int64_t entry_group = -1;
+  // ---- Reactor-backend knobs (ignored by thread-per-connection):
+  // Event-loop threads. Each owns an epoll set and a share of the
+  // connections; loop 0 also owns the listener. A small fixed number
+  // serves very many sockets — parallelism for crypto comes from the
+  // pool, not from loops.
+  size_t reactor_loops = 2;
+  // A connection must complete its handshake within this window or it is
+  // reaped (slowloris: a dialer holding sockets open with a stalled
+  // handshake never pins buffers or a thread).
+  int handshake_deadline_ms = 10'000;
+  // Reap established connections silent for this long (0 = never): the
+  // per-deployment policy knob for idle-session GC.
+  int idle_timeout_ms = 0;
+  // Hard cap on concurrent connections (0 = bounded only by the fd
+  // limit); excess accepts are closed immediately.
+  size_t max_connections = 0;
 };
 
-class SubmissionGateway {
+// Which ingress implementation fronts the round.
+enum class GatewayBackend : uint8_t {
+  // One reader thread per client connection (SubmissionGateway below).
+  // Simple and fine into the low thousands of sessions; kept as the
+  // apples-to-apples baseline behind this flag.
+  kThreadPerConnection = 0,
+  // Epoll edge-triggered reactor (ReactorGateway, src/net/reactor.h): a
+  // small fixed pool of event-loop threads owning non-blocking sockets;
+  // scales to hundreds of thousands of sessions per host.
+  kReactor = 1,
+};
+
+// The gateway surface the rest of the stack programs against: the round
+// driver opens/cuts rounds, the directory pushes registry syncs, the
+// scenario harness injects faults — none of them care which backend
+// serves the sockets.
+class ClientGateway {
+ public:
+  virtual ~ClientGateway() = default;
+
+  virtual bool Listen(uint16_t port = 0) = 0;
+  virtual uint16_t port() const = 0;
+  virtual void Start() = 0;
+  virtual void Stop() = 0;
+  virtual const Point& pk() const = 0;
+  virtual void OpenRound(uint64_t round_id) = 0;
+  virtual void Cutoff() = 0;
+  virtual size_t ApplyRegistrySync(const RegistrySyncMsg& sync) = 0;
+  virtual void SetFaultPlan(std::shared_ptr<FaultPlan> plan) = 0;
+  virtual size_t accepted_count() const = 0;
+  virtual size_t resolved_count() const = 0;
+  virtual size_t connection_count() const = 0;
+};
+
+// Constructs the chosen backend (defined in src/net/reactor.cpp, next to
+// the reactor it dispatches to).
+std::unique_ptr<ClientGateway> MakeClientGateway(
+    GatewayBackend backend, Round* round, ClientRegistry* registry,
+    KemKeypair identity, GatewayConfig config = {},
+    ThreadPool* pool = nullptr);
+
+class SubmissionGateway : public ClientGateway {
  public:
   // `round` and `registry` must outlive the gateway; `identity` is the
   // gateway's long-term key (clients authenticate it like servers
@@ -150,47 +213,47 @@ class SubmissionGateway {
   SubmissionGateway(Round* round, ClientRegistry* registry,
                     KemKeypair identity, GatewayConfig config = {},
                     ThreadPool* pool = nullptr);
-  ~SubmissionGateway();
+  ~SubmissionGateway() override;
 
   SubmissionGateway(const SubmissionGateway&) = delete;
   SubmissionGateway& operator=(const SubmissionGateway&) = delete;
 
-  bool Listen(uint16_t port = 0);
-  uint16_t port() const { return listener_.port(); }
-  void Start();
-  void Stop();
+  bool Listen(uint16_t port = 0) override;
+  uint16_t port() const override { return listener_.port(); }
+  void Start() override;
+  void Stop() override;
 
-  const Point& pk() const { return identity_.pk; }
+  const Point& pk() const override { return identity_.pk; }
 
   // Opens intake for `round_id` (nonzero) and announces it to every
   // connection. Called by the driver right after it ships the previous
   // round — r+1's intake fills while r mixes.
-  void OpenRound(uint64_t round_id);
+  void OpenRound(uint64_t round_id) override;
 
   // Closes intake, announces the cutoff, and drains every shard's ring
   // through verification. When it returns, everything accepted for the
   // round is in the Round's intake epoch (TakeEngineRound-ready).
   // Submissions racing the cutoff instant may land in the next round's
   // intake instead — the pipelined-intake boundary, not a loss.
-  void Cutoff();
+  void Cutoff() override;
 
   // Merges a registry snapshot (see src/net/registry.h) into the live
   // lookup table; newly synced clients can connect immediately.
-  size_t ApplyRegistrySync(const RegistrySyncMsg& sync);
+  size_t ApplyRegistrySync(const RegistrySyncMsg& sync) override;
 
   // Scenario-harness fault injection (src/net/faults.h): the plan's
   // client-disconnect rate kills connections mid-stream right after a
   // kSubmit frame is read — deterministic gateway-side churn. Set before
   // Start().
-  void SetFaultPlan(std::shared_ptr<FaultPlan> plan) {
+  void SetFaultPlan(std::shared_ptr<FaultPlan> plan) override {
     fault_plan_ = std::move(plan);
   }
 
   // Monitoring: verified-and-accepted / total-resolved counts since
   // construction, and live connections.
-  size_t accepted_count() const;
-  size_t resolved_count() const;
-  size_t connection_count() const;
+  size_t accepted_count() const override;
+  size_t resolved_count() const override;
+  size_t connection_count() const override;
 
  private:
   struct Connection {

@@ -1,0 +1,256 @@
+#include "src/net/handshake.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/sha256.h"
+#include "src/util/serde.h"
+
+namespace atom {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'T', 'O', 'M', 'L', 'N', 'K', '1'};
+constexpr std::string_view kConfirmPlaintext = "atom-link-ok";
+constexpr size_t kSecretSize = 32;
+// KemEncrypt(32-byte secret) = 33-byte encapsulation + 32 + 16-byte tag.
+constexpr size_t kEncapSize = kSecretSize + kKemOverhead;
+
+std::array<uint8_t, kAeadNonceSize> CounterNonce(uint64_t counter) {
+  std::array<uint8_t, kAeadNonceSize> nonce{};
+  for (size_t i = 0; i < 8; i++) {
+    nonce[i] = static_cast<uint8_t>(counter >> (8 * i));
+  }
+  return nonce;
+}
+
+Bytes SealRecord(const std::array<uint8_t, 32>& key, uint64_t counter,
+                 const std::array<uint8_t, 32>& th, BytesView payload) {
+  auto nonce = CounterNonce(counter);
+  return AeadSeal(key.data(), nonce.data(), BytesView(th.data(), th.size()),
+                  payload);
+}
+
+std::optional<Bytes> OpenRecord(const std::array<uint8_t, 32>& key,
+                                uint64_t counter,
+                                const std::array<uint8_t, 32>& th,
+                                BytesView record) {
+  auto nonce = CounterNonce(counter);
+  return AeadOpen(key.data(), nonce.data(), BytesView(th.data(), th.size()),
+                  record);
+}
+
+struct SessionKeys {
+  std::array<uint8_t, 32> dialer_to_listener;
+  std::array<uint8_t, 32> listener_to_dialer;
+  std::array<uint8_t, 32> transcript_hash;
+};
+
+SessionKeys DeriveSession(BytesView hello, uint64_t listener_id,
+                          BytesView c_l, BytesView s_d, BytesView s_l) {
+  Sha256 th_hash;
+  th_hash.Update(ToBytes("atom/link/v2/th"));
+  th_hash.Update(hello);
+  std::array<uint8_t, 8> lid{};
+  for (size_t i = 0; i < 8; i++) {
+    lid[i] = static_cast<uint8_t>(listener_id >> (8 * i));
+  }
+  th_hash.Update(BytesView(lid.data(), lid.size()));
+  th_hash.Update(c_l);
+  SessionKeys keys;
+  keys.transcript_hash = th_hash.Finish();
+
+  Sha256 secret_hash;
+  secret_hash.Update(ToBytes("atom/link/v2/key"));
+  secret_hash.Update(BytesView(keys.transcript_hash.data(),
+                               keys.transcript_hash.size()));
+  secret_hash.Update(s_d);
+  secret_hash.Update(s_l);
+  std::array<uint8_t, 32> secret = secret_hash.Finish();
+  keys.dialer_to_listener = DeriveSubKey(secret, 1);
+  keys.listener_to_dialer = DeriveSubKey(secret, 2);
+  return keys;
+}
+
+bool ConfirmMatches(const std::optional<Bytes>& confirm) {
+  return confirm.has_value() &&
+         confirm->size() == kConfirmPlaintext.size() &&
+         std::memcmp(confirm->data(), kConfirmPlaintext.data(),
+                     kConfirmPlaintext.size()) == 0;
+}
+
+}  // namespace
+
+Bytes EncodeFrame(BytesView payload) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.Raw(payload);
+  return w.Take();
+}
+
+void FrameAssembler::Feed(BytesView data) {
+  if (poisoned_ || data.empty()) {
+    return;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Bytes> FrameAssembler::Next() {
+  if (poisoned_ || buf_.size() - pos_ < 4) {
+    return std::nullopt;
+  }
+  const uint8_t* p = buf_.data() + pos_;
+  uint32_t len = static_cast<uint32_t>(p[0]) |
+                 (static_cast<uint32_t>(p[1]) << 8) |
+                 (static_cast<uint32_t>(p[2]) << 16) |
+                 (static_cast<uint32_t>(p[3]) << 24);
+  if (len > max_payload_) {
+    poisoned_ = true;  // hostile length: reject before buffering it
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ - 4 < len) {
+    return std::nullopt;  // frame still in flight
+  }
+  Bytes payload(buf_.begin() + pos_ + 4, buf_.begin() + pos_ + 4 + len);
+  pos_ += 4 + len;
+  // Compact once the dead prefix dominates, so a long-lived connection
+  // does not grow its buffer by its lifetime traffic.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + pos_);
+    pos_ = 0;
+  }
+  return payload;
+}
+
+Bytes RecordChannel::Seal(BytesView payload) {
+  return SealRecord(send_key_, send_counter_++, transcript_hash_, payload);
+}
+
+std::optional<Bytes> RecordChannel::Open(BytesView record) {
+  auto payload =
+      OpenRecord(recv_key_, recv_counter_, transcript_hash_, record);
+  if (payload) {
+    recv_counter_++;
+  }
+  return payload;
+}
+
+Bytes LinkDialerHandshake::Start(uint64_t self_id, const KemKeypair& self_key,
+                                 uint64_t peer_id, const Point& peer_pk,
+                                 Rng& rng, const FixedBaseTable* peer_table) {
+  s_d_ = rng.NextBytes(kSecretSize);
+  self_sk_ = self_key.sk;
+  peer_id_ = peer_id;
+  ByteWriter hello;
+  hello.Raw(BytesView(reinterpret_cast<const uint8_t*>(kMagic),
+                      sizeof(kMagic)));
+  hello.U64(self_id);
+  hello.U64(peer_id);
+  hello.Raw(BytesView(peer_table != nullptr
+                          ? KemEncrypt(*peer_table, BytesView(s_d_), rng)
+                          : KemEncrypt(peer_pk, BytesView(s_d_), rng)));
+  hello_ = hello.Take();
+  started_ = true;
+  return hello_;
+}
+
+std::optional<Bytes> LinkDialerHandshake::OnResponse(BytesView response) {
+  if (!started_ || done_) {
+    return std::nullopt;
+  }
+  ByteReader r{response};
+  auto listener_id = r.U64();
+  auto c_l = r.Raw(kEncapSize);
+  auto confirm_l = r.Raw(kConfirmPlaintext.size() + kAeadTagSize);
+  if (!listener_id || *listener_id != peer_id_ || !c_l || !confirm_l ||
+      !r.Done()) {
+    return std::nullopt;
+  }
+  // Recovering the listener's contribution takes OUR long-term secret;
+  // computing the session keys at all takes theirs.
+  auto s_l = KemDecrypt(self_sk_, BytesView(*c_l));
+  if (!s_l || s_l->size() != kSecretSize) {
+    return std::nullopt;
+  }
+  SessionKeys keys = DeriveSession(BytesView(hello_), *listener_id,
+                                   BytesView(*c_l), BytesView(s_d_),
+                                   BytesView(*s_l));
+  auto confirm = OpenRecord(keys.listener_to_dialer, 0, keys.transcript_hash,
+                            BytesView(*confirm_l));
+  if (!ConfirmMatches(confirm)) {
+    return std::nullopt;  // listener failed to prove possession of its key
+  }
+  channel_ = RecordChannel(keys.dialer_to_listener, keys.listener_to_dialer,
+                           keys.transcript_hash);
+  done_ = true;
+  return SealRecord(keys.dialer_to_listener, 0, keys.transcript_hash,
+                    BytesView(ToBytes(kConfirmPlaintext)));
+}
+
+RecordChannel LinkDialerHandshake::TakeChannel() {
+  return std::exchange(channel_, RecordChannel());
+}
+
+std::optional<Bytes> LinkListenerHandshake::OnHello(
+    BytesView hello, uint64_t self_id, const KemKeypair& self_key,
+    const PkLookup& peer_pk_lookup, Rng& rng) {
+  if (responded_) {
+    return std::nullopt;
+  }
+  ByteReader r{hello};
+  auto magic = r.Raw(sizeof(kMagic));
+  auto dialer_id = r.U64();
+  auto target_id = r.U64();
+  auto c_d = r.Raw(kEncapSize);
+  if (!magic || std::memcmp(magic->data(), kMagic, sizeof(kMagic)) != 0 ||
+      !dialer_id || !target_id || *target_id != self_id || !c_d ||
+      !r.Done()) {
+    return std::nullopt;
+  }
+  auto dialer_pk = peer_pk_lookup(*dialer_id);
+  if (!dialer_pk) {
+    return std::nullopt;  // peer not in the roster
+  }
+  auto s_d = KemDecrypt(self_key.sk, BytesView(*c_d));
+  if (!s_d || s_d->size() != kSecretSize) {
+    return std::nullopt;
+  }
+  Bytes s_l = rng.NextBytes(kSecretSize);
+  Bytes c_l = KemEncrypt(*dialer_pk, BytesView(s_l), rng);
+  SessionKeys keys = DeriveSession(hello, self_id, BytesView(c_l),
+                                   BytesView(*s_d), BytesView(s_l));
+  dialer_to_listener_ = keys.dialer_to_listener;
+  listener_to_dialer_ = keys.listener_to_dialer;
+  transcript_hash_ = keys.transcript_hash;
+  peer_id_ = *dialer_id;
+  responded_ = true;
+  ByteWriter resp;
+  resp.U64(self_id);
+  resp.Raw(BytesView(c_l));
+  resp.Raw(BytesView(SealRecord(listener_to_dialer_, 0, transcript_hash_,
+                                BytesView(ToBytes(kConfirmPlaintext)))));
+  return resp.Take();
+}
+
+bool LinkListenerHandshake::OnConfirm(BytesView confirm) {
+  if (!responded_ || done_) {
+    return false;
+  }
+  auto opened =
+      OpenRecord(dialer_to_listener_, 0, transcript_hash_, confirm);
+  if (!ConfirmMatches(opened)) {
+    return false;  // dialer failed to prove possession of its key
+  }
+  done_ = true;
+  return true;
+}
+
+RecordChannel LinkListenerHandshake::TakeChannel() {
+  RecordChannel channel(listener_to_dialer_, dialer_to_listener_,
+                        transcript_hash_);
+  listener_to_dialer_ = {};
+  dialer_to_listener_ = {};
+  return channel;
+}
+
+}  // namespace atom

@@ -1,0 +1,172 @@
+// Resumable building blocks of the SecureLink wire protocol
+// (src/net/link.h), factored out so the same handshake and record layer
+// drive both transports:
+//
+//   - the blocking SecureLink used by the server mesh (Dial/Accept wrap
+//     these steps around blocking socket reads), and
+//   - the non-blocking reactor gateway (src/net/reactor.h), where every
+//     step consumes bytes already buffered for a connection and produces
+//     bytes to queue for write — an event loop never blocks in a
+//     handshake, and the expensive KEM steps can run as pool tasks
+//     against these objects while the loop keeps serving other sockets.
+//
+// The pieces compose in wire order:
+//
+//   FrameAssembler        incremental "u32 LE length || payload" framing
+//   LinkDialerHandshake   hello -> (response) -> confirm     (client side)
+//   LinkListenerHandshake (hello) -> response -> (confirm)   (server side)
+//   RecordChannel         post-handshake AEAD records (counter nonces,
+//                         transcript hash as associated data)
+//
+// Byte-for-byte identical to the protocol documented in link.h — the
+// blocking SecureLink is implemented on top of exactly these objects, so
+// there is one handshake implementation, not two.
+#ifndef SRC_NET_HANDSHAKE_H_
+#define SRC_NET_HANDSHAKE_H_
+
+#include <array>
+#include <functional>
+#include <optional>
+
+#include "src/crypto/kem.h"
+#include "src/util/rng.h"
+
+namespace atom {
+
+// Prepends the u32 LE length prefix (the caller bounds payload size; this
+// is the encode half of WriteFrame for transports that queue bytes
+// instead of writing a socket directly).
+Bytes EncodeFrame(BytesView payload);
+
+// Incremental frame extraction over an arbitrary byte stream: Feed
+// whatever recv produced, then pop complete payloads with Next until it
+// returns nullopt (more bytes needed). A declared length above the cap
+// poisons the assembler — the caller must kill the connection; nothing
+// was allocated for the oversize frame.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_payload) : max_payload_(max_payload) {}
+
+  // Tightens/loosens the cap between protocol phases (handshake frames
+  // are small; records are not). Applies to frames not yet popped.
+  void set_max_payload(size_t max_payload) { max_payload_ = max_payload; }
+
+  void Feed(BytesView data);
+  std::optional<Bytes> Next();
+
+  bool poisoned() const { return poisoned_; }
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_payload_;
+  bool poisoned_ = false;
+  Bytes buf_;
+  size_t pos_ = 0;  // consumed prefix; compacted once it dominates
+};
+
+// Post-handshake record layer: seal/open with per-direction counter
+// nonces (counter 0 was the handshake confirm) and the transcript hash as
+// associated data. Not internally locked — a transport serializes its own
+// use (SecureLink under its send mutex / single reader; the reactor on
+// the connection's owning event loop).
+class RecordChannel {
+ public:
+  RecordChannel() = default;
+  RecordChannel(const std::array<uint8_t, 32>& send_key,
+                const std::array<uint8_t, 32>& recv_key,
+                const std::array<uint8_t, 32>& transcript_hash)
+      : send_key_(send_key),
+        recv_key_(recv_key),
+        transcript_hash_(transcript_hash) {}
+
+  // Seals one record and advances the send counter.
+  Bytes Seal(BytesView payload);
+
+  // Opens the next record; nullopt = forged, replayed, reordered, or
+  // corrupted (the transport must kill the connection — resynchronizing
+  // silently would hide an attack). Advances the recv counter on success.
+  std::optional<Bytes> Open(BytesView record);
+
+  const std::array<uint8_t, 32>& transcript_hash() const {
+    return transcript_hash_;
+  }
+
+ private:
+  std::array<uint8_t, 32> send_key_{};
+  std::array<uint8_t, 32> recv_key_{};
+  std::array<uint8_t, 32> transcript_hash_{};
+  uint64_t send_counter_ = 1;
+  uint64_t recv_counter_ = 1;
+};
+
+// Dialer (client) half of the station-to-station handshake. Step order:
+// Start -> write the hello frame; feed the listener's response frame to
+// OnResponse -> write the returned confirm frame; TakeChannel.
+class LinkDialerHandshake {
+ public:
+  // Builds the hello frame payload. `peer_table` optionally accelerates
+  // the encapsulation to the listener's key — worth it for callers that
+  // dial the same gateway key many times (client fleets, load
+  // generators); pass nullptr for the one-shot generic path.
+  Bytes Start(uint64_t self_id, const KemKeypair& self_key, uint64_t peer_id,
+              const Point& peer_pk, Rng& rng,
+              const FixedBaseTable* peer_table = nullptr);
+
+  // Consumes the listener's response frame payload. Returns the confirm
+  // frame payload to send, or nullopt when the listener failed to prove
+  // possession of its registered key (kill the connection).
+  std::optional<Bytes> OnResponse(BytesView response);
+
+  bool done() const { return done_; }
+
+  // Valid exactly once, after OnResponse succeeded.
+  RecordChannel TakeChannel();
+
+ private:
+  Bytes hello_;
+  Bytes s_d_;
+  Scalar self_sk_;
+  uint64_t peer_id_ = 0;
+  bool started_ = false;
+  bool done_ = false;
+  RecordChannel channel_;
+};
+
+// Listener (server) half. Step order: feed the dialer's hello to OnHello
+// -> write the returned response frame; feed the dialer's confirm to
+// OnConfirm; TakeChannel.
+class LinkListenerHandshake {
+ public:
+  using PkLookup = std::function<std::optional<Point>(uint64_t)>;
+
+  // Consumes the hello frame payload. Returns the response frame payload,
+  // or nullopt on a malformed hello, a wrong target id, or a dialer id
+  // the lookup does not know (kill the connection). This is the expensive
+  // step (one KEM decrypt + one KEM encrypt) — the reactor runs it as a
+  // pool task so it never blocks an event loop.
+  std::optional<Bytes> OnHello(BytesView hello, uint64_t self_id,
+                               const KemKeypair& self_key,
+                               const PkLookup& peer_pk_lookup, Rng& rng);
+
+  // Consumes the confirm frame payload; true completes the handshake
+  // (cheap: one small AEAD open — fine on an event loop).
+  bool OnConfirm(BytesView confirm);
+
+  uint64_t peer_id() const { return peer_id_; }
+  bool done() const { return done_; }
+
+  // Valid exactly once, after OnConfirm returned true.
+  RecordChannel TakeChannel();
+
+ private:
+  uint64_t peer_id_ = 0;
+  bool responded_ = false;
+  bool done_ = false;
+  std::array<uint8_t, 32> dialer_to_listener_{};
+  std::array<uint8_t, 32> listener_to_dialer_{};
+  std::array<uint8_t, 32> transcript_hash_{};
+};
+
+}  // namespace atom
+
+#endif  // SRC_NET_HANDSHAKE_H_

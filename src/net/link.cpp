@@ -1,79 +1,16 @@
 #include "src/net/link.h"
 
-#include <cstring>
+#include <utility>
 
 #include "src/crypto/aead.h"
-#include "src/crypto/sha256.h"
-#include "src/util/serde.h"
 
 namespace atom {
 namespace {
 
-constexpr char kMagic[8] = {'A', 'T', 'O', 'M', 'L', 'N', 'K', '1'};
 // A peer must complete its half of the handshake within this window, so a
 // connected-but-silent socket cannot stall an accept loop. Cleared once
 // the link is established (records may legitimately be minutes apart).
 constexpr int kHandshakeRecvTimeoutMillis = 10'000;
-constexpr std::string_view kConfirmPlaintext = "atom-link-ok";
-constexpr size_t kSecretSize = 32;
-// KemEncrypt(32-byte secret) = 33-byte encapsulation + 32 + 16-byte tag.
-constexpr size_t kEncapSize = kSecretSize + kKemOverhead;
-
-std::array<uint8_t, kAeadNonceSize> CounterNonce(uint64_t counter) {
-  std::array<uint8_t, kAeadNonceSize> nonce{};
-  for (size_t i = 0; i < 8; i++) {
-    nonce[i] = static_cast<uint8_t>(counter >> (8 * i));
-  }
-  return nonce;
-}
-
-Bytes SealRecord(const std::array<uint8_t, 32>& key, uint64_t counter,
-                 const std::array<uint8_t, 32>& th, BytesView payload) {
-  auto nonce = CounterNonce(counter);
-  return AeadSeal(key.data(), nonce.data(), BytesView(th.data(), th.size()),
-                  payload);
-}
-
-std::optional<Bytes> OpenRecord(const std::array<uint8_t, 32>& key,
-                                uint64_t counter,
-                                const std::array<uint8_t, 32>& th,
-                                BytesView record) {
-  auto nonce = CounterNonce(counter);
-  return AeadOpen(key.data(), nonce.data(), BytesView(th.data(), th.size()),
-                  record);
-}
-
-struct SessionKeys {
-  std::array<uint8_t, 32> dialer_to_listener;
-  std::array<uint8_t, 32> listener_to_dialer;
-  std::array<uint8_t, 32> transcript_hash;
-};
-
-SessionKeys DeriveSession(BytesView hello, uint64_t listener_id,
-                          BytesView c_l, BytesView s_d, BytesView s_l) {
-  Sha256 th_hash;
-  th_hash.Update(ToBytes("atom/link/v2/th"));
-  th_hash.Update(hello);
-  std::array<uint8_t, 8> lid{};
-  for (size_t i = 0; i < 8; i++) {
-    lid[i] = static_cast<uint8_t>(listener_id >> (8 * i));
-  }
-  th_hash.Update(BytesView(lid.data(), lid.size()));
-  th_hash.Update(c_l);
-  SessionKeys keys;
-  keys.transcript_hash = th_hash.Finish();
-
-  Sha256 secret_hash;
-  secret_hash.Update(ToBytes("atom/link/v2/key"));
-  secret_hash.Update(BytesView(keys.transcript_hash.data(),
-                               keys.transcript_hash.size()));
-  secret_hash.Update(s_d);
-  secret_hash.Update(s_l);
-  std::array<uint8_t, 32> secret = secret_hash.Finish();
-  keys.dialer_to_listener = DeriveSubKey(secret, 1);
-  keys.listener_to_dialer = DeriveSubKey(secret, 2);
-  return keys;
-}
 
 }  // namespace
 
@@ -81,10 +18,7 @@ bool WriteFrame(TcpSocket& socket, BytesView payload) {
   if (payload.size() > kMaxFramePayload + kAeadTagSize) {
     return false;
   }
-  ByteWriter w;
-  w.U32(static_cast<uint32_t>(payload.size()));
-  w.Raw(payload);
-  return socket.SendAll(BytesView(w.bytes()));
+  return socket.SendAll(BytesView(EncodeFrame(payload)));
 }
 
 std::optional<Bytes> ReadFrame(TcpSocket& socket, size_t max_payload) {
@@ -107,14 +41,10 @@ std::optional<Bytes> ReadFrame(TcpSocket& socket, size_t max_payload) {
 }
 
 SecureLink::SecureLink(TcpSocket socket, uint64_t peer_id,
-                       const std::array<uint8_t, 32>& send_key,
-                       const std::array<uint8_t, 32>& recv_key,
-                       const std::array<uint8_t, 32>& transcript_hash)
+                       RecordChannel channel)
     : socket_(std::move(socket)),
       peer_id_(peer_id),
-      send_key_(send_key),
-      recv_key_(recv_key),
-      transcript_hash_(transcript_hash) {}
+      channel_(std::move(channel)) {}
 
 std::unique_ptr<SecureLink> SecureLink::Dial(TcpSocket socket,
                                              uint64_t self_id,
@@ -125,55 +55,22 @@ std::unique_ptr<SecureLink> SecureLink::Dial(TcpSocket socket,
     return nullptr;
   }
   socket.SetRecvTimeout(kHandshakeRecvTimeoutMillis);
-  Bytes s_d = rng.NextBytes(kSecretSize);
-  ByteWriter hello;
-  hello.Raw(BytesView(reinterpret_cast<const uint8_t*>(kMagic),
-                      sizeof(kMagic)));
-  hello.U64(self_id);
-  hello.U64(peer_id);
-  hello.Raw(BytesView(KemEncrypt(peer_pk, BytesView(s_d), rng)));
-  if (!WriteFrame(socket, BytesView(hello.bytes()))) {
+  LinkDialerHandshake handshake;
+  Bytes hello = handshake.Start(self_id, self_key, peer_id, peer_pk, rng);
+  if (!WriteFrame(socket, BytesView(hello))) {
     return nullptr;
   }
-
   auto resp = ReadFrame(socket, kMaxHandshakeFrame);
   if (!resp) {
     return nullptr;
   }
-  ByteReader r{BytesView(*resp)};
-  auto listener_id = r.U64();
-  auto c_l = r.Raw(kEncapSize);
-  auto confirm_l = r.Raw(kConfirmPlaintext.size() + kAeadTagSize);
-  if (!listener_id || *listener_id != peer_id || !c_l || !confirm_l ||
-      !r.Done()) {
-    return nullptr;
-  }
-  // Recovering the listener's contribution takes OUR long-term secret;
-  // computing the session keys at all takes theirs.
-  auto s_l = KemDecrypt(self_key.sk, BytesView(*c_l));
-  if (!s_l || s_l->size() != kSecretSize) {
-    return nullptr;
-  }
-  SessionKeys keys = DeriveSession(BytesView(hello.bytes()), *listener_id,
-                                   BytesView(*c_l), BytesView(s_d),
-                                   BytesView(*s_l));
-  auto confirm = OpenRecord(keys.listener_to_dialer, 0, keys.transcript_hash,
-                            BytesView(*confirm_l));
-  if (!confirm || BytesView(*confirm).size() != kConfirmPlaintext.size() ||
-      std::memcmp(confirm->data(), kConfirmPlaintext.data(),
-                  kConfirmPlaintext.size()) != 0) {
-    return nullptr;  // listener failed to prove possession of its key
-  }
-  Bytes confirm_d =
-      SealRecord(keys.dialer_to_listener, 0, keys.transcript_hash,
-                 BytesView(ToBytes(kConfirmPlaintext)));
-  if (!WriteFrame(socket, BytesView(confirm_d))) {
+  auto confirm = handshake.OnResponse(BytesView(*resp));
+  if (!confirm || !WriteFrame(socket, BytesView(*confirm))) {
     return nullptr;
   }
   socket.SetRecvTimeout(0);
-  return std::unique_ptr<SecureLink>(
-      new SecureLink(std::move(socket), peer_id, keys.dialer_to_listener,
-                     keys.listener_to_dialer, keys.transcript_hash));
+  return std::unique_ptr<SecureLink>(new SecureLink(
+      std::move(socket), peer_id, handshake.TakeChannel()));
 }
 
 std::unique_ptr<SecureLink> SecureLink::Accept(
@@ -188,73 +85,24 @@ std::unique_ptr<SecureLink> SecureLink::Accept(
   if (!hello) {
     return nullptr;
   }
-  ByteReader r{BytesView(*hello)};
-  auto magic = r.Raw(sizeof(kMagic));
-  auto dialer_id = r.U64();
-  auto target_id = r.U64();
-  auto c_d = r.Raw(kEncapSize);
-  if (!magic || std::memcmp(magic->data(), kMagic, sizeof(kMagic)) != 0 ||
-      !dialer_id || !target_id || *target_id != self_id || !c_d ||
-      !r.Done()) {
-    return nullptr;
-  }
-  auto dialer_pk = peer_pk_lookup(*dialer_id);
-  if (!dialer_pk) {
-    return nullptr;  // peer not in the roster
-  }
-  auto s_d = KemDecrypt(self_key.sk, BytesView(*c_d));
-  if (!s_d || s_d->size() != kSecretSize) {
-    return nullptr;
-  }
-  Bytes s_l = rng.NextBytes(kSecretSize);
-  Bytes c_l = KemEncrypt(*dialer_pk, BytesView(s_l), rng);
-  SessionKeys keys = DeriveSession(BytesView(*hello), self_id, BytesView(c_l),
-                                   BytesView(*s_d), BytesView(s_l));
-  ByteWriter resp;
-  resp.U64(self_id);
-  resp.Raw(BytesView(c_l));
-  resp.Raw(BytesView(SealRecord(keys.listener_to_dialer, 0,
-                                keys.transcript_hash,
-                                BytesView(ToBytes(kConfirmPlaintext)))));
-  if (!WriteFrame(socket, BytesView(resp.bytes()))) {
+  LinkListenerHandshake handshake;
+  auto resp =
+      handshake.OnHello(BytesView(*hello), self_id, self_key, peer_pk_lookup,
+                        rng);
+  if (!resp || !WriteFrame(socket, BytesView(*resp))) {
     return nullptr;
   }
   auto confirm_frame = ReadFrame(socket, kMaxHandshakeFrame);
-  if (!confirm_frame) {
+  if (!confirm_frame || !handshake.OnConfirm(BytesView(*confirm_frame))) {
     return nullptr;
   }
-  auto confirm = OpenRecord(keys.dialer_to_listener, 0, keys.transcript_hash,
-                            BytesView(*confirm_frame));
-  if (!confirm || BytesView(*confirm).size() != kConfirmPlaintext.size() ||
-      std::memcmp(confirm->data(), kConfirmPlaintext.data(),
-                  kConfirmPlaintext.size()) != 0) {
-    return nullptr;  // dialer failed to prove possession of its key
-  }
   socket.SetRecvTimeout(0);
-  return std::unique_ptr<SecureLink>(
-      new SecureLink(std::move(socket), *dialer_id, keys.listener_to_dialer,
-                     keys.dialer_to_listener, keys.transcript_hash));
+  return std::unique_ptr<SecureLink>(new SecureLink(
+      std::move(socket), handshake.peer_id(), handshake.TakeChannel()));
 }
 
 bool SecureLink::Send(BytesView payload) {
-  if (payload.size() > kMaxFramePayload) {
-    return false;
-  }
-  std::lock_guard<std::mutex> lock(send_mu_);
-  if (!alive()) {
-    return false;
-  }
-  Bytes record =
-      SealRecord(send_key_, send_counter_, transcript_hash_, payload);
-  send_counter_++;
-  if (!WriteFrame(socket_, BytesView(record))) {
-    // Shut the socket too (not just the flag): a reader blocked in Recv
-    // on a half-open connection must unblock, or joining it would hang.
-    MarkDead();
-    socket_.ShutdownBoth();
-    return false;
-  }
-  return true;
+  return SendMutated(payload, nullptr);
 }
 
 std::optional<Bytes> SecureLink::Recv() {
@@ -263,8 +111,7 @@ std::optional<Bytes> SecureLink::Recv() {
     MarkDead();
     return std::nullopt;
   }
-  auto payload = OpenRecord(recv_key_, recv_counter_, transcript_hash_,
-                            BytesView(*record));
+  auto payload = channel_.Open(BytesView(*record));
   if (!payload) {
     // Forged, replayed, reordered, or corrupted record: kill the link so
     // the failure is visible instead of silently resynchronizing.
@@ -272,7 +119,6 @@ std::optional<Bytes> SecureLink::Recv() {
     Shutdown();
     return std::nullopt;
   }
-  recv_counter_++;
   return payload;
 }
 
@@ -310,13 +156,13 @@ bool SecureLink::SendMutated(BytesView payload,
   if (!alive()) {
     return false;
   }
-  Bytes record =
-      SealRecord(send_key_, send_counter_, transcript_hash_, payload);
-  send_counter_++;
+  Bytes record = channel_.Seal(payload);  // the counter advances either way
   if (mutate) {
     mutate(record);
   }
   if (!WriteFrame(socket_, BytesView(record))) {
+    // Shut the socket too (not just the flag): a reader blocked in Recv
+    // on a half-open connection must unblock, or joining it would hang.
     MarkDead();
     socket_.ShutdownBoth();
     return false;

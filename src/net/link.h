@@ -24,7 +24,10 @@
 //
 // with s_d, s_l fresh 32-byte secrets, th = H(transcript), session secret
 // = H(th || s_d || s_l), directional keys key-separated from it, and
-// confirm_x = AEAD(key_x, nonce 0, aad=th, "atom-link-ok"). An attacker
+// confirm_x = AEAD(key_x, nonce 0, aad=th, "atom-link-ok"). The handshake
+// steps and the record layer live in src/net/handshake.h as resumable
+// objects (this blocking SecureLink and the non-blocking reactor gateway
+// share one implementation of both). An attacker
 // without a long-term secret key cannot compute either direction's key, so
 // a completed handshake authenticates both endpoints against the roster's
 // registered public keys. (No forward secrecy: compromise of a long-term
@@ -39,6 +42,7 @@
 #include <optional>
 
 #include "src/crypto/kem.h"
+#include "src/net/handshake.h"
 #include "src/net/socket.h"
 #include "src/util/rng.h"
 
@@ -113,20 +117,15 @@ class SecureLink {
                    const std::function<void(Bytes&)>& mutate);
 
  private:
-  SecureLink(TcpSocket socket, uint64_t peer_id,
-             const std::array<uint8_t, 32>& send_key,
-             const std::array<uint8_t, 32>& recv_key,
-             const std::array<uint8_t, 32>& transcript_hash);
+  SecureLink(TcpSocket socket, uint64_t peer_id, RecordChannel channel);
 
   void MarkDead();
 
   TcpSocket socket_;
   uint64_t peer_id_;
-  std::array<uint8_t, 32> send_key_;
-  std::array<uint8_t, 32> recv_key_;
-  std::array<uint8_t, 32> transcript_hash_;
-  uint64_t send_counter_ = 1;  // counter 0 was the handshake confirm
-  uint64_t recv_counter_ = 1;
+  // The record layer (src/net/handshake.h). Seal runs under send_mu_,
+  // Open on the single reader thread; the two touch disjoint counters.
+  RecordChannel channel_;
   std::mutex send_mu_;
   mutable std::mutex state_mu_;
   bool dead_ = false;

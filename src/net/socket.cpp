@@ -1,6 +1,7 @@
 #include "src/net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -124,6 +125,24 @@ void TcpSocket::Close() {
   }
 }
 
+int TcpSocket::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void TcpSocket::SetNonBlocking(bool enabled) {
+  if (fd_ < 0) {
+    return;
+  }
+  int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) {
+    return;
+  }
+  fcntl(fd_, F_SETFL,
+        enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
 TcpListener::TcpListener(TcpListener&& other) noexcept
     : fd_(other.fd_), port_(other.port_) {
   other.fd_ = -1;
@@ -152,8 +171,11 @@ std::optional<TcpListener> TcpListener::Bind(uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(port);
+  // A deep backlog: the reactor gateway rides connection storms (a flash
+  // crowd of clients dialing at once) and drains accepts in batches; the
+  // kernel clamps this to somaxconn.
   if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      listen(fd, 64) != 0) {
+      listen(fd, 4096) != 0) {
     close(fd);
     return std::nullopt;
   }

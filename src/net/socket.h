@@ -56,6 +56,18 @@ class TcpSocket {
 
   void Close();
 
+  // The raw descriptor (for epoll registration); -1 when invalid. The
+  // socket retains ownership.
+  int fd() const { return fd_; }
+
+  // Relinquishes ownership of the descriptor to the caller (the reactor
+  // takes over the fd's lifetime); the socket becomes invalid.
+  int Release();
+
+  // Toggles O_NONBLOCK (the reactor's event loops own non-blocking
+  // sockets; SendAll/RecvAll assume blocking mode).
+  void SetNonBlocking(bool enabled);
+
  private:
   int fd_ = -1;
 };
@@ -86,6 +98,10 @@ class TcpListener {
   void Shutdown();
 
   void Close();
+
+  // The raw descriptor (for epoll-driven accept); -1 when invalid. The
+  // listener retains ownership.
+  int fd() const { return fd_; }
 
  private:
   int fd_ = -1;

@@ -24,6 +24,7 @@
 #include "src/net/faults.h"
 #include "src/net/gateway.h"
 #include "src/net/mesh.h"
+#include "src/net/reactor.h"
 #include "src/net/registry.h"
 #include "src/net/round_driver.h"
 #include "src/util/hex.h"
@@ -449,8 +450,8 @@ class ScenarioRunner {
     if (shape_.flash) {
       gc.credit_window = 4;
     }
-    gateway_ = std::make_unique<SubmissionGateway>(net_.get(), &registry_,
-                                                   gateway_key_, gc);
+    gateway_ = MakeClientGateway(cfg_.gateway_backend, net_.get(),
+                                 &registry_, gateway_key_, gc);
     if (shape_.gateway_plan != nullptr) {
       gateway_->SetFaultPlan(shape_.gateway_plan);
     }
@@ -852,7 +853,7 @@ class ScenarioRunner {
   std::vector<uint32_t> hosts_;
   std::vector<MeshPeer> roster_;
   std::unique_ptr<TcpPeerMesh> mesh_;
-  std::unique_ptr<SubmissionGateway> gateway_;
+  std::unique_ptr<ClientGateway> gateway_;
   std::vector<std::unique_ptr<ClientSession>> sessions_;
   std::unique_ptr<DistributedRoundDriver> driver_;
   std::unique_ptr<RoundEngine> engine_;

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "src/apps/workload.h"
+#include "src/net/gateway.h"
 
 namespace atom {
 
@@ -62,6 +63,11 @@ struct ScenarioConfig {
   std::string server_binary;  // path to the atom_server executable
   std::chrono::milliseconds round_timeout{std::chrono::seconds(60)};
   bool verbose = false;  // per-round progress on stdout
+  // Which ingress engine fronts the intake. Thread-per-connection is the
+  // default so existing scenario baselines stay bit-for-bit; the reactor
+  // serves the identical protocol and must pass the same invariants at
+  // 10x the population (reactor_test / scenario_test pin this).
+  GatewayBackend gateway_backend = GatewayBackend::kThreadPerConnection;
 };
 
 struct RoundOutcome {

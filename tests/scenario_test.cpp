@@ -7,7 +7,11 @@
 // deployments over real processes; failures echo the seed for replay.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "src/net/faults.h"
@@ -305,6 +309,68 @@ TEST(Scenario, MicroblogSurvivesStraggler) {
   ScenarioConfig config = SmallScenario("straggler", TestSeed(27));
   config.workload = WorkloadKind::kMicroblog;
   RunAndExpectOk(config);
+}
+
+size_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return 0;
+  }
+  size_t n = 0;
+  while (dirent* entry = readdir(dir)) {
+    n += entry->d_name[0] != '.';
+  }
+  closedir(dir);
+  return n - 1;  // the opendir fd itself
+}
+
+long RssKb() {
+  FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) {
+    return 0;
+  }
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %ld kB", &kb) == 1) {
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb;
+}
+
+// The 10x-population reactor runs: the same invariant matrix (liveness,
+// blame, fidelity, workload) the small scenarios assert, over the epoll
+// gateway, plus resource hygiene — sockets and memory must return to
+// baseline after the run (a per-connection or per-round leak at this
+// population is visible; at the small one it hides). A small warmup run
+// settles one-time allocations (thread pool, allocator arenas) so the
+// measured run's growth is the scenario's own.
+void RunTenXOverReactor(const char* name, uint64_t warm_seed,
+                        uint64_t seed) {
+  ScenarioConfig warmup = SmallScenario(name, warm_seed);
+  warmup.gateway_backend = GatewayBackend::kReactor;
+  RunAndExpectOk(warmup);
+
+  ScenarioConfig config = SmallScenario(name, seed);
+  config.gateway_backend = GatewayBackend::kReactor;
+  config.users = 40;  // 10x the small population
+  size_t fds_before = CountOpenFds();
+  long rss_before = RssKb();
+  RunAndExpectOk(config);
+  EXPECT_LE(CountOpenFds(), fds_before + 4)
+      << name << " at 10x leaked file descriptors across its rounds";
+  EXPECT_LE(RssKb(), rss_before + 64 * 1024)
+      << name << " at 10x grew RSS past the leak bound";
+}
+
+TEST(Scenario, ChurnAtTenXOverReactorWithoutLeaks) {
+  RunTenXOverReactor("churn", TestSeed(28), TestSeed(29));
+}
+
+TEST(Scenario, FlashCrowdAtTenXOverReactorWithoutLeaks) {
+  RunTenXOverReactor("flash_crowd", TestSeed(30), TestSeed(31));
 }
 
 #endif  // ATOM_SERVER_BINARY
