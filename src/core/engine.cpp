@@ -19,6 +19,34 @@ struct RoundEngine::HopNode {
   const MaliciousAction* fault = nullptr;
 };
 
+namespace {
+
+// Latency-aware ready-queue weights (ThreadPool drains highest weight
+// first). Deeper layers outrank shallower ones, so with several rounds
+// in flight the oldest round's remaining hops drain before fresh intake
+// — round latency stays flat under pipelining instead of growing with
+// the backlog. Within a layer, larger sub-batch totals go first: the
+// biggest hop bounds the layer's critical path, so starting it early
+// shortens the stragglers' shadow. Exit stages outrank every mixing hop
+// (they gate a round's completion and are cheap by comparison), and
+// later exit stages outrank earlier ones. Execution order never affects
+// results — every hop draws from its own derived DRBG — so weighting is
+// pure scheduling.
+constexpr int64_t kLayerStride = int64_t{1} << 20;
+constexpr size_t kBatchWeightCap = (size_t{1} << 20) - 1;
+
+int64_t HopWeight(size_t layer, size_t input_vecs) {
+  return static_cast<int64_t>(layer + 1) * kLayerStride +
+         static_cast<int64_t>(std::min(input_vecs, kBatchWeightCap));
+}
+
+int64_t ExitStageWeight(size_t layers, int stage /* 0=sort,1=check,2=fin */) {
+  return static_cast<int64_t>(layers + 1 + static_cast<size_t>(stage)) *
+         kLayerStride;
+}
+
+}  // namespace
+
 struct RoundEngine::RoundState {
   EngineRound spec;
   size_t layers = 0;
@@ -184,7 +212,16 @@ uint64_t RoundEngine::Submit(EngineRound round) {
 
 void RoundEngine::ScheduleHop(const std::shared_ptr<RoundState>& rs,
                               size_t layer, uint32_t gid) {
-  pool_->Submit([this, rs, layer, gid] { ExecuteHop(rs, layer, gid); });
+  // All predecessors have published their slots by the time the hop is
+  // ready (Submit fills layer 0 before scheduling; Deliver's acq_rel
+  // countdown publishes the rest), so the batch size is known here.
+  const HopNode& node = rs->hops[layer * rs->width + gid];
+  size_t input_vecs = 0;
+  for (const CiphertextBatch& b : node.inbound) {
+    input_vecs += b.size();
+  }
+  pool_->Submit([this, rs, layer, gid] { ExecuteHop(rs, layer, gid); },
+                HopWeight(layer, input_vecs));
 }
 
 void RoundEngine::ExecuteHop(const std::shared_ptr<RoundState>& rs,
@@ -255,7 +292,8 @@ void RoundEngine::ExecuteHop(const std::shared_ptr<RoundState>& rs,
     if (rs->native_exit) {
       // The exit batch continues straight into this round's exit-stage
       // DAG; ExecuteExitSort consumes the slot.
-      pool_->Submit([this, rs, gid] { ExecuteExitSort(rs, gid); });
+      pool_->Submit([this, rs, gid] { ExecuteExitSort(rs, gid); },
+                    ExitStageWeight(rs->layers, 0));
     }
   } else {
     for (size_t b = 0; b < neighbors.size(); b++) {
@@ -301,10 +339,12 @@ void RoundEngine::ExecuteExitSort(const std::shared_ptr<RoundState>& rs,
   if (rs->sorts_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     if (rs->spec.variant == Variant::kTrap) {
       for (uint32_t g = 0; g < rs->width; g++) {
-        pool_->Submit([this, rs, g] { ExecuteExitCheck(rs, g); });
+        pool_->Submit([this, rs, g] { ExecuteExitCheck(rs, g); },
+                      ExitStageWeight(rs->layers, 1));
       }
     } else {
-      pool_->Submit([this, rs] { ExecuteExitFinalize(rs); });
+      pool_->Submit([this, rs] { ExecuteExitFinalize(rs); },
+                    ExitStageWeight(rs->layers, 2));
     }
   }
   FinishTask(rs);
@@ -329,7 +369,8 @@ void RoundEngine::ExecuteExitCheck(const std::shared_ptr<RoundState>& rs,
     }
   }
   if (rs->checks_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    pool_->Submit([this, rs] { ExecuteExitFinalize(rs); });
+    pool_->Submit([this, rs] { ExecuteExitFinalize(rs); },
+                  ExitStageWeight(rs->layers, 2));
   }
   FinishTask(rs);
 }

@@ -215,8 +215,58 @@ std::optional<DkgComplaint> DecodeDkgComplaint(BytesView bytes) {
   return DkgComplaint{*accuser, *dealer};
 }
 
+namespace {
+
+// Exact serialized size of EncodeNodeMsg's output, so the hot fan-out
+// path reserves once instead of growing the buffer geometrically while
+// appending megabytes of ciphertexts. Must mirror EncodeNodeMsg
+// field-for-field; `shuffle_proof_size` is the pre-encoded proof length
+// (the one sub-encoding whose size is not derivable without encoding).
+size_t NodeMsgEncodedSize(const NodeMsg& msg, size_t shuffle_proof_size) {
+  auto vec_size = [](const ElGamalCiphertextVec& v) {
+    return 4 + v.size() * ElGamalCiphertext::kEncodedSize;
+  };
+  auto batch_size = [&vec_size](const CiphertextBatch& b) {
+    size_t s = 4;
+    for (const auto& v : b) {
+      s += vec_size(v);
+    }
+    return s;
+  };
+  size_t s = 1 + 4 + 4 + 4;  // type, gid, chain_pos, prev_pos
+  s += 4 + msg.next_pks.size() * Point::kEncodedSize;
+  s += batch_size(msg.batch) + batch_size(msg.prev_batch);
+  s += 1 + (msg.shuffle_proof.has_value() ? 4 + shuffle_proof_size : 0);
+  s += 4;
+  for (const auto& sub : msg.subs) {
+    s += batch_size(sub);
+  }
+  s += 4;
+  for (const auto& sub : msg.prev_subs) {
+    s += batch_size(sub);
+  }
+  s += 4 + msg.reenc_proofs.size() * ReEncProof::kEncodedSize;
+  s += 4;
+  for (const Bytes& b : msg.exit_traps) {
+    s += 4 + b.size();
+  }
+  s += 4;
+  for (const Bytes& b : msg.exit_inner) {
+    s += 4 + b.size();
+  }
+  s += 4 + 1 + 1 + 8 + 8;  // report
+  s += 4 + msg.abort_reason.size();
+  return s;
+}
+
+}  // namespace
+
 Bytes EncodeNodeMsg(const NodeMsg& msg) {
-  ByteWriter w;
+  Bytes proof_bytes;
+  if (msg.shuffle_proof.has_value()) {
+    proof_bytes = msg.shuffle_proof->Encode();
+  }
+  ByteWriter w(NodeMsgEncodedSize(msg, proof_bytes.size()));
   w.U8(static_cast<uint8_t>(msg.type));
   w.U32(msg.gid);
   w.U32(msg.chain_pos);
@@ -226,7 +276,7 @@ Bytes EncodeNodeMsg(const NodeMsg& msg) {
   PutBatch(w, msg.prev_batch);
   if (msg.shuffle_proof.has_value()) {
     w.U8(1);
-    w.Var(BytesView(msg.shuffle_proof->Encode()));
+    w.Var(BytesView(proof_bytes));
   } else {
     w.U8(0);
   }
@@ -375,10 +425,11 @@ std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes) {
 }
 
 Bytes EncodeEnvelope(const Envelope& envelope) {
-  ByteWriter w;
+  Bytes body = EncodeNodeMsg(envelope.msg);
+  ByteWriter w(12 + body.size());
   w.U32(envelope.to_server);
   w.U64(envelope.round_id);
-  w.Raw(BytesView(EncodeNodeMsg(envelope.msg)));
+  w.Raw(BytesView(body));
   return w.Take();
 }
 
@@ -394,6 +445,50 @@ std::optional<Envelope> DecodeEnvelope(BytesView bytes) {
     return std::nullopt;
   }
   return Envelope{*to_server, std::move(*msg), *round_id};
+}
+
+Bytes EncodeEnvelopeBundle(const std::vector<Envelope>& envelopes) {
+  std::vector<Bytes> bodies;
+  bodies.reserve(envelopes.size());
+  size_t total = 4;
+  for (const Envelope& envelope : envelopes) {
+    bodies.push_back(EncodeEnvelope(envelope));
+    total += 4 + bodies.back().size();
+  }
+  ByteWriter w(total);
+  w.U32(static_cast<uint32_t>(envelopes.size()));
+  for (const Bytes& body : bodies) {
+    w.Var(BytesView(body));
+  }
+  return w.Take();
+}
+
+std::optional<std::vector<Envelope>> DecodeEnvelopeBundle(BytesView bytes) {
+  ByteReader r(bytes);
+  auto count = r.U32();
+  // Every entry costs at least its 4-byte length prefix: a count above
+  // remaining()/4 is lying about the payload, so reject it before the
+  // reserve. Empty bundles are never sent and never accepted.
+  if (!count || *count == 0 || *count > r.remaining() / 4) {
+    return std::nullopt;
+  }
+  std::vector<Envelope> out;
+  out.reserve(*count);
+  for (uint32_t i = 0; i < *count; i++) {
+    auto raw = r.Var();
+    if (!raw) {
+      return std::nullopt;
+    }
+    auto envelope = DecodeEnvelope(BytesView(*raw));
+    if (!envelope) {
+      return std::nullopt;
+    }
+    out.push_back(std::move(*envelope));
+  }
+  if (!r.Done()) {
+    return std::nullopt;
+  }
+  return out;
 }
 
 Bytes EncodeTrapSubmission(const TrapSubmission& submission) {

@@ -31,6 +31,15 @@ std::optional<NodeMsg> DecodeNodeMsg(BytesView bytes);
 Bytes EncodeEnvelope(const Envelope& envelope);
 std::optional<Envelope> DecodeEnvelope(BytesView bytes);
 
+// A multi-envelope frame: every envelope one sender owes one peer for one
+// hop travels as a single sealed record instead of one frame per
+// sub-batch (LinkMsg::kEnvelopeBundle). Layout: u32 count, then count
+// length-prefixed EncodeEnvelope bodies. Decoding caps the declared count
+// against the bytes actually present before reserving, so an inflated
+// count word cannot force a large allocation.
+Bytes EncodeEnvelopeBundle(const std::vector<Envelope>& envelopes);
+std::optional<std::vector<Envelope>> DecodeEnvelopeBundle(BytesView bytes);
+
 // DKG round-1/round-2 messages (group setup gossip).
 Bytes EncodeDkgDealing(const DkgDealing& dealing);
 std::optional<DkgDealing> DecodeDkgDealing(BytesView bytes);

@@ -258,7 +258,7 @@ std::optional<LinkFrame> UnpackLinkFrame(BytesView payload) {
   }
   uint8_t type = payload[0];
   if (type < static_cast<uint8_t>(LinkMsg::kEnvelope) ||
-      type > static_cast<uint8_t>(LinkMsg::kRoundDone)) {
+      type > static_cast<uint8_t>(LinkMsg::kEnvelopeBundle)) {
     return std::nullopt;
   }
   LinkFrame frame;

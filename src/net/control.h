@@ -35,6 +35,8 @@ enum class LinkMsg : uint8_t {
   kHostGroup = 6,  // full DKG material: the receiver hosts this group's
                    // engine hops (distributed pipelined rounds)
   kRoundDone = 7,  // round retired (completed or aborted): evict its state
+  kEnvelopeBundle = 8,  // EncodeEnvelopeBundle payload: every envelope a
+                        // sender owes one peer for one hop, in one frame
 };
 
 // One mesh participant as named by the roster.

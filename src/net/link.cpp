@@ -160,7 +160,18 @@ bool SecureLink::SendMutated(BytesView payload,
   if (mutate) {
     mutate(record);
   }
-  if (!WriteFrame(socket_, BytesView(record))) {
+  // Scatter-gather the u32 length header and the sealed record straight
+  // from the seal buffer — no EncodeFrame pack-copy on the record path.
+  uint8_t len_bytes[4] = {
+      static_cast<uint8_t>(record.size()),
+      static_cast<uint8_t>(record.size() >> 8),
+      static_cast<uint8_t>(record.size() >> 16),
+      static_cast<uint8_t>(record.size() >> 24),
+  };
+  BytesView parts[2] = {BytesView(len_bytes, sizeof(len_bytes)),
+                        BytesView(record)};
+  if (record.size() > kMaxFramePayload + kAeadTagSize ||
+      !socket_.SendAllVec(parts, 2)) {
     // Shut the socket too (not just the flag): a reader blocked in Recv
     // on a half-open connection must unblock, or joining it would hang.
     MarkDead();

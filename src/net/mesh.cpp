@@ -1,9 +1,11 @@
 #include "src/net/mesh.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/core/wire.h"
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace atom {
 namespace {
@@ -16,7 +18,61 @@ NodeMsg TransportAbort(uint32_t gid, std::string reason) {
   return msg;
 }
 
+// Sender-lane drains run above every engine weight: a sealed frame that
+// waits behind queued mixing work delays the whole downstream group,
+// while the mixing work only delays this server.
+constexpr int64_t kTransportDrainWeight = int64_t{1} << 40;
+
 }  // namespace
+
+uint64_t MeshTransportStats::TotalBytes() const {
+  uint64_t n = 0;
+  for (const auto& [id, s] : per_peer) {
+    n += s.bytes_sent;
+  }
+  return n;
+}
+
+uint64_t MeshTransportStats::TotalFrames() const {
+  uint64_t n = 0;
+  for (const auto& [id, s] : per_peer) {
+    n += s.frames_sent;
+  }
+  return n;
+}
+
+uint64_t MeshTransportStats::TotalBundles() const {
+  uint64_t n = 0;
+  for (const auto& [id, s] : per_peer) {
+    n += s.bundles_sent;
+  }
+  return n;
+}
+
+uint64_t MeshTransportStats::TotalEnvelopesBundled() const {
+  uint64_t n = 0;
+  for (const auto& [id, s] : per_peer) {
+    n += s.envelopes_bundled;
+  }
+  return n;
+}
+
+size_t MeshTransportStats::QueueDepthPeak() const {
+  size_t n = 0;
+  for (const auto& [id, s] : per_peer) {
+    n = std::max(n, s.queue_depth_peak);
+  }
+  return n;
+}
+
+double MeshTransportStats::BundleFill() const {
+  uint64_t bundles = TotalBundles();
+  if (bundles == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(TotalEnvelopesBundled()) /
+         static_cast<double>(bundles);
+}
 
 TcpPeerMesh::TcpPeerMesh(Role role, uint32_t self_id, KemKeypair identity)
     : role_(role), self_id_(self_id), identity_(std::move(identity)) {
@@ -131,6 +187,21 @@ void TcpPeerMesh::Stop() {
   }
   for (auto& link : links) {
     link->Shutdown();
+  }
+  {
+    // Wait for every sender-lane drain to retire before tearing links
+    // down: a drain still running past this point would touch freed mesh
+    // state. The links are already shut, so in-flight writes fail fast,
+    // and a drain observing stopping_ abandons its queue immediately.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      for (const auto& [id, lane] : lanes_) {
+        if (lane.draining) {
+          return false;
+        }
+      }
+      return true;
+    });
   }
   std::vector<std::thread> threads;
   {
@@ -256,6 +327,15 @@ bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     delay = send_delay_;
+    // The per-peer WAN matrix overrides the global delay and adds a
+    // serialization term: frame_bytes / bandwidth.
+    auto wan = wan_.find(peer_id);
+    if (wan != wan_.end()) {
+      delay = wan->second.delay;
+      if (wan->second.bytes_per_ms > 0) {
+        delay += std::chrono::milliseconds(cost / wan->second.bytes_per_ms);
+      }
+    }
     plan = fault_plan_;
     size_t& pending = send_pending_[peer_id];
     // Per-peer backpressure: senders serialize on the link's write lock,
@@ -320,8 +400,152 @@ bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     send_pending_[peer_id] -= cost;
+    if (sent) {
+      PeerTransportStats& stats = lanes_[peer_id].stats;
+      stats.bytes_sent += cost;
+      stats.frames_sent++;
+    }
   }
   return sent;
+}
+
+bool TcpPeerMesh::SendFrameAsync(uint32_t peer_id, LinkMsg type, Bytes body,
+                                 uint64_t round_id, uint32_t gid,
+                                 uint32_t envelope_count) {
+  const size_t cost = body.size() + 1;  // + the LinkMsg tag byte
+  ThreadPool* pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return false;
+    }
+    SenderLane& lane = lanes_[peer_id];
+    // Byte-accounted admission, shared with the synchronous path's
+    // in-flight bytes: a giant bundle consumes exactly its size of the
+    // budget. One frame is always admitted when nothing is pending —
+    // drop-to-abort past the bound, never block.
+    const size_t pending = lane.queued_bytes + send_pending_[peer_id];
+    if (pending > 0 && pending + cost > send_queue_bound_) {
+      send_queue_drops_++;
+      return false;
+    }
+    lane.queue.push_back(QueuedFrame{type, std::move(body), round_id, gid,
+                                     envelope_count});
+    lane.queued_bytes += cost;
+    lane.stats.queue_depth_peak =
+        std::max(lane.stats.queue_depth_peak, lane.queued_bytes);
+    if (lane.draining) {
+      return true;  // the running drain will pick this frame up
+    }
+    lane.draining = true;
+    pool = sender_pool_ != nullptr ? sender_pool_ : &ThreadPool::Shared();
+  }
+  pool->Submit([this, peer_id] { DrainSenderLane(peer_id); },
+               kTransportDrainWeight);
+  return true;
+}
+
+void TcpPeerMesh::DrainSenderLane(uint32_t peer_id) {
+  QueuedFrame frame;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SenderLane& lane = lanes_[peer_id];
+    if (lane.queue.empty() || stopping_) {
+      // Queued frames are abandoned on Stop: the links are dying anyway
+      // and Stop() waits on this flag before tearing them down.
+      lane.draining = false;
+      cv_.notify_all();
+      return;
+    }
+    frame = std::move(lane.queue.front());
+    lane.queue.pop_front();
+    lane.queued_bytes -= frame.body.size() + 1;
+  }
+  // The socket write (and any emulated WAN sleep) happens here, on the
+  // drain task — the producer is already sealing the next frame.
+  const bool sent = SendFrame(peer_id, frame.type, BytesView(frame.body));
+  if (!sent) {
+    // Converted before the lane is marked idle: once draining clears,
+    // Stop() may tear the mesh down, so no mesh state may be touched
+    // after the idle transition below.
+    ConvertAsyncSendFailure(peer_id, frame.round_id, frame.gid);
+  }
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SenderLane& lane = lanes_[peer_id];
+    if (sent && frame.type == LinkMsg::kEnvelopeBundle) {
+      lane.stats.bundles_sent++;
+      lane.stats.envelopes_bundled += frame.envelopes;
+    }
+    if (lane.queue.empty() || stopping_) {
+      lane.draining = false;
+      cv_.notify_all();
+    } else {
+      // Yield between frames: re-queue instead of looping, so a deep lane
+      // cannot monopolize a pool thread through emulated-WAN sleeps.
+      pool = sender_pool_ != nullptr ? sender_pool_ : &ThreadPool::Shared();
+    }
+  }
+  if (pool != nullptr) {
+    pool->Submit([this, peer_id] { DrainSenderLane(peer_id); },
+                 kTransportDrainWeight);
+  }
+}
+
+void TcpPeerMesh::ConvertAsyncSendFailure(uint32_t peer_id,
+                                          uint64_t round_id, uint32_t gid) {
+  std::string reason = "transport: server " + std::to_string(self_id_) +
+                       " could not reach server " + std::to_string(peer_id);
+  if (role_ == Role::kServer) {
+    if (peer_id != kMeshDriverId) {
+      SendAbortToDriver(round_id, gid, std::move(reason));
+    }
+    return;
+  }
+  // Driver role: the failed frame was this driver's own outbound traffic.
+  // Deliver a synthesized round-tagged abort to the local sink, exactly
+  // as if the unreachable server had reported the failure itself.
+  DispatchEnvelope(Envelope{kMeshDriverId,
+                            TransportAbort(gid, std::move(reason)),
+                            round_id});
+}
+
+void TcpPeerMesh::SendEnvelopes(std::vector<Envelope> envelopes) {
+  ATOM_CHECK_MSG(role_ == Role::kServer,
+                 "SendEnvelopes is the server-role fan-out path");
+  if (envelopes.empty()) {
+    return;
+  }
+  const uint32_t dest = envelopes[0].to_server;
+  const uint64_t round_id = envelopes[0].round_id;
+  const uint32_t gid = envelopes[0].msg.gid;
+  for (const Envelope& envelope : envelopes) {
+    ATOM_CHECK_MSG(envelope.to_server == dest &&
+                       envelope.round_id == round_id,
+                   "a bundle holds one destination and one round");
+  }
+  std::shared_ptr<FaultPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan = fault_plan_;
+  }
+  if (plan != nullptr && plan->LinkSevered(round_id, self_id_, dest)) {
+    plan->CountSevered();
+  } else {
+    Bytes body = envelopes.size() == 1
+                     ? EncodeEnvelope(envelopes[0])
+                     : EncodeEnvelopeBundle(envelopes);
+    LinkMsg type = envelopes.size() == 1 ? LinkMsg::kEnvelope
+                                         : LinkMsg::kEnvelopeBundle;
+    if (SendFrameAsync(dest, type, std::move(body), round_id, gid,
+                       static_cast<uint32_t>(envelopes.size()))) {
+      return;
+    }
+  }
+  SendAbortToDriver(round_id, gid,
+                    "transport: server " + std::to_string(self_id_) +
+                        " could not reach server " + std::to_string(dest));
 }
 
 void TcpPeerMesh::AcceptLoop() {
@@ -388,9 +612,9 @@ void TcpPeerMesh::HandleFrame(uint32_t peer_id, LinkFrame frame) {
     }
     return;
   }
-  if (frame.type == LinkMsg::kEnvelope) {
-    auto envelope = DecodeEnvelope(BytesView(frame.body));
-    if (!envelope) {
+  if (frame.type == LinkMsg::kEnvelope ||
+      frame.type == LinkMsg::kEnvelopeBundle) {
+    auto malformed = [&] {
       if (role_ == Role::kDriver) {
         SynthesizeAbort(0, "transport: malformed envelope from server " +
                                std::to_string(peer_id));
@@ -400,32 +624,25 @@ void TcpPeerMesh::HandleFrame(uint32_t peer_id, LinkFrame frame) {
                           "server " +
                               std::to_string(self_id_));
       }
+    };
+    if (frame.type == LinkMsg::kEnvelope) {
+      auto envelope = DecodeEnvelope(BytesView(frame.body));
+      if (!envelope) {
+        malformed();
+        return;
+      }
+      DispatchEnvelope(std::move(*envelope));
       return;
     }
-    if (role_ == Role::kDriver) {
-      {
-        // Invoked under cb_mu_ so unregistering (driver teardown) cannot
-        // race an in-flight call into a dying object.
-        std::lock_guard<std::mutex> lock(cb_mu_);
-        if (on_driver_envelope_) {
-          // A pipelined driver demultiplexes per round; the legacy Run
-          // collectors are bypassed entirely.
-          on_driver_envelope_(std::move(*envelope));
-          return;
-        }
-      }
-      std::lock_guard<std::mutex> lock(mu_);
-      if (envelope->msg.type == NodeMsg::Type::kGroupOutput) {
-        outputs_.push_back(std::move(envelope->msg));
-      } else if (envelope->msg.type == NodeMsg::Type::kAbort) {
-        aborts_.push_back(std::move(envelope->msg));
-      }
-      cv_.notify_all();
+    // A bundle demultiplexes back into the exact per-envelope delivery a
+    // legacy sender would have produced, in the sender's fan-out order.
+    auto envelopes = DecodeEnvelopeBundle(BytesView(frame.body));
+    if (!envelopes) {
+      malformed();
       return;
     }
-    std::lock_guard<std::mutex> lock(cb_mu_);
-    if (on_envelope_) {
-      on_envelope_(std::move(*envelope));
+    for (Envelope& envelope : *envelopes) {
+      DispatchEnvelope(std::move(envelope));
     }
     return;
   }
@@ -436,6 +653,34 @@ void TcpPeerMesh::HandleFrame(uint32_t peer_id, LinkFrame frame) {
     if (on_control_) {
       on_control_(peer_id, std::move(frame));
     }
+  }
+}
+
+void TcpPeerMesh::DispatchEnvelope(Envelope envelope) {
+  if (role_ == Role::kDriver) {
+    {
+      // Invoked under cb_mu_ so unregistering (driver teardown) cannot
+      // race an in-flight call into a dying object.
+      std::lock_guard<std::mutex> lock(cb_mu_);
+      if (on_driver_envelope_) {
+        // A pipelined driver demultiplexes per round; the legacy Run
+        // collectors are bypassed entirely.
+        on_driver_envelope_(std::move(envelope));
+        return;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (envelope.msg.type == NodeMsg::Type::kGroupOutput) {
+      outputs_.push_back(std::move(envelope.msg));
+    } else if (envelope.msg.type == NodeMsg::Type::kAbort) {
+      aborts_.push_back(std::move(envelope.msg));
+    }
+    cv_.notify_all();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  if (on_envelope_) {
+    on_envelope_(std::move(envelope));
   }
 }
 
@@ -729,6 +974,26 @@ void TcpPeerMesh::set_dial_attempts(int attempts) {
 void TcpPeerMesh::set_send_delay(std::chrono::milliseconds delay) {
   std::lock_guard<std::mutex> lock(mu_);
   send_delay_ = delay;
+}
+
+void TcpPeerMesh::set_peer_profile(uint32_t peer_id, WanProfile profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wan_[peer_id] = profile;
+}
+
+void TcpPeerMesh::set_sender_pool(ThreadPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sender_pool_ = pool;
+}
+
+MeshTransportStats TcpPeerMesh::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MeshTransportStats out;
+  for (const auto& [id, lane] : lanes_) {
+    out.per_peer[id] = lane.stats;
+  }
+  out.send_queue_drops = send_queue_drops_;
+  return out;
 }
 
 void TcpPeerMesh::SetFaultPlan(std::shared_ptr<FaultPlan> plan) {

@@ -29,6 +29,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -42,6 +43,47 @@
 #include "src/net/link.h"
 
 namespace atom {
+
+class ThreadPool;
+
+// Emulated WAN shape for one peer link (netem-style). `delay` models the
+// one-way propagation latency paid per frame; `bytes_per_ms` models link
+// bandwidth as serialization time (frame_bytes / bytes_per_ms added on
+// top of the delay; 0 = unlimited). A per-peer matrix of these lets
+// bench_distributed_pipeline reproduce Figure 10/11-shaped multi-region
+// runs on loopback: intra-region links get a small delay, cross-region
+// links a large one.
+struct WanProfile {
+  std::chrono::milliseconds delay{0};
+  size_t bytes_per_ms = 0;
+};
+
+// Point-in-time transport counters for one peer link. bytes/frames count
+// everything that reached the socket (control and data plane, both the
+// synchronous path and the sender lane); bundles/envelopes_bundled count
+// only kEnvelopeBundle frames, so bundle fill = envelopes_bundled /
+// bundles_sent.
+struct PeerTransportStats {
+  uint64_t bytes_sent = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bundles_sent = 0;
+  uint64_t envelopes_bundled = 0;
+  size_t queue_depth_peak = 0;  // max bytes ever queued on the sender lane
+};
+
+// Snapshot of every peer's transport counters (TcpPeerMesh::Stats()).
+struct MeshTransportStats {
+  std::map<uint32_t, PeerTransportStats> per_peer;
+  size_t send_queue_drops = 0;
+
+  uint64_t TotalBytes() const;
+  uint64_t TotalFrames() const;
+  uint64_t TotalBundles() const;
+  uint64_t TotalEnvelopesBundled() const;
+  size_t QueueDepthPeak() const;  // max across peers
+  // Mean envelopes per kEnvelopeBundle frame (0 when none were sent).
+  double BundleFill() const;
+};
 
 class TcpPeerMesh : public Bus {
  public:
@@ -96,6 +138,29 @@ class TcpPeerMesh : public Bus {
   // peer's send queue is over its bound (see set_send_queue_bound) — the
   // caller's existing failure conversion turns either into an abort.
   bool SendFrame(uint32_t peer_id, LinkMsg type, BytesView body);
+
+  // Asynchronous data-plane send: enqueues the frame on the peer's sender
+  // lane and returns immediately, so the caller's next EncodeEnvelope +
+  // AEAD seal overlaps this frame's socket write (the lane drains one
+  // frame at a time on the shared ThreadPool, preserving per-peer order).
+  // False when the lane's byte-accounted bound rejects the frame — the
+  // caller converts that to an abort, exactly like a false SendFrame. A
+  // failure discovered later, on the drain side, is converted internally:
+  // server role reports a round-scoped abort to the driver, driver role
+  // delivers a synthesized round-tagged abort to its own envelope sink.
+  // round_id/gid scope that conversion; envelope_count feeds the bundle
+  // fill counters (1 for a plain kEnvelope).
+  bool SendFrameAsync(uint32_t peer_id, LinkMsg type, Bytes body,
+                      uint64_t round_id, uint32_t gid,
+                      uint32_t envelope_count = 1);
+
+  // Server role, coalesced fan-out: ships every envelope a hop owes one
+  // destination server as a single kEnvelopeBundle frame (plain kEnvelope
+  // when there is just one) through the sender lane. All envelopes must
+  // share to_server and round_id. Same failure conversion as Send():
+  // severed links, bound drops and dead peers become round-scoped aborts
+  // to the driver instead of hangs.
+  void SendEnvelopes(std::vector<Envelope> envelopes);
 
   // ---- Driver-side setup.
 
@@ -167,8 +232,20 @@ class TcpPeerMesh : public Bus {
   // this long before hitting the socket, modelling one-way link latency.
   // The sender's thread blocks, exactly like a saturated WAN send buffer
   // would; concurrent rounds overlap these stalls, sequential rounds pay
-  // them serially. Zero (the default) disables it.
+  // them serially. Zero (the default) disables it. On the sender-lane
+  // path the sleep happens on the drain task, so the producer keeps
+  // sealing while the emulated wire is busy.
   void set_send_delay(std::chrono::milliseconds delay);
+  // Per-peer WAN matrix entry; overrides set_send_delay for this peer and
+  // adds a bandwidth term (see WanProfile). Benches build a full
+  // latency/bandwidth matrix by calling this once per peer.
+  void set_peer_profile(uint32_t peer_id, WanProfile profile);
+  // Pool that runs the sender-lane drains (default ThreadPool::Shared());
+  // a NodeProcess points this at its own pool so transport and protocol
+  // work share one set of threads. Set before traffic flows.
+  void set_sender_pool(ThreadPool* pool);
+  // Snapshot of the per-peer transport counters.
+  MeshTransportStats Stats() const;
   // Deterministic fault injection (scenario harness): every outbound
   // frame consults the plan — drop/delay/duplicate pass through the
   // normal send path, truncate/corrupt mutate the sealed record so the
@@ -196,7 +273,19 @@ class TcpPeerMesh : public Bus {
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<SecureLink> link);
   void HandleFrame(uint32_t peer_id, LinkFrame frame);
+  // Routes one decoded inbound envelope (single frame or bundle member)
+  // to the role's sink: driver sink / legacy collectors / server callback.
+  void DispatchEnvelope(Envelope envelope);
   void OnPeerGone(uint32_t peer_id);
+
+  // Sends the head of a peer's sender lane, then reschedules itself while
+  // frames remain. One drain task per lane at a time (per-peer order);
+  // yielding between frames keeps a long queue from monopolizing a pool
+  // thread during emulated-WAN sleeps.
+  void DrainSenderLane(uint32_t peer_id);
+  // Converts a drain-side send failure into the role's abort path.
+  void ConvertAsyncSendFailure(uint32_t peer_id, uint64_t round_id,
+                               uint32_t gid);
 
   // Appends a synthesized abort (driver role) and wakes Run. gid 0 when
   // the failing chain is unknown.
@@ -256,6 +345,28 @@ class TcpPeerMesh : public Bus {
   size_t send_queue_bound_ = size_t{1} << 26;  // 64 MiB per peer
   std::map<uint32_t, size_t> send_pending_;    // queued + in-flight bytes
   size_t send_queue_drops_ = 0;
+
+  // One outbound frame parked on a sender lane. round_id/gid scope the
+  // abort synthesized if the send fails once it is this frame's turn.
+  struct QueuedFrame {
+    LinkMsg type = LinkMsg::kEnvelope;
+    Bytes body;
+    uint64_t round_id = 0;
+    uint32_t gid = 0;
+    uint32_t envelopes = 1;
+  };
+  // Per-peer sender lane (guarded by mu_). queued_bytes shares the
+  // byte-accounted budget with send_pending_, so a giant bundle consumes
+  // exactly its size of the bound — it cannot hide behind a frame count.
+  struct SenderLane {
+    std::deque<QueuedFrame> queue;
+    size_t queued_bytes = 0;
+    bool draining = false;  // a drain task is scheduled or running
+    PeerTransportStats stats;
+  };
+  std::map<uint32_t, SenderLane> lanes_;     // guarded by mu_
+  std::map<uint32_t, WanProfile> wan_;       // guarded by mu_
+  ThreadPool* sender_pool_ = nullptr;        // guarded by mu_
 };
 
 }  // namespace atom

@@ -35,6 +35,9 @@ NodeProcess::NodeProcess(uint32_t server_id, Variant variant,
       mesh_(TcpPeerMesh::Role::kServer, server_id, std::move(identity)),
       node_serial_(pool) {
   mesh_.AddPeerKey(kMeshDriverId, driver_pk);
+  // Sender-lane drains share this server's pool, so sealing the next
+  // bundle and writing the current one interleave on one set of threads.
+  mesh_.set_sender_pool(pool);
   mesh_.OnControl(
       [this](uint32_t peer, LinkFrame frame) {
         HandleControl(peer, std::move(frame));
@@ -89,6 +92,10 @@ void NodeProcess::SetFaultPlan(std::shared_ptr<FaultPlan> plan) {
 
 void NodeProcess::set_wire_delay(std::chrono::milliseconds delay) {
   mesh_.set_send_delay(delay);
+}
+
+void NodeProcess::set_peer_profile(uint32_t peer_id, WanProfile profile) {
+  mesh_.set_peer_profile(peer_id, profile);
 }
 
 void NodeProcess::Ack(uint32_t peer_id, uint64_t seq) {
@@ -433,6 +440,8 @@ void NodeProcess::ProcessHop(const std::shared_ptr<RoundCtx>& ctx,
     ProcessExitLayer(ctx, gid, std::move(out[0]));
     return;
   }
+  std::vector<std::pair<uint32_t, NodeMsg>> sends;
+  sends.reserve(neighbors.size());
   for (size_t b = 0; b < neighbors.size(); b++) {
     NodeMsg next;
     next.type = NodeMsg::Type::kHopBatch;
@@ -440,8 +449,9 @@ void NodeProcess::ProcessHop(const std::shared_ptr<RoundCtx>& ctx,
     next.chain_pos = static_cast<uint32_t>(layer + 1);
     next.prev_pos = gid;
     next.batch = std::move(out[b]);
-    SendToServer(ctx, spec.hosts[neighbors[b]], std::move(next));
+    sends.emplace_back(spec.hosts[neighbors[b]], std::move(next));
   }
+  FanOut(ctx, std::move(sends));
 }
 
 void NodeProcess::ProcessExitLayer(const std::shared_ptr<RoundCtx>& ctx,
@@ -469,6 +479,8 @@ void NodeProcess::ProcessExitLayer(const std::shared_ptr<RoundCtx>& ctx,
     }
     // §4.4 stage 2 is per destination group: ship each destination its
     // buckets so its host checks them against this round's commitments.
+    std::vector<std::pair<uint32_t, NodeMsg>> sends;
+    sends.reserve(spec.width);
     for (uint32_t d = 0; d < spec.width; d++) {
       NodeMsg msg;
       msg.type = NodeMsg::Type::kExitBuckets;
@@ -476,8 +488,9 @@ void NodeProcess::ProcessExitLayer(const std::shared_ptr<RoundCtx>& ctx,
       msg.prev_pos = gid;
       msg.exit_traps = std::move(sort.traps_for[d]);
       msg.exit_inner = std::move(sort.inner_for[d]);
-      SendToServer(ctx, spec.hosts[d], std::move(msg));
+      sends.emplace_back(spec.hosts[d], std::move(msg));
     }
+    FanOut(ctx, std::move(sends));
     return;
   }
   NizkExitDecode decode = DecodeNizkExits(exit_batch, layout);
@@ -601,6 +614,38 @@ void NodeProcess::Deliver(const std::shared_ptr<RoundCtx>& ctx,
   }
   ApplyPlanTamper(ctx, envelope);
   mesh_.Send(std::move(envelope));
+}
+
+void NodeProcess::FanOut(const std::shared_ptr<RoundCtx>& ctx,
+                         std::vector<std::pair<uint32_t, NodeMsg>> sends) {
+  if (!coalesce_) {
+    // Legacy path (before/after bench rows): one frame per sub-batch,
+    // serialized and sent inline on this lane's thread.
+    for (auto& [dest, msg] : sends) {
+      SendToServer(ctx, dest, std::move(msg));
+    }
+    return;
+  }
+  // Coalesced path: group by destination host so each peer receives one
+  // kEnvelopeBundle for this hop. The mesh's sender lane picks the frame
+  // up asynchronously — by the time it hits the socket, this thread is
+  // already sealing the next destination's bundle.
+  std::map<uint32_t, std::vector<Envelope>> by_host;
+  for (auto& [dest, msg] : sends) {
+    if (dest == server_id_) {
+      SendToServer(ctx, dest, std::move(msg));  // self short-circuit
+      continue;
+    }
+    Envelope envelope{dest, std::move(msg), ctx->round_id};
+    if (tamper_) {
+      tamper_(envelope);
+    }
+    ApplyPlanTamper(ctx, envelope);
+    by_host[dest].push_back(std::move(envelope));
+  }
+  for (auto& [dest, envelopes] : by_host) {
+    mesh_.SendEnvelopes(std::move(envelopes));
+  }
 }
 
 }  // namespace atom

@@ -160,7 +160,41 @@ uint64_t DistributedRoundDriver::Submit(EngineRound round) {
   }
 
   // Phase 2: flush the entry batches — round r+1's intake enters the
-  // network while round r is still mixing.
+  // network while round r is still mixing. Coalesced (the default), every
+  // entry batch one host serves travels as a single kEnvelopeBundle
+  // through the mesh's sender lane, so encoding host n+1's bundle
+  // overlaps the socket write of host n's; the legacy path serializes
+  // one frame per group inline.
+  if (coalesce_entries_) {
+    std::map<uint32_t, std::vector<Envelope>> by_host;
+    for (uint32_t g = 0; g < width; g++) {
+      NodeMsg msg;
+      msg.type = NodeMsg::Type::kHopBatch;
+      msg.gid = g;
+      msg.chain_pos = 0;
+      msg.prev_pos = 0;
+      msg.batch = std::move(round.entry[g]);
+      by_host[hosts_[g]].push_back(
+          Envelope{hosts_[g], std::move(msg), round_id});
+    }
+    for (auto& [host, envelopes] : by_host) {
+      const uint32_t gid = envelopes[0].msg.gid;
+      const uint32_t count = static_cast<uint32_t>(envelopes.size());
+      Bytes body = count == 1 ? EncodeEnvelope(envelopes[0])
+                              : EncodeEnvelopeBundle(envelopes);
+      LinkMsg type =
+          count == 1 ? LinkMsg::kEnvelope : LinkMsg::kEnvelopeBundle;
+      if (!mesh_->SendFrameAsync(host, type, std::move(body), round_id,
+                                 gid, count)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        AbortLocked(*pending, "round " + std::to_string(round_id) +
+                                  ": entry send to server " +
+                                  std::to_string(host) + " failed");
+        return round_id;
+      }
+    }
+    return round_id;
+  }
   for (uint32_t g = 0; g < width; g++) {
     NodeMsg msg;
     msg.type = NodeMsg::Type::kHopBatch;

@@ -7,6 +7,7 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -73,6 +74,49 @@ bool TcpSocket::SendAll(BytesView data) {
       return false;
     }
     off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool TcpSocket::SendAllVec(const BytesView* parts, size_t n) {
+  // MSG_NOSIGNAL has no writev equivalent, so use sendmsg with the same
+  // flag; iovecs are rebuilt after a partial write to resume mid-part.
+  constexpr size_t kMaxIov = 16;
+  struct iovec iov[kMaxIov];
+  size_t part = 0;   // first part not fully sent
+  size_t off = 0;    // bytes of parts[part] already sent
+  while (part < n) {
+    size_t iovs = 0;
+    for (size_t i = part; i < n && iovs < kMaxIov; i++) {
+      size_t skip = (i == part) ? off : 0;
+      if (parts[i].size() <= skip) {
+        continue;
+      }
+      iov[iovs].iov_base =
+          const_cast<uint8_t*>(parts[i].data() + skip);
+      iov[iovs].iov_len = parts[i].size() - skip;
+      iovs++;
+    }
+    if (iovs == 0) {
+      return true;  // only empty parts remained
+    }
+    struct msghdr msg = {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovs;
+    ssize_t sent = sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    size_t advanced = static_cast<size_t>(sent);
+    while (part < n && advanced >= parts[part].size() - off) {
+      advanced -= parts[part].size() - off;
+      part++;
+      off = 0;
+    }
+    off += advanced;
   }
   return true;
 }

@@ -38,6 +38,11 @@ class TcpSocket {
   // suppressed so a dead peer surfaces as a return value.
   bool SendAll(BytesView data);
 
+  // Scatter-gather send: writes `parts[0..n)` back-to-back as if they had
+  // been concatenated, without the concatenation copy (writev under the
+  // hood, with the usual EINTR / partial-write resume).
+  bool SendAllVec(const BytesView* parts, size_t n);
+
   // Reads exactly n bytes; false on EOF or error.
   bool RecvAll(uint8_t* out, size_t n);
 

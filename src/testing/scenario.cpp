@@ -281,6 +281,7 @@ class ScenarioRunner {
     } else {
       DriveSerial();
     }
+    CaptureTransportStats();  // before TearDown stops the mesh
     TearDown();
     if (report_.failure.empty()) {
       report_.ok = true;
@@ -823,6 +824,19 @@ class ScenarioRunner {
     }
   }
 
+  void CaptureTransportStats() {
+    if (mesh_ == nullptr) {
+      return;
+    }
+    const MeshTransportStats stats = mesh_->Stats();
+    report_.transport_bytes_sent = stats.TotalBytes();
+    report_.transport_frames_sent = stats.TotalFrames();
+    report_.transport_bundles_sent = stats.TotalBundles();
+    report_.transport_bundle_fill = stats.BundleFill();
+    report_.transport_queue_depth_peak = stats.QueueDepthPeak();
+    report_.transport_send_queue_drops = stats.send_queue_drops;
+  }
+
   void TearDown() {
     sessions_.clear();
     if (gateway_ != nullptr) {
@@ -887,6 +901,19 @@ std::string ScenarioReport::ToJson() const {
           ",";
   json += "\"client_disconnects\":" + std::to_string(client_disconnects) +
           ",";
+  json += "\"transport\":{";
+  json += "\"bytes_sent\":" + std::to_string(transport_bytes_sent) + ",";
+  json += "\"frames_sent\":" + std::to_string(transport_frames_sent) + ",";
+  json += "\"bundles_sent\":" + std::to_string(transport_bundles_sent) + ",";
+  {
+    char fill[32];
+    std::snprintf(fill, sizeof(fill), "%.2f", transport_bundle_fill);
+    json += std::string("\"bundle_fill\":") + fill + ",";
+  }
+  json += "\"queue_depth_peak\":" +
+          std::to_string(transport_queue_depth_peak) + ",";
+  json += "\"send_queue_drops\":" +
+          std::to_string(transport_send_queue_drops) + "},";
   json += "\"rounds\":[";
   for (size_t i = 0; i < rounds.size(); i++) {
     const RoundOutcome& r = rounds[i];

@@ -91,6 +91,16 @@ struct ScenarioReport {
   size_t backpressure_events = 0;  // flash_crowd: kBackpressure verdicts
   size_t client_disconnects = 0;   // churn: gateway force-drops
 
+  // Driver-mesh transport counters (TcpPeerMesh::Stats snapshot taken
+  // before teardown): how much wire traffic the scenario generated and
+  // how well entry coalescing packed it.
+  uint64_t transport_bytes_sent = 0;
+  uint64_t transport_frames_sent = 0;
+  uint64_t transport_bundles_sent = 0;
+  double transport_bundle_fill = 0.0;  // envelopes per bundle frame
+  size_t transport_queue_depth_peak = 0;
+  size_t transport_send_queue_drops = 0;
+
   std::string ToJson() const;
 };
 

@@ -84,20 +84,21 @@ void ThreadPool::WorkerLoop() {
       if (tasks_.empty()) {
         return;  // shutdown with a drained queue
       }
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+      auto it = tasks_.begin();  // highest weight, FIFO within a weight
+      task = std::move(it->second);
+      tasks_.erase(it);
     }
     task();
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, int64_t weight) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Accepted even during shutdown: the destructor drains the queue
     // before joining, so a task Submitted by a still-running task is
     // executed rather than aborting the process.
-    tasks_.push_back(std::move(task));
+    tasks_.emplace(weight, std::move(task));
   }
   cv_.notify_one();
 }

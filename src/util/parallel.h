@@ -19,8 +19,10 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -43,7 +45,16 @@ class ThreadPool {
   // run For() regions; they must not block waiting for a task that has not
   // been submitted yet, and must not let exceptions escape (there is no
   // caller to rethrow to — an escaping exception terminates the process).
-  void Submit(std::function<void()> task);
+  //
+  // `weight` orders the ready queue: workers always take the
+  // highest-weight queued task, FIFO among equal weights (so weight-0
+  // callers keep the pool's historical FIFO behavior exactly). The round
+  // engine uses this to drain deep/exit-stage hops before fresh intake
+  // (latency-aware scheduling); the TCP transport runs its sender-lane
+  // drains above the crypto so sealed frames never wait behind queued
+  // mixing work. Weights order only — a finite task set (the hop DAG is
+  // one) cannot starve.
+  void Submit(std::function<void()> task, int64_t weight = 0);
 
   // Runs fn(i) for i in [0, n) using up to `max_workers` threads. The
   // caller participates (claims iterations itself), so the region completes
@@ -63,7 +74,11 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
+  // Ready queue ordered by weight (descending); multimap keeps equal
+  // weights in insertion order, so this degenerates to the old FIFO deque
+  // when every caller uses the default weight.
+  std::multimap<int64_t, std::function<void()>, std::greater<int64_t>>
+      tasks_;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
 };

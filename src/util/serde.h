@@ -18,6 +18,13 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  // Pre-sizes the buffer for a writer whose output size is known up
+  // front. Hot encode paths (envelope fan-out) compute their exact size
+  // and reserve once instead of growing geometrically.
+  explicit ByteWriter(size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void Reserve(size_t total_bytes) { buf_.reserve(total_bytes); }
+
   void U8(uint8_t v) { buf_.push_back(v); }
 
   void U16(uint16_t v) {

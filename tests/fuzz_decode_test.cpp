@@ -57,6 +57,20 @@ std::vector<Target> BuildTargets(Rng& rng) {
     targets.push_back({"envelope", EncodeEnvelope(env), [](BytesView b) {
                          return DecodeEnvelope(b).has_value();
                        }});
+
+    // Coalesced kEnvelopeBundle frame carrying two envelopes (the second
+    // a bucket-bearing exit message, so both body shapes are exercised).
+    Envelope second;
+    second.to_server = 3;
+    second.round_id = 7;
+    second.msg.type = NodeMsg::Type::kExitBuckets;
+    second.msg.gid = 1;
+    second.msg.exit_traps = {Bytes{1, 2, 3}};
+    second.msg.exit_inner = {Bytes{4, 5}, Bytes{6}};
+    targets.push_back({"envelope_bundle",
+                       EncodeEnvelopeBundle({env, second}), [](BytesView b) {
+                         return DecodeEnvelopeBundle(b).has_value();
+                       }});
   }
 
   // kBeginRound without a spec (legacy chain round).
@@ -264,6 +278,40 @@ TEST(FuzzDecode, RegistrySyncCountCapHolds) {
     frame[8 + i] = static_cast<uint8_t>(huge >> (8 * i));
   }
   EXPECT_FALSE(DecodeRegistrySync(BytesView(frame)).has_value());
+}
+
+TEST(FuzzDecode, EnvelopeBundleCountCapHolds) {
+  // A bundle whose leading count claims ~1 billion envelopes over a
+  // one-envelope body must be rejected before any reserve: the decoder
+  // caps the count against remaining()/4 (each entry costs at least a
+  // 4-byte length prefix).
+  const uint64_t seed = TestSeed(0xf0233);
+  SeedEcho echo(seed);
+  Rng rng(seed);
+  Envelope env;
+  env.to_server = 1;
+  env.round_id = 2;
+  env.msg.type = NodeMsg::Type::kAbort;
+  env.msg.gid = 0;
+  env.msg.abort_reason = "x";
+  Bytes frame = EncodeEnvelopeBundle({env});
+  // Layout: u32 count (little-endian) || length-prefixed envelopes.
+  const uint32_t huge = 1u << 30;
+  for (int i = 0; i < 4; i++) {
+    frame[i] = static_cast<uint8_t>(huge >> (8 * i));
+  }
+  EXPECT_FALSE(DecodeEnvelopeBundle(BytesView(frame)).has_value());
+
+  // An empty bundle is malformed too: coalescing never ships zero
+  // envelopes, so a zero count is an attacker frame, not a no-op.
+  Bytes empty(4, 0);
+  EXPECT_FALSE(DecodeEnvelopeBundle(BytesView(empty)).has_value());
+
+  // Trailing garbage after the declared envelopes must reject (decode
+  // requires full consumption, like every other frame body).
+  Bytes padded = EncodeEnvelopeBundle({env});
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeEnvelopeBundle(BytesView(padded)).has_value());
 }
 
 }  // namespace

@@ -674,12 +674,13 @@ struct PipelinedFixture {
   std::unique_ptr<Round> round;
   uint64_t next_client = 1;
 
-  explicit PipelinedFixture(Variant variant, size_t iterations = 2)
+  explicit PipelinedFixture(Variant variant, size_t iterations = 2,
+                            size_t num_groups = 2)
       : is_trap(variant == Variant::kTrap) {
     RoundConfig config;
     config.params.variant = variant;
     config.params.num_servers = 4;
-    config.params.num_groups = 2;
+    config.params.num_groups = num_groups;
     config.params.group_size = 2;
     config.params.honest_needed = 1;
     config.params.iterations = iterations;
@@ -728,18 +729,29 @@ struct PipelinedDeployment {
 
   ~PipelinedDeployment() { StopAll(); }
 
-  bool Build(Round& round, Variant variant, size_t max_rounds = 8) {
+  // groups_per_host > 1 packs several topology groups onto one server,
+  // so a hop's fan-out owes one peer multiple envelopes — the shape that
+  // actually forms kEnvelopeBundle frames.
+  bool Build(Round& round, Variant variant, size_t max_rounds = 8,
+             bool coalesce = true,
+             std::chrono::milliseconds wire_delay = {},
+             size_t groups_per_host = 1) {
     size_t width = round.NumGroups();
+    size_t num_hosts = (width + groups_per_host - 1) / groups_per_host;
     for (uint32_t g = 0; g < width; g++) {
+      hosts.push_back(static_cast<uint32_t>(g / groups_per_host) + 1);
+    }
+    for (uint32_t h = 1; h <= num_hosts; h++) {
       KemKeypair key = KemKeyGen(setup_rng);
-      auto proc = std::make_unique<NodeProcess>(g + 1, variant, key,
+      auto proc = std::make_unique<NodeProcess>(h, variant, key,
                                                 driver_key.pk, max_rounds);
+      proc->set_coalesce_sends(coalesce);
+      proc->set_wire_delay(wire_delay);
       if (!proc->Listen(0)) {
         return false;
       }
       proc->Start();
-      roster.push_back(MeshPeer{g + 1, "127.0.0.1", proc->port(), key.pk});
-      hosts.push_back(g + 1);
+      roster.push_back(MeshPeer{h, "127.0.0.1", proc->port(), key.pk});
       procs.push_back(std::move(proc));
     }
     mesh.SetRoster(roster);
@@ -854,6 +866,114 @@ TEST(DistributedPipeline, LaneBoundRefusesExcessRoundsRoundScoped) {
         << r2.abort_reason;
     auto r1 = driver.Wait(t1);
     EXPECT_FALSE(r1.aborted) << r1.abort_reason;
+    dep.StopAll();
+  }
+}
+
+TEST(DistributedPipeline, CoalescingEquivalence) {
+  // The WAN transport pipeline (per-peer kEnvelopeBundle coalescing +
+  // async sender lanes) is pure scheduling: the same seeded specs must
+  // produce byte-identical RoundResults on the in-process engine, the
+  // coalesced deployment, and the legacy one-frame-per-envelope
+  // deployment. Every hop draws from its own derived DRBG, so neither
+  // frame packing nor arrival order may leak into the outputs. Four
+  // groups on two hosting servers so multi-envelope bundles really form
+  // (one group per host would degenerate to single-envelope frames).
+  PipelinedFixture fx(Variant::kTrap, /*iterations=*/2, /*num_groups=*/4);
+  constexpr size_t kRounds = 2;
+  std::vector<EngineRound> specs;
+  for (size_t r = 0; r < kRounds; r++) {
+    specs.push_back(fx.TakeSpec(4));
+  }
+
+  // Reference: the in-process engine (LocalBus-equivalent executor).
+  std::vector<RoundResult> want;
+  {
+    RoundEngine engine(&ThreadPool::Shared());
+    std::vector<uint64_t> tickets;
+    for (const EngineRound& spec : specs) {
+      tickets.push_back(engine.Submit(EngineRound(spec)));
+    }
+    for (uint64_t ticket : tickets) {
+      want.push_back(engine.Wait(ticket).round);
+    }
+  }
+
+  struct DeploymentRun {
+    std::vector<RoundResult> results;
+    uint64_t bundles = 0;
+  };
+  auto run_deployment = [&](bool coalesce) {
+    PipelinedDeployment dep;
+    EXPECT_TRUE(dep.Build(*fx.round, Variant::kTrap, /*max_rounds=*/8,
+                          coalesce, /*wire_delay=*/{},
+                          /*groups_per_host=*/2));
+    DeploymentRun run;
+    {
+      DistributedRoundDriver driver(&dep.mesh, dep.hosts);
+      driver.set_coalesce_entries(coalesce);
+      driver.set_round_timeout(60s);
+      std::vector<uint64_t> tickets;
+      for (const EngineRound& spec : specs) {
+        tickets.push_back(driver.Submit(EngineRound(spec)));
+      }
+      for (uint64_t ticket : tickets) {
+        run.results.push_back(driver.Wait(ticket).round);
+      }
+      run.bundles = dep.mesh.Stats().TotalBundles();
+      for (auto& proc : dep.procs) {
+        run.bundles += proc->TransportStats().TotalBundles();
+      }
+      dep.StopAll();  // join readers before the driver dies
+    }
+    return run;
+  };
+
+  DeploymentRun coalesced_run = run_deployment(true);
+  DeploymentRun legacy_run = run_deployment(false);
+  // The coalesced deployment really shipped multi-envelope bundles; the
+  // legacy one really stayed on one-frame-per-envelope.
+  EXPECT_GT(coalesced_run.bundles, 0u);
+  EXPECT_EQ(legacy_run.bundles, 0u);
+  std::vector<RoundResult>& coalesced = coalesced_run.results;
+  std::vector<RoundResult>& legacy = legacy_run.results;
+  for (size_t r = 0; r < kRounds; r++) {
+    ASSERT_FALSE(want[r].aborted) << want[r].abort_reason;
+    ASSERT_FALSE(coalesced[r].aborted) << coalesced[r].abort_reason;
+    ASSERT_FALSE(legacy[r].aborted) << legacy[r].abort_reason;
+    EXPECT_EQ(coalesced[r].plaintexts, want[r].plaintexts)
+        << "round " << r << ": coalesced diverged from engine";
+    EXPECT_EQ(legacy[r].plaintexts, want[r].plaintexts)
+        << "round " << r << ": legacy diverged from engine";
+    EXPECT_EQ(coalesced[r].traps_seen, want[r].traps_seen);
+    EXPECT_EQ(legacy[r].traps_seen, want[r].traps_seen);
+    EXPECT_EQ(coalesced[r].inner_seen, want[r].inner_seen);
+    EXPECT_EQ(legacy[r].inner_seen, want[r].inner_seen);
+  }
+}
+
+TEST(DistributedPipeline, PeerKilledMidBundleAbortsNotHangs) {
+  // Kill one hosting server while coalesced bundles are in flight: every
+  // affected round must resolve as a round-scoped abort (drop-to-abort
+  // through the sender lane), never hang the Wait caller.
+  PipelinedFixture fx(Variant::kTrap);
+  EngineRound spec = fx.TakeSpec(4);
+
+  // Slow every server's wire so the round is still mixing when the peer
+  // dies mid-pipeline.
+  PipelinedDeployment dep;
+  ASSERT_TRUE(dep.Build(*fx.round, Variant::kTrap, /*max_rounds=*/8,
+                        /*coalesce=*/true, /*wire_delay=*/50ms));
+  {
+    DistributedRoundDriver driver(&dep.mesh, dep.hosts);
+    driver.set_round_timeout(30s);
+    uint64_t ticket = driver.Submit(std::move(spec));
+    dep.procs[1]->Stop();  // group 1's host dies mid-round
+    auto start = std::chrono::steady_clock::now();
+    EngineRoundResult result = driver.Wait(ticket);
+    EXPECT_LT(std::chrono::steady_clock::now() - start, 25s)
+        << "Wait resolved only via the round timeout";
+    EXPECT_TRUE(result.aborted) << "round survived a dead hosting server";
     dep.StopAll();
   }
 }
@@ -1211,6 +1331,61 @@ TEST(MeshBackpressure, OverloadedPeerQueueDropsToAbortNotBlock) {
   EXPECT_GE(a.send_queue_drops(), 1u);
   EXPECT_TRUE(WaitUntil([&] { return driver.abort_count() >= 1; }))
       << "dropped sends never surfaced as driver aborts";
+
+  driver.Stop();
+  a.Stop();
+  b.Stop();
+}
+
+TEST(MeshBackpressure, AsyncLaneByteBudgetDropsToAbort) {
+  // The coalesced path's sender lane shares the same BYTE-accounted
+  // budget as the synchronous path: while a queued bundle's bytes occupy
+  // the budget, further SendEnvelopes calls past the bound must drop
+  // immediately (send_queue_drops grows) and surface as driver aborts —
+  // never queue unboundedly, never block the caller.
+  Rng rng(uint64_t{0xbaca});
+  KemKeypair driver_key = KemKeyGen(rng);
+  KemKeypair a_key = KemKeyGen(rng);
+  KemKeypair b_key = KemKeyGen(rng);
+  TcpPeerMesh driver(TcpPeerMesh::Role::kDriver, kMeshDriverId, driver_key);
+  TcpPeerMesh a(TcpPeerMesh::Role::kServer, 8, a_key);
+  TcpPeerMesh b(TcpPeerMesh::Role::kServer, 9, b_key);
+  ASSERT_TRUE(a.Listen(0));
+  a.Start();
+  ASSERT_TRUE(b.Listen(0));
+  b.Start();
+  a.AddPeerKey(kMeshDriverId, driver_key.pk);
+  b.AddPeerKey(8, a_key.pk);
+  driver.SetRoster({MeshPeer{8, "127.0.0.1", a.listen_port(), a_key.pk}});
+  a.SetRoster({MeshPeer{9, "127.0.0.1", b.listen_port(), b_key.pk}});
+  Bytes probe = EncodeRoundDone(1);
+  ASSERT_TRUE(driver.SendFrame(8, LinkMsg::kRoundDone, BytesView(probe)));
+
+  a.set_send_delay(40ms);  // lane drain stalls like a full WAN pipe
+  // A byte budget smaller than one envelope frame: the first bundle is
+  // admitted regardless (an empty lane always takes one frame so progress
+  // is possible), everything behind it must drop.
+  a.set_send_queue_bound(64);
+
+  NodeMsg msg;
+  msg.type = NodeMsg::Type::kShuffleStep;
+  msg.gid = 3;
+  auto start = std::chrono::steady_clock::now();
+  constexpr int kBursts = 12;
+  for (int i = 0; i < kBursts; i++) {
+    std::vector<Envelope> bundle;
+    bundle.push_back(Envelope{9, msg, 1});
+    bundle.push_back(Envelope{9, msg, 1});
+    a.SendEnvelopes(std::move(bundle));
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 10s) << "SendEnvelopes blocked instead of dropping";
+  EXPECT_GE(a.send_queue_drops(), 1u);
+  EXPECT_TRUE(WaitUntil([&] { return driver.abort_count() >= 1; }))
+      << "dropped bundles never surfaced as driver aborts";
+  MeshTransportStats stats = a.Stats();
+  EXPECT_GE(stats.QueueDepthPeak(), 1u);
+  EXPECT_GE(stats.send_queue_drops, 1u);
 
   driver.Stop();
   a.Stop();
