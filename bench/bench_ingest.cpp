@@ -70,6 +70,7 @@
 #include "src/net/handshake.h"
 #include "src/net/reactor.h"
 #include "src/net/registry.h"
+#include "src/obs/metrics.h"
 #include "src/util/parallel.h"
 
 namespace {
@@ -372,7 +373,10 @@ double PipelinedIntake(const WireLoad& load, size_t producers,
 // ---- Section 3: connection scaling across re-exec'd worker pairs.
 
 constexpr uint64_t kScaleIdBase = 1'000'000;
-constexpr size_t kLatencyBuckets = 48;
+// Verdict latency uses the shared power-of-two histogram from src/obs/
+// (the registry's bucket scheme); the pipe wire format below stays one
+// count per bucket.
+using atom::obs::kLatencyBuckets;
 // Concurrent connect+handshake cap in the load generator: far below the
 // listener's 4096 backlog, so the SYN queue never drops, while deep
 // enough to keep the gateway's handshake pool saturated.
@@ -529,7 +533,7 @@ int LoadgenWorkerMain(uint16_t port, uint64_t seed, size_t sessions) {
   std::vector<Sess> sess(sessions);
   size_t inflight = 0, welcomed = 0, failed = 0;
   size_t done = 0, accepted = 0, rejected = 0, backpressure = 0;
-  uint64_t hist[kLatencyBuckets] = {};
+  atom::obs::Pow2Hist hist;
   std::vector<size_t> retry;
   GatewayWelcome welcome;
   bool have_welcome = false;
@@ -706,10 +710,7 @@ int LoadgenWorkerMain(uint16_t port, uint64_t seed, size_t sessions) {
               std::chrono::duration_cast<std::chrono::microseconds>(
                   Clock::now() - s.submit_at)
                   .count());
-          size_t bucket = std::min<size_t>(
-              kLatencyBuckets - 1,
-              static_cast<size_t>(std::bit_width(us | 1)) - 1);
-          hist[bucket]++;
+          hist.Observe(us);
           s.state = S::kDone;
           done++;
           if (result->status == SubmitStatus::kAccepted) {
@@ -874,7 +875,7 @@ int LoadgenWorkerMain(uint16_t port, uint64_t seed, size_t sessions) {
   std::printf("DONE %zu %zu %zu %.1f", accepted, rejected, backpressure,
               submit_ms);
   for (size_t b = 0; b < kLatencyBuckets; b++) {
-    std::printf(" %llu", static_cast<unsigned long long>(hist[b]));
+    std::printf(" %llu", static_cast<unsigned long long>(hist.buckets[b]));
   }
   std::printf("\n");
   std::fflush(stdout);
@@ -1039,7 +1040,7 @@ bool RunConnectionScaling(size_t requested, GatewayBackend backend,
     SendCommand(w, "SUBMIT");
   }
   size_t accepted = 0, rejected = 0, backpressure = 0;
-  uint64_t hist[kLatencyBuckets] = {};
+  atom::obs::Pow2Hist hist;
   for (size_t p = 0; p < plan.pairs; p++) {
     size_t a = 0, r = 0, b = 0;
     double ms = 0;
@@ -1055,7 +1056,7 @@ bool RunConnectionScaling(size_t requested, GatewayBackend backend,
         cleanup();
         return false;
       }
-      hist[i] += count;
+      hist.buckets[i] += count;
     }
     accepted += a;
     rejected += r;
@@ -1081,26 +1082,8 @@ bool RunConnectionScaling(size_t requested, GatewayBackend backend,
 
   // Percentiles from the merged power-of-two histogram (bucket b covers
   // [2^b, 2^(b+1)) microseconds; the upper edge is reported).
-  auto percentile = [&](double q) -> double {
-    uint64_t total = 0;
-    for (uint64_t c : hist) {
-      total += c;
-    }
-    if (total == 0) {
-      return 0;
-    }
-    uint64_t want = static_cast<uint64_t>(q * static_cast<double>(total));
-    uint64_t seen = 0;
-    for (size_t b = 0; b < kLatencyBuckets; b++) {
-      seen += hist[b];
-      if (seen > want) {
-        return static_cast<double>(uint64_t{1} << (b + 1));
-      }
-    }
-    return static_cast<double>(uint64_t{1} << kLatencyBuckets);
-  };
-  double p50_us = percentile(0.50);
-  double p99_us = percentile(0.99);
+  double p50_us = hist.Percentile(0.50);
+  double p99_us = hist.Percentile(0.99);
   double setup_per_sec =
       max_setup_ms > 0 ? connected / (max_setup_ms / 1000.0) : 0;
   double accepted_per_sec =

@@ -28,6 +28,8 @@
 #include <string>
 
 #include "src/net/node_process.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/util/hex.h"
 
 namespace {
@@ -74,6 +76,7 @@ int main(int argc, char** argv) {
   uint32_t id = 0;
   uint16_t port = 0;
   Variant variant = Variant::kTrap;
+  int metrics_port = -1;
   std::string sk_hex, keyfile, driver_pk_hex, fault_spec;
   for (int i = 1; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
@@ -102,6 +105,13 @@ int main(int argc, char** argv) {
       variant = (value == "nizk") ? Variant::kNizk : Variant::kTrap;
     } else if (flag == "--fault-spec") {
       fault_spec = value;
+    } else if (flag == "--metrics-port") {
+      auto parsed = ParseNumber(value, 65535);
+      if (!parsed) {
+        std::fprintf(stderr, "--metrics-port must be a number in [0, 65535]\n");
+        return 2;
+      }
+      metrics_port = static_cast<int>(*parsed);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;
@@ -112,7 +122,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: atom_server --id N (--keyfile PATH | --sk <hex32>) "
                  "--driver-pk <hex33> [--port P] [--variant trap|nizk] "
-                 "[--fault-spec SPEC]\n");
+                 "[--fault-spec SPEC] [--metrics-port P]\n");
     return 2;
   }
   if (!keyfile.empty()) {
@@ -161,12 +171,28 @@ int main(int argc, char** argv) {
     }
     process.SetFaultPlan(std::move(plan));
   }
+  // Local plaintext scrape endpoint for this server's registry; the
+  // fleet-merged view still travels over the control plane regardless
+  // (kMetricsSnapshot), so this is for operators pointing Prometheus or
+  // curl at one process.
+  obs::MetricsHttpServer metrics_server;
+  if (metrics_port >= 0) {
+    obs::SetTimingEnabled(true);
+    if (!metrics_server.Start(static_cast<uint16_t>(metrics_port))) {
+      std::fprintf(stderr, "server %u: could not bind --metrics-port %d\n",
+                   id, metrics_port);
+      return 1;
+    }
+  }
   if (!process.Listen(port)) {
     std::fprintf(stderr, "server %u: could not bind port %u\n", id, port);
     return 1;
   }
   process.Start();
   std::printf("ATOM_SERVER_PORT=%u\n", process.port());
+  if (metrics_port >= 0) {
+    std::printf("ATOM_METRICS_PORT=%u\n", metrics_server.port());
+  }
   std::fflush(stdout);
 
   // Serve until the spawner closes our stdin (or we get EOF any other
@@ -174,5 +200,6 @@ int main(int argc, char** argv) {
   while (std::fgetc(stdin) != EOF) {
   }
   process.Stop();
+  metrics_server.Stop();
   return 0;
 }

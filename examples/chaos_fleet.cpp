@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   using namespace atom;
   std::string scenario = "all";
   std::string report_path;
+  std::string metrics_path;
   ScenarioConfig config;
   config.seed = 1;
   config.rounds = 3;
@@ -66,6 +67,8 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--report") {
       report_path = value;
+    } else if (flag == "--metrics-out") {
+      metrics_path = value;
     } else if (flag == "--gateway") {
       if (std::strcmp(value, "threads") == 0) {
         config.gateway_backend = GatewayBackend::kThreadPerConnection;
@@ -81,7 +84,7 @@ int main(int argc, char** argv) {
                    "[--rounds N] [--users N] "
                    "[--workload raw|dialing|microblog] "
                    "[--gateway threads|reactor] [--smoke] "
-                   "[--report PATH]\n");
+                   "[--report PATH] [--metrics-out PATH]\n");
       return 2;
     }
   }
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
     config.users = 4;
   }
   config.verbose = true;
+  config.collect_fleet_metrics = !metrics_path.empty();
 
   // The atom_server fleet binary lives next to us in the build tree.
   std::string self = argv[0];
@@ -146,6 +150,21 @@ int main(int argc, char** argv) {
     std::fputc('\n', f);
     std::fclose(f);
     std::printf("scenario report written to %s\n", report_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    // One fleet-wide view: this process's registry (driver, gateway,
+    // thread pools) merged with every server registry captured before
+    // each scenario's teardown.
+    const std::string exposition = FleetMetricsExposition();
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "could not write %s\n", metrics_path.c_str());
+      return 2;
+    }
+    std::fwrite(exposition.data(), 1, exposition.size(), f);
+    std::fclose(f);
+    std::printf("fleet metrics exposition written to %s (%zu bytes)\n",
+                metrics_path.c_str(), exposition.size());
   }
   return rc;
 }

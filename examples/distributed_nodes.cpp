@@ -62,6 +62,10 @@
 #include "src/net/reactor.h"
 #include "src/net/registry.h"
 #include "src/net/round_driver.h"
+#include "src/net/socket.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/hex.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
@@ -69,6 +73,53 @@
 namespace {
 
 using namespace atom;
+
+// Observability flags (see main): --trace-out arms the span collector,
+// --metrics-out / --metrics-port export the metrics plane. The pipelined
+// modes fill g_fleet_exposition with the MERGED fleet view (driver
+// registry + every server's kMetricsSnapshot reply) before tearing the
+// mesh down; main() writes it to --metrics-out.
+std::string g_trace_out;
+std::string g_metrics_out;
+int g_metrics_port = -1;
+std::string g_fleet_exposition;
+
+// Pulls every live server's registry over the control plane and merges it
+// with the local (driver-side) registry into one fleet-wide snapshot.
+obs::MetricsSnapshot CollectFleetMetrics(TcpPeerMesh& mesh,
+                                         const std::vector<uint32_t>& hosts) {
+  obs::MetricsSnapshot fleet = obs::Registry::Global().Snapshot();
+  size_t fetched = 0;
+  for (uint32_t host : hosts) {
+    auto snap = mesh.FetchMetricsSnapshot(host);
+    if (snap.has_value()) {
+      fleet.MergeFrom(*snap);
+      fetched++;
+    } else {
+      std::fprintf(stderr, "metrics snapshot from server %u timed out\n",
+                   host);
+    }
+  }
+  std::printf("fleet metrics: merged %zu server registries + the driver "
+              "(%zu counters, %zu gauges, %zu histograms)\n",
+              fetched, fleet.counters.size(), fleet.gauges.size(),
+              fleet.histograms.size());
+  // A few load-bearing series, so the merged view is visible in the smoke
+  // log without opening the full exposition.
+  uint64_t mesh_bytes = 0, pool_tasks = 0;
+  for (const auto& [name, value] : fleet.counters) {
+    if (name.rfind("atom_mesh_bytes_sent_total", 0) == 0) {
+      mesh_bytes += value;
+    } else if (name.rfind("atom_pool_tasks_total", 0) == 0) {
+      pool_tasks += value;
+    }
+  }
+  std::printf("  atom_mesh_bytes_sent_total (fleet) = %llu\n",
+              static_cast<unsigned long long>(mesh_bytes));
+  std::printf("  atom_pool_tasks_total (fleet)      = %llu\n",
+              static_cast<unsigned long long>(pool_tasks));
+  return fleet;
+}
 
 const char* kPosts[] = {"first!", "hello from nowhere", "mix me",
                         "fourth message"};
@@ -585,6 +636,11 @@ int RunPipelined(const char* argv0, uint64_t seed) {
                     reinterpret_cast<const char*>(plaintext.data()));
       }
     }
+    // Fleet-wide telemetry: every server publishes its registry upstream
+    // via kMetricsSnapshot while the links are still up.
+    if (rc == 0) {
+      g_fleet_exposition = CollectFleetMetrics(mesh, hosts).Exposition();
+    }
     mesh.Stop();  // joins reader threads before the driver dies
   }
   ReapAll(servers);
@@ -819,6 +875,9 @@ int RunPipelinedNetClients(const char* argv0, uint64_t seed,
     }
     sessions.clear();
     gateway.Stop();
+    if (rc == 0) {
+      g_fleet_exposition = CollectFleetMetrics(mesh, hosts).Exposition();
+    }
     mesh.Stop();
   }
   ReapAll(servers);
@@ -826,6 +885,56 @@ int RunPipelinedNetClients(const char* argv0, uint64_t seed,
     std::printf("distributed pipelined rounds with TCP clients: OK\n");
   }
   return rc;
+}
+
+// Scrapes the local --metrics-port endpoint the way Prometheus (or curl)
+// would, and sanity-checks the payload, so CI exercises the real HTTP
+// path instead of just the in-process exposition call.
+bool ScrapeMetricsEndpoint(uint16_t port) {
+  auto sock = TcpSocket::Dial("127.0.0.1", port);
+  if (!sock.has_value()) {
+    std::fprintf(stderr, "metrics scrape: dial failed\n");
+    return false;
+  }
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (!sock->SendAll(BytesView(reinterpret_cast<const uint8_t*>(
+                                   request.data()),
+                               request.size()))) {
+    std::fprintf(stderr, "metrics scrape: send failed\n");
+    return false;
+  }
+  sock->SetRecvTimeout(5000);
+  std::string response;
+  uint8_t buf[4096];
+  // RecvAll wants exact counts; drain byte-wise until EOF (the server
+  // closes after one response, and the payload is small).
+  for (;;) {
+    if (!sock->RecvAll(buf, 1)) {
+      break;
+    }
+    response.push_back(static_cast<char>(buf[0]));
+    if (response.size() > (1u << 24)) {
+      break;
+    }
+  }
+  if (response.rfind("HTTP/1.0 200 OK", 0) != 0 ||
+      response.find("atom_") == std::string::npos) {
+    std::fprintf(stderr, "metrics scrape: unexpected response (%zu bytes)\n",
+                 response.size());
+    return false;
+  }
+  std::printf("metrics endpoint scrape: OK (%zu bytes of exposition)\n",
+              response.size());
+  return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace
@@ -852,18 +961,90 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--seed must be a number\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      g_trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      g_metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      g_metrics_port = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || g_metrics_port < 0 ||
+          g_metrics_port > 65535) {
+        std::fprintf(stderr, "--metrics-port must be a port number\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: distributed_nodes [--tcp] [--pipelined] "
-                   "[--net-clients] [--reactor-gateway] [--seed N]\n");
+                   "[--net-clients] [--reactor-gateway] [--seed N] "
+                   "[--trace-out FILE] [--metrics-out FILE] "
+                   "[--metrics-port P]\n");
       return 2;
     }
   }
+
+  if (!g_trace_out.empty()) {
+    // Arm the span collector AND the timing gate before any work runs, so
+    // the trace carries phase spans and the histograms carry samples.
+    obs::Trace::Enable();
+    obs::SetTimingEnabled(true);
+  }
+  obs::MetricsHttpServer metrics_server;
+  if (g_metrics_port >= 0) {
+    obs::SetTimingEnabled(true);
+    if (!metrics_server.Start(static_cast<uint16_t>(g_metrics_port))) {
+      std::fprintf(stderr, "could not bind --metrics-port %d\n",
+                   g_metrics_port);
+      return 1;
+    }
+    std::printf("metrics endpoint up on port %u\n", metrics_server.port());
+  }
+
+  int rc;
   if (net_clients) {
-    return RunPipelinedNetClients(argv[0], seed, backend);
+    rc = RunPipelinedNetClients(argv[0], seed, backend);
+  } else if (pipelined) {
+    rc = RunPipelined(argv[0], seed);
+  } else {
+    rc = tcp ? RunTcp(argv[0], seed) : RunLocal();
   }
-  if (pipelined) {
-    return RunPipelined(argv[0], seed);
+
+  if (g_metrics_port >= 0) {
+    if (rc == 0 && !ScrapeMetricsEndpoint(metrics_server.port())) {
+      rc = 1;
+    }
+    metrics_server.Stop();
   }
-  return tcp ? RunTcp(argv[0], seed) : RunLocal();
+  if (!g_trace_out.empty()) {
+    std::string json = obs::Trace::ToJson();
+    std::string error;
+    if (!obs::ValidateTraceJson(json, &error)) {
+      std::fprintf(stderr, "trace JSON failed validation: %s\n",
+                   error.c_str());
+      rc = rc == 0 ? 1 : rc;
+    } else if (!obs::Trace::WriteTo(g_trace_out)) {
+      std::fprintf(stderr, "could not write %s\n", g_trace_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    } else {
+      std::printf("trace: %zu spans -> %s (valid Chrome trace-event "
+                  "JSON; load in chrome://tracing or Perfetto)\n",
+                  obs::Trace::EventCount(), g_trace_out.c_str());
+    }
+  }
+  if (!g_metrics_out.empty()) {
+    // Prefer the merged fleet view a pipelined run collected; fall back
+    // to this process's own registry.
+    const std::string body = !g_fleet_exposition.empty()
+                                 ? g_fleet_exposition
+                                 : obs::Registry::Global().ExpositionText();
+    if (!WriteTextFile(g_metrics_out, body)) {
+      std::fprintf(stderr, "could not write %s\n", g_metrics_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    } else {
+      std::printf("metrics exposition -> %s (%zu bytes%s)\n",
+                  g_metrics_out.c_str(), body.size(),
+                  !g_fleet_exposition.empty() ? ", fleet-merged" : "");
+    }
+  }
+  return rc;
 }

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/crypto/kem.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/rng.h"
 
 namespace atom {
@@ -45,10 +47,54 @@ int64_t ExitStageWeight(size_t layers, int stage /* 0=sort,1=check,2=fin */) {
          kLayerStride;
 }
 
+// Engine telemetry, aggregated process-wide (one engine per process in the
+// distributed deployment; benches with several see one combined series).
+// Hop/round duration histograms sample only when obs::TimingEnabled();
+// counters and the in-flight gauges are always on.
+struct EngineMetrics {
+  obs::Counter* hops;
+  obs::Counter* rounds;
+  obs::Counter* rounds_aborted;
+  obs::Histogram* hop_us;
+  obs::Histogram* round_us;
+  obs::Gauge* inflight;
+  obs::Gauge* inflight_peak;
+  obs::Gauge* overlap_permille;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics m = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      EngineMetrics out;
+      out.hops = reg.GetCounter("atom_engine_hops_total");
+      out.rounds = reg.GetCounter("atom_engine_rounds_total");
+      out.rounds_aborted = reg.GetCounter("atom_engine_rounds_aborted_total");
+      out.hop_us = reg.GetHistogram("atom_engine_hop_duration_us");
+      out.round_us = reg.GetHistogram("atom_engine_round_duration_us");
+      out.inflight = reg.GetGauge("atom_engine_inflight_rounds");
+      out.inflight_peak = reg.GetGauge("atom_engine_inflight_rounds_peak");
+      out.overlap_permille =
+          reg.GetGauge("atom_engine_pipeline_overlap_permille");
+      return out;
+    }();
+    return m;
+  }
+};
+
+// Pipeline-overlap bookkeeping (sampled only when obs::TimingEnabled()):
+// the ratio of summed per-round wall time to the elapsed time since the
+// first submit. Sequential rounds give ~1000 permille; a ratio of N×1000
+// means N rounds' lifetimes overlapped on average — the direct measure of
+// how much pipelining the engine actually achieved.
+std::atomic<int64_t> g_first_submit_us{-1};
+std::atomic<int64_t> g_round_active_us{0};
+std::atomic<int64_t> g_inflight_rounds{0};
+
 }  // namespace
 
 struct RoundEngine::RoundState {
   EngineRound spec;
+  uint64_t ticket = 0;      // engine ticket, doubles as the trace round id
+  int64_t submit_us = -1;   // Trace::NowUs() at Submit; -1 = not sampled
   size_t layers = 0;
   size_t width = 0;
   std::vector<HopNode> hops;  // hops[layer * width + gid]
@@ -88,6 +134,37 @@ void RoundEngine::AbortRound(const std::shared_ptr<RoundState>& rs,
 
 void RoundEngine::FinishTask(const std::shared_ptr<RoundState>& rs) {
   if (rs->tasks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    EngineMetrics& metrics = EngineMetrics::Get();
+    metrics.rounds->Add(1);
+    if (rs->aborted.load(std::memory_order_acquire)) {
+      metrics.rounds_aborted->Add(1);
+    }
+    metrics.inflight->Set(
+        g_inflight_rounds.fetch_sub(1, std::memory_order_relaxed) - 1);
+    if (rs->submit_us >= 0) {
+      const int64_t now_us = obs::Trace::NowUs();
+      const int64_t dur_us = now_us - rs->submit_us;
+      metrics.round_us->Observe(static_cast<uint64_t>(dur_us));
+      const int64_t active =
+          g_round_active_us.fetch_add(dur_us, std::memory_order_relaxed) +
+          dur_us;
+      const int64_t first = g_first_submit_us.load(std::memory_order_relaxed);
+      const int64_t elapsed = now_us - first;
+      if (first >= 0 && elapsed > 0) {
+        metrics.overlap_permille->Set(active * 1000 / elapsed);
+      }
+      if (obs::Trace::Enabled()) {
+        // The round's full lifetime (submit -> last task), started on the
+        // submitting thread and completed here on a pool worker.
+        obs::TraceEvent event;
+        event.name = "round";
+        event.cat = "engine";
+        event.ts_us = rs->submit_us;
+        event.dur_us = dur_us;
+        event.round_id = rs->ticket;
+        obs::Trace::Emit(event);
+      }
+    }
     std::lock_guard<std::mutex> lock(rs->mu);
     rs->done = true;
     rs->cv.notify_all();
@@ -204,6 +281,18 @@ uint64_t RoundEngine::Submit(EngineRound round) {
     ticket = next_ticket_++;
     rounds_[ticket] = rs;
   }
+  rs->ticket = ticket;
+  EngineMetrics& metrics = EngineMetrics::Get();
+  const int64_t inflight =
+      g_inflight_rounds.fetch_add(1, std::memory_order_relaxed) + 1;
+  metrics.inflight->Set(inflight);
+  metrics.inflight_peak->UpdateMax(inflight);
+  if (obs::TimingEnabled() || obs::Trace::Enabled()) {
+    rs->submit_us = obs::Trace::NowUs();
+    int64_t expected = -1;
+    g_first_submit_us.compare_exchange_strong(expected, rs->submit_us,
+                                              std::memory_order_relaxed);
+  }
   for (uint32_t g = 0; g < rs->width; g++) {
     ScheduleHop(rs, 0, g);
   }
@@ -226,6 +315,9 @@ void RoundEngine::ScheduleHop(const std::shared_ptr<RoundState>& rs,
 
 void RoundEngine::ExecuteHop(const std::shared_ptr<RoundState>& rs,
                              size_t layer, uint32_t gid) {
+  obs::TraceSpan span("hop", "engine", rs->ticket, "layer", layer, "gid",
+                      gid);
+  const int64_t t0 = obs::TimingEnabled() ? obs::Trace::NowUs() : -1;
   const EngineRound& spec = rs->spec;
   HopNode& node = rs->hops[layer * rs->width + gid];
 
@@ -301,11 +393,18 @@ void RoundEngine::ExecuteHop(const std::shared_ptr<RoundState>& rs,
     }
   }
 
+  EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.hops->Add(1);
+  if (t0 >= 0) {
+    metrics.hop_us->Observe(
+        static_cast<uint64_t>(obs::Trace::NowUs() - t0));
+  }
   FinishTask(rs);
 }
 
 void RoundEngine::ExecuteExitSort(const std::shared_ptr<RoundState>& rs,
                                   uint32_t gid) {
+  obs::TraceSpan span("exit_sort", "engine", rs->ticket, "gid", gid);
   const ExitPlan& plan = *rs->spec.exit;
   if (!rs->aborted.load(std::memory_order_acquire)) {
     // Like a mixing hop, an exit task must not let an exception (e.g.
@@ -352,6 +451,7 @@ void RoundEngine::ExecuteExitSort(const std::shared_ptr<RoundState>& rs,
 
 void RoundEngine::ExecuteExitCheck(const std::shared_ptr<RoundState>& rs,
                                    uint32_t gid) {
+  obs::TraceSpan span("exit_check", "engine", rs->ticket, "gid", gid);
   // All sorts finished before any check was scheduled, so the abort flag
   // is stable here and the buckets are fully published.
   if (!rs->aborted.load(std::memory_order_acquire)) {
@@ -376,6 +476,7 @@ void RoundEngine::ExecuteExitCheck(const std::shared_ptr<RoundState>& rs,
 }
 
 void RoundEngine::ExecuteExitFinalize(const std::shared_ptr<RoundState>& rs) {
+  obs::TraceSpan span("exit_finalize", "engine", rs->ticket);
   RoundResult& out = rs->round;
   try {
     if (rs->aborted.load(std::memory_order_acquire)) {

@@ -4,9 +4,39 @@
 #include <utility>
 
 #include "src/crypto/kem.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/parallel.h"
 
 namespace atom {
+
+namespace {
+
+// Streaming-intake telemetry, aggregated across every Round in the
+// process (one per server in the distributed deployment). Counts are
+// per-submission but carry no client identity — aggregate-only like the
+// rest of the observability plane.
+struct IntakeMetrics {
+  obs::Counter* accepted;
+  obs::Counter* rejected;
+  obs::Counter* backpressure;
+  obs::Gauge* stream_depth_peak;
+
+  static IntakeMetrics& Get() {
+    static IntakeMetrics m = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      IntakeMetrics out;
+      out.accepted = reg.GetCounter("atom_intake_accepted_total");
+      out.rejected = reg.GetCounter("atom_intake_rejected_total");
+      out.backpressure = reg.GetCounter("atom_intake_backpressure_total");
+      out.stream_depth_peak = reg.GetGauge("atom_intake_stream_depth_peak");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Round::Round(RoundConfig config, Rng& rng)
     : config_(std::move(config)),
@@ -154,9 +184,18 @@ bool Round::StreamSubmit(StreamedSubmission item) {
                            ? item.trap.entry_gid
                            : item.nizk.entry_gid;
   if (gid >= intake_.size()) {
+    IntakeMetrics::Get().rejected->Add(1);
     return false;
   }
-  return intake_[gid]->stream.TryPush(std::move(item));
+  IntakeShard& shard = *intake_[gid];
+  if (!shard.stream.TryPush(std::move(item))) {
+    // Ring full: the backpressure verdict the gateway relays to clients.
+    IntakeMetrics::Get().backpressure->Add(1);
+    return false;
+  }
+  IntakeMetrics::Get().stream_depth_peak->UpdateMax(
+      static_cast<int64_t>(shard.stream.SizeApprox()));
+  return true;
 }
 
 size_t Round::PumpStream(
@@ -173,6 +212,8 @@ size_t Round::PumpStream(
   if (items.empty()) {
     return 0;
   }
+  obs::TraceSpan span("verify", "intake", 0, "gid", gid, "items",
+                      items.size());
 
   // Signature gate first: fold every signed item in the span into one
   // SchnorrVerifyBatch (a single MSM). Only on batch failure do we pay for
@@ -219,9 +260,15 @@ size_t Round::PumpStream(
       is_trap ? SubmitTrapBatch(trap, workers)
               : SubmitNizkBatch(nizk, workers);
   std::vector<uint8_t> ok(items.size(), 0);
+  size_t num_ok = 0;
   for (size_t j = 0; j < batch_idx.size(); j++) {
     ok[batch_idx[j]] = accepted[j] ? 1 : 0;
+    num_ok += accepted[j] ? 1 : 0;
   }
+  IntakeMetrics& metrics = IntakeMetrics::Get();
+  metrics.accepted->Add(num_ok);
+  // Batch-verify rejects: bad signature, bad proof, duplicate client.
+  metrics.rejected->Add(items.size() - num_ok);
   if (done) {
     for (size_t i = 0; i < items.size(); i++) {
       done(items[i].cookie, ok[i] != 0);

@@ -258,7 +258,7 @@ std::optional<LinkFrame> UnpackLinkFrame(BytesView payload) {
   }
   uint8_t type = payload[0];
   if (type < static_cast<uint8_t>(LinkMsg::kEnvelope) ||
-      type > static_cast<uint8_t>(LinkMsg::kEnvelopeBundle)) {
+      type > static_cast<uint8_t>(LinkMsg::kMetricsSnapshot)) {
     return std::nullopt;
   }
   LinkFrame frame;
@@ -602,6 +602,49 @@ std::optional<uint64_t> DecodeAck(BytesView bytes) {
     return std::nullopt;
   }
   return seq;
+}
+
+Bytes EncodeMetricsRequest(uint64_t seq) {
+  ByteWriter w;
+  w.U64(seq);
+  return w.Take();
+}
+
+std::optional<uint64_t> DecodeMetricsRequest(BytesView bytes) {
+  ByteReader r(bytes);
+  auto seq = r.U64();
+  if (!seq || !r.Done()) {
+    return std::nullopt;
+  }
+  return seq;
+}
+
+Bytes EncodeMetricsReply(uint64_t seq,
+                         const obs::MetricsSnapshot& snapshot) {
+  ByteWriter w;
+  w.U64(seq);
+  w.Raw(BytesView(obs::EncodeMetricsSnapshot(snapshot)));
+  return w.Take();
+}
+
+std::optional<MetricsReplyMsg> DecodeMetricsReply(BytesView bytes) {
+  ByteReader r(bytes);
+  auto seq = r.U64();
+  if (!seq) {
+    return std::nullopt;
+  }
+  auto body = r.Raw(r.remaining());
+  if (!body) {
+    return std::nullopt;
+  }
+  auto snapshot = obs::DecodeMetricsSnapshot(BytesView(*body));
+  if (!snapshot) {
+    return std::nullopt;
+  }
+  MetricsReplyMsg out;
+  out.seq = *seq;
+  out.snapshot = std::move(*snapshot);
+  return out;
 }
 
 }  // namespace atom

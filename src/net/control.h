@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/node.h"
+#include "src/obs/metrics.h"
 #include "src/util/bytes.h"
 
 namespace atom {
@@ -37,6 +38,9 @@ enum class LinkMsg : uint8_t {
   kRoundDone = 7,  // round retired (completed or aborted): evict its state
   kEnvelopeBundle = 8,  // EncodeEnvelopeBundle payload: every envelope a
                         // sender owes one peer for one hop, in one frame
+  kMetricsSnapshot = 9, // telemetry export: driver->server it is a request
+                        // (u64 seq), server->driver the reply (u64 seq ||
+                        // EncodeMetricsSnapshot of the process registry)
 };
 
 // One mesh participant as named by the roster.
@@ -147,6 +151,21 @@ std::optional<HostGroupMsg> DecodeHostGroup(BytesView bytes);
 
 Bytes EncodeAck(uint64_t seq);
 std::optional<uint64_t> DecodeAck(BytesView bytes);
+
+// kMetricsSnapshot request (driver -> server): just the sequence number
+// the reply must echo. Same wire shape as an ack, separate codec so the
+// two cannot be confused at call sites.
+Bytes EncodeMetricsRequest(uint64_t seq);
+std::optional<uint64_t> DecodeMetricsRequest(BytesView bytes);
+
+// kMetricsSnapshot reply (server -> driver): echoed seq, then the
+// process registry frozen by EncodeMetricsSnapshot (src/obs/metrics.h).
+Bytes EncodeMetricsReply(uint64_t seq, const obs::MetricsSnapshot& snapshot);
+struct MetricsReplyMsg {
+  uint64_t seq = 0;
+  obs::MetricsSnapshot snapshot;
+};
+std::optional<MetricsReplyMsg> DecodeMetricsReply(BytesView bytes);
 
 }  // namespace atom
 

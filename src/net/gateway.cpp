@@ -1,12 +1,32 @@
 #include "src/net/gateway.h"
 
+#include <array>
 #include <utility>
 
 #include "src/core/wire.h"
+#include "src/obs/metrics.h"
 #include "src/util/serde.h"
 
 namespace atom {
 namespace {
+
+// Verdict counters shared with the reactor backend (same series names, so
+// a process running both sees one combined ingress-outcome view).
+obs::Counter* VerdictCounter(SubmitStatus status) {
+  static std::array<obs::Counter*, 5> verdicts = [] {
+    obs::Registry& reg = obs::Registry::Global();
+    std::array<obs::Counter*, 5> out{};
+    const char* statuses[5] = {"accepted", "rejected", "closed",
+                               "backpressure", "foreign_id"};
+    for (size_t s = 0; s < 5; s++) {
+      out[s] =
+          reg.GetCounter(std::string("atom_gateway_verdicts_total{status=\"") +
+                         statuses[s] + "\"}");
+    }
+    return out;
+  }();
+  return verdicts[static_cast<size_t>(status)];
+}
 
 // No round this repo models has more entry groups; bounds the welcome
 // decode like the rest of the control plane.
@@ -659,6 +679,7 @@ void SubmissionGateway::PumpShard(uint32_t gid) {
 
 void SubmissionGateway::SendResult(const std::shared_ptr<Connection>& conn,
                                    uint64_t seq, SubmitStatus status) {
+  VerdictCounter(status)->Add(1);
   conn->link->Send(BytesView(
       PackClientFrame(ClientMsg::kSubmitResult,
                       BytesView(EncodeSubmitResult(seq, status)))));

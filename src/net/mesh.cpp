@@ -1,9 +1,11 @@
 #include "src/net/mesh.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 
 #include "src/core/wire.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/parallel.h"
 
@@ -76,6 +78,15 @@ double MeshTransportStats::BundleFill() const {
 
 TcpPeerMesh::TcpPeerMesh(Role role, uint32_t self_id, KemKeypair identity)
     : role_(role), self_id_(self_id), identity_(std::move(identity)) {
+  // Per-instance series label: benches host many meshes per process (and
+  // twin fleets reuse self ids), so self_id alone would fold distinct
+  // meshes into one series. A process-wide ordinal keeps them apart.
+  static std::atomic<uint64_t> next_instance{0};
+  obs_label_ = std::to_string(self_id_) + "#" +
+               std::to_string(next_instance.fetch_add(
+                   1, std::memory_order_relaxed));
+  drops_ = obs::Registry::Global().GetCounter(
+      "atom_mesh_send_queue_drops_total{mesh=\"" + obs_label_ + "\"}");
   if (role_ == Role::kDriver) {
     // Round ids must not collide with a previous driver incarnation's
     // rounds still resident on long-lived servers (stale lanes and
@@ -345,7 +356,7 @@ bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
     // conversion turns that into a round-scoped abort instead of an
     // unbounded pile of blocked threads on a stalled WAN peer.
     if (pending > 0 && pending + cost > send_queue_bound_) {
-      send_queue_drops_++;
+      drops_->Add(1);
       return false;
     }
     pending += cost;
@@ -401,9 +412,9 @@ bool TcpPeerMesh::SendFrame(uint32_t peer_id, LinkMsg type, BytesView body) {
     std::lock_guard<std::mutex> lock(mu_);
     send_pending_[peer_id] -= cost;
     if (sent) {
-      PeerTransportStats& stats = lanes_[peer_id].stats;
-      stats.bytes_sent += cost;
-      stats.frames_sent++;
+      LaneCounters& obs = LaneFor(peer_id).obs;
+      obs.bytes_sent->Add(cost);
+      obs.frames_sent->Add(1);
     }
   }
   return sent;
@@ -419,21 +430,21 @@ bool TcpPeerMesh::SendFrameAsync(uint32_t peer_id, LinkMsg type, Bytes body,
     if (stopping_) {
       return false;
     }
-    SenderLane& lane = lanes_[peer_id];
+    SenderLane& lane = LaneFor(peer_id);
     // Byte-accounted admission, shared with the synchronous path's
     // in-flight bytes: a giant bundle consumes exactly its size of the
     // budget. One frame is always admitted when nothing is pending —
     // drop-to-abort past the bound, never block.
     const size_t pending = lane.queued_bytes + send_pending_[peer_id];
     if (pending > 0 && pending + cost > send_queue_bound_) {
-      send_queue_drops_++;
+      drops_->Add(1);
       return false;
     }
     lane.queue.push_back(QueuedFrame{type, std::move(body), round_id, gid,
                                      envelope_count});
     lane.queued_bytes += cost;
-    lane.stats.queue_depth_peak =
-        std::max(lane.stats.queue_depth_peak, lane.queued_bytes);
+    lane.obs.queue_depth_peak->UpdateMax(
+        static_cast<int64_t>(lane.queued_bytes));
     if (lane.draining) {
       return true;  // the running drain will pick this frame up
     }
@@ -463,7 +474,12 @@ void TcpPeerMesh::DrainSenderLane(uint32_t peer_id) {
   }
   // The socket write (and any emulated WAN sleep) happens here, on the
   // drain task — the producer is already sealing the next frame.
-  const bool sent = SendFrame(peer_id, frame.type, BytesView(frame.body));
+  bool sent;
+  {
+    obs::TraceSpan span("transport_lane", "net", frame.round_id, "peer",
+                        peer_id, "bytes", frame.body.size() + 1);
+    sent = SendFrame(peer_id, frame.type, BytesView(frame.body));
+  }
   if (!sent) {
     // Converted before the lane is marked idle: once draining clears,
     // Stop() may tear the mesh down, so no mesh state may be touched
@@ -473,10 +489,10 @@ void TcpPeerMesh::DrainSenderLane(uint32_t peer_id) {
   ThreadPool* pool = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    SenderLane& lane = lanes_[peer_id];
+    SenderLane& lane = LaneFor(peer_id);
     if (sent && frame.type == LinkMsg::kEnvelopeBundle) {
-      lane.stats.bundles_sent++;
-      lane.stats.envelopes_bundled += frame.envelopes;
+      lane.obs.bundles_sent->Add(1);
+      lane.obs.envelopes_bundled->Add(frame.envelopes);
     }
     if (lane.queue.empty() || stopping_) {
       lane.draining = false;
@@ -491,6 +507,26 @@ void TcpPeerMesh::DrainSenderLane(uint32_t peer_id) {
     pool->Submit([this, peer_id] { DrainSenderLane(peer_id); },
                  kTransportDrainWeight);
   }
+}
+
+TcpPeerMesh::SenderLane& TcpPeerMesh::LaneFor(uint32_t peer_id) {
+  SenderLane& lane = lanes_[peer_id];
+  if (lane.obs.bytes_sent == nullptr) {
+    obs::Registry& reg = obs::Registry::Global();
+    const std::string labels = "{mesh=\"" + obs_label_ + "\",peer=\"" +
+                               std::to_string(peer_id) + "\"}";
+    lane.obs.bytes_sent = reg.GetCounter("atom_mesh_bytes_sent_total" +
+                                         labels);
+    lane.obs.frames_sent = reg.GetCounter("atom_mesh_frames_sent_total" +
+                                          labels);
+    lane.obs.bundles_sent = reg.GetCounter("atom_mesh_bundles_sent_total" +
+                                           labels);
+    lane.obs.envelopes_bundled =
+        reg.GetCounter("atom_mesh_envelopes_bundled_total" + labels);
+    lane.obs.queue_depth_peak =
+        reg.GetGauge("atom_mesh_send_queue_depth_peak_bytes" + labels);
+  }
+  return lane;
 }
 
 void TcpPeerMesh::ConvertAsyncSendFailure(uint32_t peer_id,
@@ -608,6 +644,17 @@ void TcpPeerMesh::HandleFrame(uint32_t peer_id, LinkFrame frame) {
     if (seq) {
       std::lock_guard<std::mutex> lock(mu_);
       acked_.insert(*seq);
+      cv_.notify_all();
+    }
+    return;
+  }
+  if (frame.type == LinkMsg::kMetricsSnapshot && role_ == Role::kDriver) {
+    // A server's telemetry reply; requests only ever travel driver ->
+    // server, so on this side the frame is unambiguous.
+    auto reply = DecodeMetricsReply(BytesView(frame.body));
+    if (reply) {
+      std::lock_guard<std::mutex> lock(mu_);
+      metrics_replies_[reply->seq] = std::move(reply->snapshot);
       cv_.notify_all();
     }
     return;
@@ -767,6 +814,24 @@ bool TcpPeerMesh::SendHostGroup(uint32_t peer_id, uint32_t gid,
   Bytes body = EncodeHostGroup(seq, gid, dkg);
   return SendControlAwaitAck(peer_id, LinkMsg::kHostGroup, seq,
                              BytesView(body));
+}
+
+std::optional<obs::MetricsSnapshot> TcpPeerMesh::FetchMetricsSnapshot(
+    uint32_t peer_id) {
+  ATOM_CHECK_MSG(role_ == Role::kDriver,
+                 "metrics snapshots are pulled by the driver");
+  uint64_t seq = NextSeq();
+  Bytes body = EncodeMetricsRequest(seq);
+  if (!SendFrame(peer_id, LinkMsg::kMetricsSnapshot, BytesView(body))) {
+    return std::nullopt;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, control_timeout_,
+                    [&] { return metrics_replies_.contains(seq); })) {
+    return std::nullopt;
+  }
+  auto node = metrics_replies_.extract(seq);
+  return std::move(node.mapped());
 }
 
 uint64_t TcpPeerMesh::AllocateRoundId() {
@@ -987,12 +1052,25 @@ void TcpPeerMesh::set_sender_pool(ThreadPool* pool) {
 }
 
 MeshTransportStats TcpPeerMesh::Stats() const {
+  // Reconstructed from the registry-backed counters, which are the single
+  // source of truth since the observability plane landed; the public
+  // snapshot shape (and the scenario report JSON built from it) is
+  // unchanged.
   std::lock_guard<std::mutex> lock(mu_);
   MeshTransportStats out;
   for (const auto& [id, lane] : lanes_) {
-    out.per_peer[id] = lane.stats;
+    PeerTransportStats stats;
+    if (lane.obs.bytes_sent != nullptr) {
+      stats.bytes_sent = lane.obs.bytes_sent->Value();
+      stats.frames_sent = lane.obs.frames_sent->Value();
+      stats.bundles_sent = lane.obs.bundles_sent->Value();
+      stats.envelopes_bundled = lane.obs.envelopes_bundled->Value();
+      stats.queue_depth_peak =
+          static_cast<size_t>(lane.obs.queue_depth_peak->Value());
+    }
+    out.per_peer[id] = stats;
   }
-  out.send_queue_drops = send_queue_drops_;
+  out.send_queue_drops = static_cast<size_t>(drops_->Value());
   return out;
 }
 
@@ -1007,8 +1085,7 @@ void TcpPeerMesh::set_send_queue_bound(size_t bytes) {
 }
 
 size_t TcpPeerMesh::send_queue_drops() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return send_queue_drops_;
+  return static_cast<size_t>(drops_->Value());
 }
 
 }  // namespace atom

@@ -41,6 +41,7 @@
 #include "src/net/control.h"
 #include "src/net/faults.h"
 #include "src/net/link.h"
+#include "src/obs/metrics.h"
 
 namespace atom {
 
@@ -172,6 +173,13 @@ class TcpPeerMesh : public Bus {
   // Ships a whole group's DKG output so the receiver hosts that group's
   // engine hops for pipelined rounds (ack-synchronized).
   bool SendHostGroup(uint32_t peer_id, uint32_t gid, const DkgResult& dkg);
+
+  // Driver side: pulls the peer process's frozen metrics registry over
+  // the control plane (kMetricsSnapshot request/reply, bounded by the
+  // control timeout). nullopt when the peer is unreachable, dead, or a
+  // pre-observability build. Merge the replies with the local registry's
+  // Snapshot() for the fleet-wide view.
+  std::optional<obs::MetricsSnapshot> FetchMetricsSnapshot(uint32_t peer_id);
 
   // ---- Round-scoped control plane (driver side).
 
@@ -344,7 +352,6 @@ class TcpPeerMesh : public Bus {
   int dial_attempts_ = 5;
   size_t send_queue_bound_ = size_t{1} << 26;  // 64 MiB per peer
   std::map<uint32_t, size_t> send_pending_;    // queued + in-flight bytes
-  size_t send_queue_drops_ = 0;
 
   // One outbound frame parked on a sender lane. round_id/gid scope the
   // abort synthesized if the send fails once it is this frame's turn.
@@ -355,6 +362,18 @@ class TcpPeerMesh : public Bus {
     uint32_t gid = 0;
     uint32_t envelopes = 1;
   };
+  // Cached registry handles for one peer link's transport counters — the
+  // single source of truth behind Stats(), shared with the fleet-wide
+  // metrics export. Series carry {mesh="<self>#<instance>",peer="<id>"}
+  // labels so the many meshes a bench process hosts stay separable.
+  struct LaneCounters {
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* frames_sent = nullptr;
+    obs::Counter* bundles_sent = nullptr;
+    obs::Counter* envelopes_bundled = nullptr;
+    obs::Gauge* queue_depth_peak = nullptr;  // max bytes queued on the lane
+  };
+
   // Per-peer sender lane (guarded by mu_). queued_bytes shares the
   // byte-accounted budget with send_pending_, so a giant bundle consumes
   // exactly its size of the bound — it cannot hide behind a frame count.
@@ -362,11 +381,20 @@ class TcpPeerMesh : public Bus {
     std::deque<QueuedFrame> queue;
     size_t queued_bytes = 0;
     bool draining = false;  // a drain task is scheduled or running
-    PeerTransportStats stats;
+    LaneCounters obs;
   };
+  // The peer's lane, its registry handles resolved on first use.
+  // Requires mu_ held.
+  SenderLane& LaneFor(uint32_t peer_id);
+
   std::map<uint32_t, SenderLane> lanes_;     // guarded by mu_
   std::map<uint32_t, WanProfile> wan_;       // guarded by mu_
   ThreadPool* sender_pool_ = nullptr;        // guarded by mu_
+  // Fulfilled kMetricsSnapshot replies by request seq (driver role,
+  // guarded by mu_; FetchMetricsSnapshot extracts its own entry).
+  std::map<uint64_t, obs::MetricsSnapshot> metrics_replies_;
+  std::string obs_label_;                    // mesh="<self>#<instance>"
+  obs::Counter* drops_ = nullptr;            // send-queue bound drops
 };
 
 }  // namespace atom

@@ -160,6 +160,22 @@ void NodeProcess::HandleControl(uint32_t peer_id, LinkFrame frame) {
       }
       break;
     }
+    case LinkMsg::kMetricsSnapshot: {
+      // Telemetry pull: freeze the process registry and ship it back.
+      // Runs on the control serial queue like every other reply, so it
+      // cannot block the reader thread on a slow link.
+      auto seq = DecodeMetricsRequest(BytesView(frame.body));
+      if (!seq) {
+        return;
+      }
+      node_serial_.Submit([this, seq = *seq, peer_id] {
+        Bytes body = EncodeMetricsReply(
+            seq, obs::Registry::Global().Snapshot());
+        mesh_.SendFrame(peer_id, LinkMsg::kMetricsSnapshot,
+                        BytesView(body));
+      });
+      break;
+    }
     default:
       break;
   }

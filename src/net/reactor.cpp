@@ -18,12 +18,44 @@
 
 #include "src/core/wire.h"
 #include "src/crypto/aead.h"
+#include "src/obs/metrics.h"
 #include "src/util/serde.h"
 
 namespace atom {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Gateway-wide ingress telemetry, aggregated across every ReactorGateway
+// in the process (the distributed deployment runs one per entry group;
+// tests that spin several up sequentially share the series). Per-loop
+// counters live on the Loop itself, labeled {loop="i"}. Aggregate-only:
+// outcomes and counts, never a client id.
+struct GwMetrics {
+  obs::Counter* handshakes_ok;
+  obs::Counter* handshakes_failed;
+  obs::Counter* verdicts[5];  // indexed by SubmitStatus
+
+  static GwMetrics& Get() {
+    static GwMetrics m = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      GwMetrics out;
+      out.handshakes_ok =
+          reg.GetCounter("atom_gateway_handshakes_total{outcome=\"ok\"}");
+      out.handshakes_failed =
+          reg.GetCounter("atom_gateway_handshakes_total{outcome=\"failed\"}");
+      const char* statuses[5] = {"accepted", "rejected", "closed",
+                                 "backpressure", "foreign_id"};
+      for (size_t s = 0; s < 5; s++) {
+        out.verdicts[s] =
+            reg.GetCounter(std::string("atom_gateway_verdicts_total{status=\"") +
+                           statuses[s] + "\"}");
+      }
+      return out;
+    }();
+    return m;
+  }
+};
 
 // epoll_data tags for the two non-connection descriptors.
 constexpr uint64_t kEventFdTag = 0;
@@ -99,6 +131,12 @@ struct ReactorGateway::Loop {
   std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns;
   Clock::time_point last_sweep;
 
+  // Per-loop telemetry, labeled {loop="index"}; resolved once at Start.
+  // epoll_wait_us samples only when obs::TimingEnabled().
+  obs::Counter* accepts = nullptr;
+  obs::Counter* reaps = nullptr;
+  obs::Histogram* epoll_wait_us = nullptr;
+
   ~Loop() {
     if (epoll_fd >= 0) {
       ::close(epoll_fd);
@@ -169,6 +207,14 @@ void ReactorGateway::Start() {
   for (size_t i = 0; i < num_loops; i++) {
     auto loop = std::make_unique<Loop>();
     loop->index = i;
+    {
+      obs::Registry& reg = obs::Registry::Global();
+      const std::string label = "{loop=\"" + std::to_string(i) + "\"}";
+      loop->accepts = reg.GetCounter("atom_gateway_accepts_total" + label);
+      loop->reaps = reg.GetCounter("atom_gateway_reaps_total" + label);
+      loop->epoll_wait_us =
+          reg.GetHistogram("atom_gateway_epoll_wait_us" + label);
+    }
     loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
     loop->event_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     ATOM_CHECK(loop->epoll_fd >= 0 && loop->event_fd >= 0);
@@ -314,8 +360,19 @@ size_t ReactorGateway::connection_count() const {
 void ReactorGateway::LoopMain(Loop* loop) {
   std::vector<epoll_event> events(512);
   while (!loop->exit) {
+    // Sampled wait latency: how long this loop sat in the kernel before
+    // work arrived (a high tail under load means the loop is saturated
+    // elsewhere, a low one that it is spinning on ready sockets).
+    const bool timing = obs::TimingEnabled();
+    const auto wait_start = timing ? Clock::now() : Clock::time_point{};
     int n = epoll_wait(loop->epoll_fd, events.data(),
                        static_cast<int>(events.size()), 100);
+    if (timing) {
+      loop->epoll_wait_us->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - wait_start)
+              .count()));
+    }
     // Posted closures first: a Stop must win against a burst of socket
     // events.
     for (;;) {
@@ -389,6 +446,7 @@ void ReactorGateway::AcceptReady(Loop* loop) {
     conn->fd = fd;
     conn->loop_index = round_robin_.fetch_add(1) % loops_.size();
     total_conns_.fetch_add(1);
+    loops_[conn->loop_index]->accepts->Add(1);
     bool posted = PostToLoop(conn->loop_index, [this, conn] {
       Loop* owner = loops_[conn->loop_index].get();
       auto now = Clock::now();
@@ -505,6 +563,7 @@ void ReactorGateway::ProcessFrames(Loop* loop,
       }
       // Confirm: one small AEAD open — fine on the loop.
       if (!conn->handshake.OnConfirm(BytesView(*frame))) {
+        GwMetrics::Get().handshakes_failed->Add(1);
         CloseConn(loop, conn);
         return;
       }
@@ -555,9 +614,11 @@ void ReactorGateway::FinishHandshake(Loop* loop,
   // lookup here means the id was revoked mid-handshake.
   auto registered = registry_->Lookup(conn->client_id);
   if (!registered) {
+    GwMetrics::Get().handshakes_failed->Add(1);
     CloseConn(loop, conn);
     return;
   }
+  GwMetrics::Get().handshakes_ok->Add(1);
   conn->pk = *registered;
   conn->channel = conn->handshake.TakeChannel();
   conn->assembler.set_max_payload(kMaxFramePayload + kAeadTagSize);
@@ -724,6 +785,10 @@ void ReactorGateway::QueuePlain(Loop* loop,
 void ReactorGateway::QueueResult(Loop* loop,
                                  const std::shared_ptr<Conn>& conn,
                                  uint64_t seq, SubmitStatus status) {
+  // Every verdict that leaves the gateway is counted by outcome —
+  // kBackpressure here is the client-visible face of the intake ring
+  // bound and the credit window.
+  GwMetrics::Get().verdicts[static_cast<size_t>(status)]->Add(1);
   QueueRecord(loop, conn, BytesView(PackClientFrame(
       ClientMsg::kSubmitResult,
       BytesView(EncodeSubmitResult(seq, status)))));
@@ -828,6 +893,9 @@ void ReactorGateway::SweepDeadlines(Loop* loop) {
         }
         break;
     }
+  }
+  if (!doomed.empty()) {
+    loop->reaps->Add(doomed.size());
   }
   for (auto& conn : doomed) {
     CloseConn(loop, conn);

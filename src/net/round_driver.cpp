@@ -5,9 +5,35 @@
 
 #include "src/core/wire.h"
 #include "src/crypto/kem.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace atom {
+
+namespace {
+
+// Driver-side round telemetry (the fleet's servers carry their own engine
+// metrics; these count what the coordinating process sees).
+struct DriverMetrics {
+  obs::Counter* rounds;
+  obs::Counter* rounds_aborted;
+  obs::Histogram* round_us;
+
+  static DriverMetrics& Get() {
+    static DriverMetrics m = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      DriverMetrics out;
+      out.rounds = reg.GetCounter("atom_driver_rounds_total");
+      out.rounds_aborted = reg.GetCounter("atom_driver_rounds_aborted_total");
+      out.round_us = reg.GetHistogram("atom_driver_round_duration_us");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 DistributedRoundDriver::DistributedRoundDriver(TcpPeerMesh* mesh,
                                                std::vector<uint32_t> hosts)
@@ -117,8 +143,12 @@ uint64_t DistributedRoundDriver::Submit(EngineRound round) {
   }
 
   const uint64_t round_id = mesh_->AllocateRoundId();
+  DriverMetrics::Get().rounds->Add(1);
   auto pending = std::make_shared<PendingRound>();
   pending->round_id = round_id;
+  if (obs::TimingEnabled() || obs::Trace::Enabled()) {
+    pending->submit_us = obs::Trace::NowUs();
+  }
   pending->width = width;
   pending->layers = layers;
   pending->variant = round.variant;
@@ -141,21 +171,24 @@ uint64_t DistributedRoundDriver::Submit(EngineRound round) {
   // Phase 1: open the round on every hosting server, ack-synchronized so
   // the root key and commitments land before any traffic that depends on
   // them (hop batches arrive on different links than ours).
-  for (uint32_t host : unique_hosts_) {
-    WireRoundSpec host_spec = spec;
-    if (!all_commitments.empty()) {
-      for (uint32_t g = 0; g < width; g++) {
-        if (hosts_[g] == host) {
-          host_spec.commitments[g] = std::move(all_commitments[g]);
+  {
+    obs::TraceSpan begin_span("begin_round", "driver", round_id);
+    for (uint32_t host : unique_hosts_) {
+      WireRoundSpec host_spec = spec;
+      if (!all_commitments.empty()) {
+        for (uint32_t g = 0; g < width; g++) {
+          if (hosts_[g] == host) {
+            host_spec.commitments[g] = std::move(all_commitments[g]);
+          }
         }
       }
-    }
-    if (!mesh_->SendBeginRound(host, round_id, round.seed, &host_spec)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      AbortLocked(*pending, "round " + std::to_string(round_id) +
-                                ": server " + std::to_string(host) +
-                                " unreachable at round start");
-      return round_id;
+      if (!mesh_->SendBeginRound(host, round_id, round.seed, &host_spec)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        AbortLocked(*pending, "round " + std::to_string(round_id) +
+                                  ": server " + std::to_string(host) +
+                                  " unreachable at round start");
+        return round_id;
+      }
     }
   }
 
@@ -165,6 +198,7 @@ uint64_t DistributedRoundDriver::Submit(EngineRound round) {
   // through the mesh's sender lane, so encoding host n+1's bundle
   // overlaps the socket write of host n's; the legacy path serializes
   // one frame per group inline.
+  obs::TraceSpan flush_span("intake_flush", "driver", round_id);
   if (coalesce_entries_) {
     std::map<uint32_t, std::vector<Envelope>> by_host;
     for (uint32_t g = 0; g < width; g++) {
@@ -354,6 +388,9 @@ EngineRoundResult DistributedRoundDriver::Finalize(PendingRound& round) {
 EngineRoundResult DistributedRoundDriver::Wait(uint64_t ticket) {
   std::shared_ptr<PendingRound> round;
   {
+    // From the driver's seat this wait IS the fleet's mixing + exit work:
+    // everything between the entry flush and the last collected report.
+    obs::TraceSpan collect_span("collect", "driver", ticket);
     std::unique_lock<std::mutex> lock(mu_);
     auto it = rounds_.find(ticket);
     ATOM_CHECK_MSG(it != rounds_.end(),
@@ -369,7 +406,28 @@ EngineRoundResult DistributedRoundDriver::Wait(uint64_t ticket) {
   }
   // Heavy finalize work (trustee decision, KEM decryption) runs on the
   // caller's thread, outside the lock — reader threads stay light.
-  EngineRoundResult result = Finalize(*round);
+  EngineRoundResult result;
+  {
+    obs::TraceSpan finalize_span("finalize", "driver", ticket);
+    result = Finalize(*round);
+  }
+  DriverMetrics& metrics = DriverMetrics::Get();
+  if (result.aborted) {
+    metrics.rounds_aborted->Add(1);
+  }
+  if (round->submit_us >= 0) {
+    const int64_t dur_us = obs::Trace::NowUs() - round->submit_us;
+    metrics.round_us->Observe(static_cast<uint64_t>(dur_us));
+    if (obs::Trace::Enabled()) {
+      obs::TraceEvent event;
+      event.name = "driver_round";
+      event.cat = "driver";
+      event.ts_us = round->submit_us;
+      event.dur_us = dur_us;
+      event.round_id = ticket;
+      obs::Trace::Emit(event);
+    }
+  }
   // Retire the round on the fleet so the bounded lane pools free up.
   mesh_->BroadcastRoundDone(ticket, unique_hosts_);
   return result;

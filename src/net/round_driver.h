@@ -107,6 +107,9 @@ class DistributedRoundDriver {
 
     bool aborted = false;
     std::string abort_reason;  // first abort wins
+    // Trace::NowUs() at Submit (sampled when tracing/timing is on, -1
+    // otherwise) so Wait can emit the round's full driver-side lifetime.
+    int64_t submit_us = -1;
 
     bool Complete() const {
       if (aborted) {

@@ -1,0 +1,79 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <string>
+
+namespace atom {
+namespace obs {
+
+MetricsHttpServer::MetricsHttpServer(Registry* registry)
+    : registry_(registry != nullptr ? registry : &Registry::Global()) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start(uint16_t port) {
+  auto listener = TcpListener::Bind(port);
+  if (!listener) {
+    return false;
+  }
+  listener_ = std::move(*listener);
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+uint16_t MetricsHttpServer::port() const { return listener_.port(); }
+
+void MetricsHttpServer::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  listener_.Close();
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  for (;;) {
+    auto conn = listener_.Accept();
+    if (!conn) {
+      return;  // Stop() shut the listener down
+    }
+    // Drain the request line so well-behaved clients don't see a reset;
+    // the body served is the same regardless of path. A client that
+    // connects and goes silent cannot wedge the loop past the timeout.
+    conn->SetRecvTimeout(2000);
+    uint8_t byte = 0;
+    uint8_t prev = 0;
+    for (int i = 0; i < 4096; i++) {
+      if (!conn->RecvAll(&byte, 1)) {
+        break;
+      }
+      if (prev == '\r' && byte == '\n') {
+        break;
+      }
+      prev = byte;
+    }
+    std::string body = registry_->ExpositionText();
+    char header[160];
+    std::snprintf(header, sizeof(header),
+                  "HTTP/1.0 200 OK\r\n"
+                  "Content-Type: text/plain; version=0.0.4\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n\r\n",
+                  body.size());
+    conn->SetSendTimeout(2000);
+    if (conn->SendAll(BytesView(
+            reinterpret_cast<const uint8_t*>(header),
+            std::char_traits<char>::length(header)))) {
+      conn->SendAll(BytesView(reinterpret_cast<const uint8_t*>(body.data()),
+                              body.size()));
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace atom

@@ -1,0 +1,50 @@
+// Fleet observability, part 3 (local half): a minimal plaintext HTTP
+// endpoint serving a Registry's Prometheus-style exposition, for the
+// optional per-process --metrics-port flag. One accept-loop thread; each
+// connection gets a fresh snapshot and is closed — no keep-alive, no
+// request parsing beyond draining the request line, which is all a
+// scraper (or `curl`) needs. The cross-process half of export — the
+// kMetricsSnapshot control frame — lives in src/net/control.h and
+// src/net/mesh.h, because it rides the authenticated mesh links.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <thread>
+
+#include "src/net/socket.h"
+#include "src/obs/metrics.h"
+
+namespace atom {
+namespace obs {
+
+class MetricsHttpServer {
+ public:
+  // Serves `registry` (Registry::Global() when null). Call Start() to
+  // bind and begin serving.
+  explicit MetricsHttpServer(Registry* registry = nullptr);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds (port 0 picks an ephemeral port) and starts the accept loop.
+  bool Start(uint16_t port);
+  // The actually-bound port (after Start(0)).
+  uint16_t port() const;
+  // Stops the accept loop and joins it. Idempotent; the dtor calls it.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  Registry* registry_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  bool running_ = false;
+};
+
+}  // namespace obs
+}  // namespace atom
+
+#endif  // SRC_OBS_EXPORT_H_

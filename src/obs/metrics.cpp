@@ -1,0 +1,325 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/util/serde.h"
+
+namespace atom {
+namespace obs {
+
+// ---------------------------------------------------------------- Pow2Hist
+
+double Pow2Hist::Percentile(double q) const {
+  uint64_t total = Total();
+  if (total == 0) {
+    return 0;
+  }
+  uint64_t want = static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kLatencyBuckets; b++) {
+    seen += buckets[b];
+    if (seen > want) {
+      return static_cast<double>(uint64_t{1} << (b + 1));
+    }
+  }
+  return static_cast<double>(uint64_t{1} << kLatencyBuckets);
+}
+
+// --------------------------------------------------------------- Histogram
+
+size_t Histogram::ShardIndex() {
+  // Threads take shards round-robin on first observe; the index is per
+  // thread, not per histogram, which keeps the lookup to one TLS read and
+  // still spreads any set of concurrently-observing threads evenly.
+  static std::atomic<size_t> next_shard{0};
+  thread_local size_t index =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+Pow2Hist Histogram::Snapshot() const {
+  Pow2Hist out;
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < kLatencyBuckets; b++) {
+      out.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ timing gate
+
+namespace {
+std::atomic<bool> g_timing_enabled{false};
+}  // namespace
+
+bool TimingEnabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTimingEnabled(bool enabled) {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- MetricsSnapshot
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    auto [it, inserted] = gauges.try_emplace(name, value);
+    if (!inserted && value > it->second) {
+      it->second = value;  // gauges are depths/peaks: fleet max
+    }
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].Merge(hist);
+  }
+}
+
+namespace {
+
+// Splices an extra label into a series name that may already carry a
+// label set: name{a="1"} + le="4" -> name{a="1",le="4"}.
+std::string WithLabel(const std::string& name, const std::string& label) {
+  if (!name.empty() && name.back() == '}') {
+    return name.substr(0, name.size() - 1) + "," + label + "}";
+  }
+  return name + "{" + label + "}";
+}
+
+// Splits name{labels} so histogram expansion can suffix the base name
+// (Prometheus wants name_bucket{...}, not name{...}_bucket).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);  // includes the braces
+  }
+}
+
+void AppendLine(std::string* out, const std::string& series,
+                uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += series;
+  *out += ' ';
+  *out += buf;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::Exposition() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    AppendLine(&out, name, value);
+  }
+  for (const auto& [name, value] : gauges) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out += name;
+    out += ' ';
+    out += buf;
+    out += '\n';
+  }
+  for (const auto& [name, hist] : histograms) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < kLatencyBuckets; b++) {
+      if (hist.buckets[b] == 0) {
+        continue;  // sparse: power-of-two buckets are mostly empty
+      }
+      cumulative = 0;
+      for (size_t i = 0; i <= b; i++) {
+        cumulative += hist.buckets[i];
+      }
+      char le[40];
+      std::snprintf(le, sizeof(le), "le=\"%llu\"",
+                    static_cast<unsigned long long>(uint64_t{1} << (b + 1)));
+      AppendLine(&out, WithLabel(base + "_bucket" + labels, le), cumulative);
+    }
+    AppendLine(&out, WithLabel(base + "_bucket" + labels, "le=\"+Inf\""),
+               hist.Total());
+    AppendLine(&out, base + "_sum" + labels, hist.sum);
+    AppendLine(&out, base + "_count" + labels, hist.Total());
+  }
+  return out;
+}
+
+// --------------------------------------------------------- snapshot codec
+
+namespace {
+
+void WriteName(ByteWriter* w, const std::string& name) {
+  w->Var(BytesView(reinterpret_cast<const uint8_t*>(name.data()),
+                   name.size()));
+}
+
+std::optional<std::string> ReadName(ByteReader* r) {
+  auto bytes = r->Var();
+  if (!bytes) {
+    return std::nullopt;
+  }
+  // Series names are human-authored identifiers; cap hard so a hostile
+  // length cannot balloon the decode.
+  if (bytes->size() > 1024) {
+    return std::nullopt;
+  }
+  return std::string(bytes->begin(), bytes->end());
+}
+
+// A snapshot from one process holds at most a few hundred series; 1<<16
+// is far above any honest registry and far below an allocation hazard.
+constexpr uint32_t kMaxSeries = 1 << 16;
+
+}  // namespace
+
+Bytes EncodeMetricsSnapshot(const MetricsSnapshot& snapshot) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(snapshot.counters.size()));
+  for (const auto& [name, value] : snapshot.counters) {
+    WriteName(&w, name);
+    w.U64(value);
+  }
+  w.U32(static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const auto& [name, value] : snapshot.gauges) {
+    WriteName(&w, name);
+    w.U64(static_cast<uint64_t>(value));
+  }
+  w.U32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const auto& [name, hist] : snapshot.histograms) {
+    WriteName(&w, name);
+    w.U64(hist.sum);
+    // Sparse bucket encoding: (index, count) pairs — most of the 48
+    // buckets are empty in practice.
+    uint32_t nonzero = 0;
+    for (uint64_t c : hist.buckets) {
+      nonzero += c != 0 ? 1 : 0;
+    }
+    w.U32(nonzero);
+    for (size_t b = 0; b < kLatencyBuckets; b++) {
+      if (hist.buckets[b] != 0) {
+        w.U8(static_cast<uint8_t>(b));
+        w.U64(hist.buckets[b]);
+      }
+    }
+  }
+  return w.Take();
+}
+
+std::optional<MetricsSnapshot> DecodeMetricsSnapshot(BytesView bytes) {
+  ByteReader r(bytes);
+  MetricsSnapshot out;
+  auto n_counters = r.U32();
+  if (!n_counters || *n_counters > kMaxSeries) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < *n_counters; i++) {
+    auto name = ReadName(&r);
+    auto value = r.U64();
+    if (!name || !value) {
+      return std::nullopt;
+    }
+    out.counters[*name] = *value;
+  }
+  auto n_gauges = r.U32();
+  if (!n_gauges || *n_gauges > kMaxSeries) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < *n_gauges; i++) {
+    auto name = ReadName(&r);
+    auto value = r.U64();
+    if (!name || !value) {
+      return std::nullopt;
+    }
+    out.gauges[*name] = static_cast<int64_t>(*value);
+  }
+  auto n_hists = r.U32();
+  if (!n_hists || *n_hists > kMaxSeries) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < *n_hists; i++) {
+    auto name = ReadName(&r);
+    auto sum = r.U64();
+    auto nonzero = r.U32();
+    if (!name || !sum || !nonzero || *nonzero > kLatencyBuckets) {
+      return std::nullopt;
+    }
+    Pow2Hist hist;
+    hist.sum = *sum;
+    for (uint32_t b = 0; b < *nonzero; b++) {
+      auto index = r.U8();
+      auto count = r.U64();
+      if (!index || !count || *index >= kLatencyBuckets) {
+        return std::nullopt;
+      }
+      hist.buckets[*index] = *count;
+    }
+    out.histograms[*name] = hist;
+  }
+  if (!r.Done()) {
+    return std::nullopt;  // trailing bytes: reject, like the control plane
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Registry
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out.histograms[name] = hist->Snapshot();
+  }
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: handles
+  return *registry;                            // outlive static teardown
+}
+
+}  // namespace obs
+}  // namespace atom

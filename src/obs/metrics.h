@@ -1,0 +1,222 @@
+// Fleet observability, part 1: the metrics plane. One process-global
+// Registry of named counters, gauges, and power-of-two latency histograms
+// that every layer (ThreadPool, RoundEngine, TcpPeerMesh, gateways,
+// streaming intake) feeds. Design constraints, in order:
+//
+//  * Hot-path writes are lock-free: counters and gauges are single relaxed
+//    atomics; histograms stripe their buckets across cache-line-aligned
+//    shards so concurrent observers from different threads rarely collide.
+//    Registration (name -> handle) takes a mutex, so call sites look up
+//    their handles once and cache the pointer — handles live as long as
+//    the registry (nothing is ever deleted), which for Global() is the
+//    process lifetime.
+//
+//  * Timing instrumentation is gated: counters are cheap enough to stay
+//    always-on, but anything that samples a clock (task dwell, epoll wait
+//    latency, phase histograms) checks TimingEnabled() first — a single
+//    relaxed atomic load — so the disabled path costs one predictable
+//    branch.
+//
+//  * Everything is aggregate-only. Metric names may carry structural
+//    labels (peer id, pool class, reactor loop) but NEVER a client
+//    identity, and no series is keyed to an individual submission — the
+//    telemetry must not narrow the anonymity set the mix-net provides.
+//
+// Snapshots of a registry serialize (EncodeMetricsSnapshot) and merge
+// (MergeFrom), which is how the kMetricsSnapshot control frame turns a
+// fleet of per-process registries into one view, and how the Prometheus
+// text exposition (--metrics-port / --metrics-out) is produced.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace atom {
+namespace obs {
+
+// ---------------------------------------------------------------- Pow2Hist
+
+// Bucket count shared by every latency histogram in the project; bucket b
+// covers [2^b, 2^(b+1)) in the caller's unit (microseconds everywhere in
+// this codebase). 48 buckets span 1us .. ~8.9 years, i.e. "never clips".
+// Factored out of bench_ingest.cpp's inline histogram so the bench and
+// the registry share one implementation.
+inline constexpr size_t kLatencyBuckets = 48;
+
+// A plain (non-atomic) power-of-two histogram: the merge/percentile value
+// type. Observe on one thread, or Merge snapshots from many.
+struct Pow2Hist {
+  std::array<uint64_t, kLatencyBuckets> buckets{};
+  uint64_t sum = 0;  // sum of observed values (exposition _sum line)
+
+  // Bucket index for a value: floor(log2(max(v,1))), clipped to the top
+  // bucket. Identical math to the bench's inline version.
+  static size_t BucketFor(uint64_t value) {
+    return std::min<size_t>(
+        kLatencyBuckets - 1,
+        static_cast<size_t>(std::bit_width(value | 1)) - 1);
+  }
+
+  void Observe(uint64_t value) {
+    buckets[BucketFor(value)]++;
+    sum += value;
+  }
+
+  void Merge(const Pow2Hist& other) {
+    for (size_t b = 0; b < kLatencyBuckets; b++) {
+      buckets[b] += other.buckets[b];
+    }
+    sum += other.sum;
+  }
+
+  uint64_t Total() const {
+    uint64_t total = 0;
+    for (uint64_t c : buckets) {
+      total += c;
+    }
+    return total;
+  }
+
+  // Upper-edge estimate of quantile q in [0,1]: the exclusive upper bound
+  // 2^(b+1) of the first bucket where the running count exceeds q*total.
+  // 0 when empty. Matches the bench's historical percentile semantics.
+  double Percentile(double q) const;
+};
+
+// ----------------------------------------------------- atomic instruments
+
+// Monotonic counter. Relaxed atomics: totals are exact (fetch_add), only
+// cross-counter ordering is unspecified, which aggregate telemetry never
+// needs.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time signed value (queue depth, occupancy) with a lock-free
+// running-max variant for peaks.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  // Raises the gauge to v if v is larger (CAS loop; lock-free peaks).
+  void UpdateMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Concurrent Pow2Hist: buckets striped across cache-line-aligned shards,
+// each thread pinned to one shard (round-robin at first observe), every
+// slot a relaxed atomic. Observe never locks; Snapshot merges the shards
+// into a plain Pow2Hist. Totals are exact; a snapshot taken concurrently
+// with observers is a momentary cut, which is all a scrape needs.
+class Histogram {
+ public:
+  void Observe(uint64_t value) {
+    Shard& s = shards_[ShardIndex()];
+    s.buckets[Pow2Hist::BucketFor(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  Pow2Hist Snapshot() const;
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kLatencyBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+// ------------------------------------------------------------ timing gate
+
+// Gates every clock-sampling instrumentation point (histogram timings).
+// Off by default: the disabled path is one relaxed load + branch.
+bool TimingEnabled();
+void SetTimingEnabled(bool enabled);
+
+// ----------------------------------------------------------- MetricsSnapshot
+
+// A registry frozen into plain values: what travels inside the
+// kMetricsSnapshot control frame and what MergeFrom aggregates into the
+// fleet-wide view. Counter/histogram series with the same name sum;
+// gauges take the max (every gauge in this codebase is a depth/peak,
+// where max is the meaningful fleet aggregate).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Pow2Hist> histograms;
+
+  void MergeFrom(const MetricsSnapshot& other);
+
+  // Prometheus-style text exposition. Histogram series expand into
+  // cumulative <name>_bucket{le="..."} lines plus _sum and _count; a
+  // label set already present in the name is spliced with the le label.
+  std::string Exposition() const;
+};
+
+// Little-endian snapshot codec (the kMetricsSnapshot payload). Decode is
+// hostile-input safe: every count is bounds-checked against the remaining
+// bytes before allocation, like the rest of the control plane.
+Bytes EncodeMetricsSnapshot(const MetricsSnapshot& snapshot);
+std::optional<MetricsSnapshot> DecodeMetricsSnapshot(BytesView bytes);
+
+// ---------------------------------------------------------------- Registry
+
+// Named instrument directory. Get* registers on first use and returns a
+// stable pointer (instruments are never deleted); names follow Prometheus
+// conventions and may carry a label set inline:
+//
+//   registry.GetCounter("atom_mesh_bytes_sent_total{peer=\"4\"}")
+//
+// Lookup takes a mutex — call sites resolve once and cache the pointer.
+class Registry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ExpositionText() const { return Snapshot().Exposition(); }
+
+  // The process-wide registry every subsystem feeds; what kMetricsSnapshot
+  // exports and --metrics-port serves.
+  static Registry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace atom
+
+#endif  // SRC_OBS_METRICS_H_

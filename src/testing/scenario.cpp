@@ -27,12 +27,19 @@
 #include "src/net/reactor.h"
 #include "src/net/registry.h"
 #include "src/net/round_driver.h"
+#include "src/obs/metrics.h"
 #include "src/util/hex.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 namespace atom {
 namespace {
+
+// Server-side registries accumulated across scenarios (guarded by its
+// mutex; CaptureTransportStats merges into it, FleetMetricsExposition
+// reads it out).
+std::mutex g_fleet_metrics_mu;
+obs::MetricsSnapshot g_fleet_metrics;
 
 // ------------------------------------------------------------ fleet spawn
 
@@ -835,6 +842,18 @@ class ScenarioRunner {
     report_.transport_bundle_fill = stats.BundleFill();
     report_.transport_queue_depth_peak = stats.QueueDepthPeak();
     report_.transport_send_queue_drops = stats.send_queue_drops;
+    if (cfg_.collect_fleet_metrics) {
+      // Fold every still-reachable server's registry into the process
+      // accumulator. Dead/severed hosts (kill/partition scenarios) just
+      // time out on the control plane and are skipped.
+      std::lock_guard<std::mutex> lock(g_fleet_metrics_mu);
+      for (uint32_t host : hosts_) {
+        auto remote = mesh_->FetchMetricsSnapshot(host);
+        if (remote.has_value()) {
+          g_fleet_metrics.MergeFrom(*remote);
+        }
+      }
+    }
   }
 
   void TearDown() {
@@ -888,6 +907,15 @@ const std::vector<std::string>& ScenarioNames() {
 ScenarioReport RunScenario(const ScenarioConfig& config) {
   ScenarioRunner runner(config);
   return runner.Run();
+}
+
+std::string FleetMetricsExposition() {
+  obs::MetricsSnapshot merged = obs::Registry::Global().Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(g_fleet_metrics_mu);
+    merged.MergeFrom(g_fleet_metrics);
+  }
+  return merged.Exposition();
 }
 
 std::string ScenarioReport::ToJson() const {

@@ -68,6 +68,12 @@ struct ScenarioConfig {
   // serves the identical protocol and must pass the same invariants at
   // 10x the population (reactor_test / scenario_test pin this).
   GatewayBackend gateway_backend = GatewayBackend::kThreadPerConnection;
+  // When set, each scenario pulls every reachable server's metrics
+  // registry over the control plane (kMetricsSnapshot) before teardown
+  // and folds it into the process-wide fleet accumulator readable via
+  // FleetMetricsExposition(). Off by default: faulted scenarios pay a
+  // control-timeout per dead host.
+  bool collect_fleet_metrics = false;
 };
 
 struct RoundOutcome {
@@ -106,6 +112,12 @@ struct ScenarioReport {
 
 // The scenario catalog, in documentation order.
 const std::vector<std::string>& ScenarioNames();
+
+// Fleet-wide metrics accumulated across every scenario this process ran
+// with collect_fleet_metrics set: the local registry (driver + gateway +
+// pools) merged with each server's kMetricsSnapshot reply, rendered in
+// Prometheus text exposition format. chaos_fleet --metrics-out dumps it.
+std::string FleetMetricsExposition();
 
 // Runs one scenario to completion. Never throws and never hangs past
 // (rounds + 2) * round_timeout: every invariant violation — including a

@@ -4,9 +4,58 @@
 #include <exception>
 #include <memory>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace atom {
+
+namespace {
+
+// Pool telemetry, aggregated process-wide across every ThreadPool (a
+// process normally runs one shared pool; benches that host several see
+// one combined series, which is what "how busy are my cores" wants).
+// Counters/gauges are always on; queue-dwell histograms sample only when
+// obs::TimingEnabled().
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Gauge* queue_depth_peak;
+  obs::Counter* tasks[3];
+  obs::Histogram* dwell[3];
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      PoolMetrics out;
+      out.queue_depth = reg.GetGauge("atom_pool_queue_depth");
+      out.queue_depth_peak = reg.GetGauge("atom_pool_queue_depth_peak");
+      const char* classes[3] = {"default", "engine", "transport"};
+      for (size_t c = 0; c < 3; c++) {
+        std::string label = std::string("{class=\"") + classes[c] + "\"}";
+        out.tasks[c] = reg.GetCounter("atom_pool_tasks_total" + label);
+        out.dwell[c] =
+            reg.GetHistogram("atom_pool_task_dwell_us" + label);
+      }
+      return out;
+    }();
+    return m;
+  }
+};
+
+// Buckets submissions by the weight bands the callers actually use:
+// sender-lane drains run at 1<<40 (src/net/mesh.cpp), engine hop/exit
+// tasks at layer strides of 1<<20 (src/core/engine.cpp), everything else
+// at the default 0.
+uint8_t WeightClass(int64_t weight) {
+  if (weight >= (int64_t{1} << 40)) {
+    return 2;  // transport
+  }
+  if (weight >= (int64_t{1} << 20)) {
+    return 1;  // engine
+  }
+  return 0;
+}
+
+}  // namespace
 
 // One ParallelFor region. Iterations are claimed with an atomic cursor
 // (dynamic scheduling in chunks of one: crypto work per item is uniform but
@@ -76,8 +125,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
@@ -87,18 +137,38 @@ void ThreadPool::WorkerLoop() {
       auto it = tasks_.begin();  // highest weight, FIFO within a weight
       task = std::move(it->second);
       tasks_.erase(it);
+      metrics.queue_depth->Set(static_cast<int64_t>(tasks_.size()));
     }
-    task();
+    if (task.enqueued != std::chrono::steady_clock::time_point{}) {
+      // Sampled only when timing was enabled at submit; pure observation
+      // (the clock read happens outside mu_ and never reorders work).
+      auto dwell = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - task.enqueued);
+      metrics.dwell[task.weight_class]->Observe(
+          static_cast<uint64_t>(dwell.count()));
+    }
+    task.fn();
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task, int64_t weight) {
+  PoolMetrics& metrics = PoolMetrics::Get();
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  queued.weight_class = WeightClass(weight);
+  if (obs::TimingEnabled()) {
+    queued.enqueued = std::chrono::steady_clock::now();
+  }
+  metrics.tasks[queued.weight_class]->Add(1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Accepted even during shutdown: the destructor drains the queue
     // before joining, so a task Submitted by a still-running task is
     // executed rather than aborting the process.
-    tasks_.emplace(weight, std::move(task));
+    tasks_.emplace(weight, std::move(queued));
+    const auto depth = static_cast<int64_t>(tasks_.size());
+    metrics.queue_depth->Set(depth);
+    metrics.queue_depth_peak->UpdateMax(depth);
   }
   cv_.notify_one();
 }

@@ -17,6 +17,7 @@
 #ifndef SRC_UTIL_PARALLEL_H_
 #define SRC_UTIL_PARALLEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -69,6 +70,16 @@ class ThreadPool {
 
  private:
   struct ForState;
+  // One parked task plus its telemetry: the weight class it was admitted
+  // under (transport / engine / default — see WeightClass in parallel.cpp)
+  // and, when obs::TimingEnabled(), its enqueue timestamp so the worker
+  // that dequeues it can record queue dwell. A default-constructed
+  // timestamp means "not sampled".
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+    uint8_t weight_class = 0;
+  };
   static void RunSlice(ForState& state);
   void WorkerLoop();
 
@@ -77,8 +88,7 @@ class ThreadPool {
   // Ready queue ordered by weight (descending); multimap keeps equal
   // weights in insertion order, so this degenerates to the old FIFO deque
   // when every caller uses the default weight.
-  std::multimap<int64_t, std::function<void()>, std::greater<int64_t>>
-      tasks_;
+  std::multimap<int64_t, QueuedTask, std::greater<int64_t>> tasks_;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
 };
